@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one experiment table (E1-E8 plus the Fig. 1
+workflow) at the same scale used for the numbers recorded in EXPERIMENTS.md,
+prints it, persists it as JSON under ``benchmarks/results/``, and asserts the
+qualitative claim the paper makes for that experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.metrics import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The configuration every benchmark (and EXPERIMENTS.md) uses.
+BENCHMARK_CONFIG = ExperimentConfig(
+    seed=0,
+    scale=1.0,
+    sentences_per_domain=120,
+    train_epochs=15,
+    codec_architecture="mlp",
+)
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The standard experiment configuration shared by every benchmark."""
+    return BENCHMARK_CONFIG
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Return a helper that prints a table and stores it under ``benchmarks/results``."""
+
+    def _publish(table: ResultTable) -> ResultTable:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        table.save_json(str(RESULTS_DIR / f"{table.name}.json"))
+        print()
+        print(table.to_text())
+        return table
+
+    return _publish
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments train neural codecs, so repeating them for statistical
+    timing would dominate the suite; one timed round is enough to record the
+    regeneration cost of each table.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

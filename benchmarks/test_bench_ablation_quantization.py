@@ -1,0 +1,47 @@
+"""Ablation benchmark: feature width and quantization depth of the semantic codec."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ablation_quantization(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "ablation_quantization", experiment_config)
+    publish(table)
+
+    def rows_for(feature_dim):
+        return sorted(
+            (row for row in table.rows if row["feature_dim"] == feature_dim),
+            key=lambda row: row["quantization_bits"],
+        )
+
+    feature_dims = sorted({row["feature_dim"] for row in table.rows})
+
+    # Payload grows linearly with both knobs.
+    for feature_dim in feature_dims:
+        payloads = [row["payload_bytes"] for row in rows_for(feature_dim)]
+        assert payloads == sorted(payloads)
+
+    # Moderate configurations (>= 4 features, >= 4 bits) all reach high accuracy,
+    # and at least one low-payload configuration stays above 0.9 accuracy —
+    # the operating point the default system configuration uses.
+    assert all(
+        row["token_accuracy"] > 0.85
+        for row in table.rows
+        if row["feature_dim"] >= 4 and row["quantization_bits"] >= 4
+    )
+    assert any(row["token_accuracy"] > 0.9 and row["payload_bytes"] < 30.0 for row in table.rows)
+
+    # Both knobs matter: an overly tight feature bottleneck (2 values/token)
+    # caps accuracy even with fine quantization, and extremely coarse
+    # quantization (2 bits) hurts relative to 8 bits at the widest setting.
+    best_bits = max(row["quantization_bits"] for row in table.rows)
+    narrowest_best = next(
+        row for row in rows_for(feature_dims[0]) if row["quantization_bits"] == best_bits
+    )
+    mid_best = next(row for row in rows_for(4) if row["quantization_bits"] == best_bits)
+    assert narrowest_best["token_accuracy"] < mid_best["token_accuracy"]
+    widest = rows_for(feature_dims[-1])
+    assert widest[0]["token_accuracy"] <= widest[-1]["token_accuracy"] + 1e-9

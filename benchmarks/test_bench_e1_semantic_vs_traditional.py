@@ -1,0 +1,31 @@
+"""Benchmark E1: semantic vs traditional communication across the SNR sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e1_semantic_vs_traditional(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e1", experiment_config)
+    publish(table)
+
+    semantic = {row["snr_db"]: row for row in table.rows if row["system"] == "semantic"}
+    semantic_fec = {row["snr_db"]: row for row in table.rows if row["system"] == "semantic+fec"}
+    traditional = {row["snr_db"]: row for row in table.rows if row["system"] == "traditional"}
+
+    # Claim 1: the semantic payload is substantially smaller than the bit-level payload.
+    for snr_db in semantic:
+        assert semantic[snr_db]["payload_bytes"] < traditional[snr_db]["payload_bytes"] * 0.8
+
+    # Claim 2: at low SNR the semantic system degrades gracefully and beats the
+    # traditional system, whose source-coded bitstream collapses under bit errors.
+    low_snrs = [snr for snr in semantic if snr <= 0.0]
+    assert all(semantic[snr]["token_accuracy"] >= traditional[snr]["token_accuracy"] for snr in low_snrs)
+
+    # Claim 3: with the same FEC as the baseline, semantic transmission is at
+    # least as accurate at every SNR point while still sending fewer bytes.
+    assert all(
+        semantic_fec[snr]["token_accuracy"] >= traditional[snr]["token_accuracy"] - 0.02 for snr in semantic_fec
+    )

@@ -1,0 +1,28 @@
+"""Benchmark E2: domain-specialized general models vs one shared general model."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e2_domain_specialization(benchmark, experiment_config, publish):
+    tables = run_once(benchmark, run_experiment, "e2", experiment_config)
+    specialization = publish(tables["specialization"])
+    cross_domain = publish(tables["cross_domain"])
+
+    # Claim 1 (Section II-A): domain-specialized codecs beat the single shared
+    # codec on their own domain, on average across domains.
+    gains = [row["specialization_gain"] for row in specialization.rows]
+    assert float(np.mean(gains)) > 0.0
+    assert sum(1 for gain in gains if gain > 0) >= len(gains) - 1
+
+    # Claim 2: applying the wrong domain's KB is catastrophically worse than the
+    # matched KB ("severe mismatches between senders and receivers").
+    for row in cross_domain.rows:
+        domain = row["encoder_domain"]
+        matched = row[f"decode_{domain}"]
+        mismatched = [value for key, value in row.items() if key.startswith("decode_") and key != f"decode_{domain}"]
+        assert matched > max(mismatched) + 0.3

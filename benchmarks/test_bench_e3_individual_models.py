@@ -1,0 +1,32 @@
+"""Benchmark E3: user-specific individual models vs the frozen general model."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e3_individual_models(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e3", experiment_config)
+    publish(table)
+
+    by_user: dict[str, dict[int, float]] = {}
+    for row in table.rows:
+        by_user.setdefault(row["user_id"], {})[row["buffered_transactions"]] = row["token_accuracy"]
+
+    gains = []
+    for budgets in by_user.values():
+        general_accuracy = budgets[0]
+        best_individual = max(value for budget, value in budgets.items() if budget > 0)
+        largest_budget = max(budget for budget in budgets if budget > 0)
+        smallest_budget = min(budget for budget in budgets if budget > 0)
+        gains.append(best_individual - general_accuracy)
+        # More buffered transactions never hurt (within a small tolerance).
+        assert budgets[largest_budget] >= budgets[smallest_budget] - 0.05
+
+    # Claim (Section II-B): the individual model captures the user's personal
+    # language patterns better than the frozen general model.
+    assert float(np.mean(gains)) > 0.05
+    assert all(gain >= -0.02 for gain in gains)

@@ -1,0 +1,30 @@
+"""Benchmark E4: decoder copies on the sender edge vs sending outputs back."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e4_decoder_copy(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e4", experiment_config)
+    publish(table)
+    rows = {row["design"]: row for row in table.rows}
+
+    decoder_copy = rows["decoder-copy-at-sender"]
+    feedback = rows["send-output-back"]
+
+    # Claim (Section II-C): with decoder copies cached at the sender edge,
+    # computing the mismatch requires no feedback traffic at all.
+    assert decoder_copy["feedback_bytes_total"] == 0.0
+    assert feedback["feedback_bytes_total"] > 0.0
+
+    # Sending every restored message back would add traffic comparable to the
+    # semantic payload itself, defeating the purpose of semantic compression.
+    assert feedback["feedback_bytes_per_message"] > 0.3 * feedback["payload_bytes_per_message"]
+
+    # The one-off storage cost of the decoder copies amortizes after finitely
+    # many messages (the break-even row records how many).
+    break_even = rows["break-even-messages"]["feedback_overhead_fraction"]
+    assert 0 < break_even < 1e7

@@ -1,0 +1,33 @@
+"""Benchmark E5: decoder-gradient synchronization vs shipping full weights."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e5_gradient_sync(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e5", experiment_config)
+    publish(table)
+    rows = {row["scheme"]: row for row in table.rows}
+
+    full_model = rows["full-model"]
+
+    # Claim (Section II-D): transmitting the decoder gradient is no more
+    # expensive than shipping the full decoder, and compressed gradients are
+    # substantially cheaper.
+    assert rows["dense-gradient"]["total_bytes"] <= full_model["total_bytes"] * 1.01
+    topk_rows = {name: row for name, row in rows.items() if name.startswith("topk-")}
+    assert all(row["total_bytes"] < 0.6 * full_model["total_bytes"] for row in topk_rows.values())
+
+    # Smaller top-k fractions transmit fewer bytes.
+    ordered = sorted(topk_rows.items(), key=lambda item: float(item[0].split("-")[1]))
+    byte_counts = [row["total_bytes"] for _, row in ordered]
+    assert byte_counts == sorted(byte_counts)
+
+    # The full-model baseline keeps the replica exactly in sync (zero drift),
+    # and every scheme leaves the replica usable.
+    assert full_model["parameter_drift"] == 0.0
+    assert all(0.0 <= row["replica_token_accuracy"] <= 1.0 for row in rows.values())
+    assert full_model["replica_token_accuracy"] >= max(row["replica_token_accuracy"] for row in topk_rows.values()) - 1e-9

@@ -1,0 +1,27 @@
+"""Benchmark E6: model-selection strategies on topic-drifting conversations."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e6_model_selection(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e6", experiment_config)
+    publish(table)
+    accuracy = {row["policy"]: row["accuracy"] for row in table.rows}
+    regret = {row["policy"]: row["final_regret"] for row in table.rows}
+
+    # Claim (Section III-A): a context-aware selector beats the per-message
+    # classification network because "context is often critical in selecting
+    # the appropriate model".
+    assert accuracy["contextual-gru"] > accuracy["classifier"]
+    assert regret["contextual-gru"] < regret["classifier"]
+
+    # Every learned/heuristic policy beats random selection.
+    for policy in ("keyword", "classifier", "contextual-gru", "epsilon-greedy"):
+        assert accuracy[policy] > accuracy["random"]
+
+    # The contextual selector should be close to the practical ceiling.
+    assert accuracy["contextual-gru"] > 0.85

@@ -1,0 +1,35 @@
+"""Benchmark E7: semantic model caching vs re-establishing KBs on demand."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e7_cache_policies(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e7", experiment_config)
+    publish(table)
+
+    no_cache = next(row for row in table.rows if row["policy"] == "no-cache")
+    cached_rows = [row for row in table.rows if row["policy"] != "no-cache"]
+
+    # Claim (Sections I/II): caching the KB models reduces the time spent
+    # (re-)establishing them; with a reasonably sized cache the delay drops well
+    # below the no-cache baseline.
+    largest = max(row["cache_size_mb"] for row in cached_rows)
+    best_delay = min(row["mean_delay_s"] for row in cached_rows if row["cache_size_mb"] == largest)
+    assert best_delay < 0.5 * no_cache["mean_delay_s"]
+
+    # Hit ratio is monotonically non-decreasing in cache size for every policy.
+    policies = {row["policy"] for row in cached_rows}
+    for policy in policies:
+        rows = sorted((r for r in cached_rows if r["policy"] == policy), key=lambda r: r["cache_size_mb"])
+        hit_ratios = [r["hit_ratio"] for r in rows]
+        assert all(b >= a - 1e-9 for a, b in zip(hit_ratios, hit_ratios[1:]))
+
+    # The semantically-informed policies (LFU / semantic-popularity) dominate FIFO
+    # at every cache size on this Zipf-skewed workload.
+    for size in sorted({row["cache_size_mb"] for row in cached_rows}):
+        at_size = {row["policy"]: row for row in cached_rows if row["cache_size_mb"] == size}
+        assert max(at_size["lfu"]["hit_ratio"], at_size["semantic-popularity"]["hit_ratio"]) >= at_size["fifo"]["hit_ratio"]

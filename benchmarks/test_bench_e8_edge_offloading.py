@@ -1,0 +1,40 @@
+"""Benchmark E8: offloading semantic encoding to the edge server."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e8_edge_offloading(benchmark, experiment_config, publish):
+    table = run_once(benchmark, run_experiment, "e8", experiment_config)
+    publish(table)
+
+    def latency(device_gflops, policy):
+        return next(
+            row["mean_latency_ms"]
+            for row in table.rows
+            if row["device_gflops"] == device_gflops and row["policy"] == policy
+        )
+
+    devices = sorted({row["device_gflops"] for row in table.rows})
+    weakest, strongest = devices[0], devices[-1]
+
+    # Claim (Section I): semantic coding needs compute the weakest devices lack,
+    # so offloading to the edge server cuts latency dramatically there.
+    assert latency(weakest, "always-edge") < 0.5 * latency(weakest, "always-device")
+
+    # On very capable devices local execution wins (the wireless round trip dominates).
+    assert latency(strongest, "always-device") <= latency(strongest, "always-edge")
+
+    # The adaptive policy tracks the better static policy across the whole sweep.
+    for device in devices:
+        best_static = min(latency(device, "always-device"), latency(device, "always-edge"))
+        assert latency(device, "adaptive") <= best_static * 1.05
+
+    # Offloading frequency should fall as the device gets faster.
+    edge_fraction = {
+        row["device_gflops"]: row["edge_fraction"] for row in table.rows if row["policy"] == "adaptive"
+    }
+    assert edge_fraction[weakest] >= edge_fraction[strongest]

@@ -1,0 +1,109 @@
+"""Cache planning: how much edge storage do the knowledge bases need?
+
+Run with::
+
+    python examples/cache_planning.py
+
+An edge operator's view of the paper's semantic-caching proposal: given a
+Zipf-skewed model-request trace, compare eviction policies and cache sizes
+against the no-cache baseline, and use popularity-based prefetching to warm
+the cache before a venue fills up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import EstablishmentCostModel, NoCacheBaseline
+from repro.caching import (
+    CacheEntry,
+    PopularityPrefetcher,
+    SemanticModelCache,
+    available_policies,
+    general_model_key,
+)
+from repro.metrics import ResultTable
+from repro.workloads import ZipfTraceGenerator
+
+
+def model_catalogue(num_domains: int, seed: int = 0) -> dict[str, dict[str, float]]:
+    """Synthetic per-domain model sizes and fetch costs."""
+    rng = np.random.default_rng(seed)
+    return {
+        f"domain_{index}": {
+            "size_bytes": float(rng.uniform(2, 12)) * 1024 * 1024,
+            "fetch_seconds": float(rng.uniform(2.0, 8.0)),
+        }
+        for index in range(num_domains)
+    }
+
+
+def replay(cache: SemanticModelCache, trace, catalogue) -> dict[str, float]:
+    """Replay the request trace against a cache and account establishment delay."""
+    delay = 0.0
+    for request in trace:
+        key = general_model_key(request.domain)
+        entry_info = catalogue[request.domain]
+
+        def build() -> CacheEntry:
+            return CacheEntry(
+                key=key,
+                kind="general",
+                domain=request.domain,
+                size_bytes=int(entry_info["size_bytes"]),
+                build_cost_s=entry_info["fetch_seconds"],
+            )
+
+        _, hit = cache.get_or_build(key, build, now=request.timestamp)
+        if not hit:
+            delay += entry_info["fetch_seconds"]
+    return {"hit_ratio": cache.statistics.hit_ratio, "mean_delay_s": delay / len(trace)}
+
+
+def main() -> None:
+    catalogue = model_catalogue(num_domains=12, seed=0)
+    generator = ZipfTraceGenerator(list(catalogue), num_users=30, exponent=1.1, arrival_rate=2.0, seed=0)
+    trace = generator.generate(3000)
+    print(f"Replaying {len(trace)} model requests over {len(catalogue)} domains "
+          f"(Zipf exponent 1.1, total catalogue {sum(c['size_bytes'] for c in catalogue.values()) / 2**20:.0f} MiB)\n")
+
+    table = ResultTable("cache_planning", description="Hit ratio and mean KB-establishment delay per request.")
+    baseline = NoCacheBaseline(EstablishmentCostModel(fetch_seconds=5.0))
+    result = baseline.serve(trace)
+    table.add_row(policy="no-cache", cache_mb=0, hit_ratio=1 - result.establishment_rate, mean_delay_s=result.mean_delay_seconds)
+
+    for cache_mb in (16, 32, 64):
+        for policy in available_policies():
+            cache = SemanticModelCache(cache_mb * 1024 * 1024, policy=policy)
+            metrics = replay(cache, trace, catalogue)
+            table.add_row(policy=policy, cache_mb=cache_mb, hit_ratio=metrics["hit_ratio"], mean_delay_s=metrics["mean_delay_s"])
+
+    print(table.to_text())
+
+    # Prefetching: watch the request stream and keep the top-2 domains warm.
+    print("\nPopularity-based prefetching (top-2 domains kept resident):")
+    prefetcher = PopularityPrefetcher(window=100, top_k=2)
+    cache = SemanticModelCache(32 * 1024 * 1024, policy="lru")
+    prefetched_total = 0
+    for request in trace:
+        prefetcher.observe(request.domain)
+        decision = prefetcher.prefetch(
+            cache,
+            lambda domain: CacheEntry(
+                key=general_model_key(domain),
+                kind="general",
+                domain=domain,
+                size_bytes=int(catalogue[domain]["size_bytes"]),
+                build_cost_s=catalogue[domain]["fetch_seconds"],
+            ),
+            now=request.timestamp,
+        )
+        prefetched_total += len(decision.prefetched_domains)
+    print(f"  prefetch operations issued: {prefetched_total}")
+    print(f"  domains resident at the end: {cache.resident_domains()}")
+    print(f"  predicted popularity: "
+          f"{ {k: round(v, 2) for k, v in sorted(prefetcher.popularity().items(), key=lambda kv: -kv[1])[:3]} }")
+
+
+if __name__ == "__main__":
+    main()

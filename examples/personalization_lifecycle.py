@@ -1,0 +1,107 @@
+"""Personalization lifecycle: from general KB to a synchronized individual model.
+
+Run with::
+
+    python examples/personalization_lifecycle.py
+
+This walks through Sections II-B/C/D of the paper for a single user:
+
+1. the user's messages (with a strong personal style) are served by the
+   domain-specialized *general* model;
+2. every transaction's mismatch is computed locally at the sender edge using
+   the cached decoder copy and stored in the domain buffer ``b_m``;
+3. when the buffer is full, the *individual* model is fine-tuned from it;
+4. the decoder gradient is shipped to the receiver edge (federated-style) and
+   the receiver's replica is verified to track the sender's decoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Message, ReceiverEdgeServer, SenderEdgeServer
+from repro.edge import build_linear_topology
+from repro.federated import DecoderSynchronizer, SyncConfig, parameter_drift
+from repro.semantic import CodecConfig, KnowledgeBaseLibrary, MismatchCalculator
+from repro.workloads import UserStyle, default_domains
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    domains = default_domains()
+    domain = "it"
+    spec = domains[domain]
+
+    # A user with a pronounced personal style: always says "machine" for
+    # "server", "chip" for "cpu", and opens messages with a pet phrase.
+    user = UserStyle(
+        user_id="user_7",
+        substitutions={"server": "machine", "cpu": "chip", "packet": "frame"},
+        pet_phrases=["honestly"],
+        pet_phrase_probability=0.5,
+        favourite_domain=domain,
+    )
+
+    print("Step 1 - pretraining the domain-specialized general KBs (sender + receiver copies)...")
+    config = CodecConfig(architecture="mlp", embedding_dim=24, feature_dim=6, hidden_dim=48, max_length=16, seed=0)
+    corpus = [spec.sample_sentence(rng) for _ in range(150)]
+    library = KnowledgeBaseLibrary(config=config)
+    library.build_domain(domain, corpus, train_epochs=20, seed=0)
+    # Give the vocabulary the user's personal words so fine-tuning can learn them.
+    library.get(domain).vocabulary.add("machine")
+    library.get(domain).vocabulary.add("chip")
+    library.get(domain).vocabulary.add("frame")
+    library.get(domain).vocabulary.add("honestly")
+    # Rebuild codec with extended vocabulary for a clean comparison.
+    from repro.semantic import SemanticCodec
+
+    general = SemanticCodec.from_corpus(
+        corpus, config=config, domain=domain, train_epochs=20, seed=0,
+        extra_tokens=["machine", "chip", "frame", "honestly"],
+    )
+    library.add(domain, general)
+
+    sender = SenderEdgeServer(
+        "edge_0", library, individual_threshold=16, fine_tune_epochs=40, fine_tune_learning_rate=1e-2
+    )
+    receiver = ReceiverEdgeServer("edge_1", library)
+    topology = build_linear_topology(num_edge_servers=2, devices_per_server=0)
+    synchronizer = DecoderSynchronizer(topology, "edge_0", "edge_1", config=SyncConfig(compress=True, topk_fraction=0.25))
+    mismatch = MismatchCalculator()
+
+    user_messages = [user.apply(spec.sample_sentence(rng), rng) for _ in range(48)]
+    test_messages = user_messages[32:]
+
+    print("\nStep 2 - streaming the user's messages through the GENERAL model and buffering transactions...")
+    general_accuracy = general.evaluate(test_messages)["token_accuracy"]
+    for text in user_messages[:16]:
+        message = Message(user.user_id, "peer", text, domain_hint=domain)
+        encoded = sender.encode(message, use_individual=False)
+        sender.record_transaction(message, encoded.frame_features, domain, use_individual=False)
+    buffer = sender.buffers.buffer(user.user_id, domain)
+    print(f"  buffered transactions: {len(buffer)}  mean mismatch under the general model: {buffer.mean_mismatch():.3f}")
+    print(f"  general-model accuracy on the user's held-out messages: {general_accuracy:.3f}")
+
+    print("\nStep 3 - buffer full: deriving and fine-tuning the user's INDIVIDUAL model...")
+    update = sender.maybe_update_individual(user.user_id, domain, seed=0)
+    assert update is not None, "buffer should have been ready"
+    individual = sender.individual_models[(user.user_id, domain)]
+    individual_accuracy = individual.codec.evaluate(test_messages)["token_accuracy"]
+    print(f"  individual-model accuracy on the same held-out messages: {individual_accuracy:.3f}")
+    print(f"  improvement over the frozen general model: {individual_accuracy - general_accuracy:+.3f}")
+
+    print("\nStep 4 - shipping the decoder gradient to the receiver edge (top-25% compressed)...")
+    replica = receiver.provision_individual_decoder(user.user_id, domain)
+    record = synchronizer.synchronize(update, replica, sender_decoder=individual.codec.decoder)
+    full_decoder_bytes = individual.codec.decoder.num_parameters() * 4
+    print(f"  sync payload: {record.payload_bytes / 1024:.1f} KiB "
+          f"(full decoder would be {full_decoder_bytes / 1024:.1f} KiB)")
+    print(f"  transfer time over the backhaul: {record.transfer_time_s * 1000:.2f} ms")
+    print(f"  sender/receiver decoder drift after sync: {parameter_drift(individual.codec.decoder, replica):.2e}")
+
+    print("\nCached models on the sender edge:", sorted(sender.cache.keys()))
+    print("Receiver has an individual decoder for the user:", receiver.has_individual_decoder(user.user_id, domain))
+
+
+if __name__ == "__main__":
+    main()

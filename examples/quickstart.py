@@ -1,0 +1,69 @@
+"""Quickstart: pretrain the knowledge bases, open a session, send messages.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds the two-edge-server semantic communication system proposed
+in the paper (domain-specialized general KBs cached on both edges, individual
+models derived per user, decoder-gradient synchronization), sends a short
+conversation through it, and prints what crossed the wire.
+"""
+
+from __future__ import annotations
+
+from repro import CodecConfig, SemanticEdgeSystem, SystemConfig
+
+
+def main() -> None:
+    # A compact configuration that pretrains in a few seconds on a laptop CPU.
+    config = SystemConfig(
+        codec=CodecConfig(architecture="mlp", embedding_dim=24, feature_dim=4, hidden_dim=48, max_length=16, seed=0),
+        channel_snr_db=12.0,          # AWGN channel between the edge servers
+        quantization_bits=4,          # bits per semantic feature value on the wire
+        individual_threshold=4,       # transactions buffered before personalizing
+        fine_tune_epochs=1,
+    )
+    print("Pretraining domain-specialized knowledge bases (IT / medical / news / entertainment)...")
+    system = SemanticEdgeSystem.pretrained(sentences_per_domain=120, train_epochs=15, config=config, seed=0)
+
+    for info in system.knowledge_bases.info():
+        print(
+            f"  KB[{info.domain:<13}] {info.num_parameters:>6} parameters, "
+            f"{info.size_bytes / 1024:.0f} KiB cached, train accuracy {info.final_token_accuracy:.2f}"
+        )
+
+    session = system.open_session("alice", "bob", channel_seed=0)
+    conversation = [
+        ("the cpu loads the bus", "it"),
+        ("the kernel patches a remote channel", "it"),
+        ("the doctor examines the infected cell", "medical"),
+        ("the surgeon monitors a critical operation", "medical"),
+        ("the reporter investigates the national budget", "news"),
+        ("the band premieres a viral concert", "entertainment"),
+    ]
+
+    print("\nDelivering messages through semantic encoding -> channel -> semantic decoding:\n")
+    for text, domain in conversation:
+        report = session.send_text("alice", "bob", text, domain_hint=domain)
+        print(f"  sent     : {text}")
+        print(f"  restored : {report.restored_text}")
+        print(
+            f"  domain={report.selected_domain:<13} payload={report.payload_bytes:6.1f} B "
+            f"(text would be {len(text)} B)  accuracy={report.token_accuracy:.2f}  "
+            f"latency={report.latency.total_s * 1000:.1f} ms"
+        )
+        print()
+
+    summary = system.summary()
+    print("Session summary:")
+    print(f"  deliveries              : {summary['deliveries']:.0f}")
+    print(f"  mean semantic mismatch   : {summary['mean_mismatch']:.3f}")
+    print(f"  payload bytes (total)    : {summary['total_payload_bytes']:.0f}")
+    print(f"  decoder-sync bytes       : {summary['total_sync_bytes']:.0f}")
+    print(f"  sender cache hit ratio   : {summary['sender_cache_hit_ratio']:.2f}")
+    print(f"  cached models on sender  : {sorted(system.sender.cache.keys())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of "Semantic communications, semantic edge computing, and semantic caching".
+
+The package implements the full system proposed in the paper (Yu & Zhao,
+2023): semantic encoder/decoder knowledge bases specialized per domain,
+user-specific individual models, decoder copies cached at the sender edge for
+local mismatch computation, federated-style decoder-gradient synchronization,
+semantic model caching on edge servers, and the model-selection policies the
+paper lists as research directions — together with every substrate those
+pieces need (a numpy autograd neural-network library, a physical-channel
+simulator, and a discrete-event edge-computing simulator).
+
+Quickstart
+----------
+>>> from repro import SemanticEdgeSystem
+>>> system = SemanticEdgeSystem.pretrained(sentences_per_domain=80, train_epochs=10)
+>>> session = system.open_session("user_a", "user_b")
+>>> report = session.send_text("user_a", "user_b", "the cpu loads the bus", domain_hint="it")
+>>> report.restored_text  # doctest: +SKIP
+'the cpu loads the bus'
+"""
+
+from repro.core import (
+    CommunicationSession,
+    DeliveryReport,
+    Message,
+    ReceiverEdgeServer,
+    SemanticEdgeSystem,
+    SenderEdgeServer,
+    SessionConfig,
+    SystemConfig,
+)
+from repro.semantic import CodecConfig, IndividualModel, KnowledgeBaseLibrary, SemanticCodec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SemanticEdgeSystem",
+    "SystemConfig",
+    "CommunicationSession",
+    "SessionConfig",
+    "SenderEdgeServer",
+    "ReceiverEdgeServer",
+    "Message",
+    "DeliveryReport",
+    "SemanticCodec",
+    "CodecConfig",
+    "KnowledgeBaseLibrary",
+    "IndividualModel",
+    "__version__",
+]

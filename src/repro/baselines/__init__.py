@@ -1,0 +1,19 @@
+"""Baselines the paper's proposal is compared against."""
+
+from repro.baselines.general_only import GeneralOnlyBaseline
+from repro.baselines.no_cache import EstablishmentCostModel, NoCacheBaseline, NoCacheResult
+from repro.baselines.traditional import (
+    HuffmanCoder,
+    TraditionalCommunicationSystem,
+    TraditionalDeliveryReport,
+)
+
+__all__ = [
+    "TraditionalCommunicationSystem",
+    "TraditionalDeliveryReport",
+    "HuffmanCoder",
+    "GeneralOnlyBaseline",
+    "NoCacheBaseline",
+    "NoCacheResult",
+    "EstablishmentCostModel",
+]

@@ -1,0 +1,61 @@
+"""General-model-only baseline (no domain specialization).
+
+Section II-A's claim is that "using only general models for all users can lead
+to severe mismatches".  This baseline trains a *single* codec on the pooled
+corpus of every domain with the same capacity as one domain-specialized codec,
+so experiment E2 can isolate the benefit of specialization under an equal
+parameter budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.semantic import CodecConfig, SemanticCodec
+from repro.utils.rng import SeedLike
+from repro.workloads.domains import DomainCorpus
+
+
+class GeneralOnlyBaseline:
+    """One codec trained on the union of all domain corpora."""
+
+    def __init__(self, config: Optional[CodecConfig] = None) -> None:
+        self.config = config or CodecConfig()
+        self.codec: Optional[SemanticCodec] = None
+
+    def fit(
+        self,
+        corpora: Dict[str, DomainCorpus] | Dict[str, Sequence[str]],
+        train_epochs: int = 20,
+        seed: SeedLike = 0,
+    ) -> "GeneralOnlyBaseline":
+        """Train the single general codec on all domains pooled together."""
+        pooled: list[str] = []
+        for corpus in corpora.values():
+            sentences = corpus.sentences if isinstance(corpus, DomainCorpus) else list(corpus)
+            pooled.extend(sentences)
+        if not pooled:
+            raise ValueError("cannot fit the general-only baseline on empty corpora")
+        self.codec = SemanticCodec.from_corpus(
+            pooled, config=self.config, domain="general", train_epochs=train_epochs, seed=seed
+        )
+        return self
+
+    def evaluate_per_domain(
+        self, corpora: Dict[str, DomainCorpus] | Dict[str, Sequence[str]]
+    ) -> Dict[str, Dict[str, float]]:
+        """Reconstruction quality of the single codec on each domain separately."""
+        if self.codec is None:
+            raise RuntimeError("fit() must be called before evaluate_per_domain()")
+        results: Dict[str, Dict[str, float]] = {}
+        for domain, corpus in corpora.items():
+            sentences = corpus.sentences if isinstance(corpus, DomainCorpus) else list(corpus)
+            results[domain] = self.codec.evaluate(sentences)
+        return results
+
+    def mean_token_accuracy(self, corpora: Dict[str, DomainCorpus] | Dict[str, Sequence[str]]) -> float:
+        """Macro-average token accuracy across domains."""
+        per_domain = self.evaluate_per_domain(corpora)
+        return float(np.mean([metrics["token_accuracy"] for metrics in per_domain.values()]))

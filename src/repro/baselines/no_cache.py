@@ -1,0 +1,105 @@
+"""No-cache baseline: every model request pays the full establishment cost.
+
+The paper's motivation for semantic caching is that "establishing knowledge
+bases for domain-oriented communication can be time-consuming".  This baseline
+serves a request trace with *no* model cache: each request for a domain whose
+model is not currently loaded (which, with a single resident slot, is almost
+every domain switch) pays the configured establishment cost — either a
+fetch-from-cloud transfer or a full retraining.  Experiment E7 compares this
+against cached configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.workloads.traces import RequestTrace, TraceRequest
+
+
+@dataclass
+class EstablishmentCostModel:
+    """Cost of making a domain model usable on the edge server.
+
+    Attributes
+    ----------
+    fetch_seconds:
+        Time to download the model from the cloud/core network.
+    train_seconds:
+        Time to (re)train or fine-tune the model locally when it cannot be
+        fetched (used when ``must_train`` is set).
+    must_train:
+        Whether establishment requires training rather than fetching.
+    """
+
+    fetch_seconds: float = 5.0
+    train_seconds: float = 120.0
+    must_train: bool = False
+
+    def establishment_seconds(self) -> float:
+        """Cost of one establishment event."""
+        return self.train_seconds if self.must_train else self.fetch_seconds
+
+
+@dataclass
+class NoCacheResult:
+    """Outcome of serving a trace without a model cache."""
+
+    requests: int = 0
+    establishments: int = 0
+    total_establishment_seconds: float = 0.0
+    per_domain_establishments: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def establishment_rate(self) -> float:
+        """Fraction of requests that had to (re)establish a model."""
+        if self.requests == 0:
+            return 0.0
+        return self.establishments / self.requests
+
+    @property
+    def mean_delay_seconds(self) -> float:
+        """Average model-establishment delay added per request."""
+        if self.requests == 0:
+            return 0.0
+        return self.total_establishment_seconds / self.requests
+
+
+class NoCacheBaseline:
+    """Serves requests keeping at most ``resident_slots`` models loaded (no policy).
+
+    With ``resident_slots=1`` (the default) the server behaves like a device
+    that can only hold the model it is currently using: every domain switch
+    forces a re-establishment, which is the worst case the paper's caching
+    proposal eliminates.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[EstablishmentCostModel] = None,
+        resident_slots: int = 1,
+    ) -> None:
+        if resident_slots < 0:
+            raise ValueError(f"resident_slots must be non-negative, got {resident_slots}")
+        self.cost_model = cost_model or EstablishmentCostModel()
+        self.resident_slots = resident_slots
+
+    def serve(self, trace: RequestTrace | Iterable[TraceRequest]) -> NoCacheResult:
+        """Process ``trace`` and account every model establishment."""
+        result = NoCacheResult()
+        resident: list[str] = []
+        for request in trace:
+            result.requests += 1
+            domain = request.domain
+            if domain in resident:
+                # Move to the most-recent position; no establishment needed.
+                resident.remove(domain)
+                resident.append(domain)
+                continue
+            result.establishments += 1
+            result.total_establishment_seconds += self.cost_model.establishment_seconds()
+            result.per_domain_establishments[domain] = result.per_domain_establishments.get(domain, 0) + 1
+            resident.append(domain)
+            if self.resident_slots and len(resident) > self.resident_slots:
+                resident.pop(0)
+        return result

@@ -1,0 +1,45 @@
+"""Semantic caching: model cache entries, eviction policies, prefetching."""
+
+from repro.caching.cache import CacheStatistics, SemanticModelCache
+from repro.caching.entry import (
+    GENERAL_MODEL,
+    INDIVIDUAL_MODEL,
+    MODEL_KINDS,
+    CacheEntry,
+    general_model_key,
+    individual_model_key,
+)
+from repro.caching.policies import (
+    EvictionPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    SemanticPopularityPolicy,
+    SizeAwarePolicy,
+    available_policies,
+    make_policy,
+    policy_registry,
+)
+from repro.caching.prefetch import PopularityPrefetcher, PrefetchDecision
+
+__all__ = [
+    "CacheEntry",
+    "GENERAL_MODEL",
+    "INDIVIDUAL_MODEL",
+    "MODEL_KINDS",
+    "general_model_key",
+    "individual_model_key",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "LruPolicy",
+    "LfuPolicy",
+    "SizeAwarePolicy",
+    "SemanticPopularityPolicy",
+    "make_policy",
+    "available_policies",
+    "policy_registry",
+    "SemanticModelCache",
+    "CacheStatistics",
+    "PopularityPrefetcher",
+    "PrefetchDecision",
+]

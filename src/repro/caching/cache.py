@@ -1,0 +1,236 @@
+"""The semantic model cache hosted on an edge server.
+
+This is the centrepiece of the paper's proposal: a byte-budgeted cache of
+domain-specialized general models and user-specific individual models, with
+pluggable eviction policies and hit/miss/latency accounting so experiments can
+quantify how much caching reduces the time to establish knowledge bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.caching.entry import (
+    GENERAL_MODEL,
+    INDIVIDUAL_MODEL,
+    CacheEntry,
+    general_model_key,
+    individual_model_key,
+)
+from repro.caching.policies import EvictionPolicy, make_policy
+from repro.exceptions import CacheError
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss and byte-movement counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_admitted: int = 0
+    bytes_evicted: int = 0
+    miss_cost_s: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class SemanticModelCache:
+    """Byte-budgeted cache of semantic models with pluggable eviction.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Storage budget of the hosting edge server.
+    policy:
+        An :class:`EvictionPolicy` instance or registry name.
+    """
+
+    def __init__(self, capacity_bytes: int, policy: EvictionPolicy | str = "lru") -> None:
+        if capacity_bytes <= 0:
+            raise CacheError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self._entries: Dict[str, CacheEntry] = {}
+        self.statistics = CacheStatistics()
+        self.clock: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied."""
+        return sum(entry.size_bytes for entry in self._entries.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.capacity_bytes - self.used_bytes
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> List[str]:
+        """Keys of all resident entries."""
+        return list(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        """All resident entries."""
+        return list(self._entries.values())
+
+    def advance_clock(self, now: float) -> None:
+        """Move the cache's logical clock forward (never backwards)."""
+        self.clock = max(self.clock, now)
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: str, now: Optional[float] = None) -> Optional[CacheEntry]:
+        """Look up ``key``; records a hit or miss and returns the entry or ``None``."""
+        if now is not None:
+            self.advance_clock(now)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        entry.touch(self.clock)
+        self.policy.on_access(entry, self.clock)
+        self.statistics.hits += 1
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Look up ``key`` without affecting statistics or recency."""
+        return self._entries.get(key)
+
+    def put(self, entry: CacheEntry, now: Optional[float] = None) -> List[CacheEntry]:
+        """Insert ``entry``, evicting as needed; returns the evicted entries."""
+        if now is not None:
+            self.advance_clock(now)
+        if entry.size_bytes > self.capacity_bytes:
+            raise CacheError(
+                f"entry {entry.key!r} ({entry.size_bytes} B) exceeds cache capacity "
+                f"({self.capacity_bytes} B)"
+            )
+        evicted: List[CacheEntry] = []
+        if entry.key in self._entries:
+            self._remove(entry.key)
+        while self.used_bytes + entry.size_bytes > self.capacity_bytes:
+            victim = self.policy.select_victim(self._entries.values(), self.clock)
+            evicted.append(self._remove(victim.key))
+            self.statistics.evictions += 1
+            self.statistics.bytes_evicted += victim.size_bytes
+        entry.insert_time = self.clock
+        entry.last_access_time = self.clock
+        self._entries[entry.key] = entry
+        self.policy.on_insert(entry, self.clock)
+        self.statistics.insertions += 1
+        self.statistics.bytes_admitted += entry.size_bytes
+        return evicted
+
+    def _remove(self, key: str) -> CacheEntry:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise CacheError(f"key {key!r} is not cached")
+        return entry
+
+    def remove(self, key: str) -> CacheEntry:
+        """Explicitly remove ``key`` (raises if absent)."""
+        return self._remove(key)
+
+    # ------------------------------------------------------------------ #
+    # Model-oriented helpers
+    # ------------------------------------------------------------------ #
+    def get_or_build(
+        self,
+        key: str,
+        builder: Callable[[], CacheEntry],
+        now: Optional[float] = None,
+    ) -> tuple[CacheEntry, bool]:
+        """Return the cached entry for ``key`` or build and insert it.
+
+        Returns ``(entry, was_hit)``.  On a miss the builder's
+        ``build_cost_s`` is added to the cache's accumulated miss cost, which
+        is how experiments measure the KB-establishment time the paper wants
+        to save.
+        """
+        cached = self.get(key, now=now)
+        if cached is not None:
+            return cached, True
+        entry = builder()
+        if entry.key != key:
+            raise CacheError(f"builder produced key {entry.key!r}, expected {key!r}")
+        self.statistics.miss_cost_s += entry.build_cost_s
+        self.put(entry, now=now)
+        return entry, False
+
+    def put_general_model(
+        self,
+        domain: str,
+        payload: object,
+        size_bytes: int,
+        build_cost_s: float = 1.0,
+        now: Optional[float] = None,
+    ) -> CacheEntry:
+        """Insert a domain-specialized general model."""
+        entry = CacheEntry(
+            key=general_model_key(domain),
+            kind=GENERAL_MODEL,
+            domain=domain,
+            size_bytes=size_bytes,
+            payload=payload,
+            build_cost_s=build_cost_s,
+        )
+        self.put(entry, now=now)
+        return entry
+
+    def put_individual_model(
+        self,
+        user_id: str,
+        domain: str,
+        payload: object,
+        size_bytes: int,
+        build_cost_s: float = 1.0,
+        now: Optional[float] = None,
+    ) -> CacheEntry:
+        """Insert a user-specific individual model."""
+        entry = CacheEntry(
+            key=individual_model_key(user_id, domain),
+            kind=INDIVIDUAL_MODEL,
+            domain=domain,
+            user_id=user_id,
+            size_bytes=size_bytes,
+            payload=payload,
+            build_cost_s=build_cost_s,
+        )
+        self.put(entry, now=now)
+        return entry
+
+    def general_model(self, domain: str, now: Optional[float] = None) -> Optional[CacheEntry]:
+        """Lookup of the general model for ``domain``."""
+        return self.get(general_model_key(domain), now=now)
+
+    def individual_model(self, user_id: str, domain: str, now: Optional[float] = None) -> Optional[CacheEntry]:
+        """Lookup of ``user_id``'s individual model for ``domain``."""
+        return self.get(individual_model_key(user_id, domain), now=now)
+
+    def resident_domains(self) -> List[str]:
+        """Domains whose general model is currently cached."""
+        return sorted(
+            entry.domain for entry in self._entries.values() if entry.kind == GENERAL_MODEL
+        )

@@ -1,0 +1,75 @@
+"""Cache entries describing the models an edge server can hold.
+
+The semantic cache stores two kinds of objects (Fig. 1 of the paper):
+domain-specialized *general* models (encoder + decoder copy) and *individual*
+models derived from them for specific users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Kinds of cached objects.
+GENERAL_MODEL = "general"
+INDIVIDUAL_MODEL = "individual"
+MODEL_KINDS = (GENERAL_MODEL, INDIVIDUAL_MODEL)
+
+
+@dataclass
+class CacheEntry:
+    """One cached model with the metadata eviction policies need.
+
+    Attributes
+    ----------
+    key:
+        Unique identifier, e.g. ``"general/it"`` or ``"individual/user_3/it"``.
+    kind:
+        ``"general"`` or ``"individual"``.
+    domain:
+        Domain the model specializes.
+    user_id:
+        Owner for individual models; ``None`` for general models.
+    size_bytes:
+        Storage footprint used for capacity accounting.
+    payload:
+        The model object itself (a codec, an ``IndividualModel``, or a stub in
+        simulation-only experiments).
+    build_cost_s:
+        Time it would take to rebuild/fetch this model on a miss; used by the
+        cost-aware policy and to quantify the paper's "time to establish KBs"
+        saving.
+    """
+
+    key: str
+    kind: str
+    domain: str
+    size_bytes: int
+    user_id: Optional[str] = None
+    payload: Any = None
+    build_cost_s: float = 1.0
+    insert_time: float = 0.0
+    last_access_time: float = 0.0
+    access_count: int = 0
+    popularity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in MODEL_KINDS:
+            raise ValueError(f"kind must be one of {MODEL_KINDS}, got {self.kind!r}")
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {self.size_bytes}")
+
+    def touch(self, now: float) -> None:
+        """Record an access at time ``now``."""
+        self.last_access_time = now
+        self.access_count += 1
+
+
+def general_model_key(domain: str) -> str:
+    """Canonical cache key of the general model for ``domain``."""
+    return f"{GENERAL_MODEL}/{domain}"
+
+
+def individual_model_key(user_id: str, domain: str) -> str:
+    """Canonical cache key of ``user_id``'s individual model for ``domain``."""
+    return f"{INDIVIDUAL_MODEL}/{user_id}/{domain}"

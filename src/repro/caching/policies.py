@@ -1,0 +1,134 @@
+"""Cache eviction policies.
+
+Besides the classic LRU/LFU/FIFO baselines, :class:`SemanticPopularityPolicy`
+implements the caching behaviour the paper argues for: keep the models whose
+*domains* are popular and whose *rebuild cost* is high (individual models that
+took many transactions to fine-tune are expensive to lose).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.caching.entry import CacheEntry
+from repro.utils.registry import Registry
+
+policy_registry: Registry["EvictionPolicy"] = Registry("cache-policy")
+
+
+class EvictionPolicy:
+    """Chooses which cache entry to evict when space is needed."""
+
+    name = "base"
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        """Hook called when ``entry`` is inserted (default: nothing)."""
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        """Hook called when ``entry`` is accessed (default: nothing)."""
+
+    def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
+        """Return the entry that should be evicted."""
+        raise NotImplementedError
+
+
+@policy_registry.register("fifo")
+class FifoPolicy(EvictionPolicy):
+    """Evict the entry inserted earliest."""
+
+    name = "fifo"
+
+    def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
+        return min(entries, key=lambda entry: entry.insert_time)
+
+
+@policy_registry.register("lru")
+class LruPolicy(EvictionPolicy):
+    """Evict the least-recently-used entry."""
+
+    name = "lru"
+
+    def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
+        return min(entries, key=lambda entry: entry.last_access_time)
+
+
+@policy_registry.register("lfu")
+class LfuPolicy(EvictionPolicy):
+    """Evict the least-frequently-used entry (ties broken by recency)."""
+
+    name = "lfu"
+
+    def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
+        return min(entries, key=lambda entry: (entry.access_count, entry.last_access_time))
+
+
+@policy_registry.register("size-aware")
+class SizeAwarePolicy(EvictionPolicy):
+    """Evict the entry with the lowest access density (accesses per byte).
+
+    Large, rarely-used models go first, which suits caches mixing small
+    individual models with large general models.
+    """
+
+    name = "size-aware"
+
+    def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
+        def density(entry: CacheEntry) -> float:
+            return entry.access_count / max(entry.size_bytes, 1)
+
+        return min(entries, key=lambda entry: (density(entry), entry.last_access_time))
+
+
+@policy_registry.register("semantic-popularity")
+class SemanticPopularityPolicy(EvictionPolicy):
+    """Domain-popularity- and rebuild-cost-aware eviction.
+
+    Each entry's retention score is::
+
+        score = domain_popularity * recency_decay + rebuild_cost_weight * build_cost
+
+    where domain popularity is an exponentially-weighted count of accesses to
+    *any* model of that domain.  Individual models inherit their domain's
+    popularity, capturing the paper's point that caching the general model of
+    a popular domain also benefits every user deriving an individual model
+    from it.
+    """
+
+    name = "semantic-popularity"
+
+    def __init__(self, decay: float = 0.9, rebuild_cost_weight: float = 0.1) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self.rebuild_cost_weight = rebuild_cost_weight
+        self._domain_popularity: Dict[str, float] = {}
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        for domain in self._domain_popularity:
+            self._domain_popularity[domain] *= self.decay
+        self._domain_popularity[entry.domain] = self._domain_popularity.get(entry.domain, 0.0) + 1.0
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._domain_popularity.setdefault(entry.domain, 0.0)
+
+    def domain_popularity(self, domain: str) -> float:
+        """Current popularity score of ``domain``."""
+        return self._domain_popularity.get(domain, 0.0)
+
+    def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
+        def retention_score(entry: CacheEntry) -> float:
+            recency = 1.0 / (1.0 + max(now - entry.last_access_time, 0.0))
+            popularity = self._domain_popularity.get(entry.domain, 0.0)
+            return popularity * recency + self.rebuild_cost_weight * entry.build_cost_s
+
+        return min(entries, key=lambda entry: (retention_score(entry), entry.last_access_time))
+
+
+def make_policy(name: str, **kwargs: float) -> EvictionPolicy:
+    """Instantiate an eviction policy by registry name."""
+    return policy_registry.create(name, **kwargs)
+
+
+def available_policies() -> List[str]:
+    """Names of all registered eviction policies."""
+    return policy_registry.names()

@@ -1,0 +1,84 @@
+"""Popularity-based prefetching of general models.
+
+When an edge server sees the distribution of incoming domains shift (for
+example because a Metaverse venue fills up), it can prefetch the general
+models of the domains it expects next instead of paying the miss cost at
+request time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.caching.cache import SemanticModelCache
+from repro.caching.entry import CacheEntry, general_model_key
+
+
+@dataclass
+class PrefetchDecision:
+    """Outcome of one prefetch evaluation."""
+
+    prefetched_domains: List[str]
+    predicted_popularity: Dict[str, float]
+
+
+class PopularityPrefetcher:
+    """Sliding-window domain-popularity estimator with top-k prefetching.
+
+    Parameters
+    ----------
+    window:
+        Number of recent requests used to estimate popularity.
+    top_k:
+        How many domains to keep prefetched.
+    """
+
+    def __init__(self, window: int = 50, top_k: int = 2) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        self.window = window
+        self.top_k = top_k
+        self._recent: Deque[str] = deque(maxlen=window)
+
+    def observe(self, domain: str) -> None:
+        """Record one observed request domain."""
+        self._recent.append(domain)
+
+    def popularity(self) -> Dict[str, float]:
+        """Current empirical domain probabilities over the window."""
+        if not self._recent:
+            return {}
+        counts: Dict[str, int] = {}
+        for domain in self._recent:
+            counts[domain] = counts.get(domain, 0) + 1
+        total = len(self._recent)
+        return {domain: count / total for domain, count in counts.items()}
+
+    def top_domains(self) -> List[str]:
+        """The ``top_k`` most popular domains (most popular first)."""
+        popularity = self.popularity()
+        return sorted(popularity, key=popularity.get, reverse=True)[: self.top_k]
+
+    def prefetch(
+        self,
+        cache: SemanticModelCache,
+        entry_builder: Callable[[str], CacheEntry],
+        now: Optional[float] = None,
+    ) -> PrefetchDecision:
+        """Ensure the top-k domains' general models are cached.
+
+        ``entry_builder(domain)`` must return a ready :class:`CacheEntry` for
+        the general model of ``domain``; it is only called for domains that
+        are not already resident.
+        """
+        prefetched: List[str] = []
+        for domain in self.top_domains():
+            key = general_model_key(domain)
+            if cache.peek(key) is None:
+                cache.put(entry_builder(domain), now=now)
+                prefetched.append(domain)
+        return PrefetchDecision(prefetched_domains=prefetched, predicted_popularity=self.popularity())

@@ -1,0 +1,109 @@
+"""Digital modulation schemes mapping bits to complex channel symbols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import ChannelError
+
+
+@dataclass(frozen=True)
+class ModulationScheme:
+    """A memoryless modulation defined by its constellation.
+
+    Attributes
+    ----------
+    name:
+        Scheme identifier, e.g. ``"qpsk"``.
+    bits_per_symbol:
+        Number of bits carried by one complex symbol.
+    constellation:
+        Complex constellation points indexed by the integer value of the bit
+        group (most-significant bit first).
+    """
+
+    name: str
+    bits_per_symbol: int
+    constellation: np.ndarray
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit array (values 0/1) to complex symbols.
+
+        The bit array is padded with zeros to a multiple of
+        ``bits_per_symbol``.
+        """
+        bits = np.asarray(bits, dtype=np.int64).reshape(-1)
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ChannelError("modulate expects a binary array")
+        remainder = bits.size % self.bits_per_symbol
+        if remainder:
+            bits = np.concatenate([bits, np.zeros(self.bits_per_symbol - remainder, dtype=np.int64)])
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 2 ** np.arange(self.bits_per_symbol - 1, -1, -1)
+        indices = groups @ weights
+        return self.constellation[indices]
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demodulation: nearest constellation point per symbol."""
+        symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+        distances = np.abs(symbols[:, None] - self.constellation[None, :])
+        indices = np.argmin(distances, axis=1)
+        bits = ((indices[:, None] >> np.arange(self.bits_per_symbol - 1, -1, -1)) & 1).astype(np.int64)
+        return bits.reshape(-1)
+
+    @property
+    def average_energy(self) -> float:
+        """Mean symbol energy of the constellation (1.0 for normalized schemes)."""
+        return float(np.mean(np.abs(self.constellation) ** 2))
+
+
+def _gray_to_binary(value: int) -> int:
+    result = value
+    shift = 1
+    while (value >> shift) > 0:
+        result ^= value >> shift
+        shift += 1
+    return result
+
+
+def bpsk() -> ModulationScheme:
+    """Binary phase-shift keying: one bit per symbol at ±1."""
+    return ModulationScheme("bpsk", 1, np.array([1.0 + 0j, -1.0 + 0j]))
+
+
+def qpsk() -> ModulationScheme:
+    """Quadrature phase-shift keying with Gray mapping, unit energy."""
+    scale = 1.0 / np.sqrt(2.0)
+    points = np.array(
+        [scale * (1 + 1j), scale * (1 - 1j), scale * (-1 + 1j), scale * (-1 - 1j)],
+        dtype=np.complex128,
+    )
+    return ModulationScheme("qpsk", 2, points)
+
+
+def qam16() -> ModulationScheme:
+    """16-QAM with per-axis Gray mapping, normalized to unit average energy."""
+    levels = np.array([-3.0, -1.0, 1.0, 3.0])
+    points = np.zeros(16, dtype=np.complex128)
+    for index in range(16):
+        in_phase_bits = (index >> 2) & 0b11
+        quadrature_bits = index & 0b11
+        points[index] = levels[_gray_to_binary(in_phase_bits)] + 1j * levels[_gray_to_binary(quadrature_bits)]
+    points /= np.sqrt(np.mean(np.abs(points) ** 2))
+    return ModulationScheme("qam16", 4, points)
+
+
+_SCHEMES: Dict[str, ModulationScheme] = {}
+
+
+def get_modulation(name: str) -> ModulationScheme:
+    """Look up a modulation scheme by name (``bpsk``, ``qpsk`` or ``qam16``)."""
+    if not _SCHEMES:
+        for scheme in (bpsk(), qpsk(), qam16()):
+            _SCHEMES[scheme.name] = scheme
+    if name not in _SCHEMES:
+        raise ChannelError(f"unknown modulation {name!r}; choose from {sorted(_SCHEMES)}")
+    return _SCHEMES[name]

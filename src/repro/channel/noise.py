@@ -1,0 +1,130 @@
+"""Noise and fading models for the simulated physical channel."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ChannelError
+from repro.utils.rng import SeedLike, new_rng
+
+
+def snr_db_to_linear(snr_db: float) -> float:
+    """Convert an SNR in decibels to a linear power ratio."""
+    return float(10.0 ** (snr_db / 10.0))
+
+
+def snr_linear_to_db(snr_linear: float) -> float:
+    """Convert a linear SNR to decibels."""
+    if snr_linear <= 0:
+        raise ChannelError(f"linear SNR must be positive, got {snr_linear}")
+    return float(10.0 * np.log10(snr_linear))
+
+
+class NoiseModel:
+    """Base class for channel noise/fading models."""
+
+    def __init__(self, snr_db: float, seed: SeedLike = None) -> None:
+        self.snr_db = float(snr_db)
+        self.rng = new_rng(seed)
+
+    @property
+    def snr_linear(self) -> float:
+        """Linear SNR corresponding to ``snr_db``."""
+        return snr_db_to_linear(self.snr_db)
+
+    def apply(self, symbols: np.ndarray, signal_power: float = 1.0) -> np.ndarray:
+        """Return a noisy copy of the complex ``symbols``; overridden by subclasses."""
+        raise NotImplementedError
+
+    def _awgn(self, shape: Tuple[int, ...], noise_power: float) -> np.ndarray:
+        scale = np.sqrt(noise_power / 2.0)
+        return scale * (self.rng.normal(size=shape) + 1j * self.rng.normal(size=shape))
+
+
+class AwgnChannel(NoiseModel):
+    """Additive white Gaussian noise channel."""
+
+    def apply(self, symbols: np.ndarray, signal_power: float = 1.0) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        noise_power = signal_power / self.snr_linear
+        return symbols + self._awgn(symbols.shape, noise_power)
+
+
+class RayleighChannel(NoiseModel):
+    """Flat Rayleigh fading with perfect channel-state equalization.
+
+    Each symbol is multiplied by an independent complex Gaussian fade and the
+    receiver divides it back out, so the residual impairment is noise
+    amplification on deep fades — the standard textbook model.
+    """
+
+    def apply(self, symbols: np.ndarray, signal_power: float = 1.0) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        fade = (self.rng.normal(size=symbols.shape) + 1j * self.rng.normal(size=symbols.shape)) / np.sqrt(2.0)
+        noise_power = signal_power / self.snr_linear
+        received = fade * symbols + self._awgn(symbols.shape, noise_power)
+        # Zero-forcing equalization with perfect CSI.
+        safe_fade = np.where(np.abs(fade) < 1e-6, 1e-6 + 0j, fade)
+        return received / safe_fade
+
+
+class RicianChannel(NoiseModel):
+    """Rician fading: a line-of-sight component plus Rayleigh scatter.
+
+    ``k_factor`` is the power ratio of the line-of-sight path to the scattered
+    paths; ``k_factor -> inf`` degenerates to AWGN and ``k_factor = 0`` to
+    Rayleigh.
+    """
+
+    def __init__(self, snr_db: float, k_factor: float = 3.0, seed: SeedLike = None) -> None:
+        super().__init__(snr_db, seed=seed)
+        if k_factor < 0:
+            raise ChannelError(f"k_factor must be non-negative, got {k_factor}")
+        self.k_factor = k_factor
+
+    def apply(self, symbols: np.ndarray, signal_power: float = 1.0) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        los = np.sqrt(self.k_factor / (self.k_factor + 1.0))
+        scatter_scale = np.sqrt(1.0 / (self.k_factor + 1.0))
+        scatter = (self.rng.normal(size=symbols.shape) + 1j * self.rng.normal(size=symbols.shape)) / np.sqrt(2.0)
+        fade = los + scatter_scale * scatter
+        noise_power = signal_power / self.snr_linear
+        received = fade * symbols + self._awgn(symbols.shape, noise_power)
+        safe_fade = np.where(np.abs(fade) < 1e-6, 1e-6 + 0j, fade)
+        return received / safe_fade
+
+
+class ErasureChannel(NoiseModel):
+    """Packet-erasure model: each symbol is zeroed with probability ``erasure_probability``.
+
+    Used to model congestion-induced loss at the network layer rather than
+    radio noise, so ``snr_db`` is accepted but ignored.
+    """
+
+    def __init__(self, erasure_probability: float, seed: SeedLike = None) -> None:
+        super().__init__(snr_db=np.inf, seed=seed)
+        if not 0.0 <= erasure_probability <= 1.0:
+            raise ChannelError(f"erasure probability must be in [0, 1], got {erasure_probability}")
+        self.erasure_probability = erasure_probability
+
+    def apply(self, symbols: np.ndarray, signal_power: float = 1.0) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        keep = self.rng.random(symbols.shape) >= self.erasure_probability
+        return symbols * keep
+
+
+def make_noise_model(kind: str, snr_db: float, seed: SeedLike = None, **kwargs: float) -> NoiseModel:
+    """Factory for noise models by name (``awgn``, ``rayleigh``, ``rician``, ``erasure``)."""
+    kind = kind.lower()
+    if kind == "awgn":
+        return AwgnChannel(snr_db, seed=seed)
+    if kind == "rayleigh":
+        return RayleighChannel(snr_db, seed=seed)
+    if kind == "rician":
+        return RicianChannel(snr_db, seed=seed, **kwargs)
+    if kind == "erasure":
+        probability = float(kwargs.get("erasure_probability", 0.1))
+        return ErasureChannel(probability, seed=seed)
+    raise ChannelError(f"unknown noise model {kind!r}")

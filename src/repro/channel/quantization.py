@@ -1,0 +1,107 @@
+"""Quantization of real-valued semantic feature vectors into bits.
+
+The semantic encoder produces continuous feature vectors; to send them over a
+digital channel they are uniformly quantized.  The number of bits per value is
+the knob trading semantic fidelity against transmitted payload size, which
+experiment E1 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ChannelError
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Uniform quantizer configuration.
+
+    Attributes
+    ----------
+    bits_per_value:
+        Number of bits used per scalar feature (1-16).
+    clip_range:
+        Values are clipped to ``[-clip_range, clip_range]`` before
+        quantization; the range is transmitted implicitly (fixed by the spec).
+        The default of 1.0 matches the tanh-bounded features produced by the
+        semantic encoders.
+    """
+
+    bits_per_value: int = 8
+    clip_range: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits_per_value <= 16:
+            raise ChannelError(f"bits_per_value must be in [1, 16], got {self.bits_per_value}")
+        if self.clip_range <= 0:
+            raise ChannelError(f"clip_range must be positive, got {self.clip_range}")
+
+    @property
+    def levels(self) -> int:
+        """Number of quantization levels."""
+        return 2**self.bits_per_value
+
+
+def quantize(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantize float ``values`` into integer level indices."""
+    values = np.asarray(values, dtype=np.float64)
+    clipped = np.clip(values, -spec.clip_range, spec.clip_range)
+    normalized = (clipped + spec.clip_range) / (2.0 * spec.clip_range)
+    indices = np.round(normalized * (spec.levels - 1)).astype(np.int64)
+    return indices
+
+
+def dequantize(indices: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Reconstruct float values from quantization ``indices``."""
+    indices = np.asarray(indices, dtype=np.float64)
+    normalized = indices / (spec.levels - 1)
+    return normalized * (2.0 * spec.clip_range) - spec.clip_range
+
+
+def indices_to_bits(indices: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Serialize level indices into a flat bit array (MSB first)."""
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    if indices.size and (indices.min() < 0 or indices.max() >= spec.levels):
+        raise ChannelError("quantization indices out of range for the spec")
+    shifts = np.arange(spec.bits_per_value - 1, -1, -1)
+    bits = (indices[:, None] >> shifts) & 1
+    return bits.reshape(-1).astype(np.int64)
+
+
+def bits_to_indices(bits: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Inverse of :func:`indices_to_bits`."""
+    bits = np.asarray(bits, dtype=np.int64).reshape(-1)
+    if bits.size % spec.bits_per_value:
+        raise ChannelError(
+            f"bit array length {bits.size} not divisible by bits_per_value {spec.bits_per_value}"
+        )
+    groups = bits.reshape(-1, spec.bits_per_value)
+    weights = 2 ** np.arange(spec.bits_per_value - 1, -1, -1)
+    return (groups * weights).sum(axis=1)
+
+
+def features_to_bits(features: np.ndarray, spec: QuantizationSpec) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Quantize a feature array to bits, returning the bits and original shape."""
+    features = np.asarray(features, dtype=np.float64)
+    indices = quantize(features, spec)
+    return indices_to_bits(indices, spec), features.shape
+
+
+def bits_to_features(bits: np.ndarray, shape: Tuple[int, ...], spec: QuantizationSpec) -> np.ndarray:
+    """Reconstruct a feature array of ``shape`` from transmitted bits."""
+    indices = bits_to_indices(bits, spec)
+    expected = int(np.prod(shape))
+    if indices.size < expected:
+        raise ChannelError(f"not enough bits to reconstruct shape {shape}")
+    return dequantize(indices[:expected], spec).reshape(shape)
+
+
+def quantization_error(features: np.ndarray, spec: QuantizationSpec) -> float:
+    """Root-mean-square error introduced by quantizing ``features``."""
+    features = np.asarray(features, dtype=np.float64)
+    reconstructed = dequantize(quantize(features, spec), spec)
+    return float(np.sqrt(np.mean((features - reconstructed) ** 2)))

@@ -1,0 +1,25 @@
+"""The paper's core contribution: the semantic edge computing and caching system."""
+
+from repro.core.messages import DeliveryReport, LatencyBreakdown, Message, SemanticFrame
+from repro.core.pipeline import PipelineResult, SemanticTransmissionPipeline
+from repro.core.receiver import ReceiverEdgeServer
+from repro.core.sender import EncodeResult, SenderEdgeServer
+from repro.core.session import CommunicationSession, SessionConfig, SessionStatistics
+from repro.core.system import SemanticEdgeSystem, SystemConfig
+
+__all__ = [
+    "Message",
+    "SemanticFrame",
+    "LatencyBreakdown",
+    "DeliveryReport",
+    "SemanticTransmissionPipeline",
+    "PipelineResult",
+    "SenderEdgeServer",
+    "EncodeResult",
+    "ReceiverEdgeServer",
+    "CommunicationSession",
+    "SessionConfig",
+    "SessionStatistics",
+    "SemanticEdgeSystem",
+    "SystemConfig",
+]

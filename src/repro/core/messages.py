@@ -1,0 +1,117 @@
+"""Message and report types flowing through the semantic edge system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class Message:
+    """A user-to-user message entering the system at the sender edge.
+
+    Attributes
+    ----------
+    sender_id, receiver_id:
+        User identifiers at the two ends of the conversation.
+    text:
+        The natural-language payload.
+    domain_hint:
+        Ground-truth or caller-declared domain; ``None`` means the system must
+        select the model itself (Section III-A).
+    timestamp:
+        Simulation time at which the message was submitted.
+    """
+
+    sender_id: str
+    receiver_id: str
+    text: str
+    domain_hint: Optional[str] = None
+    timestamp: float = 0.0
+    message_id: Optional[str] = None
+
+
+@dataclass
+class SemanticFrame:
+    """What actually crosses the physical channel for one message.
+
+    The payload is the quantized semantic feature block; the header carries
+    the domain (so the receiver picks the right KB-decoder), the user id (so
+    it picks the individual decoder if one exists) and the feature shape.
+    """
+
+    domain: str
+    user_id: str
+    feature_shape: tuple[int, ...]
+    payload_bits: np.ndarray
+    header_bytes: int = 16
+
+    @property
+    def payload_bytes(self) -> float:
+        """Size of the transmitted payload in bytes (excluding the header)."""
+        return float(self.payload_bits.size) / 8.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Payload plus header bytes."""
+        return self.payload_bytes + self.header_bytes
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-stage latency of one delivery (seconds)."""
+
+    device_uplink_s: float = 0.0
+    encode_s: float = 0.0
+    transfer_s: float = 0.0
+    decode_s: float = 0.0
+    device_downlink_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end latency."""
+        return (
+            self.device_uplink_s
+            + self.encode_s
+            + self.transfer_s
+            + self.decode_s
+            + self.device_downlink_s
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form for reporting tables."""
+        return {
+            "device_uplink_s": self.device_uplink_s,
+            "encode_s": self.encode_s,
+            "transfer_s": self.transfer_s,
+            "decode_s": self.decode_s,
+            "device_downlink_s": self.device_downlink_s,
+            "total_s": self.total_s,
+        }
+
+
+@dataclass
+class DeliveryReport:
+    """Everything the system observed while delivering one message."""
+
+    message: Message
+    restored_text: str
+    selected_domain: str
+    used_individual_model: bool
+    payload_bytes: float
+    token_accuracy: float
+    bleu: float
+    semantic_similarity: Optional[float]
+    mismatch: float
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    channel_snr_db: float = float("nan")
+    channel_bit_errors: int = 0
+    sync_triggered: bool = False
+    sync_bytes: float = 0.0
+
+    @property
+    def fidelity(self) -> float:
+        """1 - mismatch (semantic fidelity in [0, 1])."""
+        return 1.0 - self.mismatch

@@ -1,0 +1,96 @@
+"""The transmission pipeline: features → quantize → channel code → channel → restore.
+
+This realizes the five-stage workflow named in the paper's introduction
+(semantic encoding, channel encoding, physical channel, channel decoding,
+semantic decoding) for the feature payload produced by a semantic encoder.
+The semantic stages live in :mod:`repro.semantic`; this module owns the
+channel-facing stages and the byte accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.channel import (
+    ChannelCode,
+    IdentityCode,
+    PhysicalChannel,
+    QuantizationSpec,
+    TransmissionReport,
+    bits_to_features,
+    features_to_bits,
+)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of pushing one feature block through the channel stack."""
+
+    received_features: np.ndarray
+    payload_bits: int
+    payload_bytes: float
+    channel_report: Optional[TransmissionReport]
+
+    @property
+    def bit_errors(self) -> int:
+        """Residual bit errors after channel decoding (0 with no channel)."""
+        if self.channel_report is None:
+            return 0
+        return self.channel_report.bit_errors_postcorrection
+
+
+class SemanticTransmissionPipeline:
+    """Quantizes semantic features and carries them across a physical channel.
+
+    Parameters
+    ----------
+    quantization:
+        Uniform quantizer turning float features into bits (its
+        ``bits_per_value`` is the bandwidth/fidelity knob).
+    channel:
+        Physical channel; ``None`` models an ideal error-free transport and
+        only the payload accounting applies.
+    channel_code:
+        Optional channel code wrapped around the payload when a channel is
+        present (overrides the channel's own code for this payload).
+    """
+
+    def __init__(
+        self,
+        quantization: Optional[QuantizationSpec] = None,
+        channel: Optional[PhysicalChannel] = None,
+        channel_code: Optional[ChannelCode] = None,
+    ) -> None:
+        self.quantization = quantization or QuantizationSpec()
+        self.channel = channel
+        self.channel_code = channel_code or IdentityCode()
+
+    def transmit_features(self, features: np.ndarray) -> PipelineResult:
+        """Send a feature array to the receiver side and return what arrives."""
+        features = np.asarray(features, dtype=np.float64)
+        bits, shape = features_to_bits(features, self.quantization)
+        if self.channel is None:
+            received_bits = bits
+            report = None
+        else:
+            original_code = self.channel.channel_code
+            self.channel.channel_code = self.channel_code
+            try:
+                received_bits, report = self.channel.transmit(bits)
+            finally:
+                self.channel.channel_code = original_code
+        received = bits_to_features(received_bits, shape, self.quantization)
+        return PipelineResult(
+            received_features=received,
+            payload_bits=int(bits.size),
+            payload_bytes=float(bits.size) / 8.0,
+            channel_report=report,
+        )
+
+    def payload_bytes_for(self, feature_shape: Tuple[int, ...]) -> float:
+        """Bytes a feature block of ``feature_shape`` would occupy on the wire."""
+        num_values = int(np.prod(feature_shape))
+        return num_values * self.quantization.bits_per_value / 8.0

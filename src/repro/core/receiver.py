@@ -1,0 +1,124 @@
+"""The receiver edge server (semantic feature restoration and step ④).
+
+The receiver edge server ``j`` caches the domain-specialized general
+KB-decoders ``d_j^m`` (equal to the sender's copies, Section II-C) and, for
+users with individual models, a per-user decoder replica that is kept in sync
+by applying the gradient updates shipped from the sender edge (Section II-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.caching import SemanticModelCache
+from repro.exceptions import ProtocolError
+from repro.federated.gradients import GradientUpdate, apply_update
+from repro.semantic import KnowledgeBaseLibrary, SemanticCodec
+from repro.semantic.decoder import SemanticDecoder
+
+
+class ReceiverEdgeServer:
+    """Receiver-side semantic edge server.
+
+    Parameters
+    ----------
+    name:
+        Server name (matching the network topology node).
+    knowledge_bases:
+        The same pretrained domain-specialized general codecs as the sender
+        (the paper assumes identical general KBs on both edges).
+    cache:
+        Optional byte-budgeted cache for accounting; general decoders are
+        inserted on construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        knowledge_bases: KnowledgeBaseLibrary,
+        cache: Optional[SemanticModelCache] = None,
+    ) -> None:
+        self.name = name
+        self.knowledge_bases = knowledge_bases
+        self.cache = cache or SemanticModelCache(capacity_bytes=64 * 1024 * 1024, policy="lru")
+        #: Per-(user, domain) individual decoder replicas synchronized from the sender.
+        self.individual_decoders: Dict[tuple[str, str], SemanticDecoder] = {}
+        self.sync_updates_applied = 0
+        for domain, codec in knowledge_bases.items():
+            self.cache.put_general_model(
+                domain, payload=codec, size_bytes=codec.model_bytes(), build_cost_s=5.0
+            )
+
+    # ------------------------------------------------------------------ #
+    # Decoder provisioning and synchronization (step ④, receiver side)
+    # ------------------------------------------------------------------ #
+    def provision_individual_decoder(self, user_id: str, domain: str) -> SemanticDecoder:
+        """Create (or fetch) the individual decoder replica for (user, domain).
+
+        The replica starts as a copy of the general decoder, mirroring how the
+        sender derives the individual model from the general one.
+        """
+        key = (user_id, domain)
+        if key not in self.individual_decoders:
+            general = self.knowledge_bases.get(domain)
+            replica = SemanticDecoder(len(general.vocabulary), general.config)
+            replica.load_state_dict(general.decoder.state_dict())
+            self.individual_decoders[key] = replica
+            self.cache.put_individual_model(
+                user_id,
+                domain,
+                payload=replica,
+                size_bytes=replica.num_parameters() * 4,
+                build_cost_s=1.0,
+            )
+        return self.individual_decoders[key]
+
+    def apply_sync(self, update: GradientUpdate) -> int:
+        """Apply a decoder gradient update shipped from the sender edge."""
+        decoder = self.provision_individual_decoder(update.user_id, update.domain)
+        applied = apply_update(decoder, update)
+        self.sync_updates_applied += 1
+        return applied
+
+    def has_individual_decoder(self, user_id: str, domain: str) -> bool:
+        """Whether a synchronized individual decoder exists for (user, domain)."""
+        return (user_id, domain) in self.individual_decoders
+
+    # ------------------------------------------------------------------ #
+    # Restoration
+    # ------------------------------------------------------------------ #
+    def _codec(self, domain: str) -> SemanticCodec:
+        if domain not in self.knowledge_bases:
+            raise ProtocolError(f"receiver has no knowledge base for domain {domain!r}")
+        return self.knowledge_bases.get(domain)
+
+    def restore(
+        self,
+        features: np.ndarray,
+        domain: str,
+        user_id: Optional[str] = None,
+        prefer_individual: bool = True,
+    ) -> str:
+        """Semantic feature restoration: features → text.
+
+        When the sending user has a synchronized individual decoder and
+        ``prefer_individual`` is set, that replica is used; otherwise the
+        domain's general decoder restores the message.
+        """
+        codec = self._codec(domain)
+        self.cache.general_model(domain)
+        if prefer_individual and user_id is not None and (user_id, domain) in self.individual_decoders:
+            decoder = self.individual_decoders[(user_id, domain)]
+            self.cache.individual_model(user_id, domain)
+            ids = decoder.decode_greedy(np.asarray(features, dtype=np.float64)[None, ...])[0]
+            tokens = codec.vocabulary.decode(ids)
+            return codec.tokenizer.detokenize(tokens)
+        return codec.decode_features(features)
+
+    def decoder_state(self, user_id: str, domain: str) -> Dict[str, np.ndarray]:
+        """Parameter snapshot of the (user, domain) individual decoder replica."""
+        if (user_id, domain) not in self.individual_decoders:
+            raise ProtocolError(f"no individual decoder for user {user_id!r} domain {domain!r}")
+        return self.individual_decoders[(user_id, domain)].state_dict()

@@ -1,0 +1,236 @@
+"""The sender edge server (steps ①-③ of Fig. 1).
+
+Responsibilities reproduced from the paper:
+
+* **Step ①** — cache the domain-specialized general KB-encoders *and* the
+  corresponding decoder copies (Section II-C), so mismatch can be computed
+  locally without sending restored messages back.
+* **Step ②** — on first contact with a user/domain pair, derive a
+  user-specific individual model from the selected general codec
+  (Section II-B) and cache it separately.
+* **Step ③** — after each communication, decode the transmitted features with
+  the local decoder copy, compute the mismatch, and store the transaction in
+  the per-domain buffer ``b_m`` (Section II-C/D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.caching import SemanticModelCache, general_model_key, individual_model_key
+from repro.core.messages import Message, SemanticFrame
+from repro.exceptions import ProtocolError
+from repro.federated.gradients import GradientUpdate
+from repro.semantic import (
+    BufferBank,
+    IndividualModel,
+    KnowledgeBaseLibrary,
+    MismatchCalculator,
+    Transaction,
+)
+from repro.selection.policy import SelectionPolicy
+
+
+@dataclass
+class EncodeResult:
+    """What the sender produced for one message."""
+
+    frame_features: np.ndarray
+    selected_domain: str
+    used_individual_model: bool
+    num_tokens: int
+
+
+class SenderEdgeServer:
+    """Sender-side semantic edge server with its model cache and buffers.
+
+    Parameters
+    ----------
+    name:
+        Server name (matching the network topology node).
+    knowledge_bases:
+        The pretrained domain-specialized general codecs (encoders + decoder
+        copies; a codec object contains both halves).
+    cache:
+        Byte-budgeted semantic model cache.  General models are inserted on
+        construction; individual models are inserted as they are created.
+    selection_policy:
+        Policy choosing the domain model when a message has no domain hint.
+    mismatch_calculator:
+        Semantic mismatch metric used for the transaction buffer.
+    individual_threshold:
+        Number of buffered transactions required before an individual model is
+        (re)trained — the paper's "enough collected data at ``b_m``".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        knowledge_bases: KnowledgeBaseLibrary,
+        cache: Optional[SemanticModelCache] = None,
+        selection_policy: Optional[SelectionPolicy] = None,
+        mismatch_calculator: Optional[MismatchCalculator] = None,
+        individual_threshold: int = 8,
+        fine_tune_epochs: int = 2,
+        fine_tune_learning_rate: float = 2e-3,
+        buffer_capacity: int = 256,
+    ) -> None:
+        self.name = name
+        self.knowledge_bases = knowledge_bases
+        self.cache = cache or SemanticModelCache(capacity_bytes=64 * 1024 * 1024, policy="lru")
+        self.selection_policy = selection_policy
+        self.mismatch_calculator = mismatch_calculator or MismatchCalculator()
+        self.individual_threshold = individual_threshold
+        self.fine_tune_epochs = fine_tune_epochs
+        self.fine_tune_learning_rate = fine_tune_learning_rate
+        self.buffers = BufferBank(capacity_per_buffer=buffer_capacity)
+        self.individual_models: Dict[tuple[str, str], IndividualModel] = {}
+        self._sync_round = 0
+        # Step ①: general encoders and decoder copies are cached on this server.
+        for domain, codec in knowledge_bases.items():
+            self.cache.put_general_model(
+                domain, payload=codec, size_bytes=codec.model_bytes(), build_cost_s=5.0
+            )
+
+    # ------------------------------------------------------------------ #
+    # Model selection and provisioning
+    # ------------------------------------------------------------------ #
+    def select_domain(self, message: Message) -> str:
+        """Choose the domain model for ``message`` (hint beats policy)."""
+        if message.domain_hint is not None:
+            return message.domain_hint
+        if self.selection_policy is not None:
+            return self.selection_policy.select(message.text)
+        domains = self.knowledge_bases.domains()
+        if not domains:
+            raise ProtocolError("sender has no knowledge bases to select from")
+        return domains[0]
+
+    def provision_user(self, user_id: str, domain: str) -> IndividualModel:
+        """Step ②: create (or fetch) the user's individual model for ``domain``."""
+        key = (user_id, domain)
+        if key not in self.individual_models:
+            general = self.knowledge_bases.get(domain)
+            individual = IndividualModel(user_id, domain, general)
+            self.individual_models[key] = individual
+            self.cache.put_individual_model(
+                user_id,
+                domain,
+                payload=individual,
+                size_bytes=individual.model_bytes(),
+                build_cost_s=1.0,
+            )
+        else:
+            # Refresh cache recency for the existing individual model.
+            self.cache.individual_model(user_id, domain)
+        return self.individual_models[key]
+
+    def has_individual_model(self, user_id: str, domain: str) -> bool:
+        """Whether an individual model already exists for (user, domain)."""
+        return (user_id, domain) in self.individual_models
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, message: Message, use_individual: bool = True) -> EncodeResult:
+        """Semantic feature extraction for ``message`` using the right model."""
+        domain = self.select_domain(message)
+        self.cache.general_model(domain)  # recency/hit accounting for the general KB
+        used_individual = False
+        if use_individual and (message.sender_id, domain) in self.individual_models:
+            codec = self.individual_models[(message.sender_id, domain)].codec
+            self.cache.individual_model(message.sender_id, domain)
+            used_individual = True
+        else:
+            codec = self.knowledge_bases.get(domain)
+        encoded = codec.encode_message(message.text, domain=domain)
+        return EncodeResult(
+            frame_features=encoded.features,
+            selected_domain=domain,
+            used_individual_model=used_individual,
+            num_tokens=encoded.num_tokens,
+        )
+
+    def codec_for(self, user_id: str, domain: str, use_individual: bool = True):
+        """The codec the sender would use for this user/domain pair."""
+        if use_individual and (user_id, domain) in self.individual_models:
+            return self.individual_models[(user_id, domain)].codec
+        return self.knowledge_bases.get(domain)
+
+    # ------------------------------------------------------------------ #
+    # Local mismatch computation and buffering (step ③)
+    # ------------------------------------------------------------------ #
+    def record_transaction(
+        self,
+        message: Message,
+        received_features: np.ndarray,
+        domain: str,
+        timestamp: float = 0.0,
+        use_individual: bool = True,
+    ) -> Transaction:
+        """Decode locally with the cached decoder copy, measure mismatch, buffer it."""
+        codec = self.codec_for(message.sender_id, domain, use_individual=use_individual)
+        restored = codec.decode_features(received_features)
+        report = self.mismatch_calculator.compare(message.text, restored)
+        transaction = Transaction(
+            original_text=message.text,
+            restored_text=restored,
+            features=np.asarray(received_features, dtype=np.float64),
+            domain=domain,
+            user_id=message.sender_id,
+            mismatch=report.mismatch,
+            timestamp=timestamp,
+        )
+        self.buffers.record(transaction)
+        return transaction
+
+    # ------------------------------------------------------------------ #
+    # Individual-model update (producer side of step ④)
+    # ------------------------------------------------------------------ #
+    def maybe_update_individual(
+        self,
+        user_id: str,
+        domain: str,
+        seed: Optional[int] = None,
+    ) -> Optional[GradientUpdate]:
+        """Fine-tune the user's individual model when the buffer is ready.
+
+        Returns the decoder :class:`GradientUpdate` to ship to the receiver
+        edge, or ``None`` when there is not enough buffered data yet.
+        """
+        buffer = self.buffers.buffer(user_id, domain)
+        if not buffer.is_ready(self.individual_threshold):
+            return None
+        individual = self.provision_user(user_id, domain)
+        result = individual.fine_tune_from_buffer(
+            buffer,
+            minimum_transactions=self.individual_threshold,
+            epochs=self.fine_tune_epochs,
+            learning_rate=self.fine_tune_learning_rate,
+            seed=seed,
+        )
+        if result is None or not result.decoder_gradients:
+            return None
+        self._sync_round += 1
+        buffer.clear()
+        return GradientUpdate(
+            user_id=user_id,
+            domain=domain,
+            round_index=self._sync_round,
+            gradients=result.decoder_gradients,
+            learning_rate=self.fine_tune_learning_rate,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def cached_model_keys(self) -> list[str]:
+        """Keys of all models currently resident in the semantic cache."""
+        return sorted(self.cache.keys())
+
+    def cache_hit_ratio(self) -> float:
+        """Hit ratio of the semantic model cache."""
+        return self.cache.statistics.hit_ratio

@@ -1,0 +1,238 @@
+"""A communication session between two users across two edge servers.
+
+``CommunicationSession.send`` executes the complete Fig. 1 workflow for one
+message: model selection, semantic encoding at the sender edge, quantization
+and channel transport, semantic restoration at the receiver edge, local
+mismatch computation via the sender's decoder copy, buffering, and — when the
+buffer is full — the individual-model update with decoder-gradient
+synchronization to the receiver edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.messages import DeliveryReport, LatencyBreakdown, Message
+from repro.core.pipeline import SemanticTransmissionPipeline
+from repro.core.receiver import ReceiverEdgeServer
+from repro.core.sender import SenderEdgeServer
+from repro.edge.network import NetworkTopology
+from repro.edge.resources import decode_flops, encode_flops
+from repro.edge.server import EdgeServer
+from repro.federated.sync import DecoderSynchronizer
+from repro.semantic import MismatchCalculator
+from repro.text.tokenizer import simple_tokenize
+
+
+@dataclass
+class SessionConfig:
+    """Behavioural switches of a communication session."""
+
+    use_individual_models: bool = True
+    auto_update: bool = True
+    account_compute: bool = True
+    header_bytes: int = 16
+    message_bytes_per_char: float = 1.0
+
+
+@dataclass
+class SessionStatistics:
+    """Aggregates over every message delivered in a session."""
+
+    deliveries: int = 0
+    total_payload_bytes: float = 0.0
+    total_sync_bytes: float = 0.0
+    total_latency_s: float = 0.0
+    mismatches: List[float] = field(default_factory=list)
+
+    def mean_mismatch(self) -> float:
+        """Average mismatch over delivered messages (0 when none)."""
+        if not self.mismatches:
+            return 0.0
+        return sum(self.mismatches) / len(self.mismatches)
+
+    def mean_latency_s(self) -> float:
+        """Average end-to-end latency per message."""
+        if self.deliveries == 0:
+            return 0.0
+        return self.total_latency_s / self.deliveries
+
+
+class CommunicationSession:
+    """Binds a sender user, receiver user, their edge servers and the channel."""
+
+    def __init__(
+        self,
+        sender: SenderEdgeServer,
+        receiver: ReceiverEdgeServer,
+        pipeline: SemanticTransmissionPipeline,
+        topology: Optional[NetworkTopology] = None,
+        sender_node: Optional[EdgeServer] = None,
+        receiver_node: Optional[EdgeServer] = None,
+        sender_device: Optional[str] = None,
+        receiver_device: Optional[str] = None,
+        synchronizer: Optional[DecoderSynchronizer] = None,
+        mismatch_calculator: Optional[MismatchCalculator] = None,
+        config: Optional[SessionConfig] = None,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.pipeline = pipeline
+        self.topology = topology
+        self.sender_node = sender_node
+        self.receiver_node = receiver_node
+        self.sender_device = sender_device
+        self.receiver_device = receiver_device
+        self.synchronizer = synchronizer
+        self.mismatch_calculator = mismatch_calculator or MismatchCalculator()
+        self.config = config or SessionConfig()
+        self.statistics = SessionStatistics()
+        self.reports: List[DeliveryReport] = []
+        self.clock: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Latency accounting helpers
+    # ------------------------------------------------------------------ #
+    def _compute_latency(self, node: Optional[EdgeServer], flops: float) -> float:
+        if node is None or not self.config.account_compute:
+            return 0.0
+        result = node.execute(self.clock, flops)
+        return result.total_latency
+
+    def _transfer_latency(self, source: Optional[str], destination: Optional[str], num_bytes: float) -> float:
+        if self.topology is None or source is None or destination is None or source == destination:
+            return 0.0
+        return self.topology.transfer_time(source, destination, num_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def send(self, message: Message) -> DeliveryReport:
+        """Deliver ``message`` end to end and return the full report."""
+        self.clock = max(self.clock, message.timestamp)
+        latency = LatencyBreakdown()
+
+        # --- sender side: model selection + semantic encoding (steps ①/②) ---
+        encode_result = self.sender.encode(message, use_individual=self.config.use_individual_models)
+        domain = encode_result.selected_domain
+        if self.config.use_individual_models:
+            self.sender.provision_user(message.sender_id, domain)
+            self.receiver.provision_individual_decoder(message.sender_id, domain)
+
+        sender_codec = self.sender.codec_for(
+            message.sender_id, domain, use_individual=self.config.use_individual_models
+        )
+        message_bytes = len(message.text) * self.config.message_bytes_per_char
+        latency.device_uplink_s = self._transfer_latency(
+            self.sender_device, self.sender_node.name if self.sender_node else None, message_bytes
+        )
+        latency.encode_s = self._compute_latency(
+            self.sender_node,
+            encode_flops(sender_codec.encoder.num_parameters(), encode_result.num_tokens),
+        )
+
+        # --- channel: quantize, encode, physical channel, decode ---
+        pipeline_result = self.pipeline.transmit_features(encode_result.frame_features)
+        payload_bytes = pipeline_result.payload_bytes + self.config.header_bytes
+        latency.transfer_s = self._transfer_latency(
+            self.sender_node.name if self.sender_node else None,
+            self.receiver_node.name if self.receiver_node else None,
+            payload_bytes,
+        )
+
+        # --- receiver side: semantic restoration ---
+        restored = self.receiver.restore(
+            pipeline_result.received_features,
+            domain,
+            user_id=message.sender_id,
+            prefer_individual=self.config.use_individual_models,
+        )
+        latency.decode_s = self._compute_latency(
+            self.receiver_node,
+            decode_flops(
+                self.receiver.knowledge_bases.get(domain).decoder.num_parameters(),
+                encode_result.num_tokens,
+            ),
+        )
+        restored_bytes = len(restored) * self.config.message_bytes_per_char
+        latency.device_downlink_s = self._transfer_latency(
+            self.receiver_node.name if self.receiver_node else None, self.receiver_device, restored_bytes
+        )
+
+        # --- sender-side mismatch computation and buffering (step ③) ---
+        self.sender.record_transaction(
+            message,
+            pipeline_result.received_features,
+            domain,
+            timestamp=self.clock,
+            use_individual=self.config.use_individual_models,
+        )
+
+        # --- individual-model update + decoder sync (step ④) ---
+        sync_triggered = False
+        sync_bytes = 0.0
+        if self.config.auto_update and self.config.use_individual_models:
+            update = self.sender.maybe_update_individual(message.sender_id, domain)
+            if update is not None:
+                sync_triggered = True
+                receiver_decoder = self.receiver.provision_individual_decoder(message.sender_id, domain)
+                if self.synchronizer is not None:
+                    record = self.synchronizer.synchronize(update, receiver_decoder)
+                    sync_bytes = record.payload_bytes
+                else:
+                    self.receiver.apply_sync(update)
+                    sync_bytes = update.payload_bytes()
+
+        # --- end-to-end quality metrics ---
+        report = self.mismatch_calculator.compare(message.text, restored)
+        delivery = DeliveryReport(
+            message=message,
+            restored_text=restored,
+            selected_domain=domain,
+            used_individual_model=encode_result.used_individual_model,
+            payload_bytes=payload_bytes,
+            token_accuracy=report.token_accuracy,
+            bleu=report.bleu,
+            semantic_similarity=report.semantic_similarity,
+            mismatch=report.mismatch,
+            latency=latency,
+            channel_snr_db=(
+                pipeline_result.channel_report.snr_db if pipeline_result.channel_report else float("nan")
+            ),
+            channel_bit_errors=pipeline_result.bit_errors,
+            sync_triggered=sync_triggered,
+            sync_bytes=sync_bytes,
+        )
+        self.reports.append(delivery)
+        self.statistics.deliveries += 1
+        self.statistics.total_payload_bytes += payload_bytes
+        self.statistics.total_sync_bytes += sync_bytes
+        self.statistics.total_latency_s += latency.total_s
+        self.statistics.mismatches.append(report.mismatch)
+        self.clock += latency.total_s
+        return delivery
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def send_text(
+        self,
+        sender_id: str,
+        receiver_id: str,
+        text: str,
+        domain_hint: Optional[str] = None,
+    ) -> DeliveryReport:
+        """Build a :class:`Message` and deliver it."""
+        message = Message(
+            sender_id=sender_id,
+            receiver_id=receiver_id,
+            text=text,
+            domain_hint=domain_hint,
+            timestamp=self.clock,
+        )
+        return self.send(message)
+
+    def traditional_payload_bytes(self, text: str) -> float:
+        """Bytes a traditional bit-level system would send for ``text`` (for comparison)."""
+        return len(simple_tokenize(text)) * 0.0 + len(text.encode("utf-8"))

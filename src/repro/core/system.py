@@ -1,0 +1,216 @@
+"""The complete semantic edge computing and caching system.
+
+:class:`SemanticEdgeSystem` wires everything together: it pretrains (or
+receives) the domain knowledge bases, builds the edge cluster and network
+topology, instantiates sender/receiver edge servers with their semantic
+caches, and opens :class:`~repro.core.session.CommunicationSession` objects
+between user pairs.  It is the top-level object the examples and benchmarks
+interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.caching import SemanticModelCache
+from repro.channel import PhysicalChannel, QuantizationSpec
+from repro.core.pipeline import SemanticTransmissionPipeline
+from repro.core.receiver import ReceiverEdgeServer
+from repro.core.sender import SenderEdgeServer
+from repro.core.session import CommunicationSession, SessionConfig
+from repro.edge.network import NetworkTopology, build_linear_topology
+from repro.edge.server import EdgeCluster, EdgeServer, MobileDevice
+from repro.federated.sync import DecoderSynchronizer, SyncConfig
+from repro.semantic import CodecConfig, KnowledgeBaseLibrary, MismatchCalculator
+from repro.selection.policy import SelectionPolicy
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class SystemConfig:
+    """Top-level configuration of the semantic edge system."""
+
+    codec: CodecConfig = field(default_factory=CodecConfig)
+    quantization_bits: int = 6
+    channel_snr_db: Optional[float] = 10.0
+    channel_modulation: str = "qpsk"
+    edge_flops_per_second: float = 200e9
+    device_flops_per_second: float = 5e9
+    edge_storage_bytes: int = 8 * 1024**3
+    cache_capacity_bytes: int = 64 * 1024 * 1024
+    cache_policy: str = "lru"
+    individual_threshold: int = 8
+    fine_tune_epochs: int = 2
+    use_individual_models: bool = True
+    auto_update: bool = True
+    account_compute: bool = True
+    compress_sync: bool = False
+    seed: Optional[int] = 0
+
+
+class SemanticEdgeSystem:
+    """Two-edge-server semantic communication system with caching.
+
+    Parameters
+    ----------
+    knowledge_bases:
+        Pretrained general codecs shared by both edge servers (the paper's
+        "well-pretrained" KBs).  Use
+        :meth:`repro.semantic.KnowledgeBaseLibrary.pretrain` to build them.
+    config:
+        System-wide configuration.
+    selection_policy:
+        Optional model-selection policy installed on the sender edge.
+    topology:
+        Optional custom network topology; the default is two edge servers with
+        one device each connected by a backhaul link.
+    """
+
+    def __init__(
+        self,
+        knowledge_bases: KnowledgeBaseLibrary,
+        config: Optional[SystemConfig] = None,
+        selection_policy: Optional[SelectionPolicy] = None,
+        topology: Optional[NetworkTopology] = None,
+        embeddings=None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.knowledge_bases = knowledge_bases
+        self.topology = topology or build_linear_topology(num_edge_servers=2, devices_per_server=1)
+        self.cluster = EdgeCluster()
+        self.embeddings = embeddings
+        self._build_cluster()
+
+        self.sender = SenderEdgeServer(
+            name="edge_0",
+            knowledge_bases=knowledge_bases,
+            cache=SemanticModelCache(self.config.cache_capacity_bytes, policy=self.config.cache_policy),
+            selection_policy=selection_policy,
+            mismatch_calculator=MismatchCalculator(embeddings),
+            individual_threshold=self.config.individual_threshold,
+            fine_tune_epochs=self.config.fine_tune_epochs,
+        )
+        self.receiver = ReceiverEdgeServer(
+            name="edge_1",
+            knowledge_bases=knowledge_bases,
+            cache=SemanticModelCache(self.config.cache_capacity_bytes, policy=self.config.cache_policy),
+        )
+        self.synchronizer = DecoderSynchronizer(
+            self.topology,
+            sender_node="edge_0",
+            receiver_node="edge_1",
+            config=SyncConfig(compress=self.config.compress_sync),
+        )
+        self.sessions: Dict[tuple[str, str], CommunicationSession] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_cluster(self) -> None:
+        for node_name in self.topology.nodes(kind="edge"):
+            self.cluster.add_server(
+                EdgeServer(
+                    node_name,
+                    flops_per_second=self.config.edge_flops_per_second,
+                    storage_bytes=self.config.edge_storage_bytes,
+                )
+            )
+        for node_name in self.topology.nodes(kind="device"):
+            serving_edge = node_name.split("_")[1] if "_" in node_name else "0"
+            self.cluster.add_device(
+                MobileDevice(
+                    node_name,
+                    flops_per_second=self.config.device_flops_per_second,
+                    serving_edge=f"edge_{serving_edge}",
+                )
+            )
+
+    def _make_pipeline(self, seed: SeedLike = None) -> SemanticTransmissionPipeline:
+        quantization = QuantizationSpec(bits_per_value=self.config.quantization_bits)
+        channel = None
+        if self.config.channel_snr_db is not None:
+            channel = PhysicalChannel(
+                modulation=self.config.channel_modulation,
+                snr_db=self.config.channel_snr_db,
+                seed=seed,
+            )
+        return SemanticTransmissionPipeline(quantization=quantization, channel=channel)
+
+    @classmethod
+    def pretrained(
+        cls,
+        sentences_per_domain: int = 150,
+        train_epochs: int = 20,
+        config: Optional[SystemConfig] = None,
+        selection_policy: Optional[SelectionPolicy] = None,
+        seed: SeedLike = 0,
+    ) -> "SemanticEdgeSystem":
+        """Build a system with freshly pretrained default-domain knowledge bases."""
+        config = config or SystemConfig()
+        library = KnowledgeBaseLibrary.pretrain(
+            config=config.codec,
+            sentences_per_domain=sentences_per_domain,
+            train_epochs=train_epochs,
+            seed=seed,
+        )
+        return cls(library, config=config, selection_policy=selection_policy)
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self,
+        sender_user: str,
+        receiver_user: str,
+        session_config: Optional[SessionConfig] = None,
+        channel_seed: SeedLike = None,
+    ) -> CommunicationSession:
+        """Open (or return the existing) session between two users."""
+        key = (sender_user, receiver_user)
+        if key in self.sessions:
+            return self.sessions[key]
+        devices = self.topology.nodes(kind="device")
+        sender_device = devices[0] if devices else None
+        receiver_device = devices[-1] if len(devices) > 1 else None
+        session_config = session_config or SessionConfig(
+            use_individual_models=self.config.use_individual_models,
+            auto_update=self.config.auto_update,
+            account_compute=self.config.account_compute,
+        )
+        session = CommunicationSession(
+            sender=self.sender,
+            receiver=self.receiver,
+            pipeline=self._make_pipeline(seed=channel_seed),
+            topology=self.topology,
+            sender_node=self.cluster.servers.get("edge_0"),
+            receiver_node=self.cluster.servers.get("edge_1"),
+            sender_device=sender_device,
+            receiver_device=receiver_device,
+            synchronizer=self.synchronizer,
+            mismatch_calculator=MismatchCalculator(self.embeddings),
+            config=session_config,
+        )
+        self.sessions[key] = session
+        return session
+
+    # ------------------------------------------------------------------ #
+    # System-wide statistics
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics across all sessions (for reports and tests)."""
+        deliveries = sum(s.statistics.deliveries for s in self.sessions.values())
+        payload = sum(s.statistics.total_payload_bytes for s in self.sessions.values())
+        sync_bytes = sum(s.statistics.total_sync_bytes for s in self.sessions.values())
+        latency = sum(s.statistics.total_latency_s for s in self.sessions.values())
+        mismatches = [m for s in self.sessions.values() for m in s.statistics.mismatches]
+        return {
+            "deliveries": float(deliveries),
+            "total_payload_bytes": payload,
+            "total_sync_bytes": sync_bytes,
+            "mean_latency_s": latency / deliveries if deliveries else 0.0,
+            "mean_mismatch": sum(mismatches) / len(mismatches) if mismatches else 0.0,
+            "sender_cache_hit_ratio": self.sender.cache.statistics.hit_ratio,
+            "receiver_cache_hit_ratio": self.receiver.cache.statistics.hit_ratio,
+            "network_bytes": self.topology.total_bytes_transferred,
+        }

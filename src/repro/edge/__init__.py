@@ -1,0 +1,64 @@
+"""Edge-computing substrate: event simulation, nodes, network, scheduling, offloading."""
+
+from repro.edge.events import EventRecord, Simulation
+from repro.edge.network import LinkSpec, NetworkTopology, build_linear_topology
+from repro.edge.offloading import (
+    AdaptiveOffloadingPolicy,
+    AlwaysDevicePolicy,
+    AlwaysEdgePolicy,
+    OffloadingContext,
+    OffloadingDecision,
+    OffloadingPolicy,
+    compare_policies,
+    offloading_registry,
+)
+from repro.edge.resources import (
+    ComputeResource,
+    StorageResource,
+    decode_flops,
+    encode_flops,
+    train_step_flops,
+)
+from repro.edge.scheduler import (
+    ClusterScheduler,
+    FastestFinishPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    ScheduledTask,
+    SchedulingPolicy,
+    scheduler_registry,
+)
+from repro.edge.server import ComputeNode, EdgeCluster, EdgeServer, MobileDevice, TaskResult
+
+__all__ = [
+    "Simulation",
+    "EventRecord",
+    "ComputeResource",
+    "StorageResource",
+    "encode_flops",
+    "decode_flops",
+    "train_step_flops",
+    "LinkSpec",
+    "NetworkTopology",
+    "build_linear_topology",
+    "EdgeServer",
+    "MobileDevice",
+    "ComputeNode",
+    "EdgeCluster",
+    "TaskResult",
+    "ScheduledTask",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "FastestFinishPolicy",
+    "ClusterScheduler",
+    "scheduler_registry",
+    "OffloadingContext",
+    "OffloadingDecision",
+    "OffloadingPolicy",
+    "AlwaysDevicePolicy",
+    "AlwaysEdgePolicy",
+    "AdaptiveOffloadingPolicy",
+    "compare_policies",
+    "offloading_registry",
+]

@@ -1,0 +1,149 @@
+"""Network topology and link model connecting devices and edge servers.
+
+Links carry bytes with a bandwidth + propagation-delay cost model; the
+topology is a :mod:`networkx` graph so multi-hop paths (device → base station
+→ edge server → peer edge server) are routed with shortest-path latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point link characteristics.
+
+    Attributes
+    ----------
+    bandwidth_bps:
+        Usable throughput in bits per second.
+    propagation_delay_s:
+        One-way propagation latency in seconds.
+    """
+
+    bandwidth_bps: float
+    propagation_delay_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be positive, got {self.bandwidth_bps}")
+        if self.propagation_delay_s < 0:
+            raise ValueError(f"propagation_delay_s must be non-negative, got {self.propagation_delay_s}")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to push ``num_bytes`` through the link (store-and-forward)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return self.propagation_delay_s + (num_bytes * 8.0) / self.bandwidth_bps
+
+
+class NetworkTopology:
+    """Undirected weighted graph of nodes (devices, base stations, edge servers)."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self.total_bytes_transferred: float = 0.0
+        self.transfer_log: List[Tuple[str, str, float, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, name: str, kind: str = "node") -> None:
+        """Add a node labelled with its ``kind`` (device / edge / cloud)."""
+        self._graph.add_node(name, kind=kind)
+
+    def add_link(self, a: str, b: str, spec: LinkSpec) -> None:
+        """Connect two nodes with a :class:`LinkSpec` (adds nodes if missing)."""
+        if a == b:
+            raise SimulationError("self-links are not allowed")
+        for node in (a, b):
+            if node not in self._graph:
+                self.add_node(node)
+        self._graph.add_edge(a, b, spec=spec, latency=spec.propagation_delay_s)
+
+    def nodes(self, kind: Optional[str] = None) -> List[str]:
+        """All node names, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._graph.nodes)
+        return [name for name, data in self._graph.nodes(data=True) if data.get("kind") == kind]
+
+    def has_link(self, a: str, b: str) -> bool:
+        """Whether a direct link exists between ``a`` and ``b``."""
+        return self._graph.has_edge(a, b)
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        """The :class:`LinkSpec` of the direct link between ``a`` and ``b``."""
+        if not self._graph.has_edge(a, b):
+            raise SimulationError(f"no link between {a!r} and {b!r}")
+        return self._graph.edges[a, b]["spec"]
+
+    # ------------------------------------------------------------------ #
+    # Routing and transfers
+    # ------------------------------------------------------------------ #
+    def path(self, source: str, destination: str) -> List[str]:
+        """Minimum-propagation-latency path between two nodes."""
+        if source not in self._graph or destination not in self._graph:
+            raise SimulationError(f"unknown node in path request {source!r} -> {destination!r}")
+        try:
+            return nx.shortest_path(self._graph, source, destination, weight="latency")
+        except nx.NetworkXNoPath as error:
+            raise SimulationError(f"no path from {source!r} to {destination!r}") from error
+
+    def transfer_time(self, source: str, destination: str, num_bytes: float) -> float:
+        """End-to-end time to move ``num_bytes`` from ``source`` to ``destination``.
+
+        Uses store-and-forward over the minimum-latency path.  The transfer is
+        recorded so experiments can total bytes moved across the network.
+        """
+        if source == destination:
+            return 0.0
+        hops = self.path(source, destination)
+        total = 0.0
+        for a, b in zip(hops[:-1], hops[1:]):
+            total += self._graph.edges[a, b]["spec"].transfer_time(num_bytes)
+        self.total_bytes_transferred += num_bytes
+        self.transfer_log.append((source, destination, num_bytes, total))
+        return total
+
+    def reset_accounting(self) -> None:
+        """Clear accumulated transfer statistics."""
+        self.total_bytes_transferred = 0.0
+        self.transfer_log.clear()
+
+
+def build_linear_topology(
+    num_edge_servers: int = 2,
+    devices_per_server: int = 2,
+    wireless_bandwidth_bps: float = 20e6,
+    backhaul_bandwidth_bps: float = 1e9,
+    wireless_delay_s: float = 0.005,
+    backhaul_delay_s: float = 0.002,
+) -> NetworkTopology:
+    """Standard experiment topology: devices attach to edge servers connected by backhaul.
+
+    ``edge_0 … edge_{n-1}`` form a chain over the backhaul; each edge server
+    serves ``devices_per_server`` devices over a wireless link.
+    """
+    if num_edge_servers <= 0:
+        raise ValueError("num_edge_servers must be positive")
+    if devices_per_server < 0:
+        raise ValueError("devices_per_server must be non-negative")
+    topology = NetworkTopology()
+    wireless = LinkSpec(bandwidth_bps=wireless_bandwidth_bps, propagation_delay_s=wireless_delay_s)
+    backhaul = LinkSpec(bandwidth_bps=backhaul_bandwidth_bps, propagation_delay_s=backhaul_delay_s)
+    for server_index in range(num_edge_servers):
+        server_name = f"edge_{server_index}"
+        topology.add_node(server_name, kind="edge")
+        if server_index > 0:
+            topology.add_link(f"edge_{server_index - 1}", server_name, backhaul)
+        for device_index in range(devices_per_server):
+            device_name = f"device_{server_index}_{device_index}"
+            topology.add_node(device_name, kind="device")
+            topology.add_link(device_name, server_name, wireless)
+    return topology

@@ -1,0 +1,136 @@
+"""Offloading decisions: run semantic encode/decode on the device or the edge?
+
+Experiment E8 compares always-local, always-edge, and latency-aware adaptive
+offloading.  The decision trades device compute time against the wireless
+round trip needed to ship the raw message up and the features back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.edge.network import NetworkTopology
+from repro.edge.resources import encode_flops
+from repro.edge.server import EdgeServer, MobileDevice
+from repro.utils.registry import Registry
+
+offloading_registry: Registry["OffloadingPolicy"] = Registry("offloading-policy")
+
+
+@dataclass
+class OffloadingContext:
+    """Everything a policy may inspect when deciding where to encode."""
+
+    device: MobileDevice
+    edge: EdgeServer
+    topology: NetworkTopology
+    message_bytes: int
+    feature_bytes: int
+    num_tokens: int
+    encoder_parameters: int
+    now: float = 0.0
+
+
+@dataclass
+class OffloadingDecision:
+    """The outcome of an offloading decision with its predicted latency."""
+
+    location: str  # "device" or "edge"
+    predicted_latency_s: float
+    device_latency_s: float
+    edge_latency_s: float
+
+
+class OffloadingPolicy:
+    """Base class for offloading policies."""
+
+    name = "base"
+
+    def decide(self, context: OffloadingContext) -> OffloadingDecision:
+        """Return where the encode step should run."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _device_latency(context: OffloadingContext) -> float:
+        flops = encode_flops(context.encoder_parameters, context.num_tokens)
+        compute = context.device.compute
+        start = max(compute.busy_until, context.now)
+        wait = start - context.now
+        compute_time = compute.service_time(flops)
+        # Features still have to reach the edge server for onward transmission.
+        uplink = context.topology.transfer_time(context.device.name, context.edge.name, context.feature_bytes)
+        return wait + compute_time + uplink
+
+    @staticmethod
+    def _edge_latency(context: OffloadingContext) -> float:
+        flops = encode_flops(context.encoder_parameters, context.num_tokens)
+        compute = context.edge.compute
+        start = max(compute.busy_until, context.now)
+        wait = start - context.now
+        compute_time = compute.service_time(flops)
+        # The raw message must be uploaded before the edge can encode it.
+        uplink = context.topology.transfer_time(context.device.name, context.edge.name, context.message_bytes)
+        return uplink + wait + compute_time
+
+
+@offloading_registry.register("always-device")
+class AlwaysDevicePolicy(OffloadingPolicy):
+    """Never offload: encode on the device."""
+
+    name = "always-device"
+
+    def decide(self, context: OffloadingContext) -> OffloadingDecision:
+        device_latency = self._device_latency(context)
+        edge_latency = self._edge_latency(context)
+        return OffloadingDecision("device", device_latency, device_latency, edge_latency)
+
+
+@offloading_registry.register("always-edge")
+class AlwaysEdgePolicy(OffloadingPolicy):
+    """Always offload: encode on the edge server."""
+
+    name = "always-edge"
+
+    def decide(self, context: OffloadingContext) -> OffloadingDecision:
+        device_latency = self._device_latency(context)
+        edge_latency = self._edge_latency(context)
+        return OffloadingDecision("edge", edge_latency, device_latency, edge_latency)
+
+
+@offloading_registry.register("adaptive")
+class AdaptiveOffloadingPolicy(OffloadingPolicy):
+    """Pick whichever location has the lower predicted latency.
+
+    ``edge_bias`` (0-1) discounts the predicted edge latency to reflect that
+    edge execution also saves device battery; 0 means a pure latency race.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, edge_bias: float = 0.0) -> None:
+        if not 0.0 <= edge_bias < 1.0:
+            raise ValueError(f"edge_bias must be in [0, 1), got {edge_bias}")
+        self.edge_bias = edge_bias
+
+    def decide(self, context: OffloadingContext) -> OffloadingDecision:
+        device_latency = self._device_latency(context)
+        edge_latency = self._edge_latency(context)
+        effective_edge = edge_latency * (1.0 - self.edge_bias)
+        if effective_edge <= device_latency:
+            return OffloadingDecision("edge", edge_latency, device_latency, edge_latency)
+        return OffloadingDecision("device", device_latency, device_latency, edge_latency)
+
+
+def compare_policies(
+    context: OffloadingContext,
+    policy_names: Optional[list[str]] = None,
+) -> Dict[str, OffloadingDecision]:
+    """Evaluate several offloading policies on the same context.
+
+    Note that latency *prediction* does not mutate compute queues, so the
+    comparison is apples-to-apples; actually executing the decision is the
+    caller's job.
+    """
+    policy_names = policy_names or ["always-device", "always-edge", "adaptive"]
+    return {name: offloading_registry.create(name).decide(context) for name in policy_names}

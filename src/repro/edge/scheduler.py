@@ -1,0 +1,124 @@
+"""Task scheduling across the compute nodes of an edge cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.edge.server import ComputeNode, EdgeCluster, TaskResult
+from repro.exceptions import SchedulingError
+from repro.utils.registry import Registry
+
+scheduler_registry: Registry["SchedulingPolicy"] = Registry("scheduling-policy")
+
+
+@dataclass
+class ScheduledTask:
+    """A task to be placed on some node by a scheduling policy."""
+
+    task_id: str
+    flops: float
+    arrival_time: float
+    preferred_node: Optional[str] = None
+
+
+class SchedulingPolicy:
+    """Chooses which node runs each task."""
+
+    name = "base"
+
+    def select_node(self, task: ScheduledTask, candidates: Sequence[ComputeNode]) -> ComputeNode:
+        """Return the node that should execute ``task``."""
+        raise NotImplementedError
+
+
+@scheduler_registry.register("round-robin")
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through candidate nodes in order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next_index = 0
+
+    def select_node(self, task: ScheduledTask, candidates: Sequence[ComputeNode]) -> ComputeNode:
+        if not candidates:
+            raise SchedulingError("no candidate nodes to schedule on")
+        node = candidates[self._next_index % len(candidates)]
+        self._next_index += 1
+        return node
+
+
+@scheduler_registry.register("least-loaded")
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Pick the node whose queue drains earliest (minimum ``busy_until``)."""
+
+    name = "least-loaded"
+
+    def select_node(self, task: ScheduledTask, candidates: Sequence[ComputeNode]) -> ComputeNode:
+        if not candidates:
+            raise SchedulingError("no candidate nodes to schedule on")
+        return min(candidates, key=lambda node: max(node.compute.busy_until, task.arrival_time))
+
+
+@scheduler_registry.register("fastest-finish")
+class FastestFinishPolicy(SchedulingPolicy):
+    """Pick the node that would finish the task earliest (queue + speed)."""
+
+    name = "fastest-finish"
+
+    def select_node(self, task: ScheduledTask, candidates: Sequence[ComputeNode]) -> ComputeNode:
+        if not candidates:
+            raise SchedulingError("no candidate nodes to schedule on")
+
+        def finish_time(node: ComputeNode) -> float:
+            start = max(node.compute.busy_until, task.arrival_time)
+            return start + node.compute.service_time(task.flops)
+
+        return min(candidates, key=finish_time)
+
+
+class ClusterScheduler:
+    """Places tasks on an :class:`EdgeCluster` according to a policy."""
+
+    def __init__(self, cluster: EdgeCluster, policy: SchedulingPolicy | str = "fastest-finish") -> None:
+        self.cluster = cluster
+        self.policy = scheduler_registry.create(policy) if isinstance(policy, str) else policy
+        self.results: List[TaskResult] = []
+
+    def submit(self, task: ScheduledTask, candidates: Optional[Sequence[str]] = None) -> TaskResult:
+        """Schedule and execute ``task`` on one of the candidate nodes.
+
+        ``candidates`` defaults to every server in the cluster; a task with a
+        ``preferred_node`` that is among the candidates is pinned there.
+        """
+        if candidates is None:
+            candidate_nodes: List[ComputeNode] = list(self.cluster.servers.values())
+        else:
+            candidate_nodes = [self.cluster.node(name) for name in candidates]
+        if not candidate_nodes:
+            raise SchedulingError("no candidate nodes available")
+        if task.preferred_node is not None:
+            for node in candidate_nodes:
+                if node.name == task.preferred_node:
+                    chosen = node
+                    break
+            else:
+                chosen = self.policy.select_node(task, candidate_nodes)
+        else:
+            chosen = self.policy.select_node(task, candidate_nodes)
+        result = chosen.execute(task.arrival_time, task.flops, task_id=task.task_id)
+        self.results.append(result)
+        return result
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Mean/95th-percentile latency over all scheduled tasks."""
+        if not self.results:
+            return {"mean": 0.0, "p95": 0.0, "count": 0}
+        latencies = sorted(result.total_latency for result in self.results)
+        index_95 = min(len(latencies) - 1, int(round(0.95 * (len(latencies) - 1))))
+        return {
+            "mean": sum(latencies) / len(latencies),
+            "p95": latencies[index_95],
+            "count": len(latencies),
+        }

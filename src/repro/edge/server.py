@@ -1,0 +1,181 @@
+"""Edge server and mobile device models.
+
+An :class:`EdgeServer` owns a compute resource, a storage resource (where the
+semantic cache lives) and a task queue; a :class:`MobileDevice` is a much
+weaker compute node attached to a serving edge server.  These are the physical
+homes of the paper's KB-encoders/decoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.edge.resources import ComputeResource, StorageResource
+from repro.exceptions import SchedulingError
+
+
+@dataclass
+class TaskResult:
+    """Timing of one task executed on a compute node."""
+
+    task_id: str
+    node: str
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    flops: float
+
+    @property
+    def queueing_delay(self) -> float:
+        """Seconds the task waited before starting."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Seconds the task spent executing."""
+        return self.finish_time - self.start_time
+
+    @property
+    def total_latency(self) -> float:
+        """Arrival-to-finish latency in seconds."""
+        return self.finish_time - self.arrival_time
+
+
+class ComputeNode:
+    """Common behaviour of edge servers and devices: run FLOP-costed tasks."""
+
+    def __init__(self, name: str, compute: ComputeResource, storage: StorageResource) -> None:
+        self.name = name
+        self.compute = compute
+        self.storage = storage
+        self.task_log: List[TaskResult] = []
+        self._task_counter = 0
+
+    def execute(self, now: float, flops: float, task_id: Optional[str] = None) -> TaskResult:
+        """Run a task of ``flops`` operations arriving at time ``now``."""
+        if task_id is None:
+            self._task_counter += 1
+            task_id = f"{self.name}-task-{self._task_counter}"
+        start, finish = self.compute.enqueue(now, flops)
+        result = TaskResult(
+            task_id=task_id,
+            node=self.name,
+            arrival_time=now,
+            start_time=start,
+            finish_time=finish,
+            flops=flops,
+        )
+        self.task_log.append(result)
+        return result
+
+    def mean_latency(self) -> float:
+        """Average total latency over all executed tasks (0 when idle)."""
+        if not self.task_log:
+            return 0.0
+        return sum(result.total_latency for result in self.task_log) / len(self.task_log)
+
+    def reset_statistics(self) -> None:
+        """Clear the task log and compute accounting."""
+        self.task_log.clear()
+        self.compute.busy_until = 0.0
+        self.compute.busy_time = 0.0
+        self.compute.completed_tasks = 0
+
+
+class EdgeServer(ComputeNode):
+    """An edge server hosting cached semantic models.
+
+    Parameters
+    ----------
+    name:
+        Node name matching its name in the :class:`~repro.edge.network.NetworkTopology`.
+    flops_per_second:
+        Compute capacity (default 200 GFLOP/s, a small edge GPU).
+    storage_bytes:
+        Cache storage capacity (default 8 GiB).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        flops_per_second: float = 200e9,
+        storage_bytes: int = 8 * 1024**3,
+    ) -> None:
+        compute = ComputeResource(name=f"{name}-cpu", flops_per_second=flops_per_second)
+        storage = StorageResource(name=f"{name}-storage", capacity_bytes=storage_bytes)
+        super().__init__(name, compute, storage)
+        self.attached_devices: List[str] = []
+        #: Models resident in storage, keyed by model identifier.
+        self.resident_models: Dict[str, int] = {}
+
+    def attach_device(self, device_name: str) -> None:
+        """Record that ``device_name`` is served by this edge server."""
+        if device_name not in self.attached_devices:
+            self.attached_devices.append(device_name)
+
+    def load_model(self, model_id: str, size_bytes: int) -> None:
+        """Place a model in storage (used by the semantic cache)."""
+        if model_id in self.resident_models:
+            return
+        self.storage.allocate(model_id, size_bytes)
+        self.resident_models[model_id] = size_bytes
+
+    def evict_model(self, model_id: str) -> int:
+        """Remove a model from storage and return its size."""
+        if model_id not in self.resident_models:
+            raise SchedulingError(f"model {model_id!r} is not resident on {self.name}")
+        size = self.storage.release(model_id)
+        del self.resident_models[model_id]
+        return size
+
+    def has_model(self, model_id: str) -> bool:
+        """Whether ``model_id`` is resident in this server's storage."""
+        return model_id in self.resident_models
+
+
+class MobileDevice(ComputeNode):
+    """A user-held device with limited compute and storage.
+
+    Default capacity (5 GFLOP/s, 512 MiB available to the application) is
+    roughly two orders of magnitude below the edge server, which is what makes
+    offloading the encode/decode step attractive (experiment E8).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        flops_per_second: float = 5e9,
+        storage_bytes: int = 512 * 1024**2,
+        serving_edge: Optional[str] = None,
+    ) -> None:
+        compute = ComputeResource(name=f"{name}-cpu", flops_per_second=flops_per_second)
+        storage = StorageResource(name=f"{name}-storage", capacity_bytes=storage_bytes)
+        super().__init__(name, compute, storage)
+        self.serving_edge = serving_edge
+
+
+@dataclass
+class EdgeCluster:
+    """A named collection of edge servers and devices used by the experiments."""
+
+    servers: Dict[str, EdgeServer] = field(default_factory=dict)
+    devices: Dict[str, MobileDevice] = field(default_factory=dict)
+
+    def add_server(self, server: EdgeServer) -> None:
+        """Register an edge server."""
+        self.servers[server.name] = server
+
+    def add_device(self, device: MobileDevice) -> None:
+        """Register a device and attach it to its serving edge server."""
+        self.devices[device.name] = device
+        if device.serving_edge and device.serving_edge in self.servers:
+            self.servers[device.serving_edge].attach_device(device.name)
+
+    def node(self, name: str) -> ComputeNode:
+        """Look up a node (server or device) by name."""
+        if name in self.servers:
+            return self.servers[name]
+        if name in self.devices:
+            return self.devices[name]
+        raise SchedulingError(f"unknown node {name!r}")

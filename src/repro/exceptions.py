@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is inconsistent or out of range."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class GradientError(ReproError):
+    """Raised when backpropagation is attempted on an invalid graph."""
+
+
+class VocabularyError(ReproError):
+    """Raised when a token or token id is outside the known vocabulary."""
+
+
+class ChannelError(ReproError):
+    """Raised when the physical-channel pipeline receives invalid input."""
+
+
+class CodingError(ChannelError):
+    """Raised when channel encoding/decoding fails (e.g. bad block length)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when a task cannot be scheduled on any available resource."""
+
+
+class CacheError(ReproError):
+    """Raised when a cache operation is invalid (e.g. item larger than cache)."""
+
+
+class KnowledgeBaseError(ReproError):
+    """Raised when a knowledge base / semantic codec is misused."""
+
+
+class SelectionError(ReproError):
+    """Raised when model selection is asked to choose among zero candidates."""
+
+
+class FederatedError(ReproError):
+    """Raised when gradient synchronization cannot be completed."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the sender/receiver edge protocol is violated."""

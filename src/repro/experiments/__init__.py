@@ -1,0 +1,34 @@
+"""Experiment implementations (E1-E8 plus the Fig. 1 workflow validation).
+
+Importing this package registers every experiment with
+:mod:`repro.experiments.harness`, so ``run_experiment("e1")`` works after a
+plain ``import repro.experiments``.
+"""
+
+from repro.experiments import (  # noqa: F401  (imported for registration side effects)
+    ablation_quantization,
+    e1_semantic_vs_traditional,
+    e2_domain_specialization,
+    e3_individual_models,
+    e4_decoder_copy,
+    e5_gradient_sync,
+    e6_model_selection,
+    e7_cache_policies,
+    e8_edge_offloading,
+    fig1_workflow,
+)
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentSuite,
+    available_experiments,
+    run_experiment,
+    tables_of,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentSuite",
+    "run_experiment",
+    "available_experiments",
+    "tables_of",
+]

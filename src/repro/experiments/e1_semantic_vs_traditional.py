@@ -1,0 +1,155 @@
+"""E1 — Semantic vs traditional communication across channel conditions.
+
+Paper claim (Section I): semantic communication departs from bit-by-bit
+transmission by sending the meaning, which should (a) keep payloads compact
+and (b) degrade gracefully as the channel worsens, while a conventional
+source-coded bitstream falls apart once bit errors corrupt it.
+
+The experiment sweeps the channel SNR and reports, for each SNR, payload size
+and reconstruction fidelity of (i) the semantic codec with feature
+quantization and (ii) a Huffman + Hamming(7,4) bit-level baseline, both over
+the same AWGN channel and message set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.traditional import TraditionalCommunicationSystem
+from repro.channel import PhysicalChannel, QuantizationSpec
+from repro.core.pipeline import SemanticTransmissionPipeline
+from repro.experiments.harness import ExperimentConfig, register_experiment
+from repro.metrics.reporting import ResultTable
+from repro.semantic import CodecConfig, SemanticCodec
+from repro.text import bleu_score, token_accuracy
+from repro.text.tokenizer import simple_tokenize
+from repro.utils.rng import new_rng
+from repro.workloads import generate_all_corpora
+
+DEFAULT_SNRS_DB: Sequence[float] = (-5.0, 0.0, 5.0, 10.0, 15.0)
+
+
+def _train_codec(config: ExperimentConfig, sentences: Sequence[str]) -> SemanticCodec:
+    codec_config = CodecConfig(
+        architecture=config.codec_architecture,
+        embedding_dim=24,
+        feature_dim=4,
+        hidden_dim=48,
+        max_length=16,
+        seed=config.seed,
+    )
+    codec = SemanticCodec.from_corpus(sentences, config=codec_config, domain="pooled")
+    # Noise-aware training: the codec sees Gaussian feature perturbations that
+    # stand in for quantization error and channel noise, which is what makes
+    # semantic transmission degrade gracefully at low SNR.
+    codec.train(list(sentences), epochs=max(25, config.train_epochs), noise_std=0.1, seed=config.seed)
+    return codec
+
+
+def _evaluate_semantic(
+    codec: SemanticCodec,
+    sentences: Sequence[str],
+    snr_db: float,
+    quantization_bits: int,
+    seed: int,
+    channel_code=None,
+) -> dict:
+    channel = PhysicalChannel(modulation="qpsk", snr_db=snr_db, seed=seed)
+    pipeline = SemanticTransmissionPipeline(
+        quantization=QuantizationSpec(bits_per_value=quantization_bits),
+        channel=channel,
+        channel_code=channel_code,
+    )
+    accuracies: List[float] = []
+    bleus: List[float] = []
+    payloads: List[float] = []
+    for sentence in sentences:
+        encoded = codec.encode_message(sentence)
+        result = pipeline.transmit_features(encoded.features)
+        restored = codec.decode_features(result.received_features)
+        reference = simple_tokenize(sentence)
+        hypothesis = simple_tokenize(restored)
+        accuracies.append(token_accuracy(reference, hypothesis))
+        bleus.append(bleu_score(reference, hypothesis))
+        payloads.append(result.payload_bytes)
+    return {
+        "token_accuracy": float(np.mean(accuracies)),
+        "bleu": float(np.mean(bleus)),
+        "payload_bytes": float(np.mean(payloads)),
+    }
+
+
+def _evaluate_traditional(
+    corpus: Sequence[str],
+    sentences: Sequence[str],
+    snr_db: float,
+    seed: int,
+) -> dict:
+    channel = PhysicalChannel(modulation="qpsk", snr_db=snr_db, seed=seed)
+    baseline = TraditionalCommunicationSystem(corpus, channel=channel)
+    metrics = baseline.evaluate(list(sentences))
+    return {
+        "token_accuracy": metrics["token_accuracy"],
+        "bleu": metrics["bleu"],
+        "payload_bytes": metrics["mean_payload_bytes"],
+    }
+
+
+@register_experiment("e1")
+def run(
+    config: Optional[ExperimentConfig] = None,
+    snrs_db: Sequence[float] = DEFAULT_SNRS_DB,
+    num_test_sentences: int = 40,
+    quantization_bits: int = 4,
+) -> ResultTable:
+    """Run E1 and return the SNR-sweep comparison table."""
+    config = config or ExperimentConfig()
+    rng = new_rng(config.seed)
+    corpora = generate_all_corpora(config.scaled(config.sentences_per_domain), seed=config.seed)
+    pooled = [sentence for corpus in corpora.values() for sentence in corpus.sentences]
+    codec = _train_codec(config, pooled)
+
+    test_count = config.scaled(num_test_sentences, minimum=8)
+    test_indices = rng.choice(len(pooled), size=min(test_count, len(pooled)), replace=False)
+    test_sentences = [pooled[int(i)] for i in test_indices]
+
+    table = ResultTable(
+        name="e1_semantic_vs_traditional",
+        description=(
+            "Information payload size and reconstruction fidelity over an AWGN channel (QPSK): "
+            "semantic codec without FEC, semantic codec with Hamming(7,4) FEC, and the "
+            "Huffman + Hamming(7,4) bit-level baseline."
+        ),
+    )
+    from repro.channel import HammingCode
+
+    for snr_db in snrs_db:
+        semantic = _evaluate_semantic(codec, test_sentences, snr_db, quantization_bits, config.seed)
+        semantic_fec = _evaluate_semantic(
+            codec, test_sentences, snr_db, quantization_bits, config.seed, channel_code=HammingCode()
+        )
+        traditional = _evaluate_traditional(pooled, test_sentences, snr_db, config.seed)
+        table.add_row(
+            snr_db=snr_db,
+            system="semantic",
+            payload_bytes=semantic["payload_bytes"],
+            token_accuracy=semantic["token_accuracy"],
+            bleu=semantic["bleu"],
+        )
+        table.add_row(
+            snr_db=snr_db,
+            system="semantic+fec",
+            payload_bytes=semantic_fec["payload_bytes"],
+            token_accuracy=semantic_fec["token_accuracy"],
+            bleu=semantic_fec["bleu"],
+        )
+        table.add_row(
+            snr_db=snr_db,
+            system="traditional",
+            payload_bytes=traditional["payload_bytes"],
+            token_accuracy=traditional["token_accuracy"],
+            bleu=traditional["bleu"],
+        )
+    return table

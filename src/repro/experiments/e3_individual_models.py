@@ -1,0 +1,151 @@
+"""E3 — User-specific individual models vs the frozen general model.
+
+Paper claim (Section II-B): a general model "may not accurately capture the
+nuances and context-specific language usage of individual users"; training a
+user-specific model from the general one improves accuracy.  We give each
+synthetic user a personal style (word substitutions and pet phrases the
+general corpus never contains), stream their messages through the system so
+the domain buffer fills, fine-tune the individual model at increasing amounts
+of buffered data, and track the accuracy gap to the general model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentConfig, register_experiment
+from repro.metrics.reporting import ResultTable
+from repro.semantic import CodecConfig, IndividualModel, SemanticCodec
+from repro.utils.rng import new_rng
+from repro.workloads import UserStyle, default_domains
+from repro.workloads.generator import _CANDIDATE_SUBSTITUTIONS, _PET_PHRASES
+
+
+def _user_vocabulary_universe() -> List[str]:
+    """Every word a user style could introduce beyond the domain corpora."""
+    words: List[str] = []
+    for options in _CANDIDATE_SUBSTITUTIONS.values():
+        words.extend(options)
+    for phrase in _PET_PHRASES:
+        words.extend(phrase.split())
+    return sorted(set(words))
+
+
+def _strong_styled_users(num_users: int, domains, rng: np.random.Generator) -> List[UserStyle]:
+    """Users with pronounced personal styles.
+
+    Every candidate substitution is adopted (with a per-user random variant)
+    and pet phrases are frequent, so the style gap between the general corpus
+    and a user's own messages is substantial — the regime Section II-B argues
+    individual models are needed for.
+    """
+    users: List[UserStyle] = []
+    domain_names = list(domains)
+    for index in range(num_users):
+        substitutions = {
+            word: options[int(rng.integers(len(options)))]
+            for word, options in _CANDIDATE_SUBSTITUTIONS.items()
+        }
+        phrases = [
+            _PET_PHRASES[int(i)] for i in rng.choice(len(_PET_PHRASES), size=2, replace=False)
+        ]
+        users.append(
+            UserStyle(
+                user_id=f"user_{index}",
+                substitutions=substitutions,
+                pet_phrases=phrases,
+                pet_phrase_probability=0.5,
+                favourite_domain=domain_names[index % len(domain_names)],
+                domain_affinity=0.9,
+            )
+        )
+    return users
+
+
+@register_experiment("e3")
+def run(
+    config: Optional[ExperimentConfig] = None,
+    num_users: int = 3,
+    transactions_per_step: Sequence[int] = (8, 16, 32, 64),
+    num_test_messages: int = 30,
+    fine_tune_epochs: int = 6,
+    fine_tune_learning_rate: float = 5e-3,
+) -> ResultTable:
+    """Run E3 and return the individual-vs-general learning-curve table."""
+    config = config or ExperimentConfig()
+    rng = new_rng(config.seed)
+    domains = default_domains()
+    codec_config = CodecConfig(
+        architecture=config.codec_architecture,
+        embedding_dim=24,
+        feature_dim=6,
+        hidden_dim=48,
+        max_length=16,
+        seed=config.seed,
+    )
+
+    # One general codec per user's favourite domain, trained on style-free
+    # corpus text but with the user-vocabulary universe in its vocabulary.
+    users = _strong_styled_users(num_users, domains, rng)
+    extra_tokens = _user_vocabulary_universe()
+
+    table = ResultTable(
+        name="e3_individual_models",
+        description=(
+            "Token accuracy on each user's personal test messages: frozen general codec vs the "
+            "user's individual model fine-tuned on growing amounts of buffered transactions."
+        ),
+    )
+
+    max_transactions = max(transactions_per_step)
+    for user in users:
+        domain = user.favourite_domain or list(domains)[0]
+        spec = domains[domain]
+        corpus = [spec.sample_sentence(rng) for _ in range(config.scaled(config.sentences_per_domain))]
+        general = SemanticCodec.from_corpus(
+            corpus,
+            config=codec_config,
+            domain=domain,
+            train_epochs=config.train_epochs,
+            seed=config.seed,
+            extra_tokens=extra_tokens,
+        )
+
+        # The user's personal message stream (style applied on top of the domain grammar).
+        personal_messages = [
+            user.apply(spec.sample_sentence(rng), rng) for _ in range(max_transactions + num_test_messages)
+        ]
+        train_pool = personal_messages[:max_transactions]
+        test_pool = personal_messages[max_transactions:]
+
+        general_metrics = general.evaluate(test_pool)
+        table.add_row(
+            user_id=user.user_id,
+            domain=domain,
+            buffered_transactions=0,
+            model="general",
+            token_accuracy=general_metrics["token_accuracy"],
+            bleu=general_metrics["bleu"],
+        )
+
+        for budget in transactions_per_step:
+            individual = IndividualModel(user.user_id, domain, general)
+            individual.fine_tune(
+                train_pool[:budget],
+                epochs=fine_tune_epochs,
+                learning_rate=fine_tune_learning_rate,
+                seed=config.seed,
+                collect_decoder_gradient=False,
+            )
+            metrics = individual.codec.evaluate(test_pool)
+            table.add_row(
+                user_id=user.user_id,
+                domain=domain,
+                buffered_transactions=budget,
+                model="individual",
+                token_accuracy=metrics["token_accuracy"],
+                bleu=metrics["bleu"],
+            )
+    return table

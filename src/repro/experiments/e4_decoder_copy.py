@@ -1,0 +1,108 @@
+"""E4 — Decoder copies on the sender edge vs sending restorations back.
+
+Paper claim (Section II-C): computing the encoder/decoder mismatch needs both
+the input and the output; "sending the output back to the sender would defeat
+the purpose of the semantic communication system".  Caching decoder copies at
+the sender edge trades a one-off storage cost for eliminating that per-message
+feedback traffic.
+
+The experiment streams a message workload through the system twice — once with
+the decoder-copy design and once with an output-feedback design — and compares
+backhaul bytes, per-message overhead, and the storage the copies occupy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import Message, SemanticEdgeSystem, SystemConfig
+from repro.experiments.harness import ExperimentConfig, register_experiment
+from repro.metrics.reporting import ResultTable
+from repro.semantic import CodecConfig
+from repro.workloads import MessageGenerator, build_user_population
+
+
+def _build_system(config: ExperimentConfig) -> SemanticEdgeSystem:
+    system_config = SystemConfig(
+        codec=CodecConfig(
+            architecture=config.codec_architecture,
+            embedding_dim=24,
+            feature_dim=6,
+            hidden_dim=48,
+            max_length=16,
+            seed=config.seed,
+        ),
+        channel_snr_db=None,
+        auto_update=False,
+        account_compute=False,
+    )
+    return SemanticEdgeSystem.pretrained(
+        sentences_per_domain=config.scaled(config.sentences_per_domain),
+        train_epochs=config.train_epochs,
+        config=system_config,
+        seed=config.seed,
+    )
+
+
+@register_experiment("e4")
+def run(config: Optional[ExperimentConfig] = None, num_messages: int = 60) -> ResultTable:
+    """Run E4 and return the feedback-traffic comparison table."""
+    config = config or ExperimentConfig()
+    system = _build_system(config)
+    session = system.open_session("user_0", "user_1")
+    users = build_user_population(1, seed=config.seed)
+    generator = MessageGenerator(users, seed=config.seed + 1)
+    messages = generator.generate("user_0", config.scaled(num_messages, minimum=10))
+
+    restored_sizes = []
+    payload_sizes = []
+    for item in messages:
+        report = session.send_text("user_0", "user_1", item.text, domain_hint=item.domain)
+        payload_sizes.append(report.payload_bytes)
+        restored_sizes.append(len(report.restored_text.encode("utf-8")))
+
+    count = len(messages)
+    mean_payload = float(np.mean(payload_sizes))
+    mean_restored = float(np.mean(restored_sizes))
+    decoder_copy_bytes = sum(codec.decoder.num_parameters() * 4 for _, codec in system.knowledge_bases.items())
+
+    table = ResultTable(
+        name="e4_decoder_copy",
+        description=(
+            "Backhaul traffic needed to compute sender-side mismatch: caching decoder copies at the "
+            "sender edge (one-off storage) vs sending every restored message back (per-message traffic)."
+        ),
+    )
+    table.add_row(
+        design="decoder-copy-at-sender",
+        messages=count,
+        feedback_bytes_total=0.0,
+        feedback_bytes_per_message=0.0,
+        extra_storage_bytes=float(decoder_copy_bytes),
+        payload_bytes_per_message=mean_payload,
+        feedback_overhead_fraction=0.0,
+    )
+    feedback_total = mean_restored * count
+    table.add_row(
+        design="send-output-back",
+        messages=count,
+        feedback_bytes_total=feedback_total,
+        feedback_bytes_per_message=mean_restored,
+        extra_storage_bytes=0.0,
+        payload_bytes_per_message=mean_payload,
+        feedback_overhead_fraction=mean_restored / mean_payload if mean_payload else float("inf"),
+    )
+    # Break-even: after how many messages does feedback traffic exceed the storage cost?
+    break_even = decoder_copy_bytes / mean_restored if mean_restored else float("inf")
+    table.add_row(
+        design="break-even-messages",
+        messages=count,
+        feedback_bytes_total=float("nan"),
+        feedback_bytes_per_message=float("nan"),
+        extra_storage_bytes=float(decoder_copy_bytes),
+        payload_bytes_per_message=mean_payload,
+        feedback_overhead_fraction=break_even,
+    )
+    return table

@@ -1,0 +1,146 @@
+"""E5 — Decoder-gradient synchronization vs shipping full decoder weights.
+
+Paper claim (Section II-D): after the individual model is trained on the
+sender edge, only "the gradient of decoder ∇d will be transmitted to the
+receiver to synchronize", like federated learning.  The experiment measures
+the synchronization payload per round for (i) full decoder weights, (ii) the
+dense decoder gradient, and (iii) top-k compressed gradients at several
+sparsity levels, and verifies that the receiver's replica stays usable (its
+restoration accuracy on the user's messages) under each scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.edge.network import build_linear_topology
+from repro.experiments.harness import ExperimentConfig, register_experiment
+from repro.federated import (
+    DecoderSynchronizer,
+    GradientUpdate,
+    SyncConfig,
+    compress_topk,
+    compression_error,
+    decompress,
+    parameter_drift,
+)
+from repro.metrics.reporting import ResultTable
+from repro.semantic import CodecConfig, IndividualModel, SemanticCodec
+from repro.semantic.decoder import SemanticDecoder
+from repro.text import token_accuracy
+from repro.text.tokenizer import simple_tokenize
+from repro.utils.rng import new_rng
+from repro.workloads import build_user_population, default_domains
+
+
+def _replica_accuracy(codec: SemanticCodec, decoder: SemanticDecoder, sentences: Sequence[str]) -> float:
+    """Accuracy when encoding with the sender codec and decoding with ``decoder``."""
+    accuracies = []
+    for sentence in sentences:
+        encoded = codec.encode_message(sentence)
+        ids = decoder.decode_greedy(encoded.features[None, ...])[0]
+        restored = codec.tokenizer.detokenize(codec.vocabulary.decode(ids))
+        accuracies.append(token_accuracy(simple_tokenize(sentence), simple_tokenize(restored)))
+    return float(np.mean(accuracies))
+
+
+@register_experiment("e5")
+def run(
+    config: Optional[ExperimentConfig] = None,
+    num_user_messages: int = 32,
+    topk_fractions: Sequence[float] = (0.25, 0.1, 0.05),
+    num_rounds: int = 3,
+) -> ResultTable:
+    """Run E5 and return the synchronization-cost table."""
+    config = config or ExperimentConfig()
+    rng = new_rng(config.seed)
+    domains = default_domains()
+    user = build_user_population(1, seed=config.seed)[0]
+    domain = user.favourite_domain or "it"
+    spec = domains[domain]
+
+    codec_config = CodecConfig(
+        architecture=config.codec_architecture,
+        embedding_dim=24,
+        feature_dim=6,
+        hidden_dim=48,
+        max_length=16,
+        seed=config.seed,
+    )
+    corpus = [spec.sample_sentence(rng) for _ in range(config.scaled(config.sentences_per_domain))]
+    from repro.experiments.e3_individual_models import _user_vocabulary_universe
+
+    general = SemanticCodec.from_corpus(
+        corpus,
+        config=codec_config,
+        domain=domain,
+        train_epochs=config.train_epochs,
+        seed=config.seed,
+        extra_tokens=_user_vocabulary_universe(),
+    )
+    user_messages = [user.apply(spec.sample_sentence(rng), rng) for _ in range(num_user_messages)]
+
+    topology = build_linear_topology(num_edge_servers=2, devices_per_server=0)
+    decoder_bytes = general.decoder.num_parameters() * 4.0
+
+    table = ResultTable(
+        name="e5_gradient_sync",
+        description=(
+            "Per-round synchronization payload and post-sync replica accuracy for full-model shipping, "
+            "dense decoder gradients, and top-k compressed gradients."
+        ),
+    )
+
+    schemes: List[Dict] = [{"name": "full-model", "compress": None}]
+    schemes.append({"name": "dense-gradient", "compress": None, "gradient": True})
+    for fraction in topk_fractions:
+        schemes.append({"name": f"topk-{fraction}", "compress": fraction, "gradient": True})
+
+    for scheme in schemes:
+        individual = IndividualModel(user.user_id, domain, general)
+        replica = SemanticDecoder(len(general.vocabulary), general.config)
+        replica.load_state_dict(general.decoder.state_dict())
+        synchronizer = DecoderSynchronizer(
+            topology,
+            sender_node="edge_0",
+            receiver_node="edge_1",
+            config=SyncConfig(
+                compress=scheme.get("compress") is not None,
+                topk_fraction=scheme.get("compress") or 0.1,
+            ),
+        )
+        relative_error = 0.0
+        for round_index in range(num_rounds):
+            result = individual.fine_tune(
+                user_messages, epochs=1, seed=config.seed + round_index, collect_decoder_gradient=True
+            )
+            if scheme["name"] == "full-model":
+                synchronizer.ship_full_model(individual.codec.decoder.state_dict())
+                replica.load_state_dict(individual.codec.decoder.state_dict())
+            else:
+                update = GradientUpdate(
+                    user_id=user.user_id,
+                    domain=domain,
+                    round_index=round_index,
+                    gradients=result.decoder_gradients,
+                    learning_rate=2e-3,
+                )
+                if scheme.get("compress") is not None:
+                    compressed = compress_topk(update, fraction=scheme["compress"])
+                    relative_error = compression_error(update, compressed)
+                synchronizer.synchronize(update, replica)
+        accuracy = _replica_accuracy(individual.codec, replica, user_messages[: min(16, len(user_messages))])
+        drift = parameter_drift(individual.codec.decoder, replica)
+        table.add_row(
+            scheme=scheme["name"],
+            rounds=num_rounds,
+            bytes_per_round=synchronizer.total_bytes() / num_rounds,
+            total_bytes=synchronizer.total_bytes(),
+            bytes_vs_full_model=synchronizer.total_bytes() / (decoder_bytes * num_rounds),
+            replica_token_accuracy=accuracy,
+            parameter_drift=drift,
+            compression_error=relative_error,
+        )
+    return table

@@ -1,0 +1,141 @@
+"""E7 — Semantic model caching vs re-establishing knowledge bases on demand.
+
+Paper claim (Sections I and II): "establishing knowledge bases for
+domain-oriented communication can be time-consuming"; caching the
+domain-specialized general models and the user-specific individual models at
+the edge "has the potential to reduce the time and resources required to
+establish individual KBs".
+
+The experiment replays a Zipf-skewed model-request trace against a
+byte-budgeted semantic model cache under several eviction policies and cache
+sizes, and against the no-cache baseline, reporting hit ratio and the mean
+KB-establishment delay each request experiences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.no_cache import EstablishmentCostModel, NoCacheBaseline
+from repro.caching import CacheEntry, SemanticModelCache, general_model_key, individual_model_key
+from repro.experiments.harness import ExperimentConfig, register_experiment
+from repro.metrics.reporting import ResultTable
+from repro.utils.rng import new_rng
+from repro.workloads import ZipfTraceGenerator
+
+
+def _model_catalogue(num_domains: int, rng: np.random.Generator) -> Dict[str, Dict[str, float]]:
+    """Synthetic per-domain model sizes (bytes) and establishment costs (seconds)."""
+    catalogue: Dict[str, Dict[str, float]] = {}
+    for index in range(num_domains):
+        domain = f"domain_{index}"
+        size_mb = float(rng.uniform(2.0, 12.0))
+        catalogue[domain] = {
+            "size_bytes": size_mb * 1024 * 1024,
+            "fetch_seconds": float(rng.uniform(2.0, 8.0)),
+        }
+    return catalogue
+
+
+def _replay(
+    cache: SemanticModelCache,
+    trace,
+    catalogue: Dict[str, Dict[str, float]],
+    individual_fraction: float,
+    individual_size_bytes: float,
+    rng: np.random.Generator,
+) -> Dict[str, float]:
+    """Replay the trace against ``cache`` and account establishment delay."""
+    total_delay = 0.0
+    for request in trace:
+        now = request.timestamp
+        is_individual = rng.random() < individual_fraction
+        if is_individual:
+            key = individual_model_key(request.user_id, request.domain)
+            size = individual_size_bytes
+            cost = catalogue[request.domain]["fetch_seconds"] * 0.25
+            kind_kwargs = {"kind": "individual", "user_id": request.user_id}
+        else:
+            key = general_model_key(request.domain)
+            size = catalogue[request.domain]["size_bytes"]
+            cost = catalogue[request.domain]["fetch_seconds"]
+            kind_kwargs = {"kind": "general", "user_id": None}
+
+        def build() -> CacheEntry:
+            return CacheEntry(
+                key=key,
+                domain=request.domain,
+                size_bytes=int(size),
+                build_cost_s=cost,
+                payload=None,
+                **kind_kwargs,
+            )
+
+        _, hit = cache.get_or_build(key, build, now=now)
+        if not hit:
+            total_delay += cost
+    return {
+        "hit_ratio": cache.statistics.hit_ratio,
+        "mean_delay_s": total_delay / max(len(trace), 1),
+        "evictions": float(cache.statistics.evictions),
+    }
+
+
+@register_experiment("e7")
+def run(
+    config: Optional[ExperimentConfig] = None,
+    num_domains: int = 10,
+    num_requests: int = 2000,
+    zipf_exponent: float = 1.0,
+    cache_sizes_mb: Sequence[float] = (16, 32, 64, 96),
+    policies: Sequence[str] = ("fifo", "lru", "lfu", "size-aware", "semantic-popularity"),
+    individual_fraction: float = 0.3,
+) -> ResultTable:
+    """Run E7 and return the cache-size x policy sweep table."""
+    config = config or ExperimentConfig()
+    rng = new_rng(config.seed)
+    catalogue = _model_catalogue(num_domains, rng)
+    generator = ZipfTraceGenerator(
+        list(catalogue),
+        num_users=20,
+        exponent=zipf_exponent,
+        arrival_rate=2.0,
+        seed=config.seed,
+    )
+    trace = generator.generate(config.scaled(num_requests, minimum=200))
+    individual_size_bytes = 2.0 * 1024 * 1024
+
+    table = ResultTable(
+        name="e7_cache_policies",
+        description=(
+            "Hit ratio and mean KB-establishment delay per request for a Zipf-skewed model-request "
+            "trace, across cache sizes and eviction policies, against the no-cache baseline."
+        ),
+    )
+
+    # No-cache baseline (single resident slot, every switch re-establishes).
+    baseline = NoCacheBaseline(EstablishmentCostModel(fetch_seconds=float(np.mean([c["fetch_seconds"] for c in catalogue.values()]))))
+    baseline_result = baseline.serve(trace)
+    table.add_row(
+        policy="no-cache",
+        cache_size_mb=0.0,
+        hit_ratio=1.0 - baseline_result.establishment_rate,
+        mean_delay_s=baseline_result.mean_delay_seconds,
+        evictions=float("nan"),
+    )
+
+    for cache_size_mb in cache_sizes_mb:
+        for policy in policies:
+            cache = SemanticModelCache(int(cache_size_mb * 1024 * 1024), policy=policy)
+            replay_rng = new_rng(config.seed + 7)
+            metrics = _replay(cache, trace, catalogue, individual_fraction, individual_size_bytes, replay_rng)
+            table.add_row(
+                policy=policy,
+                cache_size_mb=float(cache_size_mb),
+                hit_ratio=metrics["hit_ratio"],
+                mean_delay_s=metrics["mean_delay_s"],
+                evictions=metrics["evictions"],
+            )
+    return table

@@ -1,0 +1,120 @@
+"""Fig. 1 — End-to-end validation of the four-step caching/update workflow.
+
+The paper's only figure annotates four steps:
+
+①  The sender edge server caches both domain-specialized general encoders and
+    decoders.
+②  One encoder and its corresponding decoder are selected and cached for each
+    user to create their individual model.
+③  Communication transactions are stored in a buffer to calculate the update
+    gradient.
+④  The gradient is sent to the receiver to update the individual decoder at
+    the receiver edge.
+
+This experiment drives one user's conversation through a small system and
+records a measurable artefact for every step, so the workflow table doubles as
+an integration check of the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import SemanticEdgeSystem, SystemConfig
+from repro.experiments.harness import ExperimentConfig, register_experiment
+from repro.federated.sync import parameter_drift
+from repro.metrics.reporting import ResultTable
+from repro.semantic import CodecConfig
+from repro.workloads import MessageGenerator, build_user_population
+
+
+@register_experiment("fig1")
+def run(config: Optional[ExperimentConfig] = None, num_messages: int = 24) -> ResultTable:
+    """Run the Fig. 1 workflow and return the per-step evidence table."""
+    config = config or ExperimentConfig()
+    system_config = SystemConfig(
+        codec=CodecConfig(
+            architecture=config.codec_architecture,
+            embedding_dim=24,
+            feature_dim=6,
+            hidden_dim=48,
+            max_length=16,
+            seed=config.seed,
+        ),
+        channel_snr_db=12.0,
+        individual_threshold=6,
+        fine_tune_epochs=1,
+        account_compute=True,
+    )
+    system = SemanticEdgeSystem.pretrained(
+        sentences_per_domain=config.scaled(config.sentences_per_domain),
+        train_epochs=config.train_epochs,
+        config=system_config,
+        seed=config.seed,
+    )
+    session = system.open_session("user_0", "user_1", channel_seed=config.seed)
+
+    users = build_user_population(1, seed=config.seed)
+    generator = MessageGenerator(users, domain_persistence=0.9, seed=config.seed + 1)
+    messages = generator.generate("user_0", config.scaled(num_messages, minimum=10))
+
+    # Step ① evidence: general models resident in the sender cache before traffic.
+    general_keys_before = [key for key in system.sender.cache.keys() if key.startswith("general/")]
+
+    sync_events = 0
+    for item in messages:
+        report = session.send_text("user_0", "user_1", item.text, domain_hint=item.domain)
+        sync_events += int(report.sync_triggered)
+
+    # Step ② evidence: individual models created and cached for the user.
+    individual_keys = [key for key in system.sender.cache.keys() if key.startswith("individual/")]
+    # Step ③ evidence: transactions accumulated in the per-domain buffers.
+    buffered = sum(buffer.total_added for _, buffer in system.sender.buffers.items())
+    # Step ④ evidence: receiver-side individual decoders received gradient syncs
+    # and track the sender's decoder closely.
+    drifts = []
+    for (user_id, domain), individual in system.sender.individual_models.items():
+        if system.receiver.has_individual_decoder(user_id, domain):
+            drifts.append(
+                parameter_drift(
+                    individual.codec.decoder, system.receiver.individual_decoders[(user_id, domain)]
+                )
+            )
+    mean_drift = sum(drifts) / len(drifts) if drifts else float("nan")
+    summary = system.summary()
+
+    table = ResultTable(
+        name="fig1_workflow",
+        description="Measured evidence for each numbered step of the paper's Fig. 1 workflow.",
+    )
+    table.add_row(
+        step="1-general-models-cached",
+        quantity=float(len(general_keys_before)),
+        detail=f"general KBs resident at sender edge: {sorted(general_keys_before)}",
+    )
+    table.add_row(
+        step="2-individual-models-created",
+        quantity=float(len(individual_keys)),
+        detail=f"individual models cached: {sorted(individual_keys)}",
+    )
+    table.add_row(
+        step="3-transactions-buffered",
+        quantity=float(buffered),
+        detail="communication transactions stored in domain buffers b_m",
+    )
+    table.add_row(
+        step="4-gradient-syncs-to-receiver",
+        quantity=float(sync_events),
+        detail=f"decoder gradient updates shipped; mean sender/receiver decoder drift = {mean_drift:.2e}",
+    )
+    table.add_row(
+        step="end-to-end-quality",
+        quantity=1.0 - summary["mean_mismatch"],
+        detail=f"mean semantic fidelity over {int(summary['deliveries'])} deliveries",
+    )
+    table.add_row(
+        step="end-to-end-payload-bytes",
+        quantity=summary["total_payload_bytes"] / max(summary["deliveries"], 1.0),
+        detail="mean semantic payload per message (bytes)",
+    )
+    return table

@@ -1,0 +1,101 @@
+"""Common experiment infrastructure.
+
+Every experiment module exposes a ``run(config) -> ResultTable`` (or a dict of
+tables) function.  The harness provides the shared configuration object, an
+experiment registry (so ``run_experiment("e1")`` works by name), and helpers
+to persist tables for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.metrics.reporting import ResultTable
+from repro.utils.registry import Registry
+
+ExperimentOutput = Union[ResultTable, Dict[str, ResultTable]]
+experiment_registry: Registry[ExperimentOutput] = Registry("experiment")
+
+
+@dataclass
+class ExperimentConfig:
+    """Size/seed knobs shared by all experiments.
+
+    ``scale`` multiplies workload sizes: benchmarks run at ``scale=1.0``
+    (fast); the EXPERIMENTS.md numbers were produced at the same scale so the
+    recorded and regenerated tables are directly comparable.
+    """
+
+    seed: int = 0
+    scale: float = 1.0
+    sentences_per_domain: int = 120
+    train_epochs: int = 15
+    codec_architecture: str = "mlp"
+    output_dir: Optional[str] = None
+
+    def scaled(self, value: int, minimum: int = 1) -> int:
+        """Scale an integer workload knob, keeping it at least ``minimum``."""
+        return max(minimum, int(round(value * self.scale)))
+
+
+def register_experiment(name: str) -> Callable:
+    """Decorator registering an experiment ``run`` function under ``name``."""
+    return experiment_registry.register(name)
+
+
+def run_experiment(name: str, config: Optional[ExperimentConfig] = None) -> ExperimentOutput:
+    """Run the experiment registered under ``name``."""
+    config = config or ExperimentConfig()
+    output = experiment_registry.create(name, config)
+    if config.output_dir:
+        save_output(name, output, config.output_dir)
+    return output
+
+
+def available_experiments() -> List[str]:
+    """Names of all registered experiments."""
+    return experiment_registry.names()
+
+
+def tables_of(output: ExperimentOutput) -> List[ResultTable]:
+    """Normalize an experiment output to a list of tables."""
+    if isinstance(output, ResultTable):
+        return [output]
+    return list(output.values())
+
+
+def save_output(name: str, output: ExperimentOutput, output_dir: str) -> List[Path]:
+    """Persist every table of ``output`` as JSON under ``output_dir``."""
+    paths: List[Path] = []
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in tables_of(output):
+        path = directory / f"{name}_{table.name}.json"
+        table.save_json(str(path))
+        paths.append(path)
+    return paths
+
+
+@dataclass
+class ExperimentSuite:
+    """Runs a list of experiments and collects their tables."""
+
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    results: Dict[str, ExperimentOutput] = field(default_factory=dict)
+
+    def run(self, names: Optional[List[str]] = None) -> Dict[str, ExperimentOutput]:
+        """Run ``names`` (default: every registered experiment) in order."""
+        for name in names or available_experiments():
+            self.results[name] = run_experiment(name, self.config)
+        return self.results
+
+    def report(self) -> str:
+        """Markdown report of all collected tables."""
+        sections: List[str] = []
+        for name, output in self.results.items():
+            sections.append(f"# Experiment {name}\n")
+            for table in tables_of(output):
+                sections.append(table.to_markdown())
+        return "\n".join(sections)

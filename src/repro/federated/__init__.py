@@ -1,0 +1,44 @@
+"""Federated-style decoder synchronization: gradients, compression, sync, aggregation."""
+
+from repro.federated.aggregation import (
+    AggregationResult,
+    aggregate_into_module,
+    federated_average_gradients,
+    federated_average_states,
+)
+from repro.federated.compression import (
+    CompressedGradients,
+    compress_topk,
+    compression_error,
+    decompress,
+)
+from repro.federated.gradients import (
+    GradientUpdate,
+    apply_state_difference,
+    apply_update,
+    extract_gradients,
+    make_update,
+    state_difference,
+)
+from repro.federated.sync import DecoderSynchronizer, SyncConfig, SyncRecord, parameter_drift
+
+__all__ = [
+    "GradientUpdate",
+    "extract_gradients",
+    "make_update",
+    "apply_update",
+    "state_difference",
+    "apply_state_difference",
+    "CompressedGradients",
+    "compress_topk",
+    "decompress",
+    "compression_error",
+    "DecoderSynchronizer",
+    "SyncConfig",
+    "SyncRecord",
+    "parameter_drift",
+    "AggregationResult",
+    "federated_average_states",
+    "federated_average_gradients",
+    "aggregate_into_module",
+]

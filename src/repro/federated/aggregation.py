@@ -1,0 +1,92 @@
+"""FedAvg-style aggregation of per-user updates into the domain's shared state.
+
+The paper keeps general models frozen, but its Section II-D explicitly links
+the update process to federated learning.  This module provides the standard
+aggregation so deployments can periodically fold many users' individual-model
+improvements into a *new* general model revision without touching the frozen
+original (an extension the paper lists under future research).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import FederatedError
+from repro.federated.gradients import GradientUpdate
+from repro.nn.module import Module
+
+
+@dataclass
+class AggregationResult:
+    """Result of one aggregation round."""
+
+    num_updates: int
+    parameter_names: List[str]
+    average_norm: float
+
+
+def federated_average_states(
+    states: Sequence[Dict[str, np.ndarray]],
+    weights: Sequence[float] | None = None,
+) -> Dict[str, np.ndarray]:
+    """Weighted average of multiple state dictionaries (FedAvg on weights)."""
+    if not states:
+        raise FederatedError("cannot aggregate zero states")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise FederatedError("weights and states must have the same length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise FederatedError("weights must sum to a positive value")
+    names = set(states[0])
+    for state in states[1:]:
+        if set(state) != names:
+            raise FederatedError("state dictionaries have inconsistent parameter names")
+    averaged: Dict[str, np.ndarray] = {}
+    for name in names:
+        accumulator = np.zeros_like(np.asarray(states[0][name], dtype=np.float64))
+        for state, weight in zip(states, weights):
+            accumulator += (weight / total) * np.asarray(state[name], dtype=np.float64)
+        averaged[name] = accumulator
+    return averaged
+
+
+def federated_average_gradients(updates: Sequence[GradientUpdate]) -> GradientUpdate:
+    """Average several users' gradient updates into one aggregate update."""
+    if not updates:
+        raise FederatedError("cannot aggregate zero updates")
+    names = set(updates[0].gradients)
+    for update in updates[1:]:
+        if set(update.gradients) != names:
+            raise FederatedError("gradient updates have inconsistent parameter names")
+    averaged: Dict[str, np.ndarray] = {}
+    for name in names:
+        averaged[name] = np.mean(
+            [np.asarray(update.gradients[name], dtype=np.float64) for update in updates], axis=0
+        )
+    return GradientUpdate(
+        user_id="aggregate",
+        domain=updates[0].domain,
+        round_index=max(update.round_index for update in updates),
+        gradients=averaged,
+        learning_rate=float(np.mean([update.learning_rate for update in updates])),
+    )
+
+
+def aggregate_into_module(module: Module, updates: Sequence[GradientUpdate]) -> AggregationResult:
+    """Apply the FedAvg of ``updates`` to ``module`` (one SGD step)."""
+    aggregate = federated_average_gradients(updates)
+    own = dict(module.named_parameters())
+    for name, gradient in aggregate.gradients.items():
+        if name not in own:
+            raise FederatedError(f"aggregate contains unknown parameter {name!r}")
+        own[name].data -= aggregate.learning_rate * np.asarray(gradient, dtype=np.float64)
+    return AggregationResult(
+        num_updates=len(updates),
+        parameter_names=sorted(aggregate.gradients),
+        average_norm=aggregate.global_norm(),
+    )

@@ -1,0 +1,117 @@
+"""Gradient packaging for the decoder-synchronization protocol.
+
+Section II-D: "the gradient of decoder ``∇d_u1^m`` will be transmitted to the
+receiver ``j`` to synchronize the ``d_u2^m``, which is similar to the update
+process in traditional Federated Learning".  A :class:`GradientUpdate` is the
+unit that crosses the network; this module measures its size and applies it to
+a decoder replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import FederatedError
+from repro.nn.module import Module
+
+
+@dataclass
+class GradientUpdate:
+    """A named set of gradient arrays plus routing metadata."""
+
+    user_id: str
+    domain: str
+    round_index: int
+    gradients: Dict[str, np.ndarray] = field(default_factory=dict)
+    learning_rate: float = 1e-2
+    compressed: bool = False
+
+    def num_values(self) -> int:
+        """Total number of scalar gradient values."""
+        return int(sum(np.asarray(g).size for g in self.gradients.values()))
+
+    def payload_bytes(self, bytes_per_value: float = 4.0) -> float:
+        """Bytes needed to transmit the update (dense float32 by default)."""
+        return self.num_values() * bytes_per_value
+
+    def global_norm(self) -> float:
+        """L2 norm over all gradient values."""
+        total = sum(float((np.asarray(g) ** 2).sum()) for g in self.gradients.values())
+        return float(np.sqrt(total))
+
+
+def extract_gradients(module: Module) -> Dict[str, np.ndarray]:
+    """Copy the current gradients of ``module`` keyed by parameter name."""
+    gradients: Dict[str, np.ndarray] = {}
+    for name, parameter in module.named_parameters():
+        if parameter.grad is not None:
+            gradients[name] = parameter.grad.copy()
+    return gradients
+
+
+def make_update(
+    module: Module,
+    user_id: str,
+    domain: str,
+    round_index: int,
+    learning_rate: float = 1e-2,
+) -> GradientUpdate:
+    """Package ``module``'s gradients into a :class:`GradientUpdate`."""
+    gradients = extract_gradients(module)
+    if not gradients:
+        raise FederatedError("module has no gradients to package; run backward() first")
+    return GradientUpdate(
+        user_id=user_id,
+        domain=domain,
+        round_index=round_index,
+        gradients=gradients,
+        learning_rate=learning_rate,
+    )
+
+
+def apply_update(module: Module, update: GradientUpdate, learning_rate: Optional[float] = None) -> int:
+    """Apply a gradient update to ``module`` with a plain SGD step.
+
+    Returns the number of parameters updated.  Parameter names present in the
+    update but missing from the module raise, because a silent mismatch would
+    desynchronize the decoder copies the paper relies on.
+    """
+    learning_rate = update.learning_rate if learning_rate is None else learning_rate
+    own = dict(module.named_parameters())
+    applied = 0
+    for name, gradient in update.gradients.items():
+        if name not in own:
+            raise FederatedError(f"update contains unknown parameter {name!r}")
+        parameter = own[name]
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != parameter.data.shape:
+            raise FederatedError(
+                f"gradient shape {gradient.shape} does not match parameter {name!r} "
+                f"shape {parameter.data.shape}"
+            )
+        parameter.data -= learning_rate * gradient
+        applied += 1
+    return applied
+
+
+def state_difference(before: Dict[str, np.ndarray], after: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Per-parameter difference ``after - before`` (a model delta).
+
+    Model deltas are an alternative to raw gradients for synchronization; the
+    benches compare both against shipping the full model.
+    """
+    if set(before) != set(after):
+        raise FederatedError("state dictionaries have different parameter names")
+    return {name: np.asarray(after[name]) - np.asarray(before[name]) for name in before}
+
+
+def apply_state_difference(module: Module, delta: Dict[str, np.ndarray]) -> None:
+    """Add a model delta to ``module``'s parameters in place."""
+    own = dict(module.named_parameters())
+    for name, difference in delta.items():
+        if name not in own:
+            raise FederatedError(f"delta contains unknown parameter {name!r}")
+        own[name].data += np.asarray(difference, dtype=np.float64)

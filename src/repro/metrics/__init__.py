@@ -1,0 +1,33 @@
+"""Metrics and reporting: fidelity, bandwidth, latency, cache, result tables."""
+
+from repro.metrics.reporting import ResultTable, compare_column, merge_tables
+from repro.metrics.semantic import (
+    FidelitySummary,
+    fidelity_by_domain,
+    fidelity_over_time,
+    summarize_fidelity,
+)
+from repro.metrics.system import (
+    BandwidthSummary,
+    LatencySummary,
+    cache_summary,
+    compression_ratio,
+    summarize_bandwidth,
+    summarize_latency,
+)
+
+__all__ = [
+    "ResultTable",
+    "merge_tables",
+    "compare_column",
+    "FidelitySummary",
+    "summarize_fidelity",
+    "fidelity_by_domain",
+    "fidelity_over_time",
+    "BandwidthSummary",
+    "LatencySummary",
+    "summarize_bandwidth",
+    "summarize_latency",
+    "cache_summary",
+    "compression_ratio",
+]

@@ -1,0 +1,124 @@
+"""Result tables: the uniform output format of every experiment and benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.utils.serialization import to_json_file
+
+
+@dataclass
+class ResultTable:
+    """A named table of result rows (dictionaries sharing a column set).
+
+    Experiments return these; benchmarks print them; EXPERIMENTS.md quotes
+    them.  Columns are ordered by first appearance.
+    """
+
+    name: str
+    description: str = ""
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row of named values."""
+        self.rows.append(dict(values))
+
+    def columns(self) -> List[str]:
+        """Column names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+                return f"{value:.3e}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        columns = self.columns()
+        if not columns:
+            return f"## {self.name}\n\n(empty)\n"
+        header = "| " + " | ".join(columns) + " |"
+        separator = "| " + " | ".join("---" for _ in columns) + " |"
+        body = [
+            "| " + " | ".join(self._format_cell(row.get(column, "")) for column in columns) + " |"
+            for row in self.rows
+        ]
+        title = f"## {self.name}\n\n" + (f"{self.description}\n\n" if self.description else "")
+        return title + "\n".join([header, separator, *body]) + "\n"
+
+    def to_text(self) -> str:
+        """Render the table as aligned plain text for terminal output."""
+        columns = self.columns()
+        if not columns:
+            return f"{self.name}: (empty)"
+        formatted_rows = [[self._format_cell(row.get(column, "")) for column in columns] for row in self.rows]
+        widths = [
+            max(len(column), *(len(row[i]) for row in formatted_rows)) if formatted_rows else len(column)
+            for i, column in enumerate(columns)
+        ]
+        lines = [self.name]
+        if self.description:
+            lines.append(self.description)
+        lines.append("  ".join(column.ljust(width) for column, width in zip(columns, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in formatted_rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def save_json(self, path: str) -> None:
+        """Persist the table (name, description, rows) as JSON."""
+        to_json_file({"name": self.name, "description": self.description, "rows": self.rows}, path)
+
+
+def merge_tables(name: str, tables: Iterable[ResultTable], description: str = "") -> ResultTable:
+    """Concatenate the rows of several tables, tagging each row with its source."""
+    merged = ResultTable(name=name, description=description)
+    for table in tables:
+        for row in table.rows:
+            merged.add_row(source=table.name, **row)
+    return merged
+
+
+def compare_column(
+    table: ResultTable,
+    key_column: str,
+    value_column: str,
+    baseline_key: Any,
+) -> Dict[Any, float]:
+    """Ratio of ``value_column`` for each row against the row whose key equals ``baseline_key``.
+
+    Convenience for "how many times better than the baseline" statements in
+    EXPERIMENTS.md.
+    """
+    baseline_value: Optional[float] = None
+    for row in table.rows:
+        if row.get(key_column) == baseline_key:
+            baseline_value = float(row[value_column])
+            break
+    if baseline_value is None:
+        raise KeyError(f"no row with {key_column}={baseline_key!r}")
+    ratios: Dict[Any, float] = {}
+    for row in table.rows:
+        value = float(row[value_column])
+        ratios[row.get(key_column)] = value / baseline_value if baseline_value else float("inf")
+    return ratios

@@ -1,0 +1,65 @@
+"""Aggregate semantic-fidelity metrics over message deliveries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.messages import DeliveryReport
+
+
+@dataclass
+class FidelitySummary:
+    """Average fidelity metrics over a batch of deliveries."""
+
+    count: int
+    token_accuracy: float
+    bleu: float
+    semantic_similarity: Optional[float]
+    mismatch: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form for result tables."""
+        return {
+            "count": float(self.count),
+            "token_accuracy": self.token_accuracy,
+            "bleu": self.bleu,
+            "semantic_similarity": float("nan") if self.semantic_similarity is None else self.semantic_similarity,
+            "mismatch": self.mismatch,
+        }
+
+
+def summarize_fidelity(reports: Sequence[DeliveryReport]) -> FidelitySummary:
+    """Average the fidelity metrics carried by :class:`DeliveryReport` objects."""
+    if not reports:
+        return FidelitySummary(count=0, token_accuracy=0.0, bleu=0.0, semantic_similarity=None, mismatch=0.0)
+    similarities = [r.semantic_similarity for r in reports if r.semantic_similarity is not None]
+    return FidelitySummary(
+        count=len(reports),
+        token_accuracy=float(np.mean([r.token_accuracy for r in reports])),
+        bleu=float(np.mean([r.bleu for r in reports])),
+        semantic_similarity=float(np.mean(similarities)) if similarities else None,
+        mismatch=float(np.mean([r.mismatch for r in reports])),
+    )
+
+
+def fidelity_by_domain(reports: Iterable[DeliveryReport]) -> Dict[str, FidelitySummary]:
+    """Group deliveries by selected domain and summarize each group."""
+    groups: Dict[str, List[DeliveryReport]] = {}
+    for report in reports:
+        groups.setdefault(report.selected_domain, []).append(report)
+    return {domain: summarize_fidelity(group) for domain, group in groups.items()}
+
+
+def fidelity_over_time(reports: Sequence[DeliveryReport], window: int = 10) -> List[float]:
+    """Sliding-window mean token accuracy, showing learning effects over a session."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    accuracies = [report.token_accuracy for report in reports]
+    smoothed: List[float] = []
+    for index in range(len(accuracies)):
+        start = max(0, index - window + 1)
+        smoothed.append(float(np.mean(accuracies[start : index + 1])))
+    return smoothed

@@ -1,0 +1,105 @@
+"""System-level metrics: bandwidth, latency and cache effectiveness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.caching.cache import SemanticModelCache
+from repro.core.messages import DeliveryReport
+
+
+@dataclass
+class BandwidthSummary:
+    """Bytes moved for payloads and synchronization over a set of deliveries."""
+
+    deliveries: int
+    total_payload_bytes: float
+    mean_payload_bytes: float
+    total_sync_bytes: float
+    payload_bytes_per_delivery: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form for result tables."""
+        return {
+            "deliveries": float(self.deliveries),
+            "total_payload_bytes": self.total_payload_bytes,
+            "mean_payload_bytes": self.mean_payload_bytes,
+            "total_sync_bytes": self.total_sync_bytes,
+            "payload_bytes_per_delivery": self.payload_bytes_per_delivery,
+        }
+
+
+def summarize_bandwidth(reports: Sequence[DeliveryReport]) -> BandwidthSummary:
+    """Aggregate payload/synchronization bytes over deliveries."""
+    if not reports:
+        return BandwidthSummary(0, 0.0, 0.0, 0.0, 0.0)
+    payload = [report.payload_bytes for report in reports]
+    sync = [report.sync_bytes for report in reports]
+    total_payload = float(np.sum(payload))
+    total_sync = float(np.sum(sync))
+    return BandwidthSummary(
+        deliveries=len(reports),
+        total_payload_bytes=total_payload,
+        mean_payload_bytes=float(np.mean(payload)),
+        total_sync_bytes=total_sync,
+        payload_bytes_per_delivery=(total_payload + total_sync) / len(reports),
+    )
+
+
+@dataclass
+class LatencySummary:
+    """Latency statistics (seconds) over a set of deliveries."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    max_s: float
+    mean_breakdown: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary form for result tables."""
+        flattened = {f"breakdown_{k}": v for k, v in self.mean_breakdown.items()}
+        return {"mean_s": self.mean_s, "p50_s": self.p50_s, "p95_s": self.p95_s, "max_s": self.max_s, **flattened}
+
+
+def summarize_latency(reports: Sequence[DeliveryReport]) -> LatencySummary:
+    """Aggregate the latency breakdowns of deliveries."""
+    if not reports:
+        return LatencySummary(0.0, 0.0, 0.0, 0.0, {})
+    totals = [report.latency.total_s for report in reports]
+    keys = reports[0].latency.as_dict().keys()
+    mean_breakdown = {
+        key: float(np.mean([report.latency.as_dict()[key] for report in reports])) for key in keys
+    }
+    return LatencySummary(
+        mean_s=float(np.mean(totals)),
+        p50_s=float(np.percentile(totals, 50)),
+        p95_s=float(np.percentile(totals, 95)),
+        max_s=float(np.max(totals)),
+        mean_breakdown=mean_breakdown,
+    )
+
+
+def cache_summary(cache: SemanticModelCache) -> Dict[str, float]:
+    """Hit-ratio and occupancy summary of a semantic model cache."""
+    statistics = cache.statistics
+    return {
+        "hits": float(statistics.hits),
+        "misses": float(statistics.misses),
+        "hit_ratio": statistics.hit_ratio,
+        "evictions": float(statistics.evictions),
+        "used_bytes": float(cache.used_bytes),
+        "capacity_bytes": float(cache.capacity_bytes),
+        "occupancy": cache.used_bytes / cache.capacity_bytes if cache.capacity_bytes else 0.0,
+        "miss_cost_s": statistics.miss_cost_s,
+    }
+
+
+def compression_ratio(semantic_bytes: float, traditional_bytes: float) -> float:
+    """How many times smaller the semantic payload is than the traditional one."""
+    if semantic_bytes <= 0:
+        return float("inf")
+    return traditional_bytes / semantic_bytes

@@ -1,0 +1,75 @@
+"""Minimal deep-learning substrate (numpy autograd) for the semantic codecs.
+
+PyTorch is not available in the offline reproduction environment, so this
+package provides the pieces the paper's knowledge-base models need: a
+reverse-mode autograd :class:`~repro.nn.tensor.Tensor`, layer primitives,
+transformer blocks, recurrent cells, losses and optimizers.
+"""
+
+from repro.nn.attention import MultiHeadAttention, causal_mask, padding_mask, scaled_dot_product_attention
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    PositionalEncoding,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import (
+    cosine_embedding_loss,
+    cross_entropy_loss,
+    kl_divergence_loss,
+    mse_loss,
+    nll_accuracy,
+)
+from repro.nn.module import Module, ModuleList
+from repro.nn.optim import SGD, Adam, LearningRateSchedule, Optimizer
+from repro.nn.recurrent import GRU, GRUCell, RecurrentClassifier
+from repro.nn.tensor import Tensor, as_tensor, concatenate, ones, stack, zeros
+from repro.nn.transformer import FeedForward, TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "zeros",
+    "ones",
+    "Module",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "GELU",
+    "MLP",
+    "PositionalEncoding",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "causal_mask",
+    "padding_mask",
+    "GRU",
+    "GRUCell",
+    "RecurrentClassifier",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "FeedForward",
+    "mse_loss",
+    "cross_entropy_loss",
+    "cosine_embedding_loss",
+    "kl_divergence_loss",
+    "nll_accuracy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LearningRateSchedule",
+]

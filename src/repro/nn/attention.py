@@ -1,0 +1,124 @@
+"""Scaled dot-product and multi-head attention for transformer codecs."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+_NEGATIVE_FILL = -1e9
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[Tensor, np.ndarray]:
+    """Compute attention ``softmax(QK^T / sqrt(d)) V``.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors shaped ``(..., length, dim)``; the leading dimensions must be
+        broadcast-compatible.
+    mask:
+        Optional boolean array broadcastable to ``(..., q_len, k_len)``;
+        positions where the mask is ``False`` are excluded from attention.
+
+    Returns
+    -------
+    (output, weights):
+        ``output`` keeps the query shape; ``weights`` is the (detached)
+        attention matrix useful for diagnostics.
+    """
+    dim = query.shape[-1]
+    if key.shape[-1] != dim:
+        raise ShapeError(f"query dim {dim} does not match key dim {key.shape[-1]}")
+    scores = (query @ key.transpose(*range(key.ndim - 2), key.ndim - 1, key.ndim - 2)) * (
+        1.0 / math.sqrt(dim)
+    )
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        fill = np.where(mask, 0.0, _NEGATIVE_FILL)
+        scores = scores + Tensor(fill)
+    weights = scores.softmax(axis=-1)
+    output = weights @ value
+    return output, weights.data.copy()
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with learned projections.
+
+    Operates on inputs shaped ``(batch, length, model_dim)``.
+    """
+
+    def __init__(self, model_dim: int, num_heads: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError(f"model_dim {model_dim} must be divisible by num_heads {num_heads}")
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        seeds = spawn_rng(new_rng(seed), 4)
+        self.query_projection = Linear(model_dim, model_dim, seed=seeds[0])
+        self.key_projection = Linear(model_dim, model_dim, seed=seeds[1])
+        self.value_projection = Linear(model_dim, model_dim, seed=seeds[2])
+        self.output_projection = Linear(model_dim, model_dim, seed=seeds[3])
+        self.last_attention_weights: Optional[np.ndarray] = None
+
+    def _split_heads(self, tensor: Tensor) -> Tensor:
+        batch, length, _ = tensor.shape
+        reshaped = tensor.reshape(batch, length, self.num_heads, self.head_dim)
+        return reshaped.transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, tensor: Tensor) -> Tensor:
+        batch, heads, length, head_dim = tensor.shape
+        return tensor.transpose(0, 2, 1, 3).reshape(batch, length, heads * head_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Optional[Tensor] = None,
+        value: Optional[Tensor] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        if query.ndim != 3:
+            raise ShapeError(f"expected (batch, length, dim) input, got shape {query.shape}")
+
+        q = self._split_heads(self.query_projection(query))
+        k = self._split_heads(self.key_projection(key))
+        v = self._split_heads(self.value_projection(value))
+
+        head_mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 2:
+                head_mask = mask[:, None, None, :]
+            elif mask.ndim == 3:
+                head_mask = mask[:, None, :, :]
+            else:
+                head_mask = mask
+
+        attended, weights = scaled_dot_product_attention(q, k, v, mask=head_mask)
+        self.last_attention_weights = weights
+        return self.output_projection(self._merge_heads(attended))
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Lower-triangular mask preventing attention to future positions."""
+    return np.tril(np.ones((length, length), dtype=bool))
+
+
+def padding_mask(token_ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Boolean mask that is ``True`` for real tokens and ``False`` for padding."""
+    return np.asarray(token_ids) != pad_id

@@ -1,0 +1,59 @@
+"""Stateless numpy helpers shared by models and metrics (no autograd)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax on a plain numpy array."""
+    values = np.asarray(values, dtype=np.float64)
+    shifted = values - values.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax on a plain numpy array."""
+    values = np.asarray(values, dtype=np.float64)
+    shifted = values - values.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid on a plain numpy array."""
+    return 1.0 / (1.0 + np.exp(-np.asarray(values, dtype=np.float64)))
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer ``indices`` into ``num_classes`` columns."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError(f"indices must be in [0, {num_classes})")
+    encoded = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(encoded, indices[..., None], 1.0, axis=-1)
+    return encoded
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> float:
+    """Cosine similarity between two flattened vectors."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    denom = (np.linalg.norm(a) * np.linalg.norm(b)) + eps
+    return float(a @ b / denom)
+
+
+def pairwise_cosine_similarity(matrix_a: np.ndarray, matrix_b: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Row-wise cosine similarity matrix between two 2-D arrays."""
+    matrix_a = np.asarray(matrix_a, dtype=np.float64)
+    matrix_b = np.asarray(matrix_b, dtype=np.float64)
+    norms_a = np.linalg.norm(matrix_a, axis=1, keepdims=True) + eps
+    norms_b = np.linalg.norm(matrix_b, axis=1, keepdims=True) + eps
+    return (matrix_a / norms_a) @ (matrix_b / norms_b).T
+
+
+def normalize(values: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """L2-normalize along ``axis``."""
+    values = np.asarray(values, dtype=np.float64)
+    norms = np.linalg.norm(values, axis=axis, keepdims=True) + eps
+    return values / norms

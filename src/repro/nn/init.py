@@ -1,0 +1,65 @@
+"""Parameter initialization schemes for the neural substrate."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+def _as_shape(shape: ShapeLike) -> Tuple[int, ...]:
+    return (shape,) if isinstance(shape, int) else tuple(shape)
+
+
+def zeros(shape: ShapeLike) -> Tensor:
+    """Zero-initialized trainable parameter."""
+    return Tensor(np.zeros(_as_shape(shape)), requires_grad=True)
+
+
+def ones(shape: ShapeLike) -> Tensor:
+    """One-initialized trainable parameter."""
+    return Tensor(np.ones(_as_shape(shape)), requires_grad=True)
+
+
+def uniform(shape: ShapeLike, low: float = -0.1, high: float = 0.1, seed: SeedLike = None) -> Tensor:
+    """Uniformly initialized trainable parameter in ``[low, high)``."""
+    rng = new_rng(seed)
+    return Tensor(rng.uniform(low, high, size=_as_shape(shape)), requires_grad=True)
+
+
+def normal(shape: ShapeLike, mean: float = 0.0, std: float = 0.02, seed: SeedLike = None) -> Tensor:
+    """Gaussian-initialized trainable parameter."""
+    rng = new_rng(seed)
+    return Tensor(rng.normal(mean, std, size=_as_shape(shape)), requires_grad=True)
+
+
+def xavier_uniform(shape: ShapeLike, gain: float = 1.0, seed: SeedLike = None) -> Tensor:
+    """Glorot/Xavier uniform initialization for weight matrices.
+
+    Keeps the variance of activations roughly constant across layers, which
+    matters for the deeper transformer-style codecs.
+    """
+    shape = _as_shape(shape)
+    if len(shape) < 2:
+        raise ValueError(f"xavier initialization requires >= 2 dimensions, got {shape}")
+    fan_in, fan_out = shape[-2], shape[-1]
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    rng = new_rng(seed)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def kaiming_uniform(shape: ShapeLike, seed: SeedLike = None) -> Tensor:
+    """He/Kaiming uniform initialization suited to ReLU networks."""
+    shape = _as_shape(shape)
+    if len(shape) < 2:
+        raise ValueError(f"kaiming initialization requires >= 2 dimensions, got {shape}")
+    fan_in = shape[-2]
+    bound = math.sqrt(6.0 / fan_in)
+    rng = new_rng(seed)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)

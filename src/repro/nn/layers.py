@@ -1,0 +1,218 @@
+"""Core feed-forward layers used by the semantic encoders and decoders."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    seed:
+        Seed controlling the Xavier initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform((in_features, out_features), seed=seed)
+        self.bias = init.zeros(out_features) if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected last dimension {self.in_features}, got {inputs.shape[-1]}"
+            )
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class Embedding(Module):
+    """Token-id to dense-vector lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = init.normal((num_embeddings, embedding_dim), std=0.05, seed=seed)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.num_embeddings):
+            raise ShapeError(
+                f"token ids must be in [0, {self.num_embeddings}), got range "
+                f"[{token_ids.min()}, {token_ids.max()}]"
+            )
+        return self.weight.gather_rows(token_ids)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gain = init.ones(dim)
+        self.shift = init.zeros(dim)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / ((variance + self.eps) ** 0.5)
+        return normalized * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, rate: float = 0.1, seed: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = new_rng(seed)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return inputs
+        keep = 1.0 - self.rate
+        mask = self._rng.random(inputs.shape) < keep
+        return inputs * Tensor(mask / keep)
+
+
+class Sequential(Module):
+    """Apply modules in order, feeding each output to the next module."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._sequence: list[Module] = []
+        for index, module in enumerate(modules):
+            self._sequence.append(module)
+            self._modules[str(index)] = module
+            object.__setattr__(self, str(index), module)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self._sequence:
+            output = module(output)
+        return output
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._sequence[index]
+
+
+class ReLU(Module):
+    """Rectified linear activation as a module."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation as a module."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation as a module."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        cubic = inputs * inputs * inputs
+        inner = (inputs + cubic * 0.044715) * 0.7978845608028654
+        return inputs * 0.5 * (inner.tanh() + 1.0)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden-layer stack.
+
+    A convenience wrapper used throughout the semantic codecs for projection
+    heads and classifier heads.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        activations = {"relu": ReLU, "tanh": Tanh, "gelu": GELU, "sigmoid": Sigmoid}
+        if activation not in activations:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(activations)}")
+        rng = new_rng(seed)
+        dims = [in_features, *hidden_features, out_features]
+        seeds = spawn_rng(rng, max(len(dims) - 1, 1))
+        modules: list[Module] = []
+        for index, (dim_in, dim_out) in enumerate(zip(dims[:-1], dims[1:])):
+            modules.append(Linear(dim_in, dim_out, seed=seeds[index]))
+            if index < len(dims) - 2:
+                modules.append(activations[activation]())
+                if dropout > 0.0:
+                    modules.append(Dropout(dropout, seed=seeds[index]))
+        self.network = Sequential(*modules)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.network(inputs)
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encoding added to token embeddings."""
+
+    def __init__(self, dim: int, max_length: int = 512) -> None:
+        super().__init__()
+        if dim % 2 != 0:
+            raise ValueError(f"positional encoding dimension must be even, got {dim}")
+        position = np.arange(max_length)[:, None]
+        div_term = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+        table = np.zeros((max_length, dim))
+        table[:, 0::2] = np.sin(position * div_term)
+        table[:, 1::2] = np.cos(position * div_term)
+        self._table = table
+        self.dim = dim
+        self.max_length = max_length
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        length = inputs.shape[-2]
+        if length > self.max_length:
+            raise ShapeError(f"sequence length {length} exceeds max_length {self.max_length}")
+        return inputs + Tensor(self._table[:length])

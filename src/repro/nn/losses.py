@@ -1,0 +1,88 @@
+"""Loss functions for training the semantic codecs and selectors."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between two tensors of identical shape."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(f"shape mismatch {prediction.shape} vs {target.shape}")
+    difference = prediction - target.detach()
+    return (difference * difference).mean()
+
+
+def cross_entropy_loss(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Cross entropy between ``logits`` and integer class ``targets``.
+
+    ``logits`` is shaped ``(..., num_classes)`` and ``targets`` holds integer
+    class indices of shape ``(...)``.  Positions equal to ``ignore_index`` are
+    excluded from the average (used for padding tokens).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.shape[:-1] != targets.shape:
+        raise ShapeError(
+            f"logits batch shape {logits.shape[:-1]} does not match targets shape {targets.shape}"
+        )
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not np.any(keep):
+            raise ValueError("all targets are ignore_index; loss undefined")
+    else:
+        keep = np.ones_like(flat_targets, dtype=bool)
+
+    log_probs = flat_logits.log_softmax(axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    safe_targets = np.where(keep, flat_targets, 0)
+    picked = log_probs[rows, safe_targets]
+    weights = Tensor(keep.astype(np.float64) / keep.sum())
+    return -(picked * weights).sum()
+
+
+def nll_accuracy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> float:
+    """Fraction of positions whose argmax matches the target (no gradient)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    predictions = np.argmax(logits.data, axis=-1)
+    if ignore_index is not None:
+        keep = targets != ignore_index
+        if not np.any(keep):
+            return 0.0
+        return float((predictions[keep] == targets[keep]).mean())
+    return float((predictions == targets).mean())
+
+
+def cosine_embedding_loss(prediction: Tensor, target: Tensor, eps: float = 1e-8) -> Tensor:
+    """``1 - cos(prediction, target)`` averaged over the batch.
+
+    Encourages the reconstructed semantic features to point in the same
+    direction as the originals, which is the metric the semantic-similarity
+    evaluation uses.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    dot = (prediction * target.detach()).sum(axis=-1)
+    norm_p = ((prediction * prediction).sum(axis=-1) + eps) ** 0.5
+    norm_t = ((target.detach() * target.detach()).sum(axis=-1) + eps) ** 0.5
+    cosine = dot / (norm_p * norm_t)
+    return (1.0 - cosine).mean()
+
+
+def kl_divergence_loss(log_probs: Tensor, target_probs: np.ndarray, eps: float = 1e-12) -> Tensor:
+    """KL(target || prediction) where ``log_probs`` are predicted log-probabilities."""
+    target = np.clip(np.asarray(target_probs, dtype=np.float64), eps, 1.0)
+    target_tensor = Tensor(target)
+    return (target_tensor * (Tensor(np.log(target)) - log_probs)).sum(axis=-1).mean()

@@ -1,0 +1,161 @@
+"""Base class for neural-network modules (a minimal ``nn.Module`` analogue)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Container of parameters and sub-modules with train/eval modes.
+
+    Sub-classes implement :meth:`forward`; assignment of :class:`Tensor`
+    attributes with ``requires_grad=True`` registers them as parameters, and
+    assignment of :class:`Module` attributes registers them as sub-modules.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Attribute interception for registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        """Compute the module output; must be overridden by subclasses."""
+        raise NotImplementedError
+
+    def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Parameter traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, parameter in self._parameters.items():
+            yield f"{prefix}{name}", parameter
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Tensor]:
+        """All parameters of this module and its sub-modules."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs including ``self``."""
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Train / eval
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Put the module (recursively) into training mode."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (recursively) into evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # State serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by qualified name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        With ``strict=True`` the key sets must match exactly.
+        """
+        own = dict(self.named_parameters())
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise KeyError(f"state mismatch: missing={missing}, unexpected={unexpected}")
+        for name, parameter in own.items():
+            if name not in state:
+                continue
+            array = np.asarray(state[name], dtype=np.float64)
+            if array.shape != parameter.data.shape:
+                raise ValueError(
+                    f"parameter {name!r} has shape {parameter.data.shape}, state has {array.shape}"
+                )
+            parameter.data[...] = array
+
+    def copy_weights_from(self, other: "Module") -> None:
+        """Copy all parameter values from ``other`` (shapes must match)."""
+        self.load_state_dict(other.state_dict())
+
+    def parameter_bytes(self, bytes_per_value: int = 4) -> int:
+        """Size of the model in bytes assuming ``bytes_per_value`` per weight.
+
+        The default of 4 models float32 storage, which is what an edge server
+        would realistically cache even though the autograd engine computes in
+        float64.
+        """
+        return self.num_parameters() * bytes_per_value
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}(params={self.num_parameters()}, children=[{children}])"
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers each element properly."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        """Append a sub-module to the list."""
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+        object.__setattr__(self, str(index), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        raise NotImplementedError("ModuleList is a container and has no forward pass")

@@ -1,0 +1,151 @@
+"""Gradient-descent optimizers for the numpy autograd engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer holding references to trainable parameters."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float) -> None:
+        self.parameters: List[Tensor] = [p for p in parameters if p.requires_grad]
+        if not self.parameters:
+            raise ValueError("optimizer received no trainable parameters")
+        if learning_rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all tracked parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one parameter update; implemented by subclasses."""
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Scale gradients so their global L2 norm does not exceed ``max_norm``.
+
+        Returns the pre-clipping norm, which is useful for monitoring training
+        stability of the recurrent selectors.
+        """
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.step_count += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + gradient
+                self._velocity[id(parameter)] = velocity
+                gradient = velocity
+            parameter.data -= self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.step_count += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            first = self._first_moment.get(key)
+            second = self._second_moment.get(key)
+            if first is None:
+                first = np.zeros_like(parameter.data)
+                second = np.zeros_like(parameter.data)
+            first = self.beta1 * first + (1 - self.beta1) * gradient
+            second = self.beta2 * second + (1 - self.beta2) * gradient**2
+            self._first_moment[key] = first
+            self._second_moment[key] = second
+            first_hat = first / (1 - self.beta1**self.step_count)
+            second_hat = second / (1 - self.beta2**self.step_count)
+            parameter.data -= self.learning_rate * first_hat / (np.sqrt(second_hat) + self.eps)
+
+
+class LearningRateSchedule:
+    """Step-decay learning-rate schedule applied to an optimizer in place."""
+
+    def __init__(self, optimizer: Optimizer, decay_factor: float = 0.5, decay_every: int = 10) -> None:
+        if not 0.0 < decay_factor <= 1.0:
+            raise ValueError(f"decay_factor must be in (0, 1], got {decay_factor}")
+        if decay_every <= 0:
+            raise ValueError(f"decay_every must be positive, got {decay_every}")
+        self.optimizer = optimizer
+        self.decay_factor = decay_factor
+        self.decay_every = decay_every
+        self.epoch = 0
+        self.initial_learning_rate = optimizer.learning_rate
+
+    def step(self) -> float:
+        """Advance one epoch and return the (possibly decayed) learning rate."""
+        self.epoch += 1
+        decays = self.epoch // self.decay_every
+        self.optimizer.learning_rate = self.initial_learning_rate * (self.decay_factor**decays)
+        return self.optimizer.learning_rate

@@ -1,0 +1,99 @@
+"""Recurrent cells used by the context-aware model-selection networks.
+
+Section III-A of the paper suggests LSTM-style classification networks to
+select the domain model from conversational context; the GRU implemented here
+plays that role while staying small enough for the numpy autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concatenate, stack, zeros
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+
+class GRUCell(Module):
+    """Single gated-recurrent-unit step ``h_t = GRU(x_t, h_{t-1})``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        seeds = spawn_rng(new_rng(seed), 3)
+        combined = input_dim + hidden_dim
+        self.update_gate = Linear(combined, hidden_dim, seed=seeds[0])
+        self.reset_gate = Linear(combined, hidden_dim, seed=seeds[1])
+        self.candidate = Linear(combined, hidden_dim, seed=seeds[2])
+
+    def forward(self, inputs: Tensor, hidden: Tensor) -> Tensor:
+        if inputs.shape[-1] != self.input_dim:
+            raise ShapeError(f"expected input dim {self.input_dim}, got {inputs.shape[-1]}")
+        combined = concatenate([inputs, hidden], axis=-1)
+        update = self.update_gate(combined).sigmoid()
+        reset = self.reset_gate(combined).sigmoid()
+        candidate_input = concatenate([inputs, hidden * reset], axis=-1)
+        candidate = self.candidate(candidate_input).tanh()
+        return hidden * update + candidate * (1.0 - update)
+
+
+class GRU(Module):
+    """Unidirectional GRU over a full sequence.
+
+    Input is shaped ``(batch, length, input_dim)``; the module returns the
+    per-step hidden states ``(batch, length, hidden_dim)`` and the final
+    hidden state ``(batch, hidden_dim)``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.cell = GRUCell(input_dim, hidden_dim, seed=seed)
+
+    def forward(
+        self, inputs: Tensor, initial_hidden: Optional[Tensor] = None
+    ) -> Tuple[Tensor, Tensor]:
+        if inputs.ndim != 3:
+            raise ShapeError(f"GRU expects (batch, length, dim) input, got shape {inputs.shape}")
+        batch, length, _ = inputs.shape
+        hidden = initial_hidden if initial_hidden is not None else zeros((batch, self.hidden_dim))
+        states: list[Tensor] = []
+        for step in range(length):
+            hidden = self.cell(inputs[:, step, :], hidden)
+            states.append(hidden)
+        return stack(states, axis=1), hidden
+
+
+class RecurrentClassifier(Module):
+    """GRU encoder followed by a linear classification head.
+
+    Used by :mod:`repro.selection` as the context-aware domain selector.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        seeds = spawn_rng(new_rng(seed), 2)
+        self.encoder = GRU(input_dim, hidden_dim, seed=seeds[0])
+        self.head = Linear(hidden_dim, num_classes, seed=seeds[1])
+        self.num_classes = num_classes
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        _, final_hidden = self.encoder(inputs)
+        return self.head(final_hidden)
+
+    def predict(self, inputs: Tensor) -> np.ndarray:
+        """Most likely class index for each sequence in the batch."""
+        logits = self.forward(inputs)
+        return np.argmax(logits.data, axis=-1)

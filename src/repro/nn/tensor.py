@@ -1,0 +1,536 @@
+"""A small reverse-mode automatic-differentiation engine on numpy arrays.
+
+The paper's knowledge bases (KB encoders/decoders) are deep-learning models.
+PyTorch is not available in the offline environment, so this module provides
+the minimal autograd machinery those models need: a :class:`Tensor` wrapping a
+``numpy.ndarray`` that records the operations applied to it and can compute
+gradients of a scalar loss with respect to every parameter by reverse-mode
+differentiation.
+
+Only the operations used by the semantic codecs are implemented (element-wise
+arithmetic, matmul, reductions, indexing/embedding gather, common activations,
+softmax/log-softmax, concatenation and stacking), which keeps the engine small
+enough to read in one sitting while still training real encoder/decoder
+networks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GradientError, ShapeError
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` unless already a float
+        array.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward = _backward
+        self._parents = _parents
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the underlying array."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the underlying array."""
+        return int(self.data.size)
+
+    def item(self) -> float:
+        """Return the single scalar value stored in this tensor."""
+        return float(self.data.reshape(-1)[0]) if self.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return (a reference to) the underlying numpy array."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_tensor(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._as_tensor(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._as_tensor(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._as_tensor(other)
+        if self.data.ndim < 1 or other.data.ndim < 1:
+            raise ShapeError("matmul requires tensors with at least 1 dimension")
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                self._accumulate(grad * b)
+                other._accumulate(grad * a)
+                return
+            if a.ndim == 1:
+                a2 = a.reshape(1, -1)
+                grad2 = np.expand_dims(grad, axis=-2)
+                grad_a = (grad2 @ np.swapaxes(b, -1, -2)).reshape(-1, a.shape[0]).sum(axis=0)
+                self._accumulate(grad_a)
+                other._accumulate(_unbroadcast(np.swapaxes(a2, -1, -2) @ grad2, b.shape))
+                return
+            if b.ndim == 1:
+                b2 = b.reshape(-1, 1)
+                grad2 = np.expand_dims(grad, axis=-1)
+                self._accumulate(_unbroadcast(grad2 @ b2.T, a.shape))
+                other._accumulate((np.swapaxes(a, -1, -2) @ grad2).reshape(-1, b.shape[0]).sum(axis=0) if a.ndim > 2 else (a.T @ grad2).reshape(b.shape))
+                return
+            grad_a = grad @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ grad
+            self._accumulate(_unbroadcast(grad_a, a.shape))
+            other._accumulate(_unbroadcast(grad_b, b.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and reshaping
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when ``None``)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.data.shape)
+            else:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                if not keepdims:
+                    for ax in sorted(a % self.data.ndim for a in axes):
+                        grad = np.expand_dims(grad, ax)
+                expanded = np.broadcast_to(grad, self.data.shape)
+            self._accumulate(expanded)
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when ``None``)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a tensor viewing the same data with a new shape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute dimensions; with no arguments reverses them."""
+        if not axes:
+            axes_tuple: Optional[Tuple[int, ...]] = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes_tuple = tuple(axes[0])
+        else:
+            axes_tuple = tuple(axes)
+        out_data = np.transpose(self.data, axes_tuple)
+
+        def backward(grad: np.ndarray) -> None:
+            if axes_tuple is None:
+                self._accumulate(np.transpose(grad))
+            else:
+                inverse = np.argsort(axes_tuple)
+                self._accumulate(np.transpose(grad, inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 - numpy-style alias
+        """Transpose of a 2-D tensor."""
+        return self.transpose()
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Element-wise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        """Element-wise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Element-wise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Element-wise square root."""
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        """Element-wise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Element-wise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Element-wise rectified linear unit."""
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, minimum: float, maximum: float) -> "Tensor":
+        """Clamp values to ``[minimum, maximum]`` (gradient is 1 inside)."""
+        mask = (self.data >= minimum) & (self.data <= maximum)
+        out_data = np.clip(self.data, minimum, maximum)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Softmax family
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_sum
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Structural operations
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along ``axis`` with gradient routing."""
+        tensors = [Tensor._as_tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+
+        def backward(grad: np.ndarray) -> None:
+            offsets = np.cumsum([0] + sizes)
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+        requires = any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new ``axis`` with gradient routing."""
+        tensors = [Tensor._as_tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+        requires = any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+            out._backward = backward
+        return out
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row lookup ``self[indices]`` used for embedding tables.
+
+        ``indices`` may have any shape; the result has shape
+        ``indices.shape + (embedding_dim,)``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.data.shape[-1]))
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1 and therefore requires ``self`` to be a scalar,
+        matching the usual "call backward on the loss" workflow.
+        """
+        if not self.requires_grad:
+            raise GradientError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise GradientError(
+                    f"backward() without an explicit gradient requires a scalar, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen_on_stack = {id(node)}
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        if id(parent) in seen_on_stack:
+                            continue
+                        stack.append((parent, iter(parent._parents)))
+                        seen_on_stack.add(id(parent))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    seen_on_stack.discard(id(current))
+                    if id(current) not in visited:
+                        visited.add(id(current))
+                        order.append(current)
+
+        visit(self)
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy for existing tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros with the given shape."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+    """A tensor of ones with the given shape."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Module-level alias of :meth:`Tensor.concatenate`."""
+    return Tensor.concatenate(list(tensors), axis=axis)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Module-level alias of :meth:`Tensor.stack`."""
+    return Tensor.stack(list(tensors), axis=axis)

@@ -1,0 +1,89 @@
+"""Transformer encoder blocks for the DeepSC-style semantic codecs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU, Sequential
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block used inside transformer layers."""
+
+    def __init__(self, model_dim: int, hidden_dim: int, dropout: float = 0.0, seed: SeedLike = None) -> None:
+        super().__init__()
+        seeds = spawn_rng(new_rng(seed), 2)
+        self.network = Sequential(
+            Linear(model_dim, hidden_dim, seed=seeds[0]),
+            ReLU(),
+            Dropout(dropout, seed=seeds[1]),
+            Linear(hidden_dim, model_dim, seed=seeds[1]),
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.network(inputs)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder layer (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        hidden_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        hidden_dim = hidden_dim or 4 * model_dim
+        seeds = spawn_rng(new_rng(seed), 2)
+        self.attention = MultiHeadAttention(model_dim, num_heads, seed=seeds[0])
+        self.feed_forward = FeedForward(model_dim, hidden_dim, dropout=dropout, seed=seeds[1])
+        self.attention_norm = LayerNorm(model_dim)
+        self.feed_forward_norm = LayerNorm(model_dim)
+        self.dropout = Dropout(dropout, seed=seeds[1])
+
+    def forward(self, inputs: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(self.attention_norm(inputs), mask=mask)
+        inputs = inputs + self.dropout(attended)
+        transformed = self.feed_forward(self.feed_forward_norm(inputs))
+        return inputs + self.dropout(transformed)
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer` with a final norm."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        num_layers: int,
+        hidden_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        seeds = spawn_rng(new_rng(seed), max(num_layers, 1))
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    model_dim, num_heads, hidden_dim=hidden_dim, dropout=dropout, seed=seeds[i]
+                )
+                for i in range(num_layers)
+            ]
+        )
+        self.final_norm = LayerNorm(model_dim)
+        self.model_dim = model_dim
+
+    def forward(self, inputs: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        output = inputs
+        for layer in self.layers:
+            output = layer(output, mask=mask)
+        return self.final_norm(output)

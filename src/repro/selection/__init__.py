@@ -1,0 +1,39 @@
+"""Model selection: per-message classifier, contextual GRU selector, bandits."""
+
+from repro.selection.bandit import EpsilonGreedyPolicy, LinUcbPolicy
+from repro.selection.classifier import (
+    ClassifierSelectionPolicy,
+    DomainClassifier,
+    KeywordSelectionPolicy,
+)
+from repro.selection.contextual import (
+    ClassifierProbabilityFeaturizer,
+    ContextualDomainSelector,
+    ContextualSelectionPolicy,
+)
+from repro.selection.features import MessageFeaturizer, build_featurizer
+from repro.selection.policy import (
+    OraclePolicy,
+    RandomPolicy,
+    SelectionOutcome,
+    SelectionPolicy,
+    evaluate_policy,
+)
+
+__all__ = [
+    "MessageFeaturizer",
+    "build_featurizer",
+    "SelectionPolicy",
+    "SelectionOutcome",
+    "evaluate_policy",
+    "OraclePolicy",
+    "RandomPolicy",
+    "DomainClassifier",
+    "ClassifierSelectionPolicy",
+    "KeywordSelectionPolicy",
+    "ContextualDomainSelector",
+    "ContextualSelectionPolicy",
+    "ClassifierProbabilityFeaturizer",
+    "EpsilonGreedyPolicy",
+    "LinUcbPolicy",
+]

@@ -1,0 +1,130 @@
+"""Bandit-style online model selection (the RL flavour of Section III-A).
+
+When no labelled training corpus exists, the edge server can learn which
+domain model serves a user best from the observed mismatch alone: selecting a
+model is pulling an arm, and the reward is the semantic fidelity the receiver
+reports back.  Both an epsilon-greedy and a LinUCB-style contextual bandit are
+provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.selection.features import MessageFeaturizer
+from repro.selection.policy import SelectionPolicy
+from repro.utils.rng import SeedLike, new_rng
+
+
+class EpsilonGreedyPolicy(SelectionPolicy):
+    """Context-free epsilon-greedy bandit over the candidate domains.
+
+    ``feedback`` treats a correct selection as reward 1 and a wrong one as
+    reward 0 (the system version feeds 1 - mismatch instead).
+    """
+
+    name = "epsilon-greedy"
+
+    def __init__(
+        self,
+        domain_names: Sequence[str],
+        epsilon: float = 0.1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(domain_names)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self._rng = new_rng(seed)
+        self._counts: Dict[str, int] = {domain: 0 for domain in self.domain_names}
+        self._values: Dict[str, float] = {domain: 0.0 for domain in self.domain_names}
+        self._last_selected: Optional[str] = None
+
+    def select(self, message: str) -> str:
+        if self._rng.random() < self.epsilon:
+            choice = self.domain_names[int(self._rng.integers(len(self.domain_names)))]
+        else:
+            choice = max(self.domain_names, key=lambda domain: self._values[domain])
+        self._last_selected = choice
+        return choice
+
+    def reward(self, domain: str, value: float) -> None:
+        """Update the running mean reward of ``domain``."""
+        self._counts[domain] += 1
+        count = self._counts[domain]
+        self._values[domain] += (value - self._values[domain]) / count
+
+    def feedback(self, message: str, true_domain: str) -> None:
+        if self._last_selected is None:
+            return
+        self.reward(self._last_selected, 1.0 if self._last_selected == true_domain else 0.0)
+
+    def reset(self) -> None:
+        self._counts = {domain: 0 for domain in self.domain_names}
+        self._values = {domain: 0.0 for domain in self.domain_names}
+        self._last_selected = None
+
+
+class LinUcbPolicy(SelectionPolicy):
+    """LinUCB contextual bandit: linear reward model per domain with UCB exploration."""
+
+    name = "linucb"
+
+    def __init__(
+        self,
+        featurizer: MessageFeaturizer,
+        domain_names: Sequence[str],
+        alpha: float = 0.5,
+        ridge: float = 1.0,
+    ) -> None:
+        super().__init__(domain_names)
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if ridge <= 0:
+            raise ValueError(f"ridge must be positive, got {ridge}")
+        self.featurizer = featurizer
+        self.alpha = alpha
+        self.ridge = ridge
+        dim = featurizer.dim
+        self._a_inverse: Dict[str, np.ndarray] = {d: np.eye(dim) / ridge for d in self.domain_names}
+        self._b: Dict[str, np.ndarray] = {d: np.zeros(dim) for d in self.domain_names}
+        self._last_context: Optional[np.ndarray] = None
+        self._last_selected: Optional[str] = None
+
+    def _ucb_score(self, domain: str, context: np.ndarray) -> float:
+        a_inverse = self._a_inverse[domain]
+        theta = a_inverse @ self._b[domain]
+        mean = float(theta @ context)
+        exploration = self.alpha * float(np.sqrt(context @ a_inverse @ context))
+        return mean + exploration
+
+    def select(self, message: str) -> str:
+        context = self.featurizer.features(message)
+        scores = {domain: self._ucb_score(domain, context) for domain in self.domain_names}
+        choice = max(scores, key=scores.get)
+        self._last_context = context
+        self._last_selected = choice
+        return choice
+
+    def reward(self, domain: str, context: np.ndarray, value: float) -> None:
+        """Sherman-Morrison update of the selected domain's linear model."""
+        a_inverse = self._a_inverse[domain]
+        denominator = 1.0 + float(context @ a_inverse @ context)
+        outer = np.outer(a_inverse @ context, context @ a_inverse)
+        self._a_inverse[domain] = a_inverse - outer / denominator
+        self._b[domain] += value * context
+
+    def feedback(self, message: str, true_domain: str) -> None:
+        if self._last_selected is None or self._last_context is None:
+            return
+        value = 1.0 if self._last_selected == true_domain else 0.0
+        self.reward(self._last_selected, self._last_context, value)
+
+    def reset(self) -> None:
+        dim = self.featurizer.dim
+        self._a_inverse = {d: np.eye(dim) / self.ridge for d in self.domain_names}
+        self._b = {d: np.zeros(dim) for d in self.domain_names}
+        self._last_context = None
+        self._last_selected = None

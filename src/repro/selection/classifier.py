@@ -1,0 +1,109 @@
+"""Per-message domain classification (the baseline of Section III-A).
+
+A softmax classifier over bag-of-words features decides the domain of each
+message in isolation.  It has no notion of conversational context, which is
+exactly the limitation the paper points out and the contextual selector
+addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Adam, Linear, Tensor, cross_entropy_loss
+from repro.selection.features import MessageFeaturizer
+from repro.selection.policy import SelectionPolicy
+from repro.utils.rng import SeedLike, new_rng
+
+
+class DomainClassifier:
+    """Multinomial logistic regression over message features."""
+
+    def __init__(self, featurizer: MessageFeaturizer, domain_names: Sequence[str], seed: SeedLike = None) -> None:
+        self.featurizer = featurizer
+        self.domain_names = list(domain_names)
+        self.model = Linear(featurizer.dim, len(self.domain_names), seed=seed)
+
+    def fit(
+        self,
+        texts: Sequence[str],
+        domains: Sequence[str],
+        epochs: int = 30,
+        learning_rate: float = 0.1,
+        batch_size: int = 32,
+        seed: SeedLike = None,
+    ) -> list[float]:
+        """Train on labelled messages; returns the per-epoch loss curve."""
+        if len(texts) != len(domains):
+            raise ValueError("texts and domains must have the same length")
+        if not texts:
+            raise ValueError("cannot fit a classifier on an empty training set")
+        rng = new_rng(seed)
+        features = self.featurizer.batch_features(texts)
+        labels = np.array([self.domain_names.index(domain) for domain in domains], dtype=np.int64)
+        optimizer = Adam(self.model.parameters(), learning_rate)
+        losses: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(texts))
+            epoch_losses = []
+            for start in range(0, len(texts), batch_size):
+                batch_index = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits = self.model(Tensor(features[batch_index]))
+                loss = cross_entropy_loss(logits, labels[batch_index])
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            losses.append(float(np.mean(epoch_losses)))
+        return losses
+
+    def predict(self, text: str) -> str:
+        """Most likely domain of one message."""
+        logits = self.model(Tensor(self.featurizer.features(text)[None, :]))
+        return self.domain_names[int(np.argmax(logits.data[0]))]
+
+    def predict_probabilities(self, text: str) -> np.ndarray:
+        """Softmax domain probabilities for one message."""
+        logits = self.model(Tensor(self.featurizer.features(text)[None, :]))
+        return logits.softmax(axis=-1).data[0]
+
+
+class ClassifierSelectionPolicy(SelectionPolicy):
+    """Selection policy backed by a pre-trained :class:`DomainClassifier`."""
+
+    name = "classifier"
+
+    def __init__(self, classifier: DomainClassifier) -> None:
+        super().__init__(classifier.domain_names)
+        self.classifier = classifier
+
+    def select(self, message: str) -> str:
+        return self.classifier.predict(message)
+
+
+class KeywordSelectionPolicy(SelectionPolicy):
+    """Training-free heuristic: pick the domain sharing the most words with the message.
+
+    Serves as a cheap baseline and as the fallback when no labelled data is
+    available to train the classifier.
+    """
+
+    name = "keyword"
+
+    def __init__(self, domain_vocabularies: dict[str, Sequence[str]], seed: Optional[int] = None) -> None:
+        super().__init__(list(domain_vocabularies))
+        self._vocabularies = {domain: set(words) for domain, words in domain_vocabularies.items()}
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, message: str) -> str:
+        from repro.text.tokenizer import simple_tokenize
+
+        tokens = set(simple_tokenize(message))
+        scores = {domain: len(tokens & words) for domain, words in self._vocabularies.items()}
+        best = max(scores.values())
+        candidates = [domain for domain, score in scores.items() if score == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[int(self._rng.integers(len(candidates)))]

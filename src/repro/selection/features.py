@@ -1,0 +1,64 @@
+"""Message featurization shared by the model-selection policies.
+
+All selectors consume a fixed-length numeric representation of a message (and
+optionally of its recent context).  The representation is a normalized
+bag-of-words over a reference vocabulary — simple, deterministic, and exactly
+as informative as the synthetic domains allow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.text import Vocabulary, simple_tokenize
+
+
+class MessageFeaturizer:
+    """Maps messages to normalized bag-of-words vectors over a vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality (= vocabulary size)."""
+        return len(self.vocabulary)
+
+    def features(self, text: str) -> np.ndarray:
+        """Normalized bag-of-words vector for one message."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        tokens = simple_tokenize(text)
+        for token in tokens:
+            vector[self.vocabulary.token_to_id(token)] += 1.0
+        total = vector.sum()
+        if total > 0:
+            vector /= total
+        return vector
+
+    def batch_features(self, texts: Sequence[str]) -> np.ndarray:
+        """Feature matrix of shape ``(len(texts), dim)``."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.features(text) for text in texts])
+
+    def context_features(self, texts: Sequence[str], window: int) -> np.ndarray:
+        """Per-turn context tensor of shape ``(len(texts), window, dim)``.
+
+        Turn ``t``'s context is the window of messages ``t-window+1 .. t``
+        (zero-padded at the start of the conversation), which is what the
+        recurrent selector consumes.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        per_message = self.batch_features(texts)
+        padded = np.concatenate([np.zeros((window - 1, self.dim)), per_message], axis=0)
+        return np.stack([padded[t : t + window] for t in range(len(texts))])
+
+
+def build_featurizer(corpus_texts: Sequence[str]) -> MessageFeaturizer:
+    """Build a featurizer whose vocabulary covers ``corpus_texts``."""
+    tokenized: List[List[str]] = [simple_tokenize(text) for text in corpus_texts]
+    vocabulary = Vocabulary.from_corpus(tokenized)
+    return MessageFeaturizer(vocabulary)

@@ -1,0 +1,127 @@
+"""Common interface and evaluation loop for model-selection policies.
+
+Section III-A: the edge server must choose which domain-specialized general
+model to apply to each incoming message.  A policy observes the message (and
+whatever context it keeps) and returns a domain name; after the fact it may
+receive the true domain as feedback (supervised or bandit-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SelectionError
+
+
+@dataclass
+class SelectionOutcome:
+    """Per-policy accuracy summary produced by :func:`evaluate_policy`."""
+
+    policy_name: str
+    accuracy: float
+    num_messages: int
+    per_domain_accuracy: Dict[str, float] = field(default_factory=dict)
+    cumulative_regret: List[int] = field(default_factory=list)
+
+
+class SelectionPolicy:
+    """Base class: selects a domain model for each message."""
+
+    name = "base"
+
+    def __init__(self, domain_names: Sequence[str]) -> None:
+        if not domain_names:
+            raise SelectionError("a selection policy needs at least one candidate domain")
+        self.domain_names = list(domain_names)
+
+    def select(self, message: str) -> str:
+        """Return the domain whose model should handle ``message``."""
+        raise NotImplementedError
+
+    def feedback(self, message: str, true_domain: str) -> None:
+        """Observe the true domain after the fact (default: ignore)."""
+
+    def reset(self) -> None:
+        """Clear any per-conversation state (default: nothing)."""
+
+
+def evaluate_policy(
+    policy: SelectionPolicy,
+    messages: Sequence[str],
+    true_domains: Sequence[str],
+    provide_feedback: bool = True,
+) -> SelectionOutcome:
+    """Run ``policy`` over a conversation trace and measure selection accuracy.
+
+    ``cumulative_regret[t]`` counts wrong selections among the first ``t+1``
+    messages, which is the bandit-style learning curve E6 plots.
+    """
+    if len(messages) != len(true_domains):
+        raise SelectionError("messages and true_domains must have the same length")
+    policy.reset()
+    correct_total = 0
+    per_domain_correct: Dict[str, int] = {}
+    per_domain_count: Dict[str, int] = {}
+    regret: List[int] = []
+    mistakes = 0
+    for message, true_domain in zip(messages, true_domains):
+        predicted = policy.select(message)
+        is_correct = predicted == true_domain
+        correct_total += int(is_correct)
+        mistakes += int(not is_correct)
+        regret.append(mistakes)
+        per_domain_count[true_domain] = per_domain_count.get(true_domain, 0) + 1
+        per_domain_correct[true_domain] = per_domain_correct.get(true_domain, 0) + int(is_correct)
+        if provide_feedback:
+            policy.feedback(message, true_domain)
+    accuracy = correct_total / len(messages) if messages else 0.0
+    per_domain_accuracy = {
+        domain: per_domain_correct.get(domain, 0) / count for domain, count in per_domain_count.items()
+    }
+    return SelectionOutcome(
+        policy_name=policy.name,
+        accuracy=accuracy,
+        num_messages=len(messages),
+        per_domain_accuracy=per_domain_accuracy,
+        cumulative_regret=regret,
+    )
+
+
+class OraclePolicy(SelectionPolicy):
+    """Upper bound: always selects the true domain (needs feedback-free access).
+
+    Useful as the reference point when reporting the other policies' regret.
+    """
+
+    name = "oracle"
+
+    def __init__(self, domain_names: Sequence[str], true_domains: Sequence[str]) -> None:
+        super().__init__(domain_names)
+        self._true_domains = list(true_domains)
+        self._cursor = 0
+
+    def select(self, message: str) -> str:
+        if self._cursor >= len(self._true_domains):
+            raise SelectionError("oracle ran out of ground-truth labels")
+        domain = self._true_domains[self._cursor]
+        self._cursor += 1
+        return domain
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class RandomPolicy(SelectionPolicy):
+    """Lower bound: select a uniformly random domain."""
+
+    name = "random"
+
+    def __init__(self, domain_names: Sequence[str], seed: Optional[int] = None) -> None:
+        super().__init__(domain_names)
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, message: str) -> str:
+        return self.domain_names[int(self._rng.integers(len(self.domain_names)))]

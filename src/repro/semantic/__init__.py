@@ -1,0 +1,45 @@
+"""Semantic codecs: knowledge-base encoders/decoders, individual models, mismatch buffers."""
+
+from repro.semantic.codec import EncodedMessage, SemanticCodec
+from repro.semantic.config import ARCHITECTURES, CodecConfig, TrainingReport
+from repro.semantic.decoder import SemanticDecoder
+from repro.semantic.encoder import SemanticEncoder, SemanticPoolingEncoder
+from repro.semantic.individual import FineTuneResult, IndividualModel
+from repro.semantic.knowledge_base import KnowledgeBaseInfo, KnowledgeBaseLibrary
+from repro.semantic.multimodal import (
+    ImageSemanticCodec,
+    Scene,
+    SceneGenerator,
+    SceneVocabulary,
+)
+from repro.semantic.mismatch import (
+    BufferBank,
+    DomainBuffer,
+    MismatchCalculator,
+    MismatchReport,
+    Transaction,
+)
+
+__all__ = [
+    "CodecConfig",
+    "TrainingReport",
+    "ARCHITECTURES",
+    "SemanticEncoder",
+    "SemanticPoolingEncoder",
+    "SemanticDecoder",
+    "SemanticCodec",
+    "EncodedMessage",
+    "IndividualModel",
+    "FineTuneResult",
+    "KnowledgeBaseLibrary",
+    "KnowledgeBaseInfo",
+    "ImageSemanticCodec",
+    "Scene",
+    "SceneGenerator",
+    "SceneVocabulary",
+    "MismatchCalculator",
+    "MismatchReport",
+    "Transaction",
+    "DomainBuffer",
+    "BufferBank",
+]

@@ -1,0 +1,224 @@
+"""Paired semantic encoder/decoder with training and message-level helpers.
+
+A :class:`SemanticCodec` is one knowledge base in the sense of the paper: a
+domain-specialized encoder/decoder pair, its vocabulary, and the training
+machinery that builds it from a domain corpus.  The codec exposes the two
+operations the communication pipeline needs — ``encode_message`` (semantic
+feature extraction) and ``decode_features`` (semantic feature restoration) —
+plus joint training on (possibly channel-impaired) reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import KnowledgeBaseError
+from repro.nn import Adam, Tensor, cross_entropy_loss, nll_accuracy
+from repro.semantic.config import CodecConfig, TrainingReport
+from repro.semantic.decoder import SemanticDecoder
+from repro.semantic.encoder import SemanticEncoder
+from repro.text import Tokenizer, Vocabulary, bleu_score, token_accuracy
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class EncodedMessage:
+    """Semantic features of one message, ready for quantization/transmission."""
+
+    features: np.ndarray
+    num_tokens: int
+    domain: Optional[str] = None
+
+    @property
+    def feature_count(self) -> int:
+        """Total number of scalar feature values."""
+        return int(np.prod(self.features.shape))
+
+
+class SemanticCodec:
+    """A domain knowledge base: tokenizer, vocabulary, encoder and decoder.
+
+    Parameters
+    ----------
+    vocabulary:
+        Shared vocabulary for the encoder input and decoder output.
+    config:
+        Model hyper-parameters.
+    domain:
+        Optional domain label (``"it"``, ``"medical"``, ...) for bookkeeping.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        config: Optional[CodecConfig] = None,
+        domain: Optional[str] = None,
+    ) -> None:
+        self.config = config or CodecConfig()
+        self.vocabulary = vocabulary
+        self.domain = domain
+        self.tokenizer = Tokenizer(max_length=self.config.max_length - 2)
+        self.encoder = SemanticEncoder(len(vocabulary), self.config, pad_id=vocabulary.pad_id)
+        self.decoder = SemanticDecoder(len(vocabulary), self.config)
+        self.training_report = TrainingReport()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_corpus(
+        cls,
+        sentences: Sequence[str],
+        config: Optional[CodecConfig] = None,
+        domain: Optional[str] = None,
+        train_epochs: int = 0,
+        seed: SeedLike = None,
+        extra_tokens: Sequence[str] = (),
+    ) -> "SemanticCodec":
+        """Build (and optionally train) a codec whose vocabulary covers ``sentences``.
+
+        ``extra_tokens`` adds words to the vocabulary that the training corpus
+        does not contain (e.g. user-specific synonyms) so that later
+        fine-tuning on user data can learn them without rebuilding the model.
+        """
+        config = config or CodecConfig()
+        tokenizer = Tokenizer(max_length=config.max_length - 2)
+        tokenized = tokenizer.tokenize_batch(sentences)
+        vocabulary = Vocabulary.from_corpus(tokenized)
+        for token in extra_tokens:
+            vocabulary.add(token)
+        codec = cls(vocabulary, config=config, domain=domain)
+        if train_epochs > 0:
+            codec.train(sentences, epochs=train_epochs, seed=seed)
+        return codec
+
+    # ------------------------------------------------------------------ #
+    # Message-level API
+    # ------------------------------------------------------------------ #
+    def tokens_to_ids(self, sentences: Sequence[str]) -> np.ndarray:
+        """Tokenize and encode raw sentences to a padded id batch."""
+        tokenized = self.tokenizer.tokenize_batch(sentences)
+        return self.vocabulary.encode_batch(tokenized, max_length=self.config.max_length)
+
+    def encode_message(self, text: str, domain: Optional[str] = None) -> EncodedMessage:
+        """Semantic feature extraction for a single message."""
+        ids = self.tokens_to_ids([text])
+        num_tokens = int(np.count_nonzero(ids[0] != self.vocabulary.pad_id))
+        features = self.encoder.encode(ids)[0]
+        # Padding positions carry no information; only real-token features are
+        # transmitted, so payload size tracks message length.
+        features = features[:num_tokens]
+        return EncodedMessage(features=features, num_tokens=num_tokens, domain=domain or self.domain)
+
+    def decode_features(self, features: np.ndarray) -> str:
+        """Semantic feature restoration back to text."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 2:
+            features = features[None, ...]
+        ids = self.decoder.decode_greedy(features)[0]
+        tokens = self.vocabulary.decode(ids)
+        return self.tokenizer.detokenize(tokens)
+
+    def reconstruct(self, text: str) -> str:
+        """Round-trip a message through the codec without a channel."""
+        return self.decode_features(self.encode_message(text).features)
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def _batches(self, ids: np.ndarray, batch_size: int, rng: np.random.Generator) -> List[np.ndarray]:
+        order = rng.permutation(len(ids))
+        return [ids[order[start : start + batch_size]] for start in range(0, len(ids), batch_size)]
+
+    def train(
+        self,
+        sentences: Sequence[str],
+        epochs: int = 10,
+        noise_std: float = 0.0,
+        seed: SeedLike = None,
+        learning_rate: Optional[float] = None,
+    ) -> TrainingReport:
+        """Jointly train encoder and decoder to reconstruct ``sentences``.
+
+        ``noise_std`` adds Gaussian noise to the features during training,
+        which approximates channel impairments and makes the codec robust to
+        the quantization/noise it will see at inference time.
+        """
+        if not sentences:
+            raise KnowledgeBaseError("cannot train a codec on an empty corpus")
+        if epochs <= 0:
+            raise KnowledgeBaseError(f"epochs must be positive, got {epochs}")
+        rng = new_rng(seed)
+        ids = self.tokens_to_ids(list(sentences))
+        parameters = self.encoder.parameters() + self.decoder.parameters()
+        optimizer = Adam(parameters, learning_rate or self.config.learning_rate)
+        self.encoder.train()
+        self.decoder.train()
+        for _ in range(epochs):
+            epoch_losses: List[float] = []
+            epoch_accuracies: List[float] = []
+            for batch in self._batches(ids, self.config.batch_size, rng):
+                optimizer.zero_grad()
+                features = self.encoder(batch)
+                if noise_std > 0.0:
+                    features = features + Tensor(rng.normal(0.0, noise_std, size=features.shape))
+                logits = self.decoder(features)
+                loss = cross_entropy_loss(logits, batch, ignore_index=self.vocabulary.pad_id)
+                loss.backward()
+                optimizer.clip_gradients(5.0)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_accuracies.append(nll_accuracy(logits, batch, ignore_index=self.vocabulary.pad_id))
+            self.training_report.record(float(np.mean(epoch_losses)), float(np.mean(epoch_accuracies)))
+        self.encoder.eval()
+        self.decoder.eval()
+        return self.training_report
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, sentences: Sequence[str]) -> Dict[str, float]:
+        """Reconstruction quality of the codec on ``sentences`` (no channel)."""
+        if not sentences:
+            raise KnowledgeBaseError("cannot evaluate on an empty corpus")
+        accuracies: List[float] = []
+        bleus: List[float] = []
+        for sentence in sentences:
+            reference = self.tokenizer.tokenize(sentence)
+            hypothesis = self.tokenizer.tokenize(self.reconstruct(sentence))
+            accuracies.append(token_accuracy(reference, hypothesis))
+            bleus.append(bleu_score(reference, hypothesis))
+        return {
+            "token_accuracy": float(np.mean(accuracies)),
+            "bleu": float(np.mean(bleus)),
+            "num_sentences": float(len(sentences)),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        """Total trainable parameters across encoder and decoder."""
+        return self.encoder.num_parameters() + self.decoder.num_parameters()
+
+    def model_bytes(self, bytes_per_value: int = 4) -> int:
+        """Approximate serialized size of the codec (for cache sizing)."""
+        return self.num_parameters() * bytes_per_value
+
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Serializable parameter snapshot of both halves."""
+        return {"encoder": self.encoder.state_dict(), "decoder": self.decoder.state_dict()}
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Restore a snapshot created by :meth:`state_dict`."""
+        self.encoder.load_state_dict(state["encoder"])
+        self.decoder.load_state_dict(state["decoder"])
+
+    def clone(self) -> "SemanticCodec":
+        """Deep copy sharing no parameters (used to derive individual models)."""
+        copy = SemanticCodec(self.vocabulary, config=self.config, domain=self.domain)
+        copy.load_state_dict(self.state_dict())
+        return copy

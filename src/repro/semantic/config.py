@@ -1,0 +1,93 @@
+"""Configuration objects for the semantic knowledge-base codecs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+#: Architectures supported by the semantic encoder/decoder pair.
+ARCHITECTURES = ("transformer", "gru", "mlp")
+
+
+@dataclass
+class CodecConfig:
+    """Hyper-parameters of one knowledge-base encoder/decoder pair.
+
+    Attributes
+    ----------
+    embedding_dim:
+        Token embedding width inside the encoder and decoder.
+    feature_dim:
+        Width of the per-token semantic feature vector that crosses the
+        channel.  This is the quantity that determines transmitted payload
+        size, so it is deliberately much smaller than ``embedding_dim``.
+    hidden_dim:
+        Hidden width of the encoder/decoder body.
+    num_layers, num_heads:
+        Depth and attention heads for the transformer architecture.
+    architecture:
+        ``"transformer"``, ``"gru"`` or ``"mlp"`` (see Section III-B of the
+        paper on exploring different encoder/decoder model families).
+    max_length:
+        Maximum number of tokens (including ``<bos>``/``<eos>``) per message.
+    learning_rate, batch_size:
+        Training hyper-parameters used by :class:`~repro.semantic.codec.SemanticCodec`.
+    seed:
+        Seed for parameter initialization.
+    """
+
+    embedding_dim: int = 32
+    feature_dim: int = 8
+    hidden_dim: int = 64
+    num_layers: int = 1
+    num_heads: int = 2
+    architecture: str = "transformer"
+    max_length: int = 16
+    dropout: float = 0.0
+    learning_rate: float = 1e-2
+    batch_size: int = 16
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise ConfigurationError(
+                f"architecture must be one of {ARCHITECTURES}, got {self.architecture!r}"
+            )
+        for name in ("embedding_dim", "feature_dim", "hidden_dim", "num_layers", "num_heads", "max_length", "batch_size"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.architecture == "transformer" and self.embedding_dim % self.num_heads != 0:
+            raise ConfigurationError(
+                f"embedding_dim {self.embedding_dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigurationError(f"dropout must be in [0, 1), got {self.dropout}")
+        if self.learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {self.learning_rate}")
+
+
+@dataclass
+class TrainingReport:
+    """Loss/accuracy trajectory of one codec training run."""
+
+    losses: list[float] = field(default_factory=list)
+    token_accuracies: list[float] = field(default_factory=list)
+    epochs: int = 0
+
+    def record(self, loss: float, accuracy: float) -> None:
+        """Append one epoch's loss and accuracy."""
+        self.losses.append(float(loss))
+        self.token_accuracies.append(float(accuracy))
+        self.epochs += 1
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last recorded epoch (``nan`` when empty)."""
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        """Token accuracy of the last recorded epoch (0 when empty)."""
+        return self.token_accuracies[-1] if self.token_accuracies else 0.0

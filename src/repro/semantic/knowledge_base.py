@@ -1,0 +1,133 @@
+"""Knowledge-base registry: the domain-specialized general models of a server.
+
+Section II-A: "each sender edge server ``i`` caches multiple well-pretrained
+general KB-encoders specialized for different major domains", and Section II-C
+adds the corresponding decoder copies.  :class:`KnowledgeBaseLibrary` is that
+collection — it builds, stores and serves per-domain :class:`SemanticCodec`
+instances and knows their cache footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.exceptions import KnowledgeBaseError
+from repro.semantic.codec import SemanticCodec
+from repro.semantic.config import CodecConfig
+from repro.utils.rng import SeedLike, new_rng
+from repro.workloads.domains import DomainCorpus, generate_all_corpora
+
+
+@dataclass
+class KnowledgeBaseInfo:
+    """Metadata about one cached knowledge base."""
+
+    domain: str
+    num_parameters: int
+    size_bytes: int
+    training_epochs: int
+    final_token_accuracy: float
+
+
+class KnowledgeBaseLibrary:
+    """A server's set of domain-specialized general codecs."""
+
+    def __init__(self, config: Optional[CodecConfig] = None) -> None:
+        self.config = config or CodecConfig()
+        self._codecs: Dict[str, SemanticCodec] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, domain: str, codec: SemanticCodec) -> None:
+        """Register an already-built codec for ``domain``."""
+        self._codecs[domain] = codec
+
+    def build_domain(
+        self,
+        domain: str,
+        sentences: Sequence[str],
+        train_epochs: int = 10,
+        seed: SeedLike = None,
+    ) -> SemanticCodec:
+        """Train a general codec for ``domain`` from its corpus and register it."""
+        codec = SemanticCodec.from_corpus(
+            sentences, config=self.config, domain=domain, train_epochs=train_epochs, seed=seed
+        )
+        self._codecs[domain] = codec
+        return codec
+
+    @classmethod
+    def pretrain(
+        cls,
+        corpora: Optional[Dict[str, DomainCorpus]] = None,
+        config: Optional[CodecConfig] = None,
+        sentences_per_domain: int = 200,
+        train_epochs: int = 10,
+        seed: SeedLike = 0,
+    ) -> "KnowledgeBaseLibrary":
+        """Pretrain one general codec per domain (the "well-pretrained" KBs).
+
+        With no ``corpora`` given, the default four-domain synthetic corpora
+        are generated.
+        """
+        rng = new_rng(seed)
+        if corpora is None:
+            corpora = generate_all_corpora(sentences_per_domain, seed=int(rng.integers(0, 2**31 - 1)))
+        library = cls(config=config)
+        for domain, corpus in corpora.items():
+            library.build_domain(
+                domain,
+                list(corpus.sentences),
+                train_epochs=train_epochs,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        return library
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def domains(self) -> list[str]:
+        """Domains with a registered codec."""
+        return sorted(self._codecs)
+
+    def get(self, domain: str) -> SemanticCodec:
+        """The codec for ``domain``; raises if the domain is unknown."""
+        if domain not in self._codecs:
+            raise KnowledgeBaseError(
+                f"no knowledge base for domain {domain!r}; available: {self.domains()}"
+            )
+        return self._codecs[domain]
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._codecs
+
+    def __len__(self) -> int:
+        return len(self._codecs)
+
+    def items(self) -> Iterable[tuple[str, SemanticCodec]]:
+        """(domain, codec) pairs."""
+        return self._codecs.items()
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def info(self) -> list[KnowledgeBaseInfo]:
+        """Metadata for every registered codec (for cache planning)."""
+        entries = []
+        for domain, codec in sorted(self._codecs.items()):
+            entries.append(
+                KnowledgeBaseInfo(
+                    domain=domain,
+                    num_parameters=codec.num_parameters(),
+                    size_bytes=codec.model_bytes(),
+                    training_epochs=codec.training_report.epochs,
+                    final_token_accuracy=codec.training_report.final_accuracy,
+                )
+            )
+        return entries
+
+    def total_bytes(self) -> int:
+        """Total cache footprint of all general codecs."""
+        return sum(codec.model_bytes() for codec in self._codecs.values())

@@ -1,0 +1,155 @@
+"""Mismatch calculation and the per-domain transaction buffer ``b_m``.
+
+Section II-C/D of the paper: because general decoders are *copied* onto the
+sender edge server, the sender can decode its own transmitted features
+locally, compare the restoration with the original message, and store the
+transaction in a per-domain buffer.  Once the buffer holds enough data, the
+user-specific individual model is trained from it (Section II-D).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.text import bleu_score, token_accuracy
+from repro.text.tokenizer import simple_tokenize
+
+
+@dataclass
+class Transaction:
+    """One communication transaction recorded for later individual training."""
+
+    original_text: str
+    restored_text: str
+    features: np.ndarray
+    domain: str
+    user_id: str
+    mismatch: float
+    timestamp: float = 0.0
+
+
+@dataclass
+class MismatchReport:
+    """Semantic mismatch between an original and a restored message."""
+
+    token_accuracy: float
+    bleu: float
+    semantic_similarity: Optional[float] = None
+
+    @property
+    def mismatch(self) -> float:
+        """Scalar mismatch in [0, 1]: 1 - fidelity.
+
+        Uses semantic similarity when available, otherwise token accuracy.
+        """
+        fidelity = self.semantic_similarity if self.semantic_similarity is not None else self.token_accuracy
+        return float(np.clip(1.0 - fidelity, 0.0, 1.0))
+
+
+class MismatchCalculator:
+    """Computes semantic mismatch between original and restored messages.
+
+    An optional embedding model adds an embedding-cosine similarity term; the
+    surface metrics (token accuracy, BLEU) are always available.
+    """
+
+    def __init__(self, embeddings=None) -> None:
+        self.embeddings = embeddings
+
+    def compare(self, original_text: str, restored_text: str) -> MismatchReport:
+        """Return a :class:`MismatchReport` for one message pair."""
+        reference = simple_tokenize(original_text)
+        hypothesis = simple_tokenize(restored_text)
+        similarity = None
+        if self.embeddings is not None:
+            similarity = float(self.embeddings.sentence_similarity(reference, hypothesis))
+        return MismatchReport(
+            token_accuracy=token_accuracy(reference, hypothesis),
+            bleu=bleu_score(reference, hypothesis),
+            semantic_similarity=similarity,
+        )
+
+    def mismatch(self, original_text: str, restored_text: str) -> float:
+        """Scalar mismatch value for one message pair."""
+        return self.compare(original_text, restored_text).mismatch
+
+
+class DomainBuffer:
+    """The buffer ``b_m`` of Section II-C: bounded per-domain transaction store."""
+
+    def __init__(self, domain: str, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.domain = domain
+        self.capacity = capacity
+        self._transactions: Deque[Transaction] = deque(maxlen=capacity)
+        self.total_added = 0
+
+    def add(self, transaction: Transaction) -> None:
+        """Store a transaction (oldest entries are discarded beyond capacity)."""
+        self._transactions.append(transaction)
+        self.total_added += 1
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    def is_ready(self, minimum_transactions: int) -> bool:
+        """Whether enough data has been collected to train an individual model."""
+        return len(self._transactions) >= minimum_transactions
+
+    def texts(self) -> List[str]:
+        """Original texts of all buffered transactions."""
+        return [transaction.original_text for transaction in self._transactions]
+
+    def for_user(self, user_id: str) -> List[Transaction]:
+        """Transactions belonging to ``user_id``."""
+        return [transaction for transaction in self._transactions if transaction.user_id == user_id]
+
+    def mean_mismatch(self) -> float:
+        """Average mismatch over buffered transactions (0 when empty)."""
+        if not self._transactions:
+            return 0.0
+        return float(np.mean([transaction.mismatch for transaction in self._transactions]))
+
+    def clear(self) -> None:
+        """Drop all buffered transactions."""
+        self._transactions.clear()
+
+
+class BufferBank:
+    """All per-domain buffers of one sender edge server, keyed by (user, domain)."""
+
+    def __init__(self, capacity_per_buffer: int = 256) -> None:
+        self.capacity_per_buffer = capacity_per_buffer
+        self._buffers: Dict[tuple[str, str], DomainBuffer] = {}
+
+    def buffer(self, user_id: str, domain: str) -> DomainBuffer:
+        """Get (creating if necessary) the buffer for ``(user_id, domain)``."""
+        key = (user_id, domain)
+        if key not in self._buffers:
+            self._buffers[key] = DomainBuffer(domain, capacity=self.capacity_per_buffer)
+        return self._buffers[key]
+
+    def record(self, transaction: Transaction) -> DomainBuffer:
+        """Store ``transaction`` in the appropriate buffer and return it."""
+        buffer = self.buffer(transaction.user_id, transaction.domain)
+        buffer.add(transaction)
+        return buffer
+
+    def ready_buffers(self, minimum_transactions: int) -> List[tuple[str, str]]:
+        """Keys of buffers that have collected at least ``minimum_transactions``."""
+        return [key for key, buffer in self._buffers.items() if buffer.is_ready(minimum_transactions)]
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def items(self) -> Iterable[tuple[tuple[str, str], DomainBuffer]]:
+        """All (key, buffer) pairs."""
+        return self._buffers.items()

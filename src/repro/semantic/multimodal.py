@@ -1,0 +1,277 @@
+"""Multimodal (image-style) semantic codecs — Section III-B of the paper.
+
+The paper's second research direction asks for encoder/decoder models that can
+handle "text, image, video, and audio".  This module adds an image-like
+modality to the reproduction: a *scene* is a small grid of patch categories
+(e.g. what a Metaverse client would render — "avatar", "screen", "bed",
+"stage" ...), and an :class:`ImageSemanticCodec` learns to compress each patch
+into a low-dimensional semantic feature and restore it, exactly mirroring the
+text codec but over patch grids.  Domains share a set of polysemous patches
+("panel", "monitor", "console"), so the same domain-specialization arguments
+apply to the visual modality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import KnowledgeBaseError
+from repro.nn import Adam, Linear, Module, Tensor, cross_entropy_loss, nll_accuracy
+from repro.semantic.config import CodecConfig, TrainingReport
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+#: Patch categories available to every scene domain (index 0 is background).
+SHARED_PATCHES: Tuple[str, ...] = ("empty", "panel", "monitor", "console", "light", "door")
+
+#: Domain-specific patch palettes (the visual analogue of the text domains).
+DOMAIN_PATCHES: Dict[str, Tuple[str, ...]] = {
+    "it": ("rack", "cable", "switch", "cooler"),
+    "medical": ("bed", "scanner", "iv-stand", "monitor-cart"),
+    "news": ("desk", "camera", "teleprompter", "backdrop"),
+    "entertainment": ("stage", "speaker", "spotlight", "crowd"),
+}
+
+
+@dataclass
+class SceneVocabulary:
+    """Mapping between patch names and integer patch ids for one domain."""
+
+    domain: str
+    patches: List[str]
+
+    @classmethod
+    def for_domain(cls, domain: str) -> "SceneVocabulary":
+        if domain not in DOMAIN_PATCHES:
+            raise KnowledgeBaseError(f"no scene palette for domain {domain!r}; known: {sorted(DOMAIN_PATCHES)}")
+        return cls(domain=domain, patches=list(SHARED_PATCHES) + list(DOMAIN_PATCHES[domain]))
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    def patch_id(self, name: str) -> int:
+        """Id of a patch name (raises for unknown patches)."""
+        try:
+            return self.patches.index(name)
+        except ValueError as error:
+            raise KnowledgeBaseError(f"unknown patch {name!r} in domain {self.domain!r}") from error
+
+    def patch_name(self, patch_id: int) -> str:
+        """Name of a patch id."""
+        if not 0 <= patch_id < len(self.patches):
+            raise KnowledgeBaseError(f"patch id {patch_id} outside palette of size {len(self.patches)}")
+        return self.patches[patch_id]
+
+
+@dataclass
+class Scene:
+    """A small grid of patch ids representing one rendered view."""
+
+    domain: str
+    grid: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.grid.shape  # type: ignore[return-value]
+
+    def flat(self) -> np.ndarray:
+        """Row-major flattened patch ids."""
+        return self.grid.reshape(-1)
+
+
+class SceneGenerator:
+    """Samples synthetic scenes for a domain.
+
+    Scenes have structure (objects cluster in rows) so the codec has something
+    better than uniform noise to learn, and a configurable fraction of patches
+    come from the shared (polysemous) palette.
+    """
+
+    def __init__(
+        self,
+        domain: str,
+        height: int = 6,
+        width: int = 6,
+        shared_fraction: float = 0.3,
+        seed: SeedLike = None,
+    ) -> None:
+        if height <= 0 or width <= 0:
+            raise ValueError("scene dimensions must be positive")
+        if not 0.0 <= shared_fraction <= 1.0:
+            raise ValueError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+        self.vocabulary = SceneVocabulary.for_domain(domain)
+        self.domain = domain
+        self.height = height
+        self.width = width
+        self.shared_fraction = shared_fraction
+        self.rng = new_rng(seed)
+
+    def sample(self) -> Scene:
+        """Sample one structured scene."""
+        grid = np.zeros((self.height, self.width), dtype=np.int64)
+        shared_count = len(SHARED_PATCHES)
+        domain_ids = np.arange(shared_count, len(self.vocabulary))
+        shared_ids = np.arange(1, shared_count)  # skip "empty"
+        for row in range(self.height):
+            # Each row is dominated by one object type, mimicking furniture rows.
+            if self.rng.random() < self.shared_fraction:
+                dominant = int(self.rng.choice(shared_ids))
+            else:
+                dominant = int(self.rng.choice(domain_ids))
+            for column in range(self.width):
+                if self.rng.random() < 0.7:
+                    grid[row, column] = dominant
+                elif self.rng.random() < 0.5:
+                    grid[row, column] = 0  # empty
+                else:
+                    grid[row, column] = int(self.rng.integers(1, len(self.vocabulary)))
+        return Scene(domain=self.domain, grid=grid)
+
+    def sample_many(self, count: int) -> List[Scene]:
+        """Sample ``count`` scenes."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.sample() for _ in range(count)]
+
+
+class _PatchEncoder(Module):
+    """Embedding + MLP mapping patch ids to per-patch semantic features."""
+
+    def __init__(self, num_patches: int, config: CodecConfig) -> None:
+        super().__init__()
+        seeds = spawn_rng(new_rng(config.seed), 3)
+        from repro.nn import Embedding
+
+        self.embedding = Embedding(num_patches, config.embedding_dim, seed=seeds[0])
+        self.hidden = Linear(config.embedding_dim, config.hidden_dim, seed=seeds[1])
+        self.projection = Linear(config.hidden_dim, config.feature_dim, seed=seeds[2])
+
+    def forward(self, patch_ids: np.ndarray) -> Tensor:
+        embedded = self.embedding(np.asarray(patch_ids, dtype=np.int64))
+        return self.projection(self.hidden(embedded).relu()).tanh()
+
+
+class _PatchDecoder(Module):
+    """MLP mapping per-patch semantic features back to patch logits."""
+
+    def __init__(self, num_patches: int, config: CodecConfig) -> None:
+        super().__init__()
+        seeds = spawn_rng(new_rng(None if config.seed is None else config.seed + 1), 2)
+        self.hidden = Linear(config.feature_dim, config.hidden_dim, seed=seeds[0])
+        self.output = Linear(config.hidden_dim, num_patches, seed=seeds[1])
+
+    def forward(self, features: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(features, Tensor):
+            features = Tensor(np.asarray(features, dtype=np.float64))
+        return self.output(self.hidden(features).relu())
+
+
+class ImageSemanticCodec:
+    """Semantic encoder/decoder for patch-grid scenes (the image modality).
+
+    The API mirrors :class:`~repro.semantic.codec.SemanticCodec`:
+    ``encode_scene`` produces the per-patch feature block that would cross the
+    channel, ``decode_features`` restores a scene from (possibly noisy)
+    features, and ``train`` fits both halves jointly on reconstruction.
+    """
+
+    def __init__(self, domain: str, config: Optional[CodecConfig] = None) -> None:
+        self.config = config or CodecConfig(architecture="mlp")
+        self.vocabulary = SceneVocabulary.for_domain(domain)
+        self.domain = domain
+        self.encoder = _PatchEncoder(len(self.vocabulary), self.config)
+        self.decoder = _PatchDecoder(len(self.vocabulary), self.config)
+        self.training_report = TrainingReport()
+
+    # ------------------------------------------------------------------ #
+    # Scene-level API
+    # ------------------------------------------------------------------ #
+    def encode_scene(self, scene: Scene) -> np.ndarray:
+        """Per-patch semantic features, shaped ``(height * width, feature_dim)``."""
+        self.encoder.eval()
+        return self.encoder(scene.flat()[None, :]).data[0].copy()
+
+    def decode_features(self, features: np.ndarray, shape: Tuple[int, int]) -> Scene:
+        """Restore a scene of ``shape`` from received features."""
+        self.decoder.eval()
+        logits = self.decoder(np.asarray(features, dtype=np.float64)[None, ...])
+        patch_ids = np.argmax(logits.data[0], axis=-1).reshape(shape)
+        return Scene(domain=self.domain, grid=patch_ids)
+
+    def reconstruct(self, scene: Scene) -> Scene:
+        """Round-trip a scene through the codec without a channel."""
+        return self.decode_features(self.encode_scene(scene), scene.shape)
+
+    # ------------------------------------------------------------------ #
+    # Training / evaluation
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        scenes: Sequence[Scene],
+        epochs: int = 10,
+        noise_std: float = 0.0,
+        seed: SeedLike = None,
+    ) -> TrainingReport:
+        """Jointly train encoder and decoder to reconstruct ``scenes``."""
+        if not scenes:
+            raise KnowledgeBaseError("cannot train an image codec on zero scenes")
+        if epochs <= 0:
+            raise KnowledgeBaseError(f"epochs must be positive, got {epochs}")
+        rng = new_rng(seed)
+        flat = np.stack([scene.flat() for scene in scenes])
+        optimizer = Adam(self.encoder.parameters() + self.decoder.parameters(), self.config.learning_rate)
+        self.encoder.train()
+        self.decoder.train()
+        batch_size = self.config.batch_size
+        for _ in range(epochs):
+            order = rng.permutation(len(flat))
+            losses, accuracies = [], []
+            for start in range(0, len(flat), batch_size):
+                batch = flat[order[start : start + batch_size]]
+                optimizer.zero_grad()
+                features = self.encoder(batch)
+                if noise_std > 0:
+                    features = features + Tensor(rng.normal(0.0, noise_std, size=features.shape))
+                logits = self.decoder(features)
+                loss = cross_entropy_loss(logits, batch)
+                loss.backward()
+                optimizer.clip_gradients(5.0)
+                optimizer.step()
+                losses.append(loss.item())
+                accuracies.append(nll_accuracy(logits, batch))
+            self.training_report.record(float(np.mean(losses)), float(np.mean(accuracies)))
+        self.encoder.eval()
+        self.decoder.eval()
+        return self.training_report
+
+    def evaluate(self, scenes: Sequence[Scene]) -> Dict[str, float]:
+        """Patch-level reconstruction accuracy over ``scenes``."""
+        if not scenes:
+            raise KnowledgeBaseError("cannot evaluate on zero scenes")
+        accuracies = []
+        for scene in scenes:
+            restored = self.reconstruct(scene)
+            accuracies.append(float((restored.grid == scene.grid).mean()))
+        return {"patch_accuracy": float(np.mean(accuracies)), "num_scenes": float(len(scenes))}
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        """Total trainable parameters of the codec."""
+        return self.encoder.num_parameters() + self.decoder.num_parameters()
+
+    def model_bytes(self, bytes_per_value: int = 4) -> int:
+        """Approximate cache footprint of the codec."""
+        return self.num_parameters() * bytes_per_value
+
+    def payload_bytes(self, scene_shape: Tuple[int, int], bits_per_value: int = 4) -> float:
+        """Bytes needed to transmit one scene's semantic features."""
+        patches = scene_shape[0] * scene_shape[1]
+        return patches * self.config.feature_dim * bits_per_value / 8.0
+
+    def raw_scene_bytes(self, scene_shape: Tuple[int, int]) -> float:
+        """Bytes to transmit the raw patch ids (1 byte per patch)."""
+        return float(scene_shape[0] * scene_shape[1])

@@ -1,0 +1,39 @@
+"""Text substrate: tokenization, vocabularies, embeddings and fidelity metrics."""
+
+from repro.text.embeddings import CooccurrenceEmbeddings, build_embeddings, domain_embedding_table
+from repro.text.metrics import (
+    bag_of_words_cosine,
+    bleu_score,
+    corpus_bleu,
+    token_accuracy,
+    word_error_rate,
+)
+from repro.text.tokenizer import Tokenizer, detokenize, simple_tokenize
+from repro.text.vocabulary import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+)
+
+__all__ = [
+    "Tokenizer",
+    "simple_tokenize",
+    "detokenize",
+    "Vocabulary",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "BOS_TOKEN",
+    "EOS_TOKEN",
+    "SPECIAL_TOKENS",
+    "CooccurrenceEmbeddings",
+    "build_embeddings",
+    "domain_embedding_table",
+    "token_accuracy",
+    "word_error_rate",
+    "bleu_score",
+    "corpus_bleu",
+    "bag_of_words_cosine",
+]

@@ -1,0 +1,141 @@
+"""Count-based word and sentence embeddings for semantic similarity.
+
+The paper evaluates whether the *meaning* of a restored message matches the
+original.  Without pretrained language models available offline, we derive
+embeddings from the synthetic corpus itself: a positive-PMI co-occurrence
+matrix reduced by truncated SVD.  Within the synthetic world this captures
+exactly the domain-dependent usage (e.g. "bus" near "cpu" vs near "passenger")
+that the paper's motivating example relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.nn.functional import cosine_similarity
+from repro.text.vocabulary import Vocabulary
+
+
+class CooccurrenceEmbeddings:
+    """Positive-PMI + SVD word embeddings trained from tokenized sentences."""
+
+    def __init__(self, vocabulary: Vocabulary, dim: int = 32, window: int = 3) -> None:
+        if dim <= 0:
+            raise ValueError(f"embedding dim must be positive, got {dim}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.vocabulary = vocabulary
+        self.dim = dim
+        self.window = window
+        self._vectors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, tokenized_sentences: Iterable[Sequence[str]]) -> "CooccurrenceEmbeddings":
+        """Estimate embeddings from co-occurrence statistics of the corpus."""
+        size = len(self.vocabulary)
+        counts = np.zeros((size, size), dtype=np.float64)
+        for sentence in tokenized_sentences:
+            ids = [self.vocabulary.token_to_id(token) for token in sentence]
+            for center_position, center_id in enumerate(ids):
+                start = max(0, center_position - self.window)
+                stop = min(len(ids), center_position + self.window + 1)
+                for context_position in range(start, stop):
+                    if context_position == center_position:
+                        continue
+                    counts[center_id, ids[context_position]] += 1.0
+
+        total = counts.sum()
+        if total == 0:
+            # Degenerate corpus; fall back to random small vectors.
+            self._vectors = np.zeros((size, self.dim))
+            return self
+
+        row_sums = counts.sum(axis=1, keepdims=True)
+        column_sums = counts.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log((counts * total) / (row_sums @ column_sums))
+        pmi[~np.isfinite(pmi)] = 0.0
+        positive_pmi = np.maximum(pmi, 0.0)
+
+        left, singular_values, _ = np.linalg.svd(positive_pmi, full_matrices=False)
+        dim = min(self.dim, left.shape[1])
+        vectors = left[:, :dim] * np.sqrt(singular_values[:dim])
+        if dim < self.dim:
+            vectors = np.pad(vectors, ((0, 0), (0, self.dim - dim)))
+        self._vectors = vectors
+        return self
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The ``(vocab_size, dim)`` embedding matrix (fit must be called first)."""
+        if self._vectors is None:
+            raise RuntimeError("embeddings have not been fit; call fit() first")
+        return self._vectors
+
+    # ------------------------------------------------------------------ #
+    # Lookup and similarity
+    # ------------------------------------------------------------------ #
+    def word_vector(self, token: str) -> np.ndarray:
+        """Embedding of ``token`` (the ``<unk>`` vector when unknown)."""
+        return self.vectors[self.vocabulary.token_to_id(token)]
+
+    def sentence_vector(self, tokens: Sequence[str]) -> np.ndarray:
+        """Mean-pooled sentence embedding."""
+        if not tokens:
+            return np.zeros(self.dim)
+        ids = [self.vocabulary.token_to_id(token) for token in tokens]
+        return self.vectors[ids].mean(axis=0)
+
+    def sentence_similarity(self, reference: Sequence[str], hypothesis: Sequence[str]) -> float:
+        """Cosine similarity of mean-pooled sentence embeddings in ``[-1, 1]``."""
+        reference_vector = self.sentence_vector(reference)
+        hypothesis_vector = self.sentence_vector(hypothesis)
+        if not np.any(reference_vector) or not np.any(hypothesis_vector):
+            return 1.0 if list(reference) == list(hypothesis) else 0.0
+        return cosine_similarity(reference_vector, hypothesis_vector)
+
+    def nearest_neighbors(self, token: str, top_k: int = 5) -> List[str]:
+        """Tokens whose embeddings are closest to ``token`` (excluding itself)."""
+        query = self.word_vector(token)
+        norms = np.linalg.norm(self.vectors, axis=1) + 1e-12
+        similarity = (self.vectors @ query) / (norms * (np.linalg.norm(query) + 1e-12))
+        order = np.argsort(-similarity)
+        neighbors: List[str] = []
+        for index in order:
+            candidate = self.vocabulary.id_to_token(int(index))
+            if candidate == token or candidate.startswith("<"):
+                continue
+            neighbors.append(candidate)
+            if len(neighbors) >= top_k:
+                break
+        return neighbors
+
+
+def build_embeddings(
+    tokenized_sentences: Sequence[Sequence[str]],
+    dim: int = 32,
+    window: int = 3,
+    vocabulary: Vocabulary | None = None,
+) -> CooccurrenceEmbeddings:
+    """Convenience constructor: build a vocabulary (if needed) and fit embeddings."""
+    if vocabulary is None:
+        vocabulary = Vocabulary.from_corpus(tokenized_sentences)
+    embeddings = CooccurrenceEmbeddings(vocabulary, dim=dim, window=window)
+    return embeddings.fit(tokenized_sentences)
+
+
+def domain_embedding_table(embeddings_by_domain: Dict[str, CooccurrenceEmbeddings], token: str) -> Dict[str, List[str]]:
+    """Nearest neighbours of ``token`` under each domain's embedding space.
+
+    Reproduces the paper's "bus" example: the same word has different
+    neighbourhoods in different domains.
+    """
+    return {
+        domain: embeddings.nearest_neighbors(token)
+        for domain, embeddings in embeddings_by_domain.items()
+        if token in embeddings.vocabulary
+    }

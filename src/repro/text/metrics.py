@@ -1,0 +1,105 @@
+"""Text-similarity metrics used to score semantic reconstruction quality."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def token_accuracy(reference: Sequence[str], hypothesis: Sequence[str]) -> float:
+    """Fraction of positions where the hypothesis token equals the reference.
+
+    Positions beyond the shorter sequence count as errors, so dropping words
+    is penalized.
+    """
+    if not reference:
+        return 1.0 if not hypothesis else 0.0
+    matches = sum(1 for ref, hyp in zip(reference, hypothesis) if ref == hyp)
+    return matches / max(len(reference), len(hypothesis))
+
+
+def word_error_rate(reference: Sequence[str], hypothesis: Sequence[str]) -> float:
+    """Levenshtein word error rate (substitutions + insertions + deletions)."""
+    if not reference:
+        return 0.0 if not hypothesis else 1.0
+    rows = len(reference) + 1
+    cols = len(hypothesis) + 1
+    distance = np.zeros((rows, cols), dtype=np.int64)
+    distance[:, 0] = np.arange(rows)
+    distance[0, :] = np.arange(cols)
+    for i in range(1, rows):
+        for j in range(1, cols):
+            substitution_cost = 0 if reference[i - 1] == hypothesis[j - 1] else 1
+            distance[i, j] = min(
+                distance[i - 1, j] + 1,
+                distance[i, j - 1] + 1,
+                distance[i - 1, j - 1] + substitution_cost,
+            )
+    return float(distance[-1, -1]) / len(reference)
+
+
+def _ngram_counts(tokens: Sequence[str], order: int) -> Counter:
+    return Counter(tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1))
+
+
+def bleu_score(
+    reference: Sequence[str],
+    hypothesis: Sequence[str],
+    max_order: int = 4,
+    smoothing: float = 1e-9,
+) -> float:
+    """Sentence-level BLEU with brevity penalty and add-epsilon smoothing.
+
+    BLEU is the standard surface-level fidelity metric in semantic
+    communication papers (e.g. DeepSC); we report it alongside embedding
+    cosine similarity.
+    """
+    reference = list(reference)
+    hypothesis = list(hypothesis)
+    if not hypothesis or not reference:
+        return 0.0
+    log_precision_sum = 0.0
+    effective_order = min(max_order, len(hypothesis), len(reference))
+    if effective_order == 0:
+        return 0.0
+    for order in range(1, effective_order + 1):
+        reference_counts = _ngram_counts(reference, order)
+        hypothesis_counts = _ngram_counts(hypothesis, order)
+        overlap = sum(min(count, reference_counts[ngram]) for ngram, count in hypothesis_counts.items())
+        total = max(sum(hypothesis_counts.values()), 1)
+        precision = (overlap + smoothing) / (total + smoothing)
+        log_precision_sum += math.log(precision)
+    geometric_mean = math.exp(log_precision_sum / effective_order)
+    brevity_penalty = 1.0
+    if len(hypothesis) < len(reference):
+        brevity_penalty = math.exp(1.0 - len(reference) / len(hypothesis))
+    return float(brevity_penalty * geometric_mean)
+
+
+def corpus_bleu(references: Sequence[Sequence[str]], hypotheses: Sequence[Sequence[str]]) -> float:
+    """Average sentence BLEU over a corpus of (reference, hypothesis) pairs."""
+    if len(references) != len(hypotheses):
+        raise ValueError("references and hypotheses must have the same length")
+    if not references:
+        return 0.0
+    return float(np.mean([bleu_score(ref, hyp) for ref, hyp in zip(references, hypotheses)]))
+
+
+def bag_of_words_cosine(reference: Sequence[str], hypothesis: Sequence[str]) -> float:
+    """Cosine similarity of bag-of-words count vectors.
+
+    A crude but embedding-free semantic similarity proxy useful for tests
+    that should not depend on learned embeddings.
+    """
+    reference_counts: Dict[str, int] = Counter(reference)
+    hypothesis_counts: Dict[str, int] = Counter(hypothesis)
+    if not reference_counts or not hypothesis_counts:
+        return 1.0 if reference_counts == hypothesis_counts else 0.0
+    shared = set(reference_counts) & set(hypothesis_counts)
+    dot = sum(reference_counts[token] * hypothesis_counts[token] for token in shared)
+    norm_ref = math.sqrt(sum(count**2 for count in reference_counts.values()))
+    norm_hyp = math.sqrt(sum(count**2 for count in hypothesis_counts.values()))
+    return dot / (norm_ref * norm_hyp)

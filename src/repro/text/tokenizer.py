@@ -1,0 +1,66 @@
+"""Tokenization for the text messages exchanged by the semantic system.
+
+The paper's example messages are natural-language sentences ("bus" meaning a
+vehicle or a hardware interconnect depending on the domain).  A simple,
+reversible whitespace/punctuation tokenizer is sufficient for the synthetic
+corpora while keeping every step of the pipeline inspectable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:'[a-z]+)?|[.,!?;:]")
+
+
+def simple_tokenize(text: str) -> List[str]:
+    """Lower-case and split ``text`` into word and punctuation tokens."""
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def detokenize(tokens: Sequence[str]) -> str:
+    """Inverse of :func:`simple_tokenize` up to capitalization and spacing."""
+    pieces: List[str] = []
+    for token in tokens:
+        if token in {".", ",", "!", "?", ";", ":"} and pieces:
+            pieces[-1] = pieces[-1] + token
+        else:
+            pieces.append(token)
+    return " ".join(pieces)
+
+
+@dataclass
+class Tokenizer:
+    """Configurable tokenizer with optional length truncation.
+
+    Attributes
+    ----------
+    max_length:
+        Messages longer than this number of tokens are truncated; ``None``
+        disables truncation.
+    lowercase:
+        Whether to lower-case the input before tokenizing.
+    """
+
+    max_length: int | None = None
+    lowercase: bool = True
+    _pattern: re.Pattern = field(default=_TOKEN_PATTERN, repr=False)
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split ``text`` into tokens, applying the configured limits."""
+        if self.lowercase:
+            text = text.lower()
+        tokens = self._pattern.findall(text)
+        if self.max_length is not None:
+            tokens = tokens[: self.max_length]
+        return tokens
+
+    def tokenize_batch(self, texts: Iterable[str]) -> List[List[str]]:
+        """Tokenize every string in ``texts``."""
+        return [self.tokenize(text) for text in texts]
+
+    def detokenize(self, tokens: Sequence[str]) -> str:
+        """Rejoin tokens into a readable sentence."""
+        return detokenize(tokens)

@@ -1,0 +1,167 @@
+"""Vocabulary mapping between tokens and integer ids."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import VocabularyError
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, BOS_TOKEN, EOS_TOKEN)
+
+
+class Vocabulary:
+    """Bidirectional token/id mapping with the four standard special tokens.
+
+    Ids 0-3 are reserved for ``<pad>``, ``<unk>``, ``<bos>`` and ``<eos>`` in
+    that order; regular tokens follow in insertion order.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self.add(token)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _add(self, token: str) -> int:
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    def add(self, token: str) -> int:
+        """Add ``token`` if new and return its id."""
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        return self._add(token)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        tokenized_sentences: Iterable[Sequence[str]],
+        min_frequency: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenized sentences.
+
+        Tokens are added in descending frequency order (ties broken
+        alphabetically) so truncation by ``max_size`` keeps the most common
+        words.
+        """
+        counts: Counter[str] = Counter()
+        for sentence in tokenized_sentences:
+            counts.update(sentence)
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        vocabulary = cls()
+        for token, frequency in ordered:
+            if frequency < min_frequency:
+                continue
+            if max_size is not None and len(vocabulary) >= max_size + len(SPECIAL_TOKENS):
+                break
+            vocabulary.add(token)
+        return vocabulary
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS_TOKEN]
+
+    def token_to_id(self, token: str) -> int:
+        """Id of ``token``, or the ``<unk>`` id when unknown."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, index: int) -> str:
+        """Token for ``index``; raises :class:`VocabularyError` if out of range."""
+        if not 0 <= index < len(self._id_to_token):
+            raise VocabularyError(f"token id {index} outside vocabulary of size {len(self)}")
+        return self._id_to_token[index]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def tokens(self) -> List[str]:
+        """All tokens including the specials, in id order."""
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+    def encode(
+        self,
+        tokens: Sequence[str],
+        max_length: int | None = None,
+        add_special: bool = True,
+        pad: bool = True,
+    ) -> np.ndarray:
+        """Convert tokens to a fixed-length id array.
+
+        With ``add_special`` the sequence is wrapped in ``<bos>``/``<eos>``.
+        With ``pad`` and a ``max_length`` the array is padded (or truncated)
+        to exactly ``max_length`` entries.
+        """
+        ids = [self.token_to_id(token) for token in tokens]
+        if add_special:
+            ids = [self.bos_id, *ids, self.eos_id]
+        if max_length is not None:
+            ids = ids[:max_length]
+            if add_special and len(ids) == max_length and ids[-1] != self.eos_id:
+                ids[-1] = self.eos_id
+            if pad:
+                ids = ids + [self.pad_id] * (max_length - len(ids))
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode_batch(
+        self,
+        sentences: Sequence[Sequence[str]],
+        max_length: int,
+        add_special: bool = True,
+    ) -> np.ndarray:
+        """Encode a batch of token sequences into a ``(batch, max_length)`` array."""
+        return np.stack(
+            [self.encode(tokens, max_length=max_length, add_special=add_special) for tokens in sentences]
+        )
+
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> List[str]:
+        """Convert an id sequence back to tokens.
+
+        With ``strip_special`` the pad/bos tokens are removed and decoding
+        stops at the first ``<eos>``.
+        """
+        tokens: List[str] = []
+        for index in np.asarray(ids, dtype=np.int64).tolist():
+            token = self.id_to_token(index)
+            if strip_special:
+                if token == EOS_TOKEN:
+                    break
+                if token in (PAD_TOKEN, BOS_TOKEN):
+                    continue
+            tokens.append(token)
+        return tokens

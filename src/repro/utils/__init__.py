@@ -1,0 +1,18 @@
+"""Shared utilities: seeded randomness, registries, and serialization."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.registry import Registry
+from repro.utils.serialization import from_json_file, to_json_file
+from repro.utils.statistics import OnlineStatistics, ewma, percentile
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rng",
+    "Registry",
+    "from_json_file",
+    "to_json_file",
+    "OnlineStatistics",
+    "ewma",
+    "percentile",
+]

@@ -1,0 +1,55 @@
+"""A tiny name -> factory registry used for policies, codecs and baselines."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Maps string names to factories so experiments can be configured by name.
+
+    Example
+    -------
+    >>> policies: Registry[object] = Registry("cache-policy")
+    >>> @policies.register("lru")
+    ... class Lru: ...
+    >>> policies.create("lru")  # doctest: +ELLIPSIS
+    <repro.utils.registry.Lru object at ...>
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Decorator registering ``factory`` under ``name``."""
+
+        def decorator(factory: Callable[..., T]) -> Callable[..., T]:
+            if name in self._factories:
+                raise KeyError(f"{self.kind} {name!r} registered twice")
+            self._factories[name] = factory
+            return factory
+
+        return decorator
+
+    def create(self, name: str, /, *args: object, **kwargs: object) -> T:
+        """Instantiate the factory registered under ``name``."""
+        if name not in self._factories:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+        return self._factories[name](*args, **kwargs)
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def __len__(self) -> int:
+        return len(self._factories)

@@ -1,0 +1,47 @@
+"""JSON serialization helpers tolerant of numpy scalar/array values."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars/arrays and dataclasses."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - inherited
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        return super().default(o)
+
+
+def to_json(value: Any, *, indent: int = 2) -> str:
+    """Serialize ``value`` to a JSON string, converting numpy types."""
+    return json.dumps(value, cls=_NumpyJSONEncoder, indent=indent, sort_keys=True)
+
+
+def to_json_file(value: Any, path: PathLike, *, indent: int = 2) -> Path:
+    """Serialize ``value`` to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_json(value, indent=indent), encoding="utf-8")
+    return path
+
+
+def from_json_file(path: PathLike) -> Any:
+    """Load a JSON document from ``path``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,86 @@
+"""Lightweight streaming statistics used by the simulators and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def ewma(values: Sequence[float], alpha: float = 0.3) -> list[float]:
+    """Exponentially weighted moving average of ``values``.
+
+    ``alpha`` is the smoothing factor in ``(0, 1]``; higher values track the
+    latest observation more closely.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    smoothed: list[float] = []
+    current: float | None = None
+    for value in values:
+        current = value if current is None else alpha * value + (1 - alpha) * current
+        smoothed.append(current)
+    return smoothed
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be within [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class OnlineStatistics:
+    """Welford's online mean/variance accumulator.
+
+    Tracks count, mean, variance, min and max without storing samples, which
+    keeps long simulations memory-bounded.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = field(default=math.inf)
+    maximum: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary dictionary convenient for result tables."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+        }

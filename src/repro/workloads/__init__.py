@@ -1,0 +1,61 @@
+"""Synthetic workloads: domain corpora, user styles, traces and Metaverse scenarios."""
+
+from repro.workloads.domains import (
+    DEFAULT_DOMAIN_NAMES,
+    POLYSEMOUS_WORDS,
+    DomainCorpus,
+    DomainSpec,
+    default_domains,
+    generate_all_corpora,
+    generate_domain_corpus,
+    shared_vocabulary,
+)
+from repro.workloads.generator import (
+    GeneratedMessage,
+    MessageGenerator,
+    UserStyle,
+    build_user_population,
+    generate_user_style,
+)
+from repro.workloads.metaverse import (
+    MetaverseEvent,
+    MetaverseScenario,
+    MetaverseWorkload,
+    VirtualVenue,
+    default_venues,
+)
+from repro.workloads.traces import (
+    RequestTrace,
+    TopicDriftTrace,
+    TraceRequest,
+    ZipfTraceGenerator,
+    generate_topic_drift_trace,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "DomainSpec",
+    "DomainCorpus",
+    "default_domains",
+    "generate_domain_corpus",
+    "generate_all_corpora",
+    "shared_vocabulary",
+    "DEFAULT_DOMAIN_NAMES",
+    "POLYSEMOUS_WORDS",
+    "UserStyle",
+    "GeneratedMessage",
+    "MessageGenerator",
+    "generate_user_style",
+    "build_user_population",
+    "TraceRequest",
+    "RequestTrace",
+    "ZipfTraceGenerator",
+    "TopicDriftTrace",
+    "generate_topic_drift_trace",
+    "zipf_probabilities",
+    "VirtualVenue",
+    "MetaverseEvent",
+    "MetaverseScenario",
+    "MetaverseWorkload",
+    "default_venues",
+]

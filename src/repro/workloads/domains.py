@@ -1,0 +1,182 @@
+"""Synthetic domain definitions reproducing the paper's motivating example.
+
+Section II-A motivates domain-specialized models with the word "bus", which
+means a vehicle in everyday conversation but a hardware interconnect in
+computer architecture.  The four major domains the paper names (IT, medical,
+news, entertainment) are modelled here as small template grammars over
+domain-specific vocabularies that deliberately *share* a set of polysemous
+words; each domain uses those shared words in a different context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+#: Words that appear in more than one domain with different meanings.  These
+#: drive the cross-domain mismatch that domain-specialized models fix.
+POLYSEMOUS_WORDS: Tuple[str, ...] = (
+    "bus",
+    "virus",
+    "cell",
+    "driver",
+    "server",
+    "star",
+    "operation",
+    "stream",
+    "channel",
+    "patch",
+)
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Template grammar for one communication domain.
+
+    Attributes
+    ----------
+    name:
+        Domain identifier (e.g. ``"it"``).
+    subjects, verbs, objects, modifiers:
+        Word pools the sentence templates draw from.  Polysemous words placed
+        in these pools acquire that domain's sense through co-occurrence.
+    templates:
+        Sentence templates with ``{subject}``/``{verb}``/``{object}``/
+        ``{modifier}`` placeholders.
+    """
+
+    name: str
+    subjects: Tuple[str, ...]
+    verbs: Tuple[str, ...]
+    objects: Tuple[str, ...]
+    modifiers: Tuple[str, ...]
+    templates: Tuple[str, ...] = (
+        "the {subject} {verb} the {object}",
+        "a {modifier} {subject} {verb} the {object}",
+        "the {subject} {verb} a {modifier} {object}",
+        "{subject} and {object} {verb} the {modifier} {subject}",
+        "the {modifier} {object} {verb} the {subject}",
+    )
+
+    def vocabulary(self) -> List[str]:
+        """All words the domain can produce (deduplicated, order preserved)."""
+        seen: Dict[str, None] = {}
+        for pool in (self.subjects, self.verbs, self.objects, self.modifiers, ("the", "a", "and")):
+            for word in pool:
+                seen.setdefault(word, None)
+        return list(seen)
+
+    def sample_sentence(self, rng: np.random.Generator) -> str:
+        """Draw one sentence from the template grammar."""
+        template = self.templates[int(rng.integers(len(self.templates)))]
+        return template.format(
+            subject=self.subjects[int(rng.integers(len(self.subjects)))],
+            verb=self.verbs[int(rng.integers(len(self.verbs)))],
+            object=self.objects[int(rng.integers(len(self.objects)))],
+            modifier=self.modifiers[int(rng.integers(len(self.modifiers)))],
+        )
+
+
+def _it_domain() -> DomainSpec:
+    return DomainSpec(
+        name="it",
+        subjects=("cpu", "kernel", "compiler", "server", "driver", "router", "scheduler", "cache"),
+        verbs=("loads", "schedules", "compiles", "encrypts", "transmits", "caches", "patches", "reboots"),
+        objects=("bus", "packet", "thread", "virus", "patch", "stream", "channel", "cell"),
+        modifiers=("parallel", "virtual", "distributed", "encrypted", "idle", "remote", "cached"),
+    )
+
+
+def _medical_domain() -> DomainSpec:
+    return DomainSpec(
+        name="medical",
+        subjects=("doctor", "nurse", "patient", "surgeon", "virus", "cell", "clinic", "lab"),
+        verbs=("treats", "diagnoses", "examines", "infects", "monitors", "scans", "vaccinates", "heals"),
+        objects=("patient", "tumor", "cell", "operation", "symptom", "dose", "patch", "organ"),
+        modifiers=("chronic", "acute", "benign", "infected", "stable", "critical", "clinical"),
+    )
+
+
+def _news_domain() -> DomainSpec:
+    return DomainSpec(
+        name="news",
+        subjects=("reporter", "government", "minister", "committee", "driver", "union", "channel", "agency"),
+        verbs=("announces", "reports", "investigates", "approves", "criticizes", "elects", "debates", "publishes"),
+        objects=("policy", "election", "budget", "strike", "bus", "reform", "star", "summit"),
+        modifiers=("national", "public", "official", "breaking", "local", "federal", "economic"),
+    )
+
+
+def _entertainment_domain() -> DomainSpec:
+    return DomainSpec(
+        name="entertainment",
+        subjects=("actor", "singer", "director", "band", "star", "audience", "studio", "server"),
+        verbs=("performs", "releases", "streams", "premieres", "records", "applauds", "casts", "remixes"),
+        objects=("album", "movie", "concert", "stream", "trailer", "operation", "sequel", "playlist"),
+        modifiers=("viral", "award", "live", "animated", "acoustic", "blockbuster", "indie"),
+    )
+
+
+def default_domains() -> Dict[str, DomainSpec]:
+    """The four major domains named in the paper (IT, medical, news, entertainment)."""
+    domains = (_it_domain(), _medical_domain(), _news_domain(), _entertainment_domain())
+    return {domain.name: domain for domain in domains}
+
+
+DEFAULT_DOMAIN_NAMES: Tuple[str, ...] = tuple(default_domains().keys())
+
+
+@dataclass
+class DomainCorpus:
+    """A sampled corpus of sentences for one domain."""
+
+    domain: str
+    sentences: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def __iter__(self):
+        return iter(self.sentences)
+
+
+def generate_domain_corpus(
+    spec: DomainSpec,
+    num_sentences: int,
+    seed: SeedLike = None,
+) -> DomainCorpus:
+    """Sample ``num_sentences`` sentences from the domain grammar."""
+    if num_sentences < 0:
+        raise ValueError(f"num_sentences must be non-negative, got {num_sentences}")
+    rng = new_rng(seed)
+    sentences = [spec.sample_sentence(rng) for _ in range(num_sentences)]
+    return DomainCorpus(domain=spec.name, sentences=sentences)
+
+
+def generate_all_corpora(
+    num_sentences_per_domain: int,
+    seed: SeedLike = None,
+    domains: Dict[str, DomainSpec] | None = None,
+) -> Dict[str, DomainCorpus]:
+    """Sample a corpus for every domain with independent sub-seeds."""
+    domains = domains or default_domains()
+    rng = new_rng(seed)
+    corpora: Dict[str, DomainCorpus] = {}
+    for name, spec in domains.items():
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        corpora[name] = generate_domain_corpus(spec, num_sentences_per_domain, seed=sub_seed)
+    return corpora
+
+
+def shared_vocabulary(domains: Dict[str, DomainSpec] | None = None) -> List[str]:
+    """Words occurring in more than one domain (the polysemy set in practice)."""
+    domains = domains or default_domains()
+    counts: Dict[str, int] = {}
+    for spec in domains.values():
+        for word in set(spec.vocabulary()):
+            counts[word] = counts.get(word, 0) + 1
+    return sorted(word for word, count in counts.items() if count > 1)

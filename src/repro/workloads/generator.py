@@ -1,0 +1,204 @@
+"""Per-user message generation with individual language styles.
+
+Section II-B argues that a domain-general model misses user-specific language
+patterns ("different people may use the same word or phrase to mean different
+things").  We model a user's style as (i) a personal synonym substitution map,
+(ii) a bias toward a subset of the domain vocabulary, and (iii) habitual
+pet phrases prepended to some messages.  A codec fine-tuned on one user's
+transactions therefore fits that user measurably better than the general
+model — exactly the effect experiment E3 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+from repro.workloads.domains import DomainSpec, default_domains
+
+
+@dataclass
+class UserStyle:
+    """A user's idiosyncratic language profile.
+
+    Attributes
+    ----------
+    user_id:
+        Identifier of the user.
+    substitutions:
+        Personal word replacements (e.g. always says "machine" for "server").
+    pet_phrases:
+        Short phrases the user habitually prepends.
+    pet_phrase_probability:
+        Probability a message starts with a pet phrase.
+    favourite_domain:
+        The domain the user talks about most often.
+    domain_affinity:
+        Probability that a message is drawn from the favourite domain rather
+        than a uniformly random domain.
+    """
+
+    user_id: str
+    substitutions: Dict[str, str] = field(default_factory=dict)
+    pet_phrases: List[str] = field(default_factory=list)
+    pet_phrase_probability: float = 0.3
+    favourite_domain: Optional[str] = None
+    domain_affinity: float = 0.7
+
+    def apply(self, sentence: str, rng: np.random.Generator) -> str:
+        """Rewrite ``sentence`` in the user's personal style."""
+        words = sentence.split()
+        rewritten = [self.substitutions.get(word, word) for word in words]
+        if self.pet_phrases and rng.random() < self.pet_phrase_probability:
+            phrase = self.pet_phrases[int(rng.integers(len(self.pet_phrases)))]
+            rewritten = phrase.split() + rewritten
+        return " ".join(rewritten)
+
+
+#: Candidate personal substitutions sampled when auto-generating users.  Each
+#: maps a common domain word to an idiosyncratic variant that remains inside
+#: the overall vocabulary universe.
+_CANDIDATE_SUBSTITUTIONS: Dict[str, List[str]] = {
+    "server": ["machine", "box"],
+    "cpu": ["chip", "core"],
+    "movie": ["film", "picture"],
+    "doctor": ["physician", "doc"],
+    "patient": ["case", "client"],
+    "policy": ["plan", "measure"],
+    "concert": ["show", "gig"],
+    "packet": ["frame", "datagram"],
+    "album": ["record", "release"],
+    "budget": ["plan", "estimate"],
+}
+
+_PET_PHRASES: List[str] = [
+    "honestly",
+    "to be fair",
+    "as i said",
+    "by the way",
+    "listen",
+    "well",
+    "you know",
+]
+
+
+def generate_user_style(
+    user_id: str,
+    seed: SeedLike = None,
+    domains: Optional[Dict[str, DomainSpec]] = None,
+) -> UserStyle:
+    """Sample a random but reproducible :class:`UserStyle` for ``user_id``."""
+    rng = new_rng(seed)
+    domains = domains or default_domains()
+    substitutions: Dict[str, str] = {}
+    for word, options in _CANDIDATE_SUBSTITUTIONS.items():
+        if rng.random() < 0.4:
+            substitutions[word] = options[int(rng.integers(len(options)))]
+    num_phrases = int(rng.integers(1, 3))
+    phrase_indices = rng.choice(len(_PET_PHRASES), size=num_phrases, replace=False)
+    pet_phrases = [_PET_PHRASES[int(i)] for i in phrase_indices]
+    favourite = list(domains)[int(rng.integers(len(domains)))]
+    return UserStyle(
+        user_id=user_id,
+        substitutions=substitutions,
+        pet_phrases=pet_phrases,
+        pet_phrase_probability=float(rng.uniform(0.2, 0.5)),
+        favourite_domain=favourite,
+        domain_affinity=float(rng.uniform(0.5, 0.9)),
+    )
+
+
+@dataclass
+class GeneratedMessage:
+    """One message emitted by the workload generator."""
+
+    user_id: str
+    domain: str
+    text: str
+    turn_index: int
+
+
+class MessageGenerator:
+    """Generates a stream of user messages with domain and style structure.
+
+    The generator produces conversations: the active domain persists for a
+    geometrically-distributed number of turns before switching, which is what
+    makes context-aware model selection (Section III-A) outperform a
+    per-message classifier.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[UserStyle],
+        domains: Optional[Dict[str, DomainSpec]] = None,
+        domain_persistence: float = 0.8,
+        seed: SeedLike = None,
+    ) -> None:
+        if not users:
+            raise ValueError("at least one user style is required")
+        if not 0.0 <= domain_persistence < 1.0:
+            raise ValueError(f"domain_persistence must be in [0, 1), got {domain_persistence}")
+        self.users = {user.user_id: user for user in users}
+        self.domains = domains or default_domains()
+        self.domain_persistence = domain_persistence
+        self.rng = new_rng(seed)
+        self._current_domain: Dict[str, str] = {}
+        self._turn_counter: Dict[str, int] = {}
+
+    def _pick_domain(self, user: UserStyle) -> str:
+        current = self._current_domain.get(user.user_id)
+        if current is not None and self.rng.random() < self.domain_persistence:
+            return current
+        if user.favourite_domain and self.rng.random() < user.domain_affinity:
+            domain = user.favourite_domain
+        else:
+            names = list(self.domains)
+            domain = names[int(self.rng.integers(len(names)))]
+        self._current_domain[user.user_id] = domain
+        return domain
+
+    def next_message(self, user_id: str) -> GeneratedMessage:
+        """Generate the next message for ``user_id``."""
+        if user_id not in self.users:
+            raise KeyError(f"unknown user {user_id!r}")
+        user = self.users[user_id]
+        domain = self._pick_domain(user)
+        sentence = self.domains[domain].sample_sentence(self.rng)
+        styled = user.apply(sentence, self.rng)
+        turn = self._turn_counter.get(user_id, 0)
+        self._turn_counter[user_id] = turn + 1
+        return GeneratedMessage(user_id=user_id, domain=domain, text=styled, turn_index=turn)
+
+    def generate(self, user_id: str, count: int) -> List[GeneratedMessage]:
+        """Generate ``count`` consecutive messages for ``user_id``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.next_message(user_id) for _ in range(count)]
+
+    def generate_mixed(self, count: int) -> List[GeneratedMessage]:
+        """Generate ``count`` messages from users chosen uniformly at random."""
+        user_ids = list(self.users)
+        messages = []
+        for _ in range(count):
+            user_id = user_ids[int(self.rng.integers(len(user_ids)))]
+            messages.append(self.next_message(user_id))
+        return messages
+
+
+def build_user_population(
+    num_users: int,
+    seed: SeedLike = None,
+    domains: Optional[Dict[str, DomainSpec]] = None,
+) -> List[UserStyle]:
+    """Create ``num_users`` reproducible user styles named ``user_0`` ... ``user_{n-1}``."""
+    if num_users <= 0:
+        raise ValueError(f"num_users must be positive, got {num_users}")
+    rng = new_rng(seed)
+    styles = []
+    for index in range(num_users):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        styles.append(generate_user_style(f"user_{index}", seed=sub_seed, domains=domains))
+    return styles

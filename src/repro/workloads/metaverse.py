@@ -1,0 +1,140 @@
+"""A Metaverse-flavoured workload scenario.
+
+The paper's introduction motivates semantic communication with Metaverse-style
+applications: many concurrent users in shared virtual venues exchanging
+latency-sensitive messages whose topics follow the venue they are in.  This
+module composes the domain corpora, user styles and Zipf traces into such a
+scenario so examples and benchmarks can exercise a realistic end-to-end load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+from repro.workloads.domains import DomainSpec, default_domains
+from repro.workloads.generator import GeneratedMessage, MessageGenerator, UserStyle, build_user_population
+
+
+@dataclass(frozen=True)
+class VirtualVenue:
+    """A Metaverse venue whose conversations concentrate on one domain."""
+
+    name: str
+    dominant_domain: str
+    dominance: float = 0.8
+    capacity: int = 50
+
+
+@dataclass
+class MetaverseEvent:
+    """One timestamped message event inside a venue."""
+
+    timestamp: float
+    venue: str
+    message: GeneratedMessage
+    latency_budget_ms: float
+
+
+@dataclass
+class MetaverseScenario:
+    """A full scenario: venues, users, and the generated event stream."""
+
+    venues: List[VirtualVenue]
+    users: List[UserStyle]
+    events: List[MetaverseEvent] = field(default_factory=list)
+
+    def events_for_venue(self, venue_name: str) -> List[MetaverseEvent]:
+        """Events that occurred in ``venue_name``, in time order."""
+        return [event for event in self.events if event.venue == venue_name]
+
+    def domain_mix(self) -> Dict[str, int]:
+        """How many events used each domain (sanity check on venue dominance)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.message.domain] = counts.get(event.message.domain, 0) + 1
+        return counts
+
+
+def default_venues(domains: Optional[Dict[str, DomainSpec]] = None) -> List[VirtualVenue]:
+    """One venue per domain: tech expo, health clinic, press hall, concert stage."""
+    domains = domains or default_domains()
+    labels = {
+        "it": "tech-expo",
+        "medical": "virtual-clinic",
+        "news": "press-hall",
+        "entertainment": "concert-stage",
+    }
+    venues = []
+    for domain in domains:
+        venues.append(VirtualVenue(name=labels.get(domain, f"venue-{domain}"), dominant_domain=domain))
+    return venues
+
+
+class MetaverseWorkload:
+    """Generates :class:`MetaverseScenario` objects.
+
+    Parameters
+    ----------
+    num_users:
+        Size of the user population shared across venues.
+    arrival_rate:
+        Mean events per simulated second over the whole scenario.
+    latency_budget_ms:
+        Baseline latency budget attached to events; interactive venues get a
+        tighter budget.
+    """
+
+    def __init__(
+        self,
+        num_users: int = 12,
+        arrival_rate: float = 5.0,
+        latency_budget_ms: float = 100.0,
+        domains: Optional[Dict[str, DomainSpec]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+        self.domains = domains or default_domains()
+        self.num_users = num_users
+        self.arrival_rate = arrival_rate
+        self.latency_budget_ms = latency_budget_ms
+        self.rng = new_rng(seed)
+
+    def generate(self, num_events: int, venues: Optional[Sequence[VirtualVenue]] = None) -> MetaverseScenario:
+        """Generate a scenario with ``num_events`` message events."""
+        if num_events < 0:
+            raise ValueError(f"num_events must be non-negative, got {num_events}")
+        venues = list(venues) if venues is not None else default_venues(self.domains)
+        user_seed, generator_seed, event_seed = (int(s.integers(0, 2**31 - 1)) for s in spawn_rng(self.rng, 3))
+        users = build_user_population(self.num_users, seed=user_seed, domains=self.domains)
+        generator = MessageGenerator(users, domains=self.domains, seed=generator_seed)
+        event_rng = new_rng(event_seed)
+
+        timestamps = np.cumsum(event_rng.exponential(1.0 / self.arrival_rate, size=num_events))
+        events: List[MetaverseEvent] = []
+        for index in range(num_events):
+            venue = venues[int(event_rng.integers(len(venues)))]
+            user = users[int(event_rng.integers(len(users)))]
+            # Venue dominance: most messages in a venue use its dominant domain.
+            if event_rng.random() < venue.dominance:
+                domain = venue.dominant_domain
+            else:
+                names = list(self.domains)
+                domain = names[int(event_rng.integers(len(names)))]
+            sentence = self.domains[domain].sample_sentence(event_rng)
+            styled = user.apply(sentence, event_rng)
+            message = GeneratedMessage(user_id=user.user_id, domain=domain, text=styled, turn_index=index)
+            budget = self.latency_budget_ms * float(event_rng.uniform(0.5, 1.5))
+            events.append(
+                MetaverseEvent(
+                    timestamp=float(timestamps[index]),
+                    venue=venue.name,
+                    message=message,
+                    latency_budget_ms=budget,
+                )
+            )
+        return MetaverseScenario(venues=list(venues), users=users, events=events)

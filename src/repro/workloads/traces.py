@@ -1,0 +1,164 @@
+"""Request traces with skewed (Zipf) domain popularity for caching studies.
+
+Experiment E7 sweeps cache size against hit rate; the shape of that curve
+depends on how skewed domain/model popularity is, which this module controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def zipf_probabilities(num_items: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf probabilities for ranks ``1..num_items``."""
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request in a model-access trace."""
+
+    timestamp: float
+    user_id: str
+    domain: str
+    kind: str = "message"
+
+
+@dataclass
+class RequestTrace:
+    """An ordered list of :class:`TraceRequest` plus summary helpers."""
+
+    requests: List[TraceRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def domains(self) -> List[str]:
+        """Domain of every request, in order."""
+        return [request.domain for request in self.requests]
+
+    def domain_counts(self) -> Dict[str, int]:
+        """Number of requests per domain."""
+        counts: Dict[str, int] = {}
+        for request in self.requests:
+            counts[request.domain] = counts.get(request.domain, 0) + 1
+        return counts
+
+    def users(self) -> List[str]:
+        """Distinct users appearing in the trace, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.user_id, None)
+        return list(seen)
+
+
+class ZipfTraceGenerator:
+    """Generates request traces whose domain popularity follows a Zipf law.
+
+    Parameters
+    ----------
+    domain_names:
+        Candidate domains, ordered from most to least popular.
+    exponent:
+        Zipf skew; 0 gives uniform popularity, larger values concentrate
+        requests on the first domains.
+    arrival_rate:
+        Mean number of requests per simulated second (Poisson arrivals).
+    """
+
+    def __init__(
+        self,
+        domain_names: Sequence[str],
+        num_users: int = 10,
+        exponent: float = 1.0,
+        arrival_rate: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if not domain_names:
+            raise ValueError("domain_names must not be empty")
+        if num_users <= 0:
+            raise ValueError(f"num_users must be positive, got {num_users}")
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+        self.domain_names = list(domain_names)
+        self.num_users = num_users
+        self.exponent = exponent
+        self.arrival_rate = arrival_rate
+        self.rng = new_rng(seed)
+        self._probabilities = zipf_probabilities(len(self.domain_names), exponent)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-domain request probability used by the generator."""
+        return self._probabilities.copy()
+
+    def generate(self, num_requests: int) -> RequestTrace:
+        """Sample ``num_requests`` Poisson-arriving requests."""
+        if num_requests < 0:
+            raise ValueError(f"num_requests must be non-negative, got {num_requests}")
+        timestamps = np.cumsum(self.rng.exponential(1.0 / self.arrival_rate, size=num_requests))
+        domain_indices = self.rng.choice(len(self.domain_names), size=num_requests, p=self._probabilities)
+        user_indices = self.rng.integers(0, self.num_users, size=num_requests)
+        requests = [
+            TraceRequest(
+                timestamp=float(timestamps[i]),
+                user_id=f"user_{int(user_indices[i])}",
+                domain=self.domain_names[int(domain_indices[i])],
+            )
+            for i in range(num_requests)
+        ]
+        return RequestTrace(requests=requests)
+
+
+@dataclass
+class TopicDriftTrace:
+    """A conversation trace with latent topic segments for selection tests.
+
+    ``domains[i]`` is the true domain of turn ``i``; segments have
+    geometrically-distributed lengths so the recent context is informative
+    about the current domain.
+    """
+
+    domains: List[str]
+    segment_boundaries: List[int]
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+
+def generate_topic_drift_trace(
+    domain_names: Sequence[str],
+    num_turns: int,
+    persistence: float = 0.85,
+    seed: SeedLike = None,
+) -> TopicDriftTrace:
+    """Generate a domain-per-turn trace where topics persist across turns."""
+    if not domain_names:
+        raise ValueError("domain_names must not be empty")
+    if not 0.0 <= persistence < 1.0:
+        raise ValueError(f"persistence must be in [0, 1), got {persistence}")
+    rng = new_rng(seed)
+    domains: List[str] = []
+    boundaries: List[int] = []
+    current: Optional[str] = None
+    for turn in range(num_turns):
+        if current is None or rng.random() >= persistence:
+            choices = [name for name in domain_names if name != current] or list(domain_names)
+            current = choices[int(rng.integers(len(choices)))]
+            boundaries.append(turn)
+        domains.append(current)
+    return TopicDriftTrace(domains=domains, segment_boundaries=boundaries)

@@ -1,0 +1,204 @@
+"""Tests for the semantic model cache, eviction policies and prefetching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import (
+    CacheEntry,
+    PopularityPrefetcher,
+    SemanticModelCache,
+    available_policies,
+    general_model_key,
+    individual_model_key,
+    make_policy,
+    policy_registry,
+)
+from repro.exceptions import CacheError
+
+
+def entry(key="general/it", kind="general", domain="it", size=100, user=None, cost=1.0):
+    return CacheEntry(key=key, kind=kind, domain=domain, size_bytes=size, user_id=user, build_cost_s=cost)
+
+
+class TestCacheEntry:
+    def test_key_helpers(self):
+        assert general_model_key("it") == "general/it"
+        assert individual_model_key("u1", "it") == "individual/u1/it"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            CacheEntry(key="x", kind="mystery", domain="it", size_bytes=1)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            CacheEntry(key="x", kind="general", domain="it", size_bytes=-1)
+
+    def test_touch_updates_access_metadata(self):
+        item = entry()
+        item.touch(5.0)
+        assert item.access_count == 1 and item.last_access_time == 5.0
+
+
+class TestSemanticModelCache:
+    def test_put_and_get_hit(self):
+        cache = SemanticModelCache(1000, policy="lru")
+        cache.put(entry())
+        assert cache.get("general/it") is not None
+        assert cache.statistics.hits == 1 and cache.statistics.misses == 0
+
+    def test_miss_recorded(self):
+        cache = SemanticModelCache(1000)
+        assert cache.get("general/unknown") is None
+        assert cache.statistics.misses == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = SemanticModelCache(250, policy="lru")
+        for index in range(10):
+            cache.put(entry(key=f"general/d{index}", domain=f"d{index}", size=100))
+            assert cache.used_bytes <= cache.capacity_bytes
+        assert len(cache) == 2
+
+    def test_oversized_entry_rejected(self):
+        cache = SemanticModelCache(100)
+        with pytest.raises(CacheError):
+            cache.put(entry(size=200))
+
+    def test_lru_evicts_least_recent(self):
+        cache = SemanticModelCache(200, policy="lru")
+        cache.put(entry(key="general/a", domain="a", size=100), now=0.0)
+        cache.put(entry(key="general/b", domain="b", size=100), now=1.0)
+        cache.get("general/a", now=2.0)
+        evicted = cache.put(entry(key="general/c", domain="c", size=100), now=3.0)
+        assert [e.key for e in evicted] == ["general/b"]
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = SemanticModelCache(200, policy="lfu")
+        cache.put(entry(key="general/a", domain="a", size=100), now=0.0)
+        cache.put(entry(key="general/b", domain="b", size=100), now=1.0)
+        for t in range(3):
+            cache.get("general/a", now=2.0 + t)
+        evicted = cache.put(entry(key="general/c", domain="c", size=100), now=10.0)
+        assert [e.key for e in evicted] == ["general/b"]
+
+    def test_fifo_evicts_oldest_insertion(self):
+        cache = SemanticModelCache(200, policy="fifo")
+        cache.put(entry(key="general/a", domain="a", size=100), now=0.0)
+        cache.put(entry(key="general/b", domain="b", size=100), now=1.0)
+        cache.get("general/a", now=5.0)  # access does not matter for FIFO
+        evicted = cache.put(entry(key="general/c", domain="c", size=100), now=6.0)
+        assert [e.key for e in evicted] == ["general/a"]
+
+    def test_size_aware_prefers_evicting_large_cold_entries(self):
+        cache = SemanticModelCache(300, policy="size-aware")
+        cache.put(entry(key="general/big", domain="big", size=200), now=0.0)
+        cache.put(entry(key="general/small", domain="small", size=100), now=0.0)
+        cache.get("general/small", now=1.0)
+        evicted = cache.put(entry(key="general/new", domain="new", size=150), now=2.0)
+        assert [e.key for e in evicted] == ["general/big"]
+
+    def test_semantic_popularity_keeps_popular_domain(self):
+        cache = SemanticModelCache(300, policy="semantic-popularity")
+        cache.put(entry(key="general/pop", domain="pop", size=100), now=0.0)
+        cache.put(entry(key="general/cold", domain="cold", size=100), now=0.0)
+        cache.put(entry(key="individual/u/pop", kind="individual", domain="pop", size=100, user="u"), now=0.0)
+        for t in range(5):
+            cache.get("general/pop", now=1.0 + t)
+        evicted = cache.put(entry(key="general/new", domain="new", size=200), now=10.0)
+        assert "general/pop" not in [e.key for e in evicted]
+
+    def test_reinsert_same_key_replaces(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry(size=100))
+        cache.put(entry(size=300))
+        assert cache.used_bytes == 300 and len(cache) == 1
+
+    def test_remove_missing_raises(self):
+        cache = SemanticModelCache(100)
+        with pytest.raises(CacheError):
+            cache.remove("nope")
+
+    def test_get_or_build_accounts_miss_cost(self):
+        cache = SemanticModelCache(1000)
+        built, hit = cache.get_or_build("general/it", lambda: entry(cost=4.0))
+        assert not hit and built.key == "general/it"
+        assert cache.statistics.miss_cost_s == pytest.approx(4.0)
+        _, hit = cache.get_or_build("general/it", lambda: entry(cost=4.0))
+        assert hit
+        assert cache.statistics.hit_ratio == pytest.approx(0.5)
+
+    def test_get_or_build_key_mismatch(self):
+        cache = SemanticModelCache(1000)
+        with pytest.raises(CacheError):
+            cache.get_or_build("general/it", lambda: entry(key="general/other", domain="other"))
+
+    def test_model_helpers(self):
+        cache = SemanticModelCache(10_000)
+        cache.put_general_model("it", payload="codec", size_bytes=100)
+        cache.put_individual_model("u1", "it", payload="individual", size_bytes=50)
+        assert cache.general_model("it").payload == "codec"
+        assert cache.individual_model("u1", "it").payload == "individual"
+        assert cache.resident_domains() == ["it"]
+
+    def test_clock_never_goes_backwards(self):
+        cache = SemanticModelCache(1000)
+        cache.advance_clock(10.0)
+        cache.advance_clock(5.0)
+        assert cache.clock == 10.0
+
+    def test_peek_does_not_change_statistics(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry())
+        cache.peek("general/it")
+        assert cache.statistics.requests == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=120), min_size=1, max_size=30),
+        policy=st.sampled_from(["lru", "lfu", "fifo", "size-aware", "semantic-popularity"]),
+    )
+    def test_capacity_invariant_property(self, sizes, policy):
+        cache = SemanticModelCache(256, policy=policy)
+        for index, size in enumerate(sizes):
+            cache.put(entry(key=f"general/d{index}", domain=f"d{index % 5}", size=size), now=float(index))
+            assert cache.used_bytes <= cache.capacity_bytes
+
+
+class TestPolicyRegistry:
+    def test_all_policies_registered(self):
+        assert {"lru", "lfu", "fifo", "size-aware", "semantic-popularity"} <= set(available_policies())
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(KeyError):
+            make_policy("magic")
+
+    def test_registry_lookup(self):
+        assert "lru" in policy_registry
+
+
+class TestPrefetcher:
+    def test_top_domains_follow_observations(self):
+        prefetcher = PopularityPrefetcher(window=10, top_k=1)
+        for _ in range(8):
+            prefetcher.observe("it")
+        prefetcher.observe("news")
+        assert prefetcher.top_domains() == ["it"]
+        assert prefetcher.popularity()["it"] > 0.8
+
+    def test_prefetch_inserts_missing_models(self):
+        prefetcher = PopularityPrefetcher(window=10, top_k=2)
+        for domain in ["it", "it", "news", "news", "news"]:
+            prefetcher.observe(domain)
+        cache = SemanticModelCache(10_000)
+        decision = prefetcher.prefetch(cache, lambda d: entry(key=general_model_key(d), domain=d, size=10))
+        assert set(decision.prefetched_domains) == {"it", "news"}
+        decision_again = prefetcher.prefetch(cache, lambda d: entry(key=general_model_key(d), domain=d, size=10))
+        assert decision_again.prefetched_domains == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PopularityPrefetcher(window=0)
+        with pytest.raises(ValueError):
+            PopularityPrefetcher(top_k=0)

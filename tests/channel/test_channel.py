@@ -1,0 +1,255 @@
+"""Tests for modulation, noise, channel coding, quantization and the pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    AwgnChannel,
+    ErasureChannel,
+    HammingCode,
+    IdentityCode,
+    PhysicalChannel,
+    QuantizationSpec,
+    RayleighChannel,
+    RepetitionCode,
+    RicianChannel,
+    add_crc,
+    bits_to_bytes,
+    bits_to_features,
+    bytes_to_bits,
+    check_and_strip_crc,
+    features_to_bits,
+    get_modulation,
+    make_channel_code,
+    make_noise_model,
+    measure_bit_error_rate,
+    quantization_error,
+    snr_db_to_linear,
+    snr_linear_to_db,
+)
+from repro.exceptions import ChannelError, CodingError
+
+
+class TestModulation:
+    @pytest.mark.parametrize("name,bits_per_symbol", [("bpsk", 1), ("qpsk", 2), ("qam16", 4)])
+    def test_roundtrip_without_noise(self, name, bits_per_symbol, rng):
+        scheme = get_modulation(name)
+        assert scheme.bits_per_symbol == bits_per_symbol
+        bits = rng.integers(0, 2, size=64)
+        symbols = scheme.modulate(bits)
+        recovered = scheme.demodulate(symbols)[: bits.size]
+        np.testing.assert_array_equal(recovered, bits)
+
+    @pytest.mark.parametrize("name", ["bpsk", "qpsk", "qam16"])
+    def test_unit_average_energy(self, name):
+        assert get_modulation(name).average_energy == pytest.approx(1.0, rel=1e-6)
+
+    def test_padding_to_symbol_boundary(self):
+        scheme = get_modulation("qam16")
+        symbols = scheme.modulate(np.array([1, 0, 1]))
+        assert symbols.size == 1
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ChannelError):
+            get_modulation("512qam")
+
+    def test_non_binary_input_rejected(self):
+        with pytest.raises(ChannelError):
+            get_modulation("bpsk").modulate(np.array([0, 2]))
+
+
+class TestNoiseModels:
+    def test_snr_conversions_are_inverse(self):
+        assert snr_linear_to_db(snr_db_to_linear(7.0)) == pytest.approx(7.0)
+
+    def test_invalid_linear_snr(self):
+        with pytest.raises(ChannelError):
+            snr_linear_to_db(0.0)
+
+    def test_awgn_noise_power_scales_with_snr(self, rng):
+        symbols = np.ones(20000, dtype=complex)
+        noisy_low = AwgnChannel(0.0, seed=1).apply(symbols)
+        noisy_high = AwgnChannel(20.0, seed=1).apply(symbols)
+        assert np.var(noisy_low - symbols) > np.var(noisy_high - symbols)
+
+    def test_awgn_empirical_snr(self):
+        symbols = np.ones(50000, dtype=complex)
+        noisy = AwgnChannel(10.0, seed=0).apply(symbols)
+        measured = 1.0 / np.var(noisy - symbols)
+        assert 10 * np.log10(measured) == pytest.approx(10.0, abs=0.5)
+
+    def test_rayleigh_and_rician_apply(self, rng):
+        symbols = np.ones(1000, dtype=complex)
+        assert RayleighChannel(10.0, seed=0).apply(symbols).shape == symbols.shape
+        assert RicianChannel(10.0, k_factor=5.0, seed=0).apply(symbols).shape == symbols.shape
+
+    def test_rician_invalid_k(self):
+        with pytest.raises(ChannelError):
+            RicianChannel(10.0, k_factor=-1.0)
+
+    def test_erasure_channel_zeroes_fraction(self):
+        channel = ErasureChannel(0.3, seed=0)
+        symbols = np.ones(10000, dtype=complex)
+        erased = channel.apply(symbols)
+        assert (erased == 0).mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_erasure_invalid_probability(self):
+        with pytest.raises(ChannelError):
+            ErasureChannel(1.5)
+
+    def test_factory(self):
+        assert isinstance(make_noise_model("awgn", 5.0), AwgnChannel)
+        assert isinstance(make_noise_model("rayleigh", 5.0), RayleighChannel)
+        with pytest.raises(ChannelError):
+            make_noise_model("quantum", 5.0)
+
+
+class TestChannelCodes:
+    def test_repetition_corrects_single_flips(self):
+        code = RepetitionCode(3)
+        bits = np.array([1, 0, 1, 1])
+        coded = code.encode(bits)
+        coded[0] ^= 1  # one flip inside the first group
+        np.testing.assert_array_equal(code.decode(coded), bits)
+
+    def test_repetition_requires_odd(self):
+        with pytest.raises(CodingError):
+            RepetitionCode(2)
+
+    def test_repetition_bad_length(self):
+        with pytest.raises(CodingError):
+            RepetitionCode(3).decode(np.array([1, 0]))
+
+    def test_hamming_roundtrip_clean(self, rng):
+        code = HammingCode()
+        bits = rng.integers(0, 2, size=32)
+        np.testing.assert_array_equal(code.decode(code.encode(bits))[:32], bits)
+
+    def test_hamming_corrects_one_error_per_block(self, rng):
+        code = HammingCode()
+        bits = rng.integers(0, 2, size=16)
+        coded = code.encode(bits)
+        corrupted = coded.copy()
+        for block in range(corrupted.size // 7):
+            corrupted[block * 7 + int(rng.integers(7))] ^= 1
+        np.testing.assert_array_equal(code.decode(corrupted)[:16], bits)
+
+    def test_hamming_rate(self):
+        assert HammingCode().rate == pytest.approx(4 / 7)
+
+    def test_factory_and_identity(self):
+        assert isinstance(make_channel_code("identity"), IdentityCode)
+        assert isinstance(make_channel_code("hamming"), HammingCode)
+        assert isinstance(make_channel_code("repetition", repetitions=5), RepetitionCode)
+        with pytest.raises(CodingError):
+            make_channel_code("turbo")
+
+    def test_bytes_bits_roundtrip(self):
+        payload = b"semantic caching"
+        np.testing.assert_array_equal(bytes_to_bits(payload), bytes_to_bits(payload))
+        assert bits_to_bytes(bytes_to_bits(payload))[: len(payload)] == payload
+
+    def test_crc_detects_corruption(self):
+        framed = add_crc(b"hello")
+        _, ok = check_and_strip_crc(framed)
+        assert ok
+        corrupted = bytes([framed[0] ^ 0xFF]) + framed[1:]
+        _, ok = check_and_strip_crc(corrupted)
+        assert not ok
+
+    def test_crc_too_short(self):
+        _, ok = check_and_strip_crc(b"ab")
+        assert not ok
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded_by_step(self, rng):
+        spec = QuantizationSpec(bits_per_value=6, clip_range=1.0)
+        values = rng.uniform(-1, 1, size=200)
+        bits, shape = features_to_bits(values, spec)
+        restored = bits_to_features(bits, shape, spec)
+        step = 2.0 / (spec.levels - 1)
+        assert np.max(np.abs(values - restored)) <= step / 2 + 1e-9
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.uniform(-1, 1, size=500)
+        low = quantization_error(values, QuantizationSpec(bits_per_value=3))
+        high = quantization_error(values, QuantizationSpec(bits_per_value=8))
+        assert high < low
+
+    def test_clipping_out_of_range_values(self):
+        spec = QuantizationSpec(bits_per_value=4, clip_range=1.0)
+        bits, shape = features_to_bits(np.array([10.0, -10.0]), spec)
+        restored = bits_to_features(bits, shape, spec)
+        np.testing.assert_allclose(restored, [1.0, -1.0])
+
+    def test_invalid_specs(self):
+        with pytest.raises(ChannelError):
+            QuantizationSpec(bits_per_value=0)
+        with pytest.raises(ChannelError):
+            QuantizationSpec(bits_per_value=4, clip_range=-1.0)
+
+    def test_bits_length_validation(self):
+        spec = QuantizationSpec(bits_per_value=4)
+        with pytest.raises(ChannelError):
+            bits_to_features(np.array([1, 0, 1]), (1,), spec)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=1, max_size=32),
+        st.integers(min_value=2, max_value=10),
+    )
+    def test_roundtrip_property(self, values, bits):
+        spec = QuantizationSpec(bits_per_value=bits, clip_range=1.0)
+        array = np.asarray(values)
+        payload, shape = features_to_bits(array, spec)
+        restored = bits_to_features(payload, shape, spec)
+        assert np.max(np.abs(array - restored)) <= 2.0 / (spec.levels - 1) + 1e-9
+
+
+class TestPhysicalChannel:
+    def test_noiseless_high_snr_transmission(self, rng):
+        channel = PhysicalChannel(modulation="qpsk", snr_db=40.0, seed=0)
+        bits = rng.integers(0, 2, size=512)
+        received, report = channel.transmit(bits)
+        np.testing.assert_array_equal(received, bits)
+        assert report.bit_error_rate == 0.0
+        assert report.symbols == 256
+
+    def test_low_snr_introduces_errors(self, rng):
+        channel = PhysicalChannel(modulation="qpsk", snr_db=-5.0, seed=0)
+        bits = rng.integers(0, 2, size=2000)
+        _, report = channel.transmit(bits)
+        assert report.bit_error_rate > 0.05
+
+    def test_hamming_improves_ber_at_moderate_snr(self):
+        uncoded = measure_bit_error_rate(PhysicalChannel("qpsk", snr_db=6.0, seed=1), num_bits=20000, seed=2)
+        coded = measure_bit_error_rate(
+            PhysicalChannel("qpsk", snr_db=6.0, channel_code=HammingCode(), seed=1), num_bits=20000, seed=2
+        )
+        assert coded < uncoded
+
+    def test_history_accumulates(self, rng):
+        channel = PhysicalChannel(snr_db=10.0, seed=0)
+        channel.transmit(rng.integers(0, 2, size=64))
+        channel.transmit(rng.integers(0, 2, size=64))
+        assert len(channel.history) == 2
+        assert channel.total_information_bits() == 128
+        channel.reset_history()
+        assert channel.total_symbols() == 0
+
+    def test_rejects_non_binary(self):
+        channel = PhysicalChannel(snr_db=10.0, seed=0)
+        with pytest.raises(ChannelError):
+            channel.transmit(np.array([0, 1, 3]))
+
+    def test_ber_decreases_with_snr(self):
+        bers = [
+            measure_bit_error_rate(PhysicalChannel("qpsk", snr_db=snr, seed=3), num_bits=20000, seed=4)
+            for snr in (0.0, 5.0, 10.0)
+        ]
+        assert bers[0] > bers[1] > bers[2]

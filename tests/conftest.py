@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (trained codecs, pretrained knowledge-base libraries) are
+session-scoped so the whole suite stays fast while still exercising real
+training at least once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.semantic import CodecConfig, KnowledgeBaseLibrary, SemanticCodec
+from repro.workloads import default_domains, generate_all_corpora
+
+
+TINY_CODEC_CONFIG = CodecConfig(
+    architecture="mlp",
+    embedding_dim=16,
+    feature_dim=4,
+    hidden_dim=32,
+    max_length=14,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator for ad-hoc test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def domain_corpora():
+    """Small synthetic corpora for all four default domains."""
+    return generate_all_corpora(60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def it_sentences(domain_corpora):
+    """Sentences of the IT domain corpus."""
+    return list(domain_corpora["it"].sentences)
+
+
+@pytest.fixture(scope="session")
+def trained_codec(it_sentences) -> SemanticCodec:
+    """A small codec trained to (near-)perfect reconstruction on the IT corpus."""
+    codec = SemanticCodec.from_corpus(
+        it_sentences, config=TINY_CODEC_CONFIG, domain="it", train_epochs=20, seed=1
+    )
+    return codec
+
+
+@pytest.fixture(scope="session")
+def untrained_codec(it_sentences) -> SemanticCodec:
+    """A codec with the same vocabulary but no training (for contrast tests)."""
+    return SemanticCodec.from_corpus(it_sentences, config=TINY_CODEC_CONFIG, domain="it")
+
+
+@pytest.fixture(scope="session")
+def knowledge_bases(domain_corpora) -> KnowledgeBaseLibrary:
+    """A pretrained library with one codec per default domain."""
+    return KnowledgeBaseLibrary.pretrain(
+        corpora=domain_corpora,
+        config=TINY_CODEC_CONFIG,
+        train_epochs=15,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def domains():
+    """The default domain specifications."""
+    return default_domains()

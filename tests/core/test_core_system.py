@@ -1,0 +1,218 @@
+"""Integration tests for the sender/receiver edge servers, sessions and system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caching import SemanticModelCache
+from repro.channel import PhysicalChannel, QuantizationSpec
+from repro.core import (
+    CommunicationSession,
+    Message,
+    ReceiverEdgeServer,
+    SemanticEdgeSystem,
+    SenderEdgeServer,
+    SessionConfig,
+    SystemConfig,
+)
+from repro.core.pipeline import SemanticTransmissionPipeline
+from repro.exceptions import ProtocolError
+from repro.federated.sync import parameter_drift
+from repro.semantic import CodecConfig
+from repro.workloads import MessageGenerator, build_user_population
+
+
+@pytest.fixture(scope="module")
+def system(knowledge_bases_module):
+    config = SystemConfig(
+        codec=knowledge_bases_module.config,
+        channel_snr_db=14.0,
+        individual_threshold=4,
+        fine_tune_epochs=1,
+        quantization_bits=6,
+    )
+    return SemanticEdgeSystem(knowledge_bases_module, config=config)
+
+
+@pytest.fixture(scope="module")
+def knowledge_bases_module(knowledge_bases):
+    return knowledge_bases
+
+
+class TestPipeline:
+    def test_ideal_pipeline_preserves_features(self, rng):
+        pipeline = SemanticTransmissionPipeline(QuantizationSpec(bits_per_value=8))
+        features = np.clip(rng.normal(scale=0.4, size=(6, 4)), -1, 1)
+        result = pipeline.transmit_features(features)
+        assert result.channel_report is None
+        assert result.bit_errors == 0
+        np.testing.assert_allclose(result.received_features, features, atol=2 / 255 + 1e-9)
+        assert result.payload_bytes == pytest.approx(6 * 4 * 8 / 8)
+
+    def test_noisy_pipeline_reports_errors(self, rng):
+        pipeline = SemanticTransmissionPipeline(
+            QuantizationSpec(bits_per_value=6),
+            channel=PhysicalChannel("qpsk", snr_db=-2.0, seed=0),
+        )
+        features = np.clip(rng.normal(size=(10, 4)), -1, 1)
+        result = pipeline.transmit_features(features)
+        assert result.bit_errors > 0
+
+    def test_payload_bytes_for_shape(self):
+        pipeline = SemanticTransmissionPipeline(QuantizationSpec(bits_per_value=4))
+        assert pipeline.payload_bytes_for((8, 4)) == pytest.approx(16.0)
+
+
+class TestSenderEdgeServer:
+    def test_general_models_cached_on_construction(self, knowledge_bases):
+        sender = SenderEdgeServer("edge_0", knowledge_bases)
+        assert sorted(sender.cache.resident_domains()) == sorted(knowledge_bases.domains())
+
+    def test_domain_hint_wins_over_policy(self, knowledge_bases):
+        sender = SenderEdgeServer("edge_0", knowledge_bases)
+        message = Message("u1", "u2", "the cpu loads the bus", domain_hint="medical")
+        assert sender.select_domain(message) == "medical"
+
+    def test_provision_user_creates_individual_once(self, knowledge_bases):
+        sender = SenderEdgeServer("edge_0", knowledge_bases)
+        first = sender.provision_user("u1", "it")
+        second = sender.provision_user("u1", "it")
+        assert first is second
+        assert sender.has_individual_model("u1", "it")
+        assert "individual/u1/it" in sender.cached_model_keys()
+
+    def test_encode_uses_individual_when_available(self, knowledge_bases):
+        sender = SenderEdgeServer("edge_0", knowledge_bases)
+        message = Message("u1", "u2", "the cpu loads the bus", domain_hint="it")
+        before = sender.encode(message)
+        assert not before.used_individual_model
+        sender.provision_user("u1", "it")
+        after = sender.encode(message)
+        assert after.used_individual_model
+
+    def test_record_transaction_buffers_and_measures_mismatch(self, knowledge_bases):
+        sender = SenderEdgeServer("edge_0", knowledge_bases)
+        message = Message("u1", "u2", "the cpu loads the bus", domain_hint="it")
+        encoded = sender.encode(message)
+        transaction = sender.record_transaction(message, encoded.frame_features, "it")
+        assert 0.0 <= transaction.mismatch <= 1.0
+        assert len(sender.buffers.buffer("u1", "it")) == 1
+
+    def test_maybe_update_requires_threshold(self, knowledge_bases):
+        sender = SenderEdgeServer("edge_0", knowledge_bases, individual_threshold=3, fine_tune_epochs=1)
+        message = Message("u1", "u2", "the cpu loads the bus", domain_hint="it")
+        encoded = sender.encode(message)
+        assert sender.maybe_update_individual("u1", "it") is None
+        for _ in range(3):
+            sender.record_transaction(message, encoded.frame_features, "it")
+        update = sender.maybe_update_individual("u1", "it", seed=0)
+        assert update is not None
+        assert update.user_id == "u1" and update.domain == "it"
+        assert len(sender.buffers.buffer("u1", "it")) == 0  # buffer cleared after training
+
+    def test_no_knowledge_base_raises(self):
+        from repro.semantic import KnowledgeBaseLibrary
+
+        sender = SenderEdgeServer("edge_0", KnowledgeBaseLibrary())
+        with pytest.raises(ProtocolError):
+            sender.select_domain(Message("u1", "u2", "hello"))
+
+
+class TestReceiverEdgeServer:
+    def test_restore_with_general_decoder(self, knowledge_bases):
+        receiver = ReceiverEdgeServer("edge_1", knowledge_bases)
+        codec = knowledge_bases.get("it")
+        encoded = codec.encode_message("the cpu loads the bus")
+        assert receiver.restore(encoded.features, "it") == "the cpu loads the bus"
+
+    def test_unknown_domain_raises(self, knowledge_bases, rng):
+        receiver = ReceiverEdgeServer("edge_1", knowledge_bases)
+        with pytest.raises(ProtocolError):
+            receiver.restore(rng.normal(size=(4, 4)), "finance")
+
+    def test_individual_decoder_sync(self, knowledge_bases):
+        receiver = ReceiverEdgeServer("edge_1", knowledge_bases)
+        replica = receiver.provision_individual_decoder("u1", "it")
+        general_decoder = knowledge_bases.get("it").decoder
+        assert parameter_drift(replica, general_decoder) == pytest.approx(0.0)
+        from repro.federated import GradientUpdate
+
+        update = GradientUpdate(
+            "u1", "it", 1,
+            gradients={name: np.ones_like(value) for name, value in replica.state_dict().items()},
+            learning_rate=0.01,
+        )
+        applied = receiver.apply_sync(update)
+        assert applied == len(replica.state_dict())
+        assert parameter_drift(replica, general_decoder) > 0
+        assert receiver.has_individual_decoder("u1", "it")
+        assert receiver.sync_updates_applied == 1
+
+    def test_decoder_state_requires_existing_replica(self, knowledge_bases):
+        receiver = ReceiverEdgeServer("edge_1", knowledge_bases)
+        with pytest.raises(ProtocolError):
+            receiver.decoder_state("ghost", "it")
+
+
+class TestSessionAndSystem:
+    def test_session_delivers_message_end_to_end(self, system):
+        session = system.open_session("alice", "bob", channel_seed=0)
+        report = session.send_text("alice", "bob", "the cpu loads the bus", domain_hint="it")
+        assert report.selected_domain == "it"
+        assert report.payload_bytes > 0
+        assert 0.0 <= report.mismatch <= 1.0
+        assert report.latency.total_s > 0
+        assert report.restored_text
+
+    def test_session_statistics_accumulate(self, system):
+        session = system.open_session("carol", "dave", channel_seed=1)
+        users = build_user_population(1, seed=0)
+        generator = MessageGenerator(users, seed=1)
+        for item in generator.generate("user_0", 6):
+            session.send_text("carol", "dave", item.text, domain_hint=item.domain)
+        assert session.statistics.deliveries == 6
+        assert session.statistics.total_payload_bytes > 0
+        assert 0.0 <= session.statistics.mean_mismatch() <= 1.0
+        assert session.statistics.mean_latency_s() > 0
+
+    def test_sync_triggered_after_threshold(self, system):
+        session = system.open_session("erin", "frank", channel_seed=2)
+        for _ in range(6):
+            report = session.send_text("erin", "frank", "the cpu loads the bus", domain_hint="it")
+        assert any(r.sync_triggered for r in session.reports)
+        assert system.receiver.has_individual_decoder("erin", "it")
+
+    def test_open_session_is_idempotent(self, system):
+        first = system.open_session("x", "y")
+        second = system.open_session("x", "y")
+        assert first is second
+
+    def test_system_summary_keys(self, system):
+        summary = system.summary()
+        assert {"deliveries", "total_payload_bytes", "mean_mismatch", "sender_cache_hit_ratio"} <= set(summary)
+
+    def test_pretrained_constructor_builds_working_system(self):
+        config = SystemConfig(
+            codec=CodecConfig(architecture="mlp", embedding_dim=16, feature_dim=4, hidden_dim=24, max_length=14, seed=0),
+            channel_snr_db=None,
+            account_compute=False,
+        )
+        system = SemanticEdgeSystem.pretrained(sentences_per_domain=40, train_epochs=10, config=config, seed=1)
+        session = system.open_session("a", "b")
+        report = session.send_text("a", "b", "the doctor treats the patient", domain_hint="medical")
+        assert report.token_accuracy > 0.5
+
+    def test_session_without_individual_models(self, knowledge_bases):
+        config = SystemConfig(
+            codec=knowledge_bases.config,
+            channel_snr_db=None,
+            use_individual_models=False,
+            auto_update=False,
+            account_compute=False,
+        )
+        system = SemanticEdgeSystem(knowledge_bases, config=config)
+        session = system.open_session("a", "b")
+        report = session.send_text("a", "b", "the cpu loads the bus", domain_hint="it")
+        assert not report.used_individual_model
+        assert not report.sync_triggered

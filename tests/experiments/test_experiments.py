@@ -1,0 +1,154 @@
+"""Tests for the experiment harness and (fast, reduced-scale) experiment runs.
+
+Each experiment is exercised end to end at a small scale to confirm it runs,
+produces the expected table structure, and — where cheap enough — preserves
+the qualitative relationship the paper claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentSuite,
+    available_experiments,
+    run_experiment,
+    tables_of,
+)
+from repro.metrics import ResultTable
+
+FAST = ExperimentConfig(scale=0.25, sentences_per_domain=60, train_epochs=8, seed=0)
+
+
+class TestHarness:
+    def test_all_experiments_registered(self):
+        names = available_experiments()
+        assert {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "fig1"} <= set(names)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("e99", FAST)
+
+    def test_scaled_respects_minimum(self):
+        config = ExperimentConfig(scale=0.01)
+        assert config.scaled(10, minimum=3) == 3
+
+    def test_output_saving(self, tmp_path):
+        config = ExperimentConfig(scale=0.25, sentences_per_domain=40, train_epochs=5, output_dir=str(tmp_path))
+        run_experiment("e7", config)
+        assert list(tmp_path.glob("e7_*.json"))
+
+    def test_suite_runs_selected_experiments(self):
+        suite = ExperimentSuite(config=FAST)
+        results = suite.run(["e7", "e8"])
+        assert set(results) == {"e7", "e8"}
+        report = suite.report()
+        assert "Experiment e7" in report and "|" in report
+
+    def test_tables_of_normalizes(self):
+        table = ResultTable("x")
+        assert tables_of(table) == [table]
+        assert tables_of({"a": table}) == [table]
+
+
+class TestCheapExperiments:
+    """Experiments that run in a few seconds even at reduced scale."""
+
+    def test_e4_decoder_copy_story(self):
+        table = run_experiment("e4", FAST)
+        rows = {row["design"]: row for row in table.rows}
+        assert rows["decoder-copy-at-sender"]["feedback_bytes_total"] == 0.0
+        assert rows["send-output-back"]["feedback_bytes_total"] > 0.0
+        assert rows["decoder-copy-at-sender"]["extra_storage_bytes"] > 0.0
+
+    def test_e7_caching_beats_no_cache(self):
+        table = run_experiment("e7", FAST)
+        no_cache_delay = next(row["mean_delay_s"] for row in table.rows if row["policy"] == "no-cache")
+        largest = max(row["cache_size_mb"] for row in table.rows)
+        best_cached = min(
+            row["mean_delay_s"] for row in table.rows if row["cache_size_mb"] == largest
+        )
+        assert best_cached < no_cache_delay
+        # hit ratio should not decrease as the cache grows (for lru)
+        lru_rows = sorted(
+            (row for row in table.rows if row["policy"] == "lru"), key=lambda r: r["cache_size_mb"]
+        )
+        hit_ratios = [row["hit_ratio"] for row in lru_rows]
+        assert hit_ratios == sorted(hit_ratios)
+
+    def test_e8_offloading_story(self):
+        table = run_experiment("e8", FAST)
+        rows = table.rows
+        weakest = min(row["device_gflops"] for row in rows)
+        strongest = max(row["device_gflops"] for row in rows)
+
+        def latency(device, policy):
+            return next(
+                r["mean_latency_ms"] for r in rows if r["device_gflops"] == device and r["policy"] == policy
+            )
+
+        # On a weak device, offloading to the edge must beat local execution.
+        assert latency(weakest, "always-edge") < latency(weakest, "always-device")
+        # The adaptive policy tracks the better static policy at both extremes.
+        for device in (weakest, strongest):
+            best_static = min(latency(device, "always-device"), latency(device, "always-edge"))
+            assert latency(device, "adaptive") <= best_static * 1.05
+
+    def test_e5_gradient_sync_cheaper_than_full_model(self):
+        table = run_experiment("e5", FAST)
+        rows = {row["scheme"]: row for row in table.rows}
+        assert rows["dense-gradient"]["total_bytes"] <= rows["full-model"]["total_bytes"] * 1.01
+        topk_rows = [row for name, row in rows.items() if name.startswith("topk-")]
+        assert all(row["total_bytes"] < rows["full-model"]["total_bytes"] for row in topk_rows)
+        # The full-model baseline keeps the replica exactly in sync.
+        assert rows["full-model"]["parameter_drift"] == pytest.approx(0.0, abs=1e-12)
+        assert all(0.0 <= row["replica_token_accuracy"] <= 1.0 for row in rows.values())
+
+
+@pytest.mark.slow
+class TestFullStoryExperiments:
+    """Slower experiments asserting the headline qualitative claims."""
+
+    def test_e1_semantic_payload_smaller(self):
+        table = run_experiment("e1", ExperimentConfig(scale=0.4, sentences_per_domain=80, train_epochs=12))
+        semantic_bytes = [row["payload_bytes"] for row in table.rows if row["system"] == "semantic"]
+        traditional_bytes = [row["payload_bytes"] for row in table.rows if row["system"] == "traditional"]
+        assert sum(semantic_bytes) < sum(traditional_bytes)
+
+    def test_e2_cross_domain_mismatch_is_severe(self):
+        tables = run_experiment("e2", ExperimentConfig(scale=1.0, sentences_per_domain=120, train_epochs=15))
+        cross = tables["cross_domain"]
+        for row in cross.rows:
+            domain = row["encoder_domain"]
+            matched = row[f"decode_{domain}"]
+            mismatched = [value for key, value in row.items() if key.startswith("decode_") and key != f"decode_{domain}"]
+            assert matched > max(mismatched)
+
+    def test_e3_individual_models_improve(self):
+        table = run_experiment("e3", ExperimentConfig(scale=0.4, sentences_per_domain=80, train_epochs=12))
+        by_user = {}
+        for row in table.rows:
+            by_user.setdefault(row["user_id"], {})[row["buffered_transactions"]] = row["token_accuracy"]
+        improvements = []
+        for budgets in by_user.values():
+            general = budgets[0]
+            best_individual = max(value for budget, value in budgets.items() if budget > 0)
+            improvements.append(best_individual - general)
+        assert max(improvements) > 0.05
+        assert all(improvement >= -0.02 for improvement in improvements)
+
+    def test_e6_context_beats_per_message_classifier(self):
+        table = run_experiment("e6", ExperimentConfig(scale=0.6, sentences_per_domain=80, train_epochs=10))
+        accuracy = {row["policy"]: row["accuracy"] for row in table.rows}
+        assert accuracy["contextual-gru"] > accuracy["classifier"]
+        assert accuracy["classifier"] > accuracy["random"]
+
+    def test_fig1_workflow_steps_all_present(self):
+        table = run_experiment("fig1", ExperimentConfig(scale=1.0, sentences_per_domain=120, train_epochs=15))
+        steps = {row["step"]: row["quantity"] for row in table.rows}
+        assert steps["1-general-models-cached"] == 4.0
+        assert steps["2-individual-models-created"] >= 1.0
+        assert steps["3-transactions-buffered"] > 0.0
+        assert steps["4-gradient-syncs-to-receiver"] >= 1.0
+        assert steps["end-to-end-quality"] > 0.5

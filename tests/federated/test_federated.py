@@ -1,0 +1,196 @@
+"""Tests for gradient packaging, compression, decoder sync and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edge import build_linear_topology
+from repro.exceptions import FederatedError
+from repro.federated import (
+    DecoderSynchronizer,
+    GradientUpdate,
+    SyncConfig,
+    aggregate_into_module,
+    apply_state_difference,
+    apply_update,
+    compress_topk,
+    compression_error,
+    decompress,
+    extract_gradients,
+    federated_average_gradients,
+    federated_average_states,
+    make_update,
+    parameter_drift,
+    state_difference,
+)
+from repro.nn import Linear, Tensor
+
+
+def small_module(seed=0):
+    return Linear(4, 3, seed=seed)
+
+
+def module_with_gradients(seed=0):
+    module = small_module(seed)
+    output = module(Tensor(np.ones((2, 4))))
+    output.sum().backward()
+    return module
+
+
+class TestGradientPackaging:
+    def test_extract_requires_backward(self):
+        module = small_module()
+        assert extract_gradients(module) == {}
+        with pytest.raises(FederatedError):
+            make_update(module, "u1", "it", 1)
+
+    def test_make_update_contains_all_parameters(self):
+        module = module_with_gradients()
+        update = make_update(module, "u1", "it", round_index=1)
+        assert set(update.gradients) == {"weight", "bias"}
+        assert update.num_values() == 4 * 3 + 3
+        assert update.payload_bytes() == update.num_values() * 4
+        assert update.global_norm() > 0
+
+    def test_apply_update_moves_parameters_down_gradient(self):
+        module = module_with_gradients()
+        update = make_update(module, "u1", "it", 1, learning_rate=0.1)
+        before = module.state_dict()
+        applied = apply_update(module, update)
+        assert applied == 2
+        after = module.state_dict()
+        np.testing.assert_allclose(after["weight"], before["weight"] - 0.1 * update.gradients["weight"])
+
+    def test_apply_update_unknown_parameter(self):
+        module = small_module()
+        update = GradientUpdate("u", "it", 1, gradients={"mystery": np.zeros(3)})
+        with pytest.raises(FederatedError):
+            apply_update(module, update)
+
+    def test_apply_update_shape_mismatch(self):
+        module = small_module()
+        update = GradientUpdate("u", "it", 1, gradients={"bias": np.zeros(7)})
+        with pytest.raises(FederatedError):
+            apply_update(module, update)
+
+    def test_state_difference_roundtrip(self):
+        module_a = small_module(seed=0)
+        module_b = small_module(seed=1)
+        delta = state_difference(module_a.state_dict(), module_b.state_dict())
+        apply_state_difference(module_a, delta)
+        np.testing.assert_allclose(module_a.state_dict()["weight"], module_b.state_dict()["weight"])
+
+    def test_state_difference_name_mismatch(self):
+        with pytest.raises(FederatedError):
+            state_difference({"a": np.zeros(2)}, {"b": np.zeros(2)})
+
+
+class TestCompression:
+    def test_topk_keeps_requested_fraction(self):
+        module = module_with_gradients()
+        update = make_update(module, "u1", "it", 1)
+        compressed = compress_topk(update, fraction=0.25, bits_per_value=8)
+        assert compressed.values["weight"].size == max(1, round(0.25 * 12))
+        assert compressed.payload_bytes() < update.payload_bytes()
+
+    def test_decompress_restores_shapes(self):
+        module = module_with_gradients()
+        update = make_update(module, "u1", "it", 1)
+        restored = decompress(compress_topk(update, fraction=0.5))
+        assert restored.gradients["weight"].shape == (4, 3)
+        assert restored.compressed
+
+    def test_full_fraction_low_error(self):
+        module = module_with_gradients()
+        update = make_update(module, "u1", "it", 1)
+        compressed = compress_topk(update, fraction=1.0, bits_per_value=12)
+        assert compression_error(update, compressed) < 0.01
+
+    def test_error_grows_as_fraction_shrinks(self, rng):
+        gradients = {"weight": rng.normal(size=(20, 20))}
+        update = GradientUpdate("u", "it", 1, gradients=gradients)
+        high = compression_error(update, compress_topk(update, fraction=0.9))
+        low = compression_error(update, compress_topk(update, fraction=0.05))
+        assert low > high
+
+    def test_invalid_fraction(self):
+        update = GradientUpdate("u", "it", 1, gradients={"weight": np.ones(4)})
+        with pytest.raises(FederatedError):
+            compress_topk(update, fraction=0.0)
+
+
+class TestSynchronizer:
+    def _setup(self, compress=False):
+        topology = build_linear_topology(num_edge_servers=2, devices_per_server=0)
+        synchronizer = DecoderSynchronizer(
+            topology, "edge_0", "edge_1", config=SyncConfig(compress=compress, topk_fraction=0.2)
+        )
+        return topology, synchronizer
+
+    def test_sync_applies_update_and_accounts_bytes(self):
+        _, synchronizer = self._setup()
+        sender = module_with_gradients(seed=0)
+        receiver = small_module(seed=0)
+        receiver.load_state_dict({k: v.copy() for k, v in sender.state_dict().items()})
+        update = make_update(sender, "u1", "it", 1, learning_rate=0.05)
+        apply_update(sender, update)
+        record = synchronizer.synchronize(update, receiver, sender_decoder=sender)
+        assert record.payload_bytes == update.payload_bytes()
+        assert record.parameter_drift_after == pytest.approx(0.0, abs=1e-12)
+        assert synchronizer.total_bytes() == record.payload_bytes
+        assert synchronizer.total_transfer_time() > 0
+
+    def test_compressed_sync_is_smaller_but_drifts(self):
+        _, synchronizer = self._setup(compress=True)
+        sender = module_with_gradients(seed=0)
+        receiver = small_module(seed=0)
+        receiver.load_state_dict({k: v.copy() for k, v in sender.state_dict().items()})
+        update = make_update(sender, "u1", "it", 1, learning_rate=0.05)
+        apply_update(sender, update)
+        record = synchronizer.synchronize(update, receiver, sender_decoder=sender)
+        assert record.payload_bytes < update.payload_bytes()
+        assert record.compressed
+
+    def test_ship_full_model_costs_full_state(self):
+        _, synchronizer = self._setup()
+        module = small_module()
+        record = synchronizer.ship_full_model(module.state_dict())
+        assert record.payload_bytes == module.num_parameters() * 4
+
+    def test_parameter_drift_name_mismatch(self):
+        class Other(Linear):
+            pass
+
+        with pytest.raises(FederatedError):
+            parameter_drift(Linear(2, 2, seed=0), Linear(3, 3, seed=0))
+
+
+class TestAggregation:
+    def test_average_states(self):
+        states = [{"w": np.zeros((2, 2))}, {"w": np.ones((2, 2)) * 2}]
+        averaged = federated_average_states(states)
+        np.testing.assert_allclose(averaged["w"], np.ones((2, 2)))
+
+    def test_weighted_average(self):
+        states = [{"w": np.zeros(2)}, {"w": np.ones(2)}]
+        averaged = federated_average_states(states, weights=[1.0, 3.0])
+        np.testing.assert_allclose(averaged["w"], [0.75, 0.75])
+
+    def test_average_requires_consistent_names(self):
+        with pytest.raises(FederatedError):
+            federated_average_states([{"a": np.zeros(1)}, {"b": np.zeros(1)}])
+
+    def test_average_gradients_and_apply(self):
+        modules = [module_with_gradients(seed=i) for i in range(3)]
+        updates = [make_update(m, f"u{i}", "it", 1, learning_rate=0.1) for i, m in enumerate(modules)]
+        aggregate = federated_average_gradients(updates)
+        assert aggregate.user_id == "aggregate"
+        target = small_module(seed=9)
+        result = aggregate_into_module(target, updates)
+        assert result.num_updates == 3
+        assert set(result.parameter_names) == {"bias", "weight"}
+
+    def test_empty_aggregation_raises(self):
+        with pytest.raises(FederatedError):
+            federated_average_gradients([])

@@ -1,0 +1,154 @@
+"""Tests for fidelity/bandwidth/latency summaries and result tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.caching import SemanticModelCache, CacheEntry
+from repro.core.messages import DeliveryReport, LatencyBreakdown, Message
+from repro.metrics import (
+    ResultTable,
+    cache_summary,
+    compare_column,
+    compression_ratio,
+    fidelity_by_domain,
+    fidelity_over_time,
+    merge_tables,
+    summarize_bandwidth,
+    summarize_fidelity,
+    summarize_latency,
+)
+
+
+def make_report(domain="it", accuracy=1.0, payload=50.0, sync=0.0, latency=0.01):
+    return DeliveryReport(
+        message=Message("a", "b", "text", domain_hint=domain),
+        restored_text="text",
+        selected_domain=domain,
+        used_individual_model=False,
+        payload_bytes=payload,
+        token_accuracy=accuracy,
+        bleu=accuracy,
+        semantic_similarity=accuracy,
+        mismatch=1.0 - accuracy,
+        latency=LatencyBreakdown(encode_s=latency / 2, transfer_s=latency / 2),
+        sync_bytes=sync,
+    )
+
+
+class TestFidelityMetrics:
+    def test_summary_averages(self):
+        reports = [make_report(accuracy=1.0), make_report(accuracy=0.5)]
+        summary = summarize_fidelity(reports)
+        assert summary.token_accuracy == pytest.approx(0.75)
+        assert summary.mismatch == pytest.approx(0.25)
+        assert summary.count == 2
+
+    def test_empty_summary(self):
+        summary = summarize_fidelity([])
+        assert summary.count == 0 and summary.semantic_similarity is None
+
+    def test_group_by_domain(self):
+        reports = [make_report(domain="it"), make_report(domain="news", accuracy=0.4)]
+        groups = fidelity_by_domain(reports)
+        assert set(groups) == {"it", "news"}
+        assert groups["news"].token_accuracy == pytest.approx(0.4)
+
+    def test_fidelity_over_time_window(self):
+        reports = [make_report(accuracy=value) for value in (0.0, 1.0, 1.0, 1.0)]
+        smoothed = fidelity_over_time(reports, window=2)
+        assert smoothed[0] == 0.0 and smoothed[1] == 0.5 and smoothed[-1] == 1.0
+        with pytest.raises(ValueError):
+            fidelity_over_time(reports, window=0)
+
+    def test_as_dict_handles_missing_similarity(self):
+        summary = summarize_fidelity([])
+        assert math.isnan(summary.as_dict()["semantic_similarity"])
+
+
+class TestSystemMetrics:
+    def test_bandwidth_summary(self):
+        reports = [make_report(payload=100.0, sync=20.0), make_report(payload=60.0)]
+        summary = summarize_bandwidth(reports)
+        assert summary.total_payload_bytes == pytest.approx(160.0)
+        assert summary.mean_payload_bytes == pytest.approx(80.0)
+        assert summary.payload_bytes_per_delivery == pytest.approx(90.0)
+
+    def test_latency_summary_percentiles(self):
+        reports = [make_report(latency=0.01 * (i + 1)) for i in range(10)]
+        summary = summarize_latency(reports)
+        assert summary.p95_s >= summary.p50_s >= 0.0
+        assert summary.max_s == pytest.approx(0.1)
+        assert "breakdown_total_s" in summary.as_dict()
+
+    def test_empty_summaries(self):
+        assert summarize_bandwidth([]).deliveries == 0
+        assert summarize_latency([]).mean_s == 0.0
+
+    def test_cache_summary(self):
+        cache = SemanticModelCache(1000)
+        cache.put(CacheEntry(key="general/it", kind="general", domain="it", size_bytes=100))
+        cache.get("general/it")
+        cache.get("general/missing")
+        summary = cache_summary(cache)
+        assert summary["hit_ratio"] == pytest.approx(0.5)
+        assert summary["occupancy"] == pytest.approx(0.1)
+
+    def test_compression_ratio(self):
+        assert compression_ratio(50.0, 100.0) == pytest.approx(2.0)
+        assert compression_ratio(0.0, 100.0) == float("inf")
+
+
+class TestResultTable:
+    def test_columns_preserve_order(self):
+        table = ResultTable("demo")
+        table.add_row(b=1, a=2)
+        table.add_row(c=3)
+        assert table.columns() == ["b", "a", "c"]
+        assert table.column("a") == [2, None]
+        assert len(table) == 2
+
+    def test_markdown_and_text_rendering(self):
+        table = ResultTable("demo", description="small table")
+        table.add_row(system="semantic", bytes=15.75)
+        markdown = table.to_markdown()
+        assert "| system | bytes |" in markdown and "semantic" in markdown
+        text = table.to_text()
+        assert "semantic" in text and "demo" in text
+
+    def test_empty_table_rendering(self):
+        table = ResultTable("empty")
+        assert "(empty)" in table.to_markdown()
+        assert "(empty)" in table.to_text()
+
+    def test_save_json(self, tmp_path):
+        table = ResultTable("demo")
+        table.add_row(x=1.0)
+        path = tmp_path / "out" / "demo.json"
+        table.save_json(str(path))
+        assert path.exists()
+
+    def test_merge_tables_tags_source(self):
+        first = ResultTable("a")
+        first.add_row(x=1)
+        second = ResultTable("b")
+        second.add_row(x=2)
+        merged = merge_tables("all", [first, second])
+        assert [row["source"] for row in merged.rows] == ["a", "b"]
+
+    def test_compare_column_ratios(self):
+        table = ResultTable("ratios")
+        table.add_row(system="baseline", bytes=100.0)
+        table.add_row(system="semantic", bytes=25.0)
+        ratios = compare_column(table, "system", "bytes", "baseline")
+        assert ratios["semantic"] == pytest.approx(0.25)
+        with pytest.raises(KeyError):
+            compare_column(table, "system", "bytes", "missing")
+
+    def test_cell_formatting(self):
+        table = ResultTable("fmt")
+        table.add_row(big=12345.678, small=0.000012, nan=float("nan"), text="x")
+        rendered = table.to_text()
+        assert "1.235e+04" in rendered and "nan" in rendered

@@ -1,0 +1,141 @@
+"""Tests for attention, recurrent cells and transformer blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import (
+    GRU,
+    GRUCell,
+    MultiHeadAttention,
+    RecurrentClassifier,
+    Tensor,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    causal_mask,
+    padding_mask,
+    scaled_dot_product_attention,
+)
+
+
+class TestScaledDotProductAttention:
+    def test_output_shape(self, rng):
+        query = Tensor(rng.normal(size=(2, 5, 8)))
+        output, weights = scaled_dot_product_attention(query, query, query)
+        assert output.shape == (2, 5, 8)
+        assert weights.shape == (2, 5, 5)
+
+    def test_weights_sum_to_one(self, rng):
+        query = Tensor(rng.normal(size=(1, 4, 8)))
+        _, weights = scaled_dot_product_attention(query, query, query)
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones((1, 4)), atol=1e-8)
+
+    def test_mask_blocks_positions(self, rng):
+        query = Tensor(rng.normal(size=(1, 3, 4)))
+        mask = np.array([[[True, False, False]] * 3])
+        _, weights = scaled_dot_product_attention(query, query, query, mask=mask)
+        np.testing.assert_allclose(weights[0, :, 1:], np.zeros((3, 2)), atol=1e-6)
+
+    def test_dim_mismatch_raises(self, rng):
+        query = Tensor(rng.normal(size=(1, 3, 4)))
+        key = Tensor(rng.normal(size=(1, 3, 6)))
+        with pytest.raises(ShapeError):
+            scaled_dot_product_attention(query, key, key)
+
+    def test_causal_mask_is_lower_triangular(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] == False  # noqa: E712 - numpy bool
+        assert mask[3, 0] == True  # noqa: E712
+
+    def test_padding_mask(self):
+        ids = np.array([[5, 6, 0, 0]])
+        np.testing.assert_array_equal(padding_mask(ids, 0), [[True, True, False, False]])
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadAttention(12, 3, seed=0)
+        values = Tensor(rng.normal(size=(2, 6, 12)))
+        assert attention(values).shape == (2, 6, 12)
+        assert attention.last_attention_weights.shape == (2, 3, 6, 6)
+
+    def test_invalid_head_count(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_padding_mask_changes_output(self, rng):
+        attention = MultiHeadAttention(8, 2, seed=0)
+        values = Tensor(rng.normal(size=(1, 4, 8)))
+        mask = np.array([[True, True, False, False]])
+        with_mask = attention(values, mask=mask).data
+        without_mask = attention(values).data
+        assert not np.allclose(with_mask, without_mask)
+
+    def test_gradients_reach_projections(self, rng):
+        attention = MultiHeadAttention(8, 2, seed=0)
+        values = Tensor(rng.normal(size=(1, 3, 8)))
+        attention(values).sum().backward()
+        assert all(p.grad is not None for p in attention.parameters())
+
+
+class TestGru:
+    def test_cell_output_shape(self, rng):
+        cell = GRUCell(4, 6, seed=0)
+        hidden = cell(Tensor(rng.normal(size=(2, 4))), Tensor(np.zeros((2, 6))))
+        assert hidden.shape == (2, 6)
+
+    def test_cell_shape_mismatch(self, rng):
+        cell = GRUCell(4, 6, seed=0)
+        with pytest.raises(ShapeError):
+            cell(Tensor(rng.normal(size=(2, 5))), Tensor(np.zeros((2, 6))))
+
+    def test_sequence_output_shapes(self, rng):
+        gru = GRU(4, 6, seed=0)
+        states, final = gru(Tensor(rng.normal(size=(3, 7, 4))))
+        assert states.shape == (3, 7, 6)
+        assert final.shape == (3, 6)
+        np.testing.assert_allclose(states.data[:, -1, :], final.data)
+
+    def test_requires_three_dims(self, rng):
+        gru = GRU(4, 6, seed=0)
+        with pytest.raises(ShapeError):
+            gru(Tensor(rng.normal(size=(3, 4))))
+
+    def test_classifier_training_reduces_loss(self, rng):
+        from repro.nn import Adam, cross_entropy_loss
+
+        classifier = RecurrentClassifier(3, 8, 2, seed=0)
+        inputs = Tensor(rng.normal(size=(8, 5, 3)))
+        labels = rng.integers(0, 2, size=8)
+        optimizer = Adam(classifier.parameters(), 0.02)
+        losses = []
+        for _ in range(25):
+            optimizer.zero_grad()
+            loss = cross_entropy_loss(classifier(inputs), labels)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+        assert classifier.predict(inputs).shape == (8,)
+
+
+class TestTransformer:
+    def test_layer_preserves_shape(self, rng):
+        layer = TransformerEncoderLayer(8, 2, seed=0)
+        values = Tensor(rng.normal(size=(2, 5, 8)))
+        assert layer(values).shape == (2, 5, 8)
+
+    def test_stack_depth(self, rng):
+        encoder = TransformerEncoder(8, 2, num_layers=3, seed=0)
+        assert len(encoder.layers) == 3
+        values = Tensor(rng.normal(size=(1, 4, 8)))
+        assert encoder(values).shape == (1, 4, 8)
+
+    def test_gradients_flow_through_stack(self, rng):
+        encoder = TransformerEncoder(8, 2, num_layers=2, seed=0)
+        values = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+        encoder(values).sum().backward()
+        assert values.grad is not None
+        assert all(p.grad is not None for p in encoder.parameters())

@@ -1,0 +1,187 @@
+"""Tests for Module bookkeeping and the layer primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import (
+    MLP,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    PositionalEncoding,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+class TinyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.layer = Linear(3, 2, seed=0)
+        self.head = Linear(2, 1, seed=1)
+
+    def forward(self, inputs):
+        return self.head(self.layer(inputs).relu())
+
+
+class TestModule:
+    def test_parameters_are_collected_recursively(self):
+        module = TinyModule()
+        names = [name for name, _ in module.named_parameters()]
+        assert "layer.weight" in names and "head.bias" in names
+        assert module.num_parameters() == 3 * 2 + 2 + 2 * 1 + 1
+
+    def test_state_dict_roundtrip(self):
+        module = TinyModule()
+        other = TinyModule()
+        other.load_state_dict(module.state_dict())
+        for (_, a), (_, b) in zip(module.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        module = TinyModule()
+        state = module.state_dict()
+        state.pop("head.bias")
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        module = TinyModule()
+        state = module.state_dict()
+        state["head.bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        module = Sequential(Linear(2, 2), Dropout(0.5))
+        module.eval()
+        assert not module.training
+        assert not module._modules["1"].training
+
+    def test_zero_grad_clears_all(self):
+        module = TinyModule()
+        loss = module(Tensor(np.ones((2, 3)))).sum()
+        loss.backward()
+        assert any(p.grad is not None for p in module.parameters())
+        module.zero_grad()
+        assert all(p.grad is None for p in module.parameters())
+
+    def test_parameter_bytes(self):
+        module = TinyModule()
+        assert module.parameter_bytes() == module.num_parameters() * 4
+
+    def test_module_list_registers_children(self):
+        modules = ModuleList([Linear(2, 2, seed=0), Linear(2, 2, seed=1)])
+        assert len(modules) == 2
+        assert len(modules.parameters()) == 4
+        with pytest.raises(NotImplementedError):
+            modules(Tensor(np.ones((1, 2))))
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 6, seed=0)
+        assert layer(Tensor(np.ones((3, 4)))).shape == (3, 6)
+
+    def test_shape_mismatch_raises(self):
+        layer = Linear(4, 6, seed=0)
+        with pytest.raises(ShapeError):
+            layer(Tensor(np.ones((3, 5))))
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 2, bias=False, seed=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 5, seed=0)
+        assert table(np.array([[1, 2, 3]])).shape == (1, 3, 5)
+
+    def test_out_of_range_raises(self):
+        table = Embedding(10, 5, seed=0)
+        with pytest.raises(ShapeError):
+            table(np.array([11]))
+
+    def test_gradient_flows_only_to_used_rows(self):
+        table = Embedding(6, 3, seed=0)
+        output = table(np.array([1, 1, 4]))
+        output.sum().backward()
+        grad = table.weight.grad
+        assert grad is not None
+        assert np.all(grad[0] == 0) and np.all(grad[1] != 0) and np.all(grad[4] != 0)
+
+
+class TestLayerNormDropout:
+    def test_layernorm_normalizes(self, rng):
+        layer = LayerNorm(8)
+        output = layer(Tensor(rng.normal(loc=3.0, scale=2.0, size=(5, 8)))).data
+        np.testing.assert_allclose(output.mean(axis=-1), np.zeros(5), atol=1e-6)
+        np.testing.assert_allclose(output.std(axis=-1), np.ones(5), atol=1e-2)
+
+    def test_dropout_disabled_in_eval(self, rng):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        values = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(layer(values).data, values.data)
+
+    def test_dropout_masks_in_train(self, rng):
+        layer = Dropout(0.5, seed=0)
+        output = layer(Tensor(np.ones((100, 10)))).data
+        assert (output == 0).mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActivationsAndMLP:
+    @pytest.mark.parametrize("activation_class", [ReLU, Tanh, Sigmoid, GELU])
+    def test_activation_shapes(self, activation_class, rng):
+        values = Tensor(rng.normal(size=(3, 4)))
+        assert activation_class()(values).shape == (3, 4)
+
+    def test_mlp_output_shape(self, rng):
+        mlp = MLP(6, [12, 8], 3, seed=0)
+        assert mlp(Tensor(rng.normal(size=(5, 6)))).shape == (5, 3)
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(4, [4], 2, activation="swishish")
+
+    def test_sequential_indexing(self):
+        model = Sequential(Linear(2, 3, seed=0), ReLU(), Linear(3, 1, seed=1))
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+
+class TestPositionalEncoding:
+    def test_adds_position_information(self):
+        encoding = PositionalEncoding(8, max_length=10)
+        values = Tensor(np.zeros((1, 5, 8)))
+        output = encoding(values).data
+        assert not np.allclose(output[0, 0], output[0, 1])
+
+    def test_length_overflow_raises(self):
+        encoding = PositionalEncoding(8, max_length=4)
+        with pytest.raises(ShapeError):
+            encoding(Tensor(np.zeros((1, 5, 8))))
+
+    def test_odd_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            PositionalEncoding(7)

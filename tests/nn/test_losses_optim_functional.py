@@ -1,0 +1,204 @@
+"""Tests for losses, optimizers, and the stateless functional helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.nn import (
+    SGD,
+    Adam,
+    LearningRateSchedule,
+    Linear,
+    Tensor,
+    cosine_embedding_loss,
+    cross_entropy_loss,
+    kl_divergence_loss,
+    mse_loss,
+    nll_accuracy,
+)
+from repro.nn.functional import (
+    cosine_similarity,
+    log_softmax,
+    normalize,
+    one_hot,
+    pairwise_cosine_similarity,
+    sigmoid,
+    softmax,
+)
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self, rng):
+        values = Tensor(rng.normal(size=(3, 4)))
+        assert mse_loss(values, values).item() == pytest.approx(0.0)
+
+    def test_mse_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            mse_loss(Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(3, 2))))
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        targets = np.array([0, 1])
+        expected = -np.log(np.exp(2.0) / (np.exp(2.0) + 1.0))
+        assert cross_entropy_loss(logits, targets).item() == pytest.approx(expected, rel=1e-6)
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(np.array([[[5.0, 0.0], [0.0, 5.0]]]))
+        targets = np.array([[0, 99]])
+        loss_with_ignore = cross_entropy_loss(logits, np.array([[0, 0]]), ignore_index=None)
+        loss_ignoring = cross_entropy_loss(logits, targets, ignore_index=99)
+        assert loss_ignoring.item() < loss_with_ignore.item()
+
+    def test_cross_entropy_all_ignored_raises(self):
+        logits = Tensor(np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            cross_entropy_loss(logits, np.array([[9, 9]]), ignore_index=9)
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            cross_entropy_loss(Tensor(np.zeros((2, 3))), np.zeros((3,), dtype=int))
+
+    def test_nll_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        assert nll_accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+        assert nll_accuracy(logits, np.array([0, 1, 9]), ignore_index=9) == pytest.approx(1.0)
+
+    def test_cosine_embedding_loss_bounds(self, rng):
+        prediction = Tensor(rng.normal(size=(4, 8)))
+        assert cosine_embedding_loss(prediction, prediction).item() == pytest.approx(0.0, abs=1e-6)
+        flipped = Tensor(-prediction.data)
+        assert cosine_embedding_loss(prediction, flipped).item() == pytest.approx(2.0, abs=1e-6)
+
+    def test_kl_divergence_zero_for_matching(self):
+        probabilities = np.array([[0.2, 0.3, 0.5]])
+        log_probabilities = Tensor(np.log(probabilities))
+        assert kl_divergence_loss(log_probabilities, probabilities).item() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        parameter = Tensor(np.zeros(3), requires_grad=True)
+        return parameter, target
+
+    def test_sgd_converges_on_quadratic(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def losses_for(momentum):
+            parameter = Tensor(np.zeros(3), requires_grad=True)
+            optimizer = SGD([parameter], learning_rate=0.02, momentum=momentum)
+            values = []
+            for _ in range(50):
+                optimizer.zero_grad()
+                loss = ((parameter - Tensor(np.array([1.0, -2.0, 3.0]))) ** 2).sum()
+                loss.backward()
+                optimizer.step()
+                values.append(loss.item())
+            return values[-1]
+
+        assert losses_for(0.9) < losses_for(0.0)
+
+    def test_adam_converges(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.ones(4) * 10.0, requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1, weight_decay=0.5)
+        for _ in range(10):
+            optimizer.zero_grad()
+            (parameter * 0.0).sum().backward()
+            optimizer.step()
+        assert np.all(np.abs(parameter.data) < 10.0)
+
+    def test_gradient_clipping_bounds_norm(self):
+        parameter = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1)
+        (parameter * 1000.0).sum().backward()
+        norm_before = optimizer.clip_gradients(1.0)
+        assert norm_before > 1.0
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+
+    def test_invalid_learning_rate(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([parameter], learning_rate=-1.0)
+
+    def test_learning_rate_schedule_decays(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=1.0)
+        schedule = LearningRateSchedule(optimizer, decay_factor=0.5, decay_every=2)
+        rates = [schedule.step() for _ in range(4)]
+        assert rates == [1.0, 0.5, 0.5, 0.25]
+
+    def test_optimizer_skips_parameters_without_grad(self):
+        used = Tensor(np.zeros(2), requires_grad=True)
+        unused = Tensor(np.ones(2), requires_grad=True)
+        optimizer = SGD([used, unused], learning_rate=0.5)
+        (used * 2.0).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.data, np.ones(2))
+
+
+class TestFunctional:
+    def test_softmax_normalizes(self, rng):
+        values = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(softmax(values).sum(axis=-1), np.ones(4))
+
+    def test_log_softmax_consistent(self, rng):
+        values = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(np.exp(log_softmax(values)), softmax(values))
+
+    def test_sigmoid_range(self, rng):
+        values = sigmoid(rng.normal(size=100) * 10)
+        assert np.all((values > 0) & (values < 1))
+
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_cosine_similarity_identity(self, rng):
+        vector = rng.normal(size=16)
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+        assert cosine_similarity(vector, -vector) == pytest.approx(-1.0)
+
+    def test_pairwise_cosine_shape(self, rng):
+        a = rng.normal(size=(3, 8))
+        b = rng.normal(size=(5, 8))
+        assert pairwise_cosine_similarity(a, b).shape == (3, 5)
+
+    def test_normalize_unit_norm(self, rng):
+        values = normalize(rng.normal(size=(4, 6)))
+        np.testing.assert_allclose(np.linalg.norm(values, axis=-1), np.ones(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=10))
+    def test_softmax_invariant_to_shift(self, values):
+        array = np.asarray(values)
+        np.testing.assert_allclose(softmax(array), softmax(array + 123.0), atol=1e-10)

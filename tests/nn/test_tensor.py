@@ -1,0 +1,218 @@
+"""Tests for the autograd tensor: forward values and gradient correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GradientError
+from repro.nn.tensor import Tensor, concatenate, ones, stack, zeros
+
+
+def numeric_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar-valued ``function``."""
+    gradient = np.zeros_like(array)
+    flat = array.reshape(-1)
+    flat_gradient = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = function(array)
+        flat[index] = original - epsilon
+        minus = function(array)
+        flat[index] = original
+        flat_gradient[index] = (plus - minus) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(build_loss, shape, seed=0, tolerance=1e-5):
+    """Compare autograd and numerical gradients for a loss over one input."""
+    rng = np.random.default_rng(seed)
+    array = rng.normal(size=shape)
+    tensor = Tensor(array.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+
+    def scalar_function(values: np.ndarray) -> float:
+        return build_loss(Tensor(values)).data.item()
+
+    expected = numeric_gradient(scalar_function, array.copy())
+    assert tensor.grad is not None
+    np.testing.assert_allclose(tensor.grad, expected, atol=tolerance, rtol=1e-4)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.ndim == 2
+        assert tensor.size == 4
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_zeros_and_ones_helpers(self):
+        assert np.all(zeros((2, 3)).data == 0)
+        assert np.all(ones((2, 3)).data == 1)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(GradientError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            tensor.backward()
+
+
+class TestForwardValues:
+    def test_add_broadcasting(self):
+        left = Tensor(np.ones((2, 3)))
+        right = Tensor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose((left + right).data, [[2, 3, 4], [2, 3, 4]])
+
+    def test_matmul_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_softmax_sums_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(5, 7)))
+        probabilities = logits.softmax(axis=-1).data
+        np.testing.assert_allclose(probabilities.sum(axis=-1), np.ones(5))
+
+    def test_log_softmax_is_log_of_softmax(self, rng):
+        logits = Tensor(rng.normal(size=(4, 6)))
+        np.testing.assert_allclose(
+            logits.log_softmax(axis=-1).data, np.log(logits.softmax(axis=-1).data), atol=1e-10
+        )
+
+    def test_relu_clamps_negative(self):
+        np.testing.assert_allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_clip_bounds_values(self):
+        np.testing.assert_allclose(Tensor([-5.0, 0.5, 5.0]).clip(-1, 1).data, [-1.0, 0.5, 1.0])
+
+    def test_transpose_reverses_axes(self, rng):
+        array = rng.normal(size=(2, 3, 4))
+        assert Tensor(array).transpose().shape == (4, 3, 2)
+
+    def test_getitem_slicing(self, rng):
+        array = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(Tensor(array)[1:3, :2].data, array[1:3, :2])
+
+    def test_concatenate_and_stack(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(2, 3)))
+        assert concatenate([a, b], axis=0).shape == (4, 3)
+        assert stack([a, b], axis=0).shape == (2, 2, 3)
+
+    def test_gather_rows_selects_embeddings(self, rng):
+        table = Tensor(rng.normal(size=(10, 4)))
+        indices = np.array([[1, 3], [5, 7]])
+        gathered = table.gather_rows(indices)
+        assert gathered.shape == (2, 2, 4)
+        np.testing.assert_allclose(gathered.data[0, 1], table.data[3])
+
+
+class TestGradients:
+    def test_add_mul_gradient(self):
+        check_gradient(lambda t: ((t * 3.0 + 1.0) * t).sum(), (4, 3))
+
+    def test_division_gradient(self):
+        check_gradient(lambda t: (t / (t * t + 2.0)).sum(), (3, 3))
+
+    def test_matmul_gradient(self, rng):
+        other = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), (3, 4))
+
+    def test_batched_matmul_gradient(self, rng):
+        other = rng.normal(size=(2, 4, 3))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), (2, 5, 4))
+
+    def test_exp_log_gradient(self):
+        check_gradient(lambda t: (t.exp() + (t * t + 1.0).log()).sum(), (5,))
+
+    def test_tanh_sigmoid_gradient(self):
+        check_gradient(lambda t: (t.tanh() * t.sigmoid()).sum(), (4, 2))
+
+    def test_relu_gradient(self):
+        check_gradient(lambda t: (t.relu() * 2.0).sum(), (6,), seed=3)
+
+    def test_softmax_gradient(self, rng):
+        weights = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.softmax(axis=-1) * Tensor(weights)).sum(), (3, 4))
+
+    def test_log_softmax_gradient(self, rng):
+        weights = rng.normal(size=(2, 5))
+        check_gradient(lambda t: (t.log_softmax(axis=-1) * Tensor(weights)).sum(), (2, 5))
+
+    def test_mean_and_sum_axis_gradient(self):
+        check_gradient(lambda t: t.mean(axis=0).sum() + t.sum(axis=1, keepdims=True).mean(), (3, 4))
+
+    def test_reshape_transpose_gradient(self):
+        check_gradient(lambda t: (t.reshape(6, 2).transpose() * 3.0).sum(), (3, 4))
+
+    def test_getitem_gradient(self):
+        check_gradient(lambda t: (t[1:, :2] * 2.0).sum(), (3, 4))
+
+    def test_concatenate_gradient(self, rng):
+        other = rng.normal(size=(2, 3))
+        check_gradient(lambda t: concatenate([t, Tensor(other)], axis=0).sum(), (2, 3))
+
+    def test_stack_gradient(self, rng):
+        other = rng.normal(size=(2, 3))
+        check_gradient(lambda t: (stack([t, Tensor(other)], axis=1) ** 2).sum(), (2, 3))
+
+    def test_gather_rows_gradient(self):
+        indices = np.array([0, 2, 2, 1])
+
+        def loss(t: Tensor):
+            return (t.gather_rows(indices) * 2.0).sum()
+
+        check_gradient(loss, (4, 3))
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        tensor = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = (tensor * 2.0).sum() + (tensor * 3.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(tensor.grad, [5.0, 5.0])
+
+    def test_zero_grad_clears_gradient(self):
+        tensor = Tensor(np.array([1.0]), requires_grad=True)
+        (tensor * 2.0).sum().backward()
+        assert tensor.grad is not None
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+
+class TestGradientProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=2, max_size=8)
+    )
+    def test_sum_gradient_is_ones(self, values):
+        tensor = Tensor(np.asarray(values), requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones(len(values)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=3, allow_nan=False), min_size=2, max_size=8
+        )
+    )
+    def test_log_exp_inverse_gradient(self, values):
+        tensor = Tensor(np.asarray(values), requires_grad=True)
+        tensor.log().exp().sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones(len(values)), atol=1e-8)

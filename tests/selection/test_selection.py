@@ -1,0 +1,208 @@
+"""Tests for model-selection featurization and policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SelectionError
+from repro.selection import (
+    ClassifierProbabilityFeaturizer,
+    ClassifierSelectionPolicy,
+    ContextualDomainSelector,
+    ContextualSelectionPolicy,
+    DomainClassifier,
+    EpsilonGreedyPolicy,
+    KeywordSelectionPolicy,
+    LinUcbPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    build_featurizer,
+    evaluate_policy,
+)
+from repro.workloads import default_domains, generate_all_corpora
+
+
+@pytest.fixture(scope="module")
+def labelled_messages():
+    corpora = generate_all_corpora(40, seed=11)
+    texts, labels = [], []
+    for domain, corpus in corpora.items():
+        for sentence in corpus.sentences:
+            texts.append(sentence)
+            labels.append(domain)
+    return texts, labels
+
+
+@pytest.fixture(scope="module")
+def featurizer(labelled_messages):
+    texts, _ = labelled_messages
+    return build_featurizer(texts)
+
+
+@pytest.fixture(scope="module")
+def trained_classifier(featurizer, labelled_messages):
+    texts, labels = labelled_messages
+    classifier = DomainClassifier(featurizer, sorted(set(labels)), seed=0)
+    classifier.fit(texts, labels, epochs=25, seed=0)
+    return classifier
+
+
+class TestFeaturizer:
+    def test_features_are_normalized_counts(self, featurizer):
+        vector = featurizer.features("the cpu loads the bus")
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector.shape == (featurizer.dim,)
+
+    def test_empty_message_gives_zero_vector(self, featurizer):
+        assert featurizer.features("").sum() == 0.0
+
+    def test_batch_and_context_shapes(self, featurizer):
+        texts = ["the cpu loads the bus", "the doctor treats the patient"]
+        assert featurizer.batch_features(texts).shape == (2, featurizer.dim)
+        context = featurizer.context_features(texts, window=3)
+        assert context.shape == (2, 3, featurizer.dim)
+        # first turn has zero-padding in earlier context slots
+        assert np.all(context[0, :2] == 0)
+
+    def test_context_window_validation(self, featurizer):
+        with pytest.raises(ValueError):
+            featurizer.context_features(["a"], window=0)
+
+
+class TestClassifier:
+    def test_training_reaches_high_accuracy(self, trained_classifier, labelled_messages):
+        texts, labels = labelled_messages
+        correct = sum(trained_classifier.predict(t) == l for t, l in zip(texts, labels))
+        assert correct / len(texts) > 0.9
+
+    def test_probabilities_sum_to_one(self, trained_classifier):
+        probabilities = trained_classifier.predict_probabilities("the cpu loads the bus")
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_fit_validation(self, featurizer):
+        classifier = DomainClassifier(featurizer, ["a", "b"], seed=0)
+        with pytest.raises(ValueError):
+            classifier.fit(["x"], ["a", "b"])
+        with pytest.raises(ValueError):
+            classifier.fit([], [])
+
+    def test_policy_wrapper(self, trained_classifier):
+        policy = ClassifierSelectionPolicy(trained_classifier)
+        assert policy.select("the doctor treats the patient") in trained_classifier.domain_names
+
+
+class TestKeywordAndBaselinePolicies:
+    def test_keyword_picks_overlapping_domain(self, domains):
+        policy = KeywordSelectionPolicy({name: spec.vocabulary() for name, spec in domains.items()}, seed=0)
+        assert policy.select("the doctor treats the patient") == "medical"
+
+    def test_random_policy_stays_in_domain_set(self):
+        policy = RandomPolicy(["a", "b"], seed=0)
+        assert all(policy.select("anything") in {"a", "b"} for _ in range(10))
+
+    def test_oracle_is_perfect(self):
+        labels = ["a", "b", "a"]
+        policy = OraclePolicy(["a", "b"], labels)
+        outcome = evaluate_policy(policy, ["m1", "m2", "m3"], labels)
+        assert outcome.accuracy == 1.0
+        assert outcome.cumulative_regret[-1] == 0
+
+    def test_policy_requires_candidates(self):
+        with pytest.raises(SelectionError):
+            RandomPolicy([])
+
+    def test_evaluate_length_mismatch(self):
+        policy = RandomPolicy(["a"], seed=0)
+        with pytest.raises(SelectionError):
+            evaluate_policy(policy, ["x"], [])
+
+    def test_outcome_per_domain_accuracy(self):
+        labels = ["a", "a", "b"]
+        policy = OraclePolicy(["a", "b"], labels)
+        outcome = evaluate_policy(policy, ["1", "2", "3"], labels)
+        assert outcome.per_domain_accuracy == {"a": 1.0, "b": 1.0}
+
+
+class TestContextualSelector:
+    def test_probability_featurizer_dim(self, trained_classifier):
+        featurizer = ClassifierProbabilityFeaturizer(trained_classifier)
+        assert featurizer.dim == len(trained_classifier.domain_names)
+        assert featurizer.features("the cpu loads the bus").shape == (featurizer.dim,)
+
+    def test_fit_and_policy_statefulness(self, trained_classifier):
+        domains = default_domains()
+        rng = np.random.default_rng(0)
+        names = list(domains)
+        conversations, labels = [], []
+        for _ in range(4):
+            domain = names[int(rng.integers(len(names)))]
+            conversations.append([domains[domain].sample_sentence(rng) for _ in range(8)])
+            labels.append([domain] * 8)
+        featurizer = ClassifierProbabilityFeaturizer(trained_classifier)
+        selector = ContextualDomainSelector(featurizer, names, context_window=3, hidden_dim=8, seed=0)
+        losses = selector.fit(conversations, labels, epochs=8, seed=0)
+        assert losses[-1] <= losses[0]
+        policy = ContextualSelectionPolicy(selector)
+        prediction = policy.select(conversations[0][0])
+        assert prediction in names
+        policy.reset()
+        assert len(policy._history) == 0
+
+    def test_fit_validation(self, trained_classifier):
+        featurizer = ClassifierProbabilityFeaturizer(trained_classifier)
+        selector = ContextualDomainSelector(featurizer, ["a", "b"], context_window=2, seed=0)
+        with pytest.raises(ValueError):
+            selector.fit([["x"]], [["a", "b"]])
+        with pytest.raises(ValueError):
+            selector.fit([], [])
+
+    def test_invalid_window(self, trained_classifier):
+        featurizer = ClassifierProbabilityFeaturizer(trained_classifier)
+        with pytest.raises(ValueError):
+            ContextualDomainSelector(featurizer, ["a"], context_window=0)
+
+
+class TestBandits:
+    def test_epsilon_greedy_learns_best_arm(self):
+        policy = EpsilonGreedyPolicy(["good", "bad"], epsilon=0.1, seed=0)
+        for _ in range(60):
+            choice = policy.select("message")
+            policy.reward(choice, 1.0 if choice == "good" else 0.0)
+        assert policy._values["good"] > policy._values["bad"]
+
+    def test_epsilon_greedy_feedback_path(self):
+        policy = EpsilonGreedyPolicy(["a", "b"], epsilon=0.0, seed=0)
+        outcome = evaluate_policy(policy, ["m"] * 50, ["a"] * 50)
+        assert outcome.accuracy > 0.5
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyPolicy(["a"], epsilon=2.0)
+
+    def test_linucb_learns_contextual_mapping(self, featurizer):
+        domains = default_domains()
+        rng = np.random.default_rng(3)
+        policy = LinUcbPolicy(featurizer, list(domains), alpha=0.3)
+        texts, labels = [], []
+        for _ in range(150):
+            domain = list(domains)[int(rng.integers(4))]
+            texts.append(domains[domain].sample_sentence(rng))
+            labels.append(domain)
+        outcome = evaluate_policy(policy, texts, labels)
+        late_accuracy = 1.0 - (outcome.cumulative_regret[-1] - outcome.cumulative_regret[75]) / 75
+        early_accuracy = 1.0 - outcome.cumulative_regret[75] / 75
+        assert late_accuracy >= early_accuracy
+
+    def test_linucb_validation(self, featurizer):
+        with pytest.raises(ValueError):
+            LinUcbPolicy(featurizer, ["a"], alpha=-1.0)
+        with pytest.raises(ValueError):
+            LinUcbPolicy(featurizer, ["a"], ridge=0.0)
+
+    def test_bandit_reset_clears_state(self):
+        policy = EpsilonGreedyPolicy(["a", "b"], seed=0)
+        policy.select("m")
+        policy.feedback("m", "a")
+        policy.reset()
+        assert all(value == 0.0 for value in policy._values.values())

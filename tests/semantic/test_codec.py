@@ -1,0 +1,176 @@
+"""Tests for the semantic encoder/decoder codecs and their training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, KnowledgeBaseError
+from repro.semantic import (
+    ARCHITECTURES,
+    CodecConfig,
+    SemanticCodec,
+    SemanticDecoder,
+    SemanticEncoder,
+    SemanticPoolingEncoder,
+)
+from repro.text import Vocabulary
+
+
+class TestCodecConfig:
+    def test_defaults_are_valid(self):
+        config = CodecConfig()
+        assert config.architecture in ARCHITECTURES
+
+    def test_invalid_architecture(self):
+        with pytest.raises(ConfigurationError):
+            CodecConfig(architecture="rnnformer")
+
+    def test_heads_must_divide_embedding(self):
+        with pytest.raises(ConfigurationError):
+            CodecConfig(embedding_dim=30, num_heads=4)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CodecConfig(feature_dim=0)
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ConfigurationError):
+            CodecConfig(dropout=1.5)
+
+
+class TestEncoderDecoderShapes:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_encoder_output_shape(self, architecture):
+        config = CodecConfig(architecture=architecture, embedding_dim=16, feature_dim=5, hidden_dim=24, max_length=12, seed=0)
+        encoder = SemanticEncoder(vocab_size=30, config=config)
+        ids = np.random.default_rng(0).integers(0, 30, size=(3, 12))
+        assert encoder(ids).shape == (3, 12, 5)
+        assert encoder.encode(ids).shape == (3, 12, 5)
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_decoder_output_shape(self, architecture):
+        config = CodecConfig(architecture=architecture, embedding_dim=16, feature_dim=5, hidden_dim=24, max_length=12, seed=0)
+        decoder = SemanticDecoder(vocab_size=30, config=config)
+        features = np.random.default_rng(0).normal(size=(2, 12, 5))
+        assert decoder(features).shape == (2, 12, 30)
+        assert decoder.decode_greedy(features).shape == (2, 12)
+
+    def test_encoder_features_are_bounded(self):
+        config = CodecConfig(architecture="mlp", embedding_dim=16, feature_dim=4, hidden_dim=24, seed=0)
+        encoder = SemanticEncoder(vocab_size=20, config=config)
+        ids = np.random.default_rng(1).integers(0, 20, size=(2, 10))
+        features = encoder.encode(ids)
+        assert np.all(features <= 1.0) and np.all(features >= -1.0)
+
+    def test_single_sequence_promoted_to_batch(self):
+        config = CodecConfig(architecture="mlp", embedding_dim=16, feature_dim=4, hidden_dim=24, seed=0)
+        encoder = SemanticEncoder(vocab_size=20, config=config)
+        assert encoder(np.array([1, 2, 3])).shape[0] == 1
+
+    def test_pooling_encoder_single_vector(self):
+        config = CodecConfig(architecture="mlp", embedding_dim=16, feature_dim=6, hidden_dim=24, seed=0)
+        pooling = SemanticPoolingEncoder(vocab_size=25, config=config)
+        ids = np.random.default_rng(2).integers(1, 25, size=(4, 9))
+        assert pooling.encode(ids).shape == (4, 6)
+
+    def test_invalid_vocab_size(self):
+        with pytest.raises(ConfigurationError):
+            SemanticEncoder(vocab_size=0, config=CodecConfig())
+
+
+class TestSemanticCodec:
+    def test_trained_codec_reconstructs(self, trained_codec, it_sentences):
+        metrics = trained_codec.evaluate(it_sentences[:20])
+        assert metrics["token_accuracy"] > 0.9
+        assert metrics["bleu"] > 0.8
+
+    def test_untrained_codec_is_poor(self, untrained_codec, it_sentences):
+        metrics = untrained_codec.evaluate(it_sentences[:10])
+        assert metrics["token_accuracy"] < 0.5
+
+    def test_training_reduces_loss_monotonically_overall(self, trained_codec):
+        losses = trained_codec.training_report.losses
+        assert losses[-1] < losses[0]
+
+    def test_encode_message_trims_padding(self, trained_codec):
+        encoded = trained_codec.encode_message("the cpu loads the bus")
+        assert encoded.features.shape[0] == encoded.num_tokens
+        assert encoded.num_tokens < trained_codec.config.max_length
+
+    def test_reconstruct_roundtrip(self, trained_codec, it_sentences):
+        sentence = it_sentences[0]
+        assert trained_codec.reconstruct(sentence) == sentence
+
+    def test_decode_features_accepts_2d(self, trained_codec):
+        encoded = trained_codec.encode_message("the cpu loads the bus")
+        text = trained_codec.decode_features(encoded.features)
+        assert isinstance(text, str) and text
+
+    def test_unknown_words_become_unk(self, trained_codec):
+        encoded = trained_codec.encode_message("the quasar remodulates the flux")
+        assert encoded.num_tokens > 0
+
+    def test_state_dict_roundtrip_preserves_behaviour(self, trained_codec, it_sentences):
+        clone = trained_codec.clone()
+        sentence = it_sentences[1]
+        assert clone.reconstruct(sentence) == trained_codec.reconstruct(sentence)
+        assert clone.num_parameters() == trained_codec.num_parameters()
+
+    def test_clone_is_independent(self, trained_codec):
+        clone = trained_codec.clone()
+        for parameter in clone.encoder.parameters():
+            parameter.data += 1.0
+        original = trained_codec.encoder.state_dict()
+        cloned = clone.encoder.state_dict()
+        key = next(iter(original))
+        assert not np.allclose(original[key], cloned[key])
+
+    def test_model_bytes_scale_with_parameters(self, trained_codec):
+        assert trained_codec.model_bytes() == trained_codec.num_parameters() * 4
+
+    def test_train_empty_corpus_raises(self, trained_codec):
+        with pytest.raises(KnowledgeBaseError):
+            trained_codec.train([], epochs=1)
+
+    def test_train_invalid_epochs(self, trained_codec, it_sentences):
+        with pytest.raises(KnowledgeBaseError):
+            trained_codec.train(it_sentences, epochs=0)
+
+    def test_evaluate_empty_raises(self, trained_codec):
+        with pytest.raises(KnowledgeBaseError):
+            trained_codec.evaluate([])
+
+    def test_extra_tokens_included_in_vocabulary(self, it_sentences):
+        codec = SemanticCodec.from_corpus(it_sentences, config=CodecConfig(seed=0), extra_tokens=["zebra"])
+        assert "zebra" in codec.vocabulary
+
+    def test_noise_aware_training_improves_noise_robustness(self, it_sentences):
+        config = CodecConfig(architecture="mlp", embedding_dim=16, feature_dim=4, hidden_dim=32, max_length=14, seed=0)
+        clean = SemanticCodec.from_corpus(it_sentences, config=config, train_epochs=0)
+        noisy = SemanticCodec.from_corpus(it_sentences, config=config, train_epochs=0)
+        clean.train(it_sentences, epochs=15, seed=0)
+        noisy.train(it_sentences, epochs=15, noise_std=0.2, seed=0)
+        rng = np.random.default_rng(5)
+
+        def accuracy_under_noise(codec):
+            from repro.text import token_accuracy
+            from repro.text.tokenizer import simple_tokenize
+
+            scores = []
+            for sentence in it_sentences[:15]:
+                encoded = codec.encode_message(sentence)
+                perturbed = encoded.features + rng.normal(0, 0.25, size=encoded.features.shape)
+                restored = codec.decode_features(perturbed)
+                scores.append(token_accuracy(simple_tokenize(sentence), simple_tokenize(restored)))
+            return float(np.mean(scores))
+
+        assert accuracy_under_noise(noisy) >= accuracy_under_noise(clean) - 0.05
+
+
+class TestVocabularyIntegration:
+    def test_codec_uses_given_vocabulary(self):
+        vocabulary = Vocabulary(["alpha", "beta"])
+        codec = SemanticCodec(vocabulary, config=CodecConfig(seed=0))
+        encoded = codec.encode_message("alpha beta")
+        assert encoded.num_tokens == 4  # bos + 2 words + eos

@@ -1,0 +1,177 @@
+"""Tests for individual models, mismatch buffers and the knowledge-base library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KnowledgeBaseError
+from repro.semantic import (
+    BufferBank,
+    DomainBuffer,
+    IndividualModel,
+    KnowledgeBaseLibrary,
+    MismatchCalculator,
+    Transaction,
+)
+from repro.text import build_embeddings, simple_tokenize
+
+
+def make_transaction(text="the cpu loads the bus", restored="the cpu loads the bus", user="u1", domain="it", mismatch=0.0):
+    return Transaction(
+        original_text=text,
+        restored_text=restored,
+        features=np.zeros((3, 4)),
+        domain=domain,
+        user_id=user,
+        mismatch=mismatch,
+    )
+
+
+class TestMismatchCalculator:
+    def test_identical_messages_zero_mismatch(self):
+        calculator = MismatchCalculator()
+        report = calculator.compare("the cpu loads the bus", "the cpu loads the bus")
+        assert report.mismatch == pytest.approx(0.0)
+        assert report.token_accuracy == 1.0
+
+    def test_garbled_message_high_mismatch(self):
+        calculator = MismatchCalculator()
+        assert calculator.mismatch("the cpu loads the bus", "banana banana banana") > 0.8
+
+    def test_embeddings_add_semantic_similarity(self, it_sentences):
+        embeddings = build_embeddings([simple_tokenize(s) for s in it_sentences], dim=16)
+        calculator = MismatchCalculator(embeddings)
+        report = calculator.compare(it_sentences[0], it_sentences[0])
+        assert report.semantic_similarity == pytest.approx(1.0)
+
+    def test_mismatch_bounded(self):
+        calculator = MismatchCalculator()
+        value = calculator.mismatch("a b c", "")
+        assert 0.0 <= value <= 1.0
+
+
+class TestDomainBuffer:
+    def test_capacity_eviction(self):
+        buffer = DomainBuffer("it", capacity=3)
+        for index in range(5):
+            buffer.add(make_transaction(text=f"message {index}"))
+        assert len(buffer) == 3
+        assert buffer.total_added == 5
+        assert buffer.texts()[0] == "message 2"
+
+    def test_readiness_threshold(self):
+        buffer = DomainBuffer("it", capacity=10)
+        assert not buffer.is_ready(2)
+        buffer.add(make_transaction())
+        buffer.add(make_transaction())
+        assert buffer.is_ready(2)
+
+    def test_mean_mismatch(self):
+        buffer = DomainBuffer("it")
+        buffer.add(make_transaction(mismatch=0.2))
+        buffer.add(make_transaction(mismatch=0.4))
+        assert buffer.mean_mismatch() == pytest.approx(0.3)
+
+    def test_per_user_filter_and_clear(self):
+        buffer = DomainBuffer("it")
+        buffer.add(make_transaction(user="u1"))
+        buffer.add(make_transaction(user="u2"))
+        assert len(buffer.for_user("u1")) == 1
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DomainBuffer("it", capacity=0)
+
+
+class TestBufferBank:
+    def test_buffers_keyed_by_user_and_domain(self):
+        bank = BufferBank()
+        bank.record(make_transaction(user="u1", domain="it"))
+        bank.record(make_transaction(user="u1", domain="news"))
+        bank.record(make_transaction(user="u2", domain="it"))
+        assert len(bank) == 3
+        assert len(bank.buffer("u1", "it")) == 1
+
+    def test_ready_buffers(self):
+        bank = BufferBank()
+        for _ in range(4):
+            bank.record(make_transaction(user="u1", domain="it"))
+        bank.record(make_transaction(user="u2", domain="it"))
+        assert bank.ready_buffers(3) == [("u1", "it")]
+
+
+class TestIndividualModel:
+    def test_starts_as_copy_of_general(self, trained_codec):
+        individual = IndividualModel("u1", "it", trained_codec)
+        general_state = trained_codec.encoder.state_dict()
+        individual_state = individual.codec.encoder.state_dict()
+        key = next(iter(general_state))
+        np.testing.assert_allclose(general_state[key], individual_state[key])
+
+    def test_fine_tune_does_not_touch_general(self, trained_codec, it_sentences):
+        before = trained_codec.decoder.state_dict()
+        individual = IndividualModel("u1", "it", trained_codec)
+        individual.fine_tune(it_sentences[:8], epochs=1, seed=0)
+        after = trained_codec.decoder.state_dict()
+        key = next(iter(before))
+        np.testing.assert_allclose(before[key], after[key])
+
+    def test_fine_tune_returns_decoder_gradients(self, trained_codec, it_sentences):
+        individual = IndividualModel("u1", "it", trained_codec)
+        result = individual.fine_tune(it_sentences[:8], epochs=1, seed=0)
+        assert result.decoder_gradients
+        assert all(name.startswith(("input_projection", "body", "output_projection")) for name in result.decoder_gradients)
+        assert result.num_sentences == 8
+
+    def test_fine_tune_empty_raises(self, trained_codec):
+        individual = IndividualModel("u1", "it", trained_codec)
+        with pytest.raises(KnowledgeBaseError):
+            individual.fine_tune([], epochs=1)
+
+    def test_fine_tune_from_buffer_requires_enough_data(self, trained_codec):
+        individual = IndividualModel("u1", "it", trained_codec)
+        buffer = DomainBuffer("it")
+        buffer.add(make_transaction(user="u1"))
+        assert individual.fine_tune_from_buffer(buffer, minimum_transactions=5) is None
+
+    def test_improvement_over_general_on_styled_text(self, trained_codec):
+        # User systematically says "machine" where the corpus says "server"; the
+        # general codec never learned "machine" usage.
+        styled = [f"the machine {verb} the bus" for verb in ("loads", "schedules", "caches", "reboots")] * 4
+        individual = IndividualModel("u1", "it", trained_codec)
+        individual.fine_tune(styled, epochs=6, learning_rate=5e-3, seed=0)
+        comparison = individual.improvement_over_general(styled[:6])
+        assert comparison["individual_token_accuracy"] >= comparison["general_token_accuracy"]
+
+    def test_decoder_state_and_bytes(self, trained_codec):
+        individual = IndividualModel("u1", "it", trained_codec)
+        assert set(individual.decoder_state()) == set(trained_codec.decoder.state_dict())
+        assert individual.model_bytes() == trained_codec.model_bytes()
+
+
+class TestKnowledgeBaseLibrary:
+    def test_pretrained_library_has_all_domains(self, knowledge_bases):
+        assert set(knowledge_bases.domains()) == {"it", "medical", "news", "entertainment"}
+        assert len(knowledge_bases) == 4
+
+    def test_get_unknown_domain_raises(self, knowledge_bases):
+        with pytest.raises(KnowledgeBaseError):
+            knowledge_bases.get("finance")
+
+    def test_info_and_total_bytes(self, knowledge_bases):
+        info = knowledge_bases.info()
+        assert len(info) == 4
+        assert knowledge_bases.total_bytes() == sum(entry.size_bytes for entry in info)
+        assert all(entry.final_token_accuracy > 0.5 for entry in info)
+
+    def test_codecs_reconstruct_their_domain(self, knowledge_bases, domain_corpora):
+        for domain, corpus in domain_corpora.items():
+            metrics = knowledge_bases.get(domain).evaluate(list(corpus.sentences)[:10])
+            assert metrics["token_accuracy"] > 0.8, domain
+
+    def test_contains_and_items(self, knowledge_bases):
+        assert "it" in knowledge_bases
+        assert dict(knowledge_bases.items())["it"] is knowledge_bases.get("it")

@@ -1,0 +1,121 @@
+"""Tests for the image-modality semantic codec (Section III-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KnowledgeBaseError
+from repro.semantic import CodecConfig
+from repro.semantic.multimodal import (
+    DOMAIN_PATCHES,
+    SHARED_PATCHES,
+    ImageSemanticCodec,
+    Scene,
+    SceneGenerator,
+    SceneVocabulary,
+)
+
+TINY_IMAGE_CONFIG = CodecConfig(architecture="mlp", embedding_dim=12, feature_dim=3, hidden_dim=24, seed=0)
+
+
+class TestSceneVocabulary:
+    def test_palettes_exist_for_all_domains(self):
+        for domain in DOMAIN_PATCHES:
+            vocabulary = SceneVocabulary.for_domain(domain)
+            assert len(vocabulary) == len(SHARED_PATCHES) + len(DOMAIN_PATCHES[domain])
+
+    def test_shared_patches_have_same_ids_everywhere(self):
+        it_vocab = SceneVocabulary.for_domain("it")
+        medical_vocab = SceneVocabulary.for_domain("medical")
+        for name in SHARED_PATCHES:
+            assert it_vocab.patch_id(name) == medical_vocab.patch_id(name)
+
+    def test_unknown_domain_and_patch(self):
+        with pytest.raises(KnowledgeBaseError):
+            SceneVocabulary.for_domain("finance")
+        vocabulary = SceneVocabulary.for_domain("it")
+        with pytest.raises(KnowledgeBaseError):
+            vocabulary.patch_id("unicorn")
+        with pytest.raises(KnowledgeBaseError):
+            vocabulary.patch_name(99)
+
+    def test_roundtrip_names(self):
+        vocabulary = SceneVocabulary.for_domain("news")
+        for name in vocabulary.patches:
+            assert vocabulary.patch_name(vocabulary.patch_id(name)) == name
+
+
+class TestSceneGenerator:
+    def test_scene_shape_and_range(self):
+        generator = SceneGenerator("it", height=5, width=7, seed=0)
+        scene = generator.sample()
+        assert scene.shape == (5, 7)
+        assert scene.grid.min() >= 0
+        assert scene.grid.max() < len(generator.vocabulary)
+
+    def test_generation_is_deterministic(self):
+        first = SceneGenerator("medical", seed=3).sample().grid
+        second = SceneGenerator("medical", seed=3).sample().grid
+        np.testing.assert_array_equal(first, second)
+
+    def test_sample_many(self):
+        scenes = SceneGenerator("entertainment", seed=1).sample_many(8)
+        assert len(scenes) == 8
+        assert all(scene.domain == "entertainment" for scene in scenes)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SceneGenerator("it", height=0)
+        with pytest.raises(ValueError):
+            SceneGenerator("it", shared_fraction=2.0)
+        with pytest.raises(ValueError):
+            SceneGenerator("it", seed=0).sample_many(-1)
+
+
+class TestImageSemanticCodec:
+    @pytest.fixture(scope="class")
+    def trained_image_codec(self):
+        generator = SceneGenerator("it", height=5, width=5, seed=0)
+        scenes = generator.sample_many(60)
+        codec = ImageSemanticCodec("it", config=TINY_IMAGE_CONFIG)
+        codec.train(scenes, epochs=15, seed=0)
+        return codec, scenes
+
+    def test_feature_shape_and_bounds(self, trained_image_codec):
+        codec, scenes = trained_image_codec
+        features = codec.encode_scene(scenes[0])
+        assert features.shape == (25, TINY_IMAGE_CONFIG.feature_dim)
+        assert np.all(np.abs(features) <= 1.0)
+
+    def test_training_improves_reconstruction(self, trained_image_codec):
+        codec, scenes = trained_image_codec
+        untrained = ImageSemanticCodec("it", config=TINY_IMAGE_CONFIG)
+        trained_accuracy = codec.evaluate(scenes[:20])["patch_accuracy"]
+        untrained_accuracy = untrained.evaluate(scenes[:20])["patch_accuracy"]
+        assert trained_accuracy > 0.85
+        assert trained_accuracy > untrained_accuracy
+
+    def test_decode_features_restores_scene(self, trained_image_codec):
+        codec, scenes = trained_image_codec
+        scene = scenes[1]
+        restored = codec.decode_features(codec.encode_scene(scene), scene.shape)
+        assert restored.shape == scene.shape
+        assert (restored.grid == scene.grid).mean() > 0.85
+
+    def test_payload_smaller_than_raw_for_low_feature_dim(self, trained_image_codec):
+        codec, scenes = trained_image_codec
+        shape = scenes[0].shape
+        # 3 features x 2 bits < 8 bits per raw patch id
+        assert codec.payload_bytes(shape, bits_per_value=2) < codec.raw_scene_bytes(shape)
+
+    def test_train_validation(self):
+        codec = ImageSemanticCodec("news", config=TINY_IMAGE_CONFIG)
+        with pytest.raises(KnowledgeBaseError):
+            codec.train([], epochs=1)
+        with pytest.raises(KnowledgeBaseError):
+            codec.evaluate([])
+
+    def test_model_bytes_positive(self):
+        codec = ImageSemanticCodec("medical", config=TINY_IMAGE_CONFIG)
+        assert codec.model_bytes() == codec.num_parameters() * 4

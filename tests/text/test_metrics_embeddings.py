@@ -1,0 +1,127 @@
+"""Tests for text fidelity metrics and co-occurrence embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    CooccurrenceEmbeddings,
+    Vocabulary,
+    bag_of_words_cosine,
+    bleu_score,
+    build_embeddings,
+    corpus_bleu,
+    domain_embedding_table,
+    simple_tokenize,
+    token_accuracy,
+    word_error_rate,
+)
+
+
+class TestSurfaceMetrics:
+    def test_token_accuracy_identical(self):
+        tokens = ["a", "b", "c"]
+        assert token_accuracy(tokens, tokens) == 1.0
+
+    def test_token_accuracy_penalizes_length_mismatch(self):
+        assert token_accuracy(["a", "b"], ["a", "b", "c", "d"]) == pytest.approx(0.5)
+
+    def test_token_accuracy_empty_reference(self):
+        assert token_accuracy([], []) == 1.0
+        assert token_accuracy([], ["x"]) == 0.0
+
+    def test_word_error_rate_zero_for_identical(self):
+        assert word_error_rate(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_word_error_rate_counts_edits(self):
+        assert word_error_rate(["a", "b", "c"], ["a", "x", "c"]) == pytest.approx(1 / 3)
+
+    def test_word_error_rate_insertion_and_deletion(self):
+        assert word_error_rate(["a", "b"], ["a"]) == pytest.approx(0.5)
+        assert word_error_rate(["a"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_bleu_perfect_match(self):
+        tokens = ["the", "cpu", "loads", "the", "bus"]
+        assert bleu_score(tokens, tokens) == pytest.approx(1.0)
+
+    def test_bleu_zero_for_disjoint(self):
+        assert bleu_score(["a", "b", "c", "d"], ["w", "x", "y", "z"]) < 1e-3
+
+    def test_bleu_brevity_penalty(self):
+        reference = ["a", "b", "c", "d", "e", "f"]
+        assert bleu_score(reference, reference[:3]) < bleu_score(reference, reference)
+
+    def test_bleu_empty_hypothesis(self):
+        assert bleu_score(["a"], []) == 0.0
+
+    def test_corpus_bleu_averages(self):
+        references = [["a", "b"], ["c", "d"]]
+        hypotheses = [["a", "b"], ["x", "y"]]
+        assert 0.0 < corpus_bleu(references, hypotheses) < 1.0
+
+    def test_corpus_bleu_length_mismatch(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([["a"]], [])
+
+    def test_bag_of_words_cosine_order_invariant(self):
+        assert bag_of_words_cosine(["a", "b"], ["b", "a"]) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=10))
+    def test_metrics_bounded(self, tokens):
+        hypothesis = list(reversed(tokens))
+        assert 0.0 <= token_accuracy(tokens, hypothesis) <= 1.0
+        assert 0.0 <= bleu_score(tokens, hypothesis) <= 1.0
+        assert word_error_rate(tokens, hypothesis) >= 0.0
+
+
+class TestEmbeddings:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        it_sentences = [["the", "cpu", "loads", "the", "bus"], ["the", "kernel", "patches", "the", "bus"]] * 10
+        news_sentences = [["the", "driver", "stops", "the", "bus"], ["the", "strike", "halts", "the", "bus"]] * 10
+        return it_sentences, news_sentences
+
+    def test_fit_produces_vectors(self, corpus):
+        it_sentences, _ = corpus
+        embeddings = build_embeddings(it_sentences, dim=8)
+        assert embeddings.vectors.shape == (len(embeddings.vocabulary), 8)
+
+    def test_unfit_embeddings_raise(self):
+        embeddings = CooccurrenceEmbeddings(Vocabulary(["a"]), dim=4)
+        with pytest.raises(RuntimeError):
+            _ = embeddings.vectors
+
+    def test_sentence_similarity_self_is_one(self, corpus):
+        it_sentences, _ = corpus
+        embeddings = build_embeddings(it_sentences, dim=8)
+        sentence = it_sentences[0]
+        assert embeddings.sentence_similarity(sentence, sentence) == pytest.approx(1.0)
+
+    def test_similar_context_words_are_neighbors(self, corpus):
+        it_sentences, _ = corpus
+        embeddings = build_embeddings(it_sentences, dim=8)
+        neighbors = embeddings.nearest_neighbors("cpu", top_k=4)
+        assert "kernel" in neighbors
+
+    def test_polysemy_differs_across_domains(self, corpus):
+        it_sentences, news_sentences = corpus
+        it_embeddings = build_embeddings(it_sentences, dim=8)
+        news_embeddings = build_embeddings(news_sentences, dim=8)
+        table = domain_embedding_table({"it": it_embeddings, "news": news_embeddings}, "bus")
+        assert set(table) == {"it", "news"}
+        assert table["it"] != table["news"]
+
+    def test_empty_sentence_vector_is_zero(self, corpus):
+        it_sentences, _ = corpus
+        embeddings = build_embeddings(it_sentences, dim=8)
+        assert not np.any(embeddings.sentence_vector([]))
+
+    def test_sentence_similarity_from_real_corpus(self, it_sentences):
+        tokenized = [simple_tokenize(sentence) for sentence in it_sentences]
+        embeddings = build_embeddings(tokenized, dim=16)
+        similarity = embeddings.sentence_similarity(tokenized[0], tokenized[1])
+        assert -1.0 <= similarity <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for tokenization and vocabulary encode/decode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import VocabularyError
+from repro.text import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    Tokenizer,
+    UNK_TOKEN,
+    Vocabulary,
+    detokenize,
+    simple_tokenize,
+)
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert simple_tokenize("The CPU loads the Bus.") == ["the", "cpu", "loads", "the", "bus", "."]
+
+    def test_punctuation_is_separate_token(self):
+        assert simple_tokenize("hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_detokenize_reattaches_punctuation(self):
+        assert detokenize(["hello", ",", "world"]) == "hello, world"
+
+    def test_roundtrip_simple_sentence(self):
+        sentence = "the doctor treats the patient"
+        assert detokenize(simple_tokenize(sentence)) == sentence
+
+    def test_max_length_truncation(self):
+        tokenizer = Tokenizer(max_length=3)
+        assert tokenizer.tokenize("a b c d e") == ["a", "b", "c"]
+
+    def test_batch_tokenization(self):
+        tokenizer = Tokenizer()
+        batch = tokenizer.tokenize_batch(["a b", "c d e"])
+        assert batch == [["a", "b"], ["c", "d", "e"]]
+
+    def test_apostrophes_kept_in_word(self):
+        assert simple_tokenize("it's fine") == ["it's", "fine"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["cpu", "bus", "doctor", "star", "policy"]), min_size=1, max_size=8))
+    def test_roundtrip_property(self, words):
+        sentence = " ".join(words)
+        assert detokenize(simple_tokenize(sentence)) == sentence
+
+
+class TestVocabulary:
+    def test_special_tokens_have_fixed_ids(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.token_to_id(PAD_TOKEN) == 0
+        assert vocabulary.token_to_id(UNK_TOKEN) == 1
+        assert vocabulary.token_to_id(BOS_TOKEN) == 2
+        assert vocabulary.token_to_id(EOS_TOKEN) == 3
+
+    def test_from_corpus_orders_by_frequency(self):
+        vocabulary = Vocabulary.from_corpus([["b", "a", "a"], ["a", "c"]])
+        assert vocabulary.token_to_id("a") < vocabulary.token_to_id("b")
+
+    def test_min_frequency_filters_rare_tokens(self):
+        vocabulary = Vocabulary.from_corpus([["a", "a", "b"]], min_frequency=2)
+        assert "a" in vocabulary and "b" not in vocabulary
+
+    def test_max_size_limits_vocabulary(self):
+        vocabulary = Vocabulary.from_corpus([["a", "b", "c", "d"]], max_size=2)
+        assert len(vocabulary) == 2 + 4  # two words plus specials
+
+    def test_unknown_token_maps_to_unk(self):
+        vocabulary = Vocabulary(["known"])
+        assert vocabulary.token_to_id("unknown") == vocabulary.unk_id
+
+    def test_id_to_token_out_of_range(self):
+        vocabulary = Vocabulary()
+        with pytest.raises(VocabularyError):
+            vocabulary.id_to_token(999)
+
+    def test_encode_adds_specials_and_pads(self):
+        vocabulary = Vocabulary(["hello", "world"])
+        ids = vocabulary.encode(["hello", "world"], max_length=6)
+        assert ids[0] == vocabulary.bos_id
+        assert ids[3] == vocabulary.eos_id
+        assert list(ids[4:]) == [vocabulary.pad_id, vocabulary.pad_id]
+
+    def test_encode_truncates_and_keeps_eos(self):
+        vocabulary = Vocabulary(["a", "b", "c", "d"])
+        ids = vocabulary.encode(["a", "b", "c", "d"], max_length=4)
+        assert len(ids) == 4
+        assert ids[-1] == vocabulary.eos_id
+
+    def test_decode_strips_specials(self):
+        vocabulary = Vocabulary(["hello", "world"])
+        ids = vocabulary.encode(["hello", "world"], max_length=8)
+        assert vocabulary.decode(ids) == ["hello", "world"]
+
+    def test_decode_stops_at_eos(self):
+        vocabulary = Vocabulary(["x"])
+        ids = [vocabulary.bos_id, vocabulary.token_to_id("x"), vocabulary.eos_id, vocabulary.token_to_id("x")]
+        assert vocabulary.decode(ids) == ["x"]
+
+    def test_encode_batch_shape(self):
+        vocabulary = Vocabulary(["a", "b"])
+        batch = vocabulary.encode_batch([["a"], ["a", "b"]], max_length=5)
+        assert batch.shape == (2, 5)
+        assert batch.dtype == np.int64
+
+    def test_add_is_idempotent(self):
+        vocabulary = Vocabulary()
+        first = vocabulary.add("token")
+        second = vocabulary.add("token")
+        assert first == second
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]), min_size=1, max_size=6))
+    def test_encode_decode_roundtrip_property(self, tokens):
+        vocabulary = Vocabulary(["alpha", "beta", "gamma", "delta"])
+        ids = vocabulary.encode(tokens, max_length=len(tokens) + 2)
+        assert vocabulary.decode(ids) == tokens

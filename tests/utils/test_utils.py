@@ -1,0 +1,134 @@
+"""Tests for shared utilities: rng, registry, serialization, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    OnlineStatistics,
+    Registry,
+    ewma,
+    from_json_file,
+    new_rng,
+    percentile,
+    spawn_rng,
+    to_json_file,
+)
+from repro.utils.rng import RngMixin
+from repro.utils.serialization import to_json
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert new_rng(7).integers(0, 100, 5).tolist() == new_rng(7).integers(0, 100, 5).tolist()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert new_rng(generator) is generator
+
+    def test_spawn_produces_independent_streams(self):
+        children = spawn_rng(new_rng(0), 3)
+        assert len(children) == 3
+        values = [child.integers(0, 1000) for child in children]
+        assert len(set(values)) > 1
+
+    def test_spawn_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(new_rng(0), 0)
+
+    def test_mixin_lazy_and_reseed(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing(seed=1)
+        first = thing.rng.integers(0, 100)
+        thing.reseed(1)
+        assert thing.rng.integers(0, 100) == first
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        registry: Registry[object] = Registry("widget")
+
+        @registry.register("simple")
+        class Simple:
+            def __init__(self, value=3):
+                self.value = value
+
+        instance = registry.create("simple", value=5)
+        assert instance.value == 5
+        assert "simple" in registry and len(registry) == 1
+        assert registry.names() == ["simple"]
+
+    def test_duplicate_registration_rejected(self):
+        registry: Registry[object] = Registry("widget")
+        registry.register("x")(object)
+        with pytest.raises(KeyError):
+            registry.register("x")(object)
+
+    def test_unknown_name(self):
+        registry: Registry[object] = Registry("widget")
+        with pytest.raises(KeyError):
+            registry.create("ghost")
+
+
+class TestSerialization:
+    def test_numpy_values_serializable(self, tmp_path):
+        payload = {"scalar": np.float64(1.5), "array": np.arange(3), "flag": np.bool_(True)}
+        path = to_json_file(payload, tmp_path / "nested" / "data.json")
+        loaded = from_json_file(path)
+        assert loaded["scalar"] == 1.5 and loaded["array"] == [0, 1, 2] and loaded["flag"] is True
+
+    def test_dataclass_serialization(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert '"x": 1' in to_json(Point(1, 2))
+
+
+class TestStatistics:
+    def test_ewma_smoothing(self):
+        smoothed = ewma([0.0, 1.0, 1.0], alpha=0.5)
+        assert smoothed == [0.0, 0.5, 0.75]
+        with pytest.raises(ValueError):
+            ewma([1.0], alpha=0.0)
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 50) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_online_statistics_match_numpy(self, rng):
+        values = rng.normal(size=500)
+        statistics = OnlineStatistics()
+        statistics.extend(values)
+        assert statistics.count == 500
+        assert statistics.mean == pytest.approx(float(np.mean(values)))
+        assert statistics.std == pytest.approx(float(np.std(values)), rel=1e-9)
+        assert statistics.minimum == pytest.approx(float(values.min()))
+        assert statistics.maximum == pytest.approx(float(values.max()))
+        summary = statistics.as_dict()
+        assert set(summary) == {"count", "mean", "std", "min", "max"}
+
+    def test_empty_statistics(self):
+        statistics = OnlineStatistics()
+        assert statistics.variance == 0.0
+        assert np.isnan(statistics.as_dict()["min"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=50))
+    def test_welford_property(self, values):
+        statistics = OnlineStatistics()
+        statistics.extend(values)
+        assert statistics.mean == pytest.approx(float(np.mean(values)), rel=1e-6, abs=1e-6)
+        assert statistics.variance == pytest.approx(float(np.var(values)), rel=1e-6, abs=1e-6)
