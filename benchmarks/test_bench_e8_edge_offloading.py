@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import pytest
 from conftest import run_once
 
 from repro.experiments import run_experiment
 
 
+@pytest.mark.smoke
 def test_bench_e8_edge_offloading(benchmark, experiment_config, publish):
     table = run_once(benchmark, run_experiment, "e8", experiment_config)
     publish(table)

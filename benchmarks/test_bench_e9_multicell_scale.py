@@ -1,0 +1,60 @@
+"""Benchmark E9: multi-cell discrete-event replay at >= 100k requests.
+
+This is the scaling benchmark: four rows of 50k requests each (two arrival
+profiles x two batching policies) flow through the event engine in a single
+process, and the published tables record latency percentiles, throughput and
+per-cell cache behaviour under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.smoke
+def test_bench_e9_multicell_scale(benchmark, experiment_config, publish):
+    tables = run_once(benchmark, run_experiment, "e9", experiment_config)
+    scale = publish(tables["scale"])
+    per_cell = publish(tables["per_cell"])
+
+    # Acceptance: at least 100k requests replayed through the event engine.
+    assert sum(row["completed"] for row in scale.rows) >= 100_000
+    assert all(row["completed"] > 0 for row in scale.rows)
+
+    def row(profile, batching):
+        return next(r for r in scale.rows if r["profile"] == profile and r["batching"] == batching)
+
+    for profile in ("poisson", "diurnal"):
+        unbatched = row(profile, "unbatched")
+        batched = row(profile, "batch-8")
+        # Percentiles are ordered and positive.
+        for r in (unbatched, batched):
+            assert 0.0 < r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"]
+        # Amortized batching strictly reduces compute spend...
+        assert batched["compute_busy_s"] < unbatched["compute_busy_s"]
+        assert batched["mean_batch_size"] > 1.5
+        # ...and beats unbatched median latency under this load.
+        assert batched["p50_ms"] < unbatched["p50_ms"]
+        # Both policies replay the identical trace, so the cache behaviour matches.
+        assert batched["hit_ratio"] == pytest.approx(unbatched["hit_ratio"])
+
+    # Cooperative caching and mobility are actually exercised.
+    assert all(r["backhaul_mb"] > 0 for r in scale.rows)
+
+    # Per-cell accounting: every cell reports, hit ratios are sane, and the
+    # cells of each row together complete exactly that row's requests.
+    cells = {r["cell"] for r in per_cell.rows}
+    assert len(cells) == 4
+    assert all(0.0 <= r["hit_ratio"] <= 1.0 for r in per_cell.rows)
+    for profile in ("poisson", "diurnal"):
+        for batching in ("unbatched", "batch-8"):
+            rows = [
+                r for r in per_cell.rows if r["profile"] == profile and r["batching"] == batching
+            ]
+            assert len(rows) == len(cells)
+            assert sum(r["completed"] for r in rows) == row(profile, batching)["completed"]
+    assert sum(r["neighbor_fetches"] for r in per_cell.rows) > 0
+    assert sum(r["handovers_in"] for r in per_cell.rows) > 0

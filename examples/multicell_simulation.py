@@ -1,0 +1,85 @@
+"""Multi-cell simulation walkthrough: mobility, cooperative caching, batching.
+
+Run with::
+
+    python examples/multicell_simulation.py
+
+Builds a four-cell edge deployment (edge server + semantic model cache + batch
+queue per cell, backhaul ring, WAN to the cloud model repository), replays a
+diurnal request trace through the discrete-event engine twice — once without
+batching, once with amortized batch-8 encoding — and prints what changed.
+"""
+
+from __future__ import annotations
+
+from repro.sim import (
+    BatchingConfig,
+    CellConfig,
+    MobilityConfig,
+    MultiCellSimulator,
+    SimulatorConfig,
+    default_catalogue,
+)
+from repro.workloads import ArrivalTraceGenerator
+
+NUM_CELLS = 4
+NUM_REQUESTS = 20_000
+DOMAINS = [f"domain_{index}" for index in range(12)]
+
+
+def build_simulator(batching: BatchingConfig) -> MultiCellSimulator:
+    cells = [CellConfig(name=f"cell_{index}") for index in range(NUM_CELLS)]
+    config = SimulatorConfig(
+        batching=batching,
+        mobility=MobilityConfig(handover_probability=0.02, handover_delay_s=0.02),
+    )
+    return MultiCellSimulator(cells, default_catalogue(DOMAINS, seed=0), config=config, seed=0)
+
+
+def describe(label: str, report) -> None:
+    latency = report.latency
+    print(f"\n{label}")
+    print(f"  completed            : {report.completed} requests")
+    print(f"  throughput           : {report.requests_per_sec:.0f} req/s (simulated)")
+    print(
+        f"  latency p50/p95/p99  : {latency['p50_s'] * 1000:.1f} / "
+        f"{latency['p95_s'] * 1000:.1f} / {latency['p99_s'] * 1000:.1f} ms"
+    )
+    print(f"  local cache hit ratio: {report.hit_ratio:.2f}")
+    print(f"  mean batch size      : {report.mean_batch_size:.2f}")
+    print(f"  compute busy seconds : {report.total_compute_busy_s:.1f}")
+    print(f"  backhaul model bytes : {report.backhaul_bytes / 1024**2:.0f} MiB (cooperative fetches)")
+    print(f"  engine speed         : {report.events_per_wall_sec:,.0f} events/s")
+    for name, stats in sorted(report.cells.items()):
+        print(
+            f"    {name}: hit_ratio={stats.hit_ratio:.2f} completed={stats.completed} "
+            f"neighbor={stats.neighbor_fetches} cloud={stats.cloud_fetches} "
+            f"handover_in={stats.handovers_in}"
+        )
+
+
+def main() -> None:
+    print(f"Generating a diurnal trace of {NUM_REQUESTS} requests across {len(DOMAINS)} domains...")
+    generator = ArrivalTraceGenerator(
+        DOMAINS,
+        num_users=500,
+        zipf_exponent=0.9,
+        profile="diurnal",
+        rate=2500.0,          # trough arrivals/s; rush hour peaks at 7500/s
+        period_s=10.0,        # one compressed "day"
+        seed=0,
+    )
+    trace = generator.generate(NUM_REQUESTS)
+
+    unbatched = build_simulator(BatchingConfig(max_batch_size=1, max_wait_s=0.0, amortization=1.0))
+    describe("Unbatched (every request encoded alone):", unbatched.replay(trace))
+
+    batched = build_simulator(BatchingConfig(max_batch_size=8, max_wait_s=0.005, amortization=0.4))
+    describe("Batch-8 with 5 ms window and 0.4 amortization:", batched.replay(trace))
+
+    print("\nBatching amortizes encoder FLOPs across co-arriving requests, which halves")
+    print("compute spend and median latency once the rush hour saturates a cell.")
+
+
+if __name__ == "__main__":
+    main()

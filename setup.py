@@ -1,4 +1,54 @@
-"""Setup shim so editable installs work without the ``wheel`` package."""
-from setuptools import setup
+"""Packaging for the conf_icdcs_YuZ23 reproduction.
 
-setup()
+Kept as a plain ``setup.py`` (rather than pyproject metadata) so the package
+also installs via ``python setup.py develop`` in minimal containers where
+``pip``'s isolated build environment (setuptools + wheel) is unavailable.
+"""
+
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-semantic-edge",
+    version="0.2.0",
+    description=(
+        "Reproduction of semantic-model caching and edge offloading for "
+        "semantic communication (ICDCS'23), grown into a multi-cell "
+        "discrete-event simulation testbed"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "ruff",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiment=repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Distributed Computing",
+        "Topic :: Scientific/Engineering",
+    ],
+)

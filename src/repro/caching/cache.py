@@ -8,7 +8,7 @@ quantify how much caching reduces the time to establish knowledge bases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.caching.entry import (
@@ -30,6 +30,7 @@ class CacheStatistics:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    rejections: int = 0
     bytes_admitted: int = 0
     bytes_evicted: int = 0
     miss_cost_s: float = 0.0
@@ -53,14 +54,17 @@ class SemanticModelCache:
     Parameters
     ----------
     capacity_bytes:
-        Storage budget of the hosting edge server.
+        Storage budget of the hosting edge server.  A budget of ``0`` is a
+        valid degenerate configuration (the "caching disabled" baseline):
+        every lookup misses, every insertion is rejected, and the hit ratio
+        and byte counters stay well defined at zero.
     policy:
         An :class:`EvictionPolicy` instance or registry name.
     """
 
     def __init__(self, capacity_bytes: int, policy: EvictionPolicy | str = "lru") -> None:
-        if capacity_bytes <= 0:
-            raise CacheError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if capacity_bytes < 0:
+            raise CacheError(f"capacity_bytes must be non-negative, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self._entries: Dict[str, CacheEntry] = {}
@@ -119,19 +123,42 @@ class SemanticModelCache:
         return self._entries.get(key)
 
     def put(self, entry: CacheEntry, now: Optional[float] = None) -> List[CacheEntry]:
-        """Insert ``entry``, evicting as needed; returns the evicted entries."""
+        """Insert ``entry``, evicting as needed; returns the evicted entries.
+
+        Insertions that cannot succeed without disturbing *other* pinned
+        entries — and every insertion into a zero-capacity cache — are
+        *rejected* rather than raised: nothing is evicted,
+        ``statistics.rejections`` is incremented, and an empty list is
+        returned.  Two cases still raise, as caller errors rather than
+        transient conditions: an entry larger than a non-zero capacity, and
+        replacing a key that is itself pinned (its payload is in active use).
+        """
         if now is not None:
             self.advance_clock(now)
+        if self.capacity_bytes == 0:
+            self.statistics.rejections += 1
+            return []
         if entry.size_bytes > self.capacity_bytes:
             raise CacheError(
                 f"entry {entry.key!r} ({entry.size_bytes} B) exceeds cache capacity "
                 f"({self.capacity_bytes} B)"
             )
+        existing = self._entries.get(entry.key)
+        if existing is not None and existing.pinned:
+            raise CacheError(f"cannot replace pinned entry {entry.key!r}")
+        # Check feasibility before touching anything so a doomed insertion
+        # does not leave the cache half-evicted.
+        reclaimable = sum(e.size_bytes for e in self._entries.values() if not e.pinned)
+        retained = self.used_bytes - reclaimable
+        if retained + entry.size_bytes > self.capacity_bytes:
+            self.statistics.rejections += 1
+            return []
         evicted: List[CacheEntry] = []
-        if entry.key in self._entries:
+        if existing is not None:
             self._remove(entry.key)
         while self.used_bytes + entry.size_bytes > self.capacity_bytes:
-            victim = self.policy.select_victim(self._entries.values(), self.clock)
+            candidates = [e for e in self._entries.values() if not e.pinned]
+            victim = self.policy.select_victim(candidates, self.clock)
             evicted.append(self._remove(victim.key))
             self.statistics.evictions += 1
             self.statistics.bytes_evicted += victim.size_bytes
@@ -150,8 +177,37 @@ class SemanticModelCache:
         return entry
 
     def remove(self, key: str) -> CacheEntry:
-        """Explicitly remove ``key`` (raises if absent)."""
+        """Explicitly remove ``key`` (raises if absent or pinned)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.pinned:
+            raise CacheError(f"cannot remove pinned entry {key!r}")
         return self._remove(key)
+
+    # ------------------------------------------------------------------ #
+    # Pinning (protection of entries with in-flight readers)
+    # ------------------------------------------------------------------ #
+    def pin(self, key: str) -> CacheEntry:
+        """Protect ``key`` from eviction until a matching :meth:`unpin`.
+
+        The multi-cell simulator pins an entry while a neighbour cell is
+        copying it over the backhaul, so the transfer source cannot be
+        evicted mid-flight.  Pins nest: each ``pin`` needs one ``unpin``.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            raise CacheError(f"cannot pin {key!r}: not cached")
+        entry.pin_count += 1
+        return entry
+
+    def unpin(self, key: str) -> CacheEntry:
+        """Release one pin on ``key`` (raises if absent or not pinned)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise CacheError(f"cannot unpin {key!r}: not cached")
+        if entry.pin_count <= 0:
+            raise CacheError(f"cannot unpin {key!r}: not pinned")
+        entry.pin_count -= 1
+        return entry
 
     # ------------------------------------------------------------------ #
     # Model-oriented helpers

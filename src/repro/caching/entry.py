@@ -7,7 +7,7 @@ models derived from them for specific users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 #: Kinds of cached objects.
@@ -39,6 +39,10 @@ class CacheEntry:
         Time it would take to rebuild/fetch this model on a miss; used by the
         cost-aware policy and to quantify the paper's "time to establish KBs"
         saving.
+    pin_count:
+        Number of in-flight operations (e.g. a neighbour cell copying this
+        model over the backhaul) holding the entry in place.  Pinned entries
+        are never selected for eviction.
     """
 
     key: str
@@ -52,6 +56,7 @@ class CacheEntry:
     last_access_time: float = 0.0
     access_count: int = 0
     popularity: float = 0.0
+    pin_count: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in MODEL_KINDS:
@@ -63,6 +68,11 @@ class CacheEntry:
         """Record an access at time ``now``."""
         self.last_access_time = now
         self.access_count += 1
+
+    @property
+    def pinned(self) -> bool:
+        """Whether the entry is currently protected from eviction."""
+        return self.pin_count > 0
 
 
 def general_model_key(domain: str) -> str:

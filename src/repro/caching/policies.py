@@ -8,7 +8,7 @@ took many transactions to fine-tune are expensive to lose).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.caching.entry import CacheEntry
 from repro.utils.registry import Registry

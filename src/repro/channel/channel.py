@@ -8,7 +8,7 @@ used) that the system-level metrics aggregate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -20,8 +20,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.caching import SemanticModelCache, general_model_key, individual_model_key
-from repro.core.messages import Message, SemanticFrame
+from repro.caching import SemanticModelCache
+from repro.core.messages import Message
 from repro.exceptions import ProtocolError
 from repro.federated.gradients import GradientUpdate
 from repro.semantic import (

@@ -1,116 +1,10 @@
-"""A small discrete-event simulation engine.
+"""Backward-compatible home of the discrete-event engine.
 
-The edge-computing experiments (E7, E8) need to account for queueing at edge
-servers, link transfer times, and model-loading delays.  A discrete-event
-engine keeps that accounting exact without real-time sleeping: events are
-(time, action) pairs processed in timestamp order.
+The engine moved to :mod:`repro.sim.engine` when the multi-cell request
+simulator was built on top of it; this module re-exports it so existing
+imports (``from repro.edge.events import Simulation``) keep working.
 """
 
-from __future__ import annotations
+from repro.sim.engine import EventAction, EventRecord, Simulation
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
-
-from repro.exceptions import SimulationError
-
-EventAction = Callable[["Simulation"], None]
-
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    action: EventAction = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-
-
-@dataclass
-class EventRecord:
-    """A processed event, kept for tracing and assertions in tests."""
-
-    time: float
-    label: str
-
-
-class Simulation:
-    """Event queue with a virtual clock.
-
-    Actions scheduled with :meth:`schedule` receive the simulation instance
-    and may schedule further events; :meth:`run` processes events until the
-    queue is empty or a time/step limit is hit.
-    """
-
-    def __init__(self) -> None:
-        self.now: float = 0.0
-        self._queue: List[_ScheduledEvent] = []
-        self._sequence = itertools.count()
-        self.processed: List[EventRecord] = []
-        self._running = False
-
-    # ------------------------------------------------------------------ #
-    # Scheduling
-    # ------------------------------------------------------------------ #
-    def schedule(self, delay: float, action: EventAction, label: str = "") -> _ScheduledEvent:
-        """Schedule ``action`` to run ``delay`` seconds from the current time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = _ScheduledEvent(time=self.now + delay, sequence=next(self._sequence), action=action, label=label)
-        heapq.heappush(self._queue, event)
-        return event
-
-    def schedule_at(self, time: float, action: EventAction, label: str = "") -> _ScheduledEvent:
-        """Schedule ``action`` at absolute simulation time ``time``."""
-        if time < self.now:
-            raise SimulationError(f"cannot schedule at {time} before current time {self.now}")
-        return self.schedule(time - self.now, action, label=label)
-
-    @staticmethod
-    def cancel(event: _ScheduledEvent) -> None:
-        """Cancel a previously scheduled event (it will be skipped)."""
-        event.cancelled = True
-
-    # ------------------------------------------------------------------ #
-    # Execution
-    # ------------------------------------------------------------------ #
-    def step(self) -> Optional[EventRecord]:
-        """Process the next event; returns its record or ``None`` when empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self.now:
-                raise SimulationError("event queue became unordered")
-            self.now = event.time
-            event.action(self)
-            record = EventRecord(time=event.time, label=event.label)
-            self.processed.append(record)
-            return record
-        return None
-
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Process events until the queue empties, ``until`` is reached, or
-        ``max_events`` have been processed.  Returns the number processed."""
-        if self._running:
-            raise SimulationError("run() called re-entrantly")
-        self._running = True
-        count = 0
-        try:
-            while self._queue:
-                if max_events is not None and count >= max_events:
-                    break
-                next_time = self._queue[0].time
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                if self.step() is not None:
-                    count += 1
-        finally:
-            self._running = False
-        return count
-
-    def pending(self) -> int:
-        """Number of events still queued (including cancelled placeholders)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+__all__ = ["EventAction", "EventRecord", "Simulation"]

@@ -8,7 +8,7 @@ topology is a :mod:`networkx` graph so multi-hop paths (device → base station
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     e6_model_selection,
     e7_cache_policies,
     e8_edge_offloading,
+    e9_multicell_scale,
     fig1_workflow,
 )
 from repro.experiments.harness import (

@@ -1,0 +1,78 @@
+"""Command-line front end for the experiment registry.
+
+Installed as the ``repro-experiment`` console script::
+
+    repro-experiment --list
+    repro-experiment e9 --scale 0.2
+    repro-experiment e7 --seed 3 --output-dir results/
+
+Runs one experiment by registry name, prints every result table, and
+optionally persists them as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    available_experiments,
+    run_experiment,
+    tables_of,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-experiment`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run one of the paper-reproduction experiments by name.",
+    )
+    parser.add_argument("name", nargs="?", help="experiment name, e.g. e1 .. e9 or fig1")
+    parser.add_argument("--list", action="store_true", help="list registered experiments and exit")
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor (default 1.0)")
+    parser.add_argument(
+        "--sentences-per-domain", type=int, default=120, help="corpus size per domain (default 120)"
+    )
+    parser.add_argument("--train-epochs", type=int, default=15, help="codec training epochs (default 15)")
+    parser.add_argument("--output-dir", default=None, help="directory to persist result tables as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    # Importing the package registers every experiment.
+    import repro.experiments  # noqa: F401
+
+    if args.list:
+        for name in available_experiments():
+            print(name)
+        return 0
+    if args.name is None:
+        parser.error("an experiment name is required (or use --list)")
+    if args.name not in available_experiments():
+        parser.error(f"unknown experiment {args.name!r}; use --list to see the registry")
+
+    config = ExperimentConfig(
+        seed=args.seed,
+        scale=args.scale,
+        sentences_per_domain=args.sentences_per_domain,
+        train_epochs=args.train_epochs,
+        output_dir=args.output_dir,
+    )
+    output = run_experiment(args.name, config)
+    for table in tables_of(output):
+        print(table.to_text())
+        print()
+    if args.output_dir:
+        print(f"tables saved under {args.output_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

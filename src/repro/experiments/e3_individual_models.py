@@ -11,7 +11,7 @@ of buffered data, and track the accuracy gap to the general model.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -13,11 +13,11 @@ backhaul bytes, per-message overhead, and the storage the copies occupy.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.core import Message, SemanticEdgeSystem, SystemConfig
+from repro.core import SemanticEdgeSystem, SystemConfig
 from repro.experiments.harness import ExperimentConfig, register_experiment
 from repro.metrics.reporting import ResultTable
 from repro.semantic import CodecConfig

@@ -23,7 +23,6 @@ from repro.federated import (
     SyncConfig,
     compress_topk,
     compression_error,
-    decompress,
     parameter_drift,
 )
 from repro.metrics.reporting import ResultTable

@@ -12,7 +12,7 @@ per-message classifier, contextual GRU, epsilon-greedy bandit, and LinUCB.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

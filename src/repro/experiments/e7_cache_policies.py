@@ -14,7 +14,7 @@ KB-establishment delay each request experiences.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -10,12 +10,11 @@ device compute capabilities, and reports the end-to-end latency decomposition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.edge import (
-    AdaptiveOffloadingPolicy,
     EdgeServer,
     MobileDevice,
     OffloadingContext,

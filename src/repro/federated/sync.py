@@ -9,7 +9,7 @@ can compare gradient sync against shipping full decoder weights.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -10,7 +10,6 @@ quantized and sent over the physical channel.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

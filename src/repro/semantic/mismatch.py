@@ -10,7 +10,7 @@ user-specific individual model is trained from it (Section II-D).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional
 
 import numpy as np

@@ -1,0 +1,65 @@
+"""Discrete-event multi-cell edge simulation.
+
+``repro.sim`` is the scaling substrate: a global event queue
+(:mod:`repro.sim.engine`), a request lifecycle (:mod:`repro.sim.request`),
+per-cell request batching (:mod:`repro.sim.batching`), and a multi-cell
+deployment with user mobility and cooperative caching
+(:mod:`repro.sim.multicell`) — all orchestrated by
+:class:`~repro.sim.simulator.MultiCellSimulator`.
+"""
+
+from repro.sim.engine import EventAction, EventRecord, Simulation
+from repro.sim.batching import Batch, BatchAccumulator, BatchingConfig, batch_flops
+from repro.sim.metrics import CellStats, LatencyRecorder, SimulationReport
+from repro.sim.multicell import (
+    CLOUD,
+    Cell,
+    CellConfig,
+    MobilityConfig,
+    MobilityModel,
+    ModelSpec,
+    PathCostCache,
+    build_multicell_topology,
+    default_catalogue,
+    order_neighbors,
+)
+from repro.sim.request import (
+    CACHE_OUTCOMES,
+    CLOUD_FETCH,
+    COALESCED,
+    LOCAL_HIT,
+    NEIGHBOR_FETCH,
+    Request,
+)
+from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+
+__all__ = [
+    "Simulation",
+    "EventAction",
+    "EventRecord",
+    "Batch",
+    "BatchAccumulator",
+    "BatchingConfig",
+    "batch_flops",
+    "LatencyRecorder",
+    "CellStats",
+    "SimulationReport",
+    "CLOUD",
+    "Cell",
+    "CellConfig",
+    "MobilityConfig",
+    "MobilityModel",
+    "ModelSpec",
+    "PathCostCache",
+    "build_multicell_topology",
+    "default_catalogue",
+    "order_neighbors",
+    "Request",
+    "CACHE_OUTCOMES",
+    "LOCAL_HIT",
+    "NEIGHBOR_FETCH",
+    "CLOUD_FETCH",
+    "COALESCED",
+    "MultiCellSimulator",
+    "SimulatorConfig",
+]

@@ -1,0 +1,133 @@
+"""The discrete-event simulation engine: a global event queue with a virtual clock.
+
+This is the substrate every scaling experiment plugs into.  Events are
+``(time, action)`` pairs processed in timestamp order (ties broken by
+scheduling order, so same-time events run FIFO); actions receive the
+simulation instance and may schedule further events.
+
+The engine originally lived in :mod:`repro.edge.events` and was sized for the
+small E7/E8 sweeps; it now also drives the multi-cell request simulator
+(:mod:`repro.sim.simulator`), which replays hundreds of thousands of requests
+in one process.  For such runs, construct the simulation with ``trace=False``
+so the per-event :class:`EventRecord` history is not accumulated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+EventAction = Callable[["Simulation"], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: EventAction = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+@dataclass
+class EventRecord:
+    """A processed event, kept for tracing and assertions in tests."""
+
+    time: float
+    label: str
+
+
+class Simulation:
+    """Event queue with a virtual clock.
+
+    Actions scheduled with :meth:`schedule` receive the simulation instance
+    and may schedule further events; :meth:`run` processes events until the
+    queue is empty or a time/step limit is hit.
+
+    Parameters
+    ----------
+    trace:
+        When true (the default), every processed event is appended to
+        :attr:`processed`.  Large-scale replays disable this to keep memory
+        flat across millions of events.
+    """
+
+    def __init__(self, trace: bool = True) -> None:
+        self.now: float = 0.0
+        self.trace = trace
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.processed: List[EventRecord] = []
+        self.events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, action: EventAction, label: str = "") -> _ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(time=self.now + delay, sequence=next(self._sequence), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: EventAction, label: str = "") -> _ScheduledEvent:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} before current time {self.now}")
+        return self.schedule(time - self.now, action, label=label)
+
+    @staticmethod
+    def cancel(event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (it will be skipped)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> Optional[EventRecord]:
+        """Process the next event; returns its record or ``None`` when empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue became unordered")
+            self.now = event.time
+            event.action(self)
+            self.events_processed += 1
+            record = EventRecord(time=event.time, label=event.label)
+            if self.trace:
+                self.processed.append(record)
+            return record
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue empties, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the number processed."""
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        count = 0
+        try:
+            while self._queue:
+                if max_events is not None and count >= max_events:
+                    break
+                next_time = self._queue[0].time
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                if self.step() is not None:
+                    count += 1
+        finally:
+            self._running = False
+        return count
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled placeholders)."""
+        return sum(1 for event in self._queue if not event.cancelled)

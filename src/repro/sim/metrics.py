@@ -1,0 +1,121 @@
+"""Latency accounting and the report a simulation run produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """Accumulates completion latencies and summarizes their distribution."""
+
+    def __init__(self) -> None:
+        self._latencies: List[float] = []
+
+    def record(self, latency_s: float) -> None:
+        """Record one completed request's latency."""
+        self._latencies.append(latency_s)
+
+    def __len__(self) -> int:
+        return len(self._latencies)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile latency in seconds (0 when empty)."""
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(self._latencies, q))
+
+    def summary(self) -> Dict[str, float]:
+        """Mean and p50/p95/p99 latency in seconds."""
+        if not self._latencies:
+            return {"mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+        values = np.asarray(self._latencies)
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        return {
+            "mean_s": float(values.mean()),
+            "p50_s": float(p50),
+            "p95_s": float(p95),
+            "p99_s": float(p99),
+            "max_s": float(values.max()),
+        }
+
+
+@dataclass
+class CellStats:
+    """Per-cell counters collected during a run."""
+
+    name: str
+    hits: int = 0
+    neighbor_fetches: int = 0
+    cloud_fetches: int = 0
+    coalesced: int = 0
+    handovers_in: int = 0
+    completed: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups served by this cell."""
+        return self.hits + self.neighbor_fetches + self.cloud_fetches + self.coalesced
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from the cell's own cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests per executed batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_requests / self.batches
+
+
+@dataclass
+class SimulationReport:
+    """Everything a run of the multi-cell simulator measured."""
+
+    completed: int
+    duration_s: float
+    wall_clock_s: float
+    events_processed: int
+    latency: Dict[str, float]
+    cells: Dict[str, CellStats] = field(default_factory=dict)
+    total_compute_busy_s: float = 0.0
+    backhaul_bytes: float = 0.0
+    cloud_bytes: float = 0.0
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Completed requests per simulated second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def events_per_wall_sec(self) -> float:
+        """Engine speed: events processed per wall-clock second."""
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock_s
+
+    @property
+    def hit_ratio(self) -> float:
+        """Local-hit ratio aggregated over all cells."""
+        lookups = sum(stats.lookups for stats in self.cells.values())
+        if lookups == 0:
+            return 0.0
+        return sum(stats.hits for stats in self.cells.values()) / lookups
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean batch size aggregated over all cells."""
+        batches = sum(stats.batches for stats in self.cells.values())
+        if batches == 0:
+            return 0.0
+        return sum(stats.batched_requests for stats in self.cells.values()) / batches

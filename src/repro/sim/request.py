@@ -1,0 +1,95 @@
+"""The request object flowing through the multi-cell event simulation.
+
+Each request walks the lifecycle::
+
+    arrival -> (handover?) -> cache lookup -> (model fetch?) -> batch queue
+            -> encode on the edge server -> downlink transmit -> completion
+
+Every stage stamps its timestamp on the request, so latency can be decomposed
+after the run (how much time went to fetching models vs. waiting for a batch
+vs. compute vs. the radio link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Lifecycle states.
+ARRIVED = "arrived"
+FETCHING = "fetching"
+QUEUED = "queued"
+COMPLETED = "completed"
+
+#: Cache-lookup outcomes.
+LOCAL_HIT = "hit"
+NEIGHBOR_FETCH = "neighbor"
+CLOUD_FETCH = "cloud"
+COALESCED = "coalesced"
+CACHE_OUTCOMES = (LOCAL_HIT, NEIGHBOR_FETCH, CLOUD_FETCH, COALESCED)
+
+#: Sentinel for "stage not reached yet".
+UNSET = -1.0
+
+
+@dataclass(slots=True)
+class Request:
+    """One user request replayed through the simulator.
+
+    Attributes
+    ----------
+    request_id:
+        Monotonically increasing id assigned by the simulator.
+    user_id / domain:
+        Who sent the request and which domain model it needs.
+    model_key:
+        Cache key of the semantic model serving the request.
+    arrival_time:
+        Trace timestamp of the request.
+    num_tokens:
+        Message length driving the encode FLOP cost.
+    cell:
+        Name of the serving cell (fixed after mobility/handover resolution).
+    """
+
+    request_id: int
+    user_id: str
+    domain: str
+    model_key: str
+    arrival_time: float
+    num_tokens: int
+    cell: str = ""
+    status: str = ARRIVED
+    cache_outcome: str = ""
+    handover: bool = False
+    lookup_time: float = UNSET
+    fetch_done_time: float = UNSET
+    enqueue_time: float = UNSET
+    compute_start_time: float = UNSET
+    compute_done_time: float = UNSET
+    completion_time: float = UNSET
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request reached the end of its lifecycle."""
+        return self.status == COMPLETED
+
+    @property
+    def total_latency(self) -> float:
+        """Arrival-to-completion latency in seconds (``UNSET`` if unfinished)."""
+        if self.completion_time == UNSET:
+            return UNSET
+        return self.completion_time - self.arrival_time
+
+    @property
+    def fetch_delay(self) -> float:
+        """Seconds spent establishing the model (0 on a local hit)."""
+        if self.fetch_done_time == UNSET or self.lookup_time == UNSET:
+            return 0.0
+        return self.fetch_done_time - self.lookup_time
+
+    @property
+    def batch_wait(self) -> float:
+        """Seconds between joining the batch queue and compute starting."""
+        if self.compute_start_time == UNSET or self.enqueue_time == UNSET:
+            return 0.0
+        return self.compute_start_time - self.enqueue_time

@@ -1,0 +1,324 @@
+"""The multi-cell discrete-event request simulator.
+
+Drives the existing edge substrate — :class:`~repro.edge.server.EdgeServer`
+compute accounting, :class:`~repro.caching.cache.SemanticModelCache` model
+caching, :class:`~repro.edge.network.LinkSpec` transfer costs — as pluggable
+service stages behind a single global event queue, instead of the synchronous
+per-call execution the small E7/E8 sweeps use.  One process replays hundreds
+of thousands of requests.
+
+Request lifecycle (see :mod:`repro.sim.request`):
+
+1. **Arrival** — the mobility model resolves the serving cell; a handover
+   charges a control-plane delay before the request is processed.
+2. **Cache lookup** — hit: straight to the batch queue.  Miss: if a fetch for
+   the same model is already in flight at this cell the request *coalesces*
+   onto it; otherwise the cell fetches the model from the nearest neighbour
+   cell holding it (backhaul transfer, source entry pinned against eviction
+   for the duration) or, failing that, from the cloud (WAN transfer plus the
+   model's rebuild cost).
+3. **Batching** — requests accumulate per cell until the batch-size or
+   batch-timeout boundary closes the batch (:mod:`repro.sim.batching`).
+4. **Encode + transmit** — the batch runs on the cell's edge server with
+   amortized FLOPs, then each request's semantic features cross the downlink.
+5. **Completion** — latency is recorded, per-cell counters updated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.caching.entry import CacheEntry, GENERAL_MODEL, general_model_key
+from repro.edge.network import LinkSpec
+from repro.edge.resources import encode_flops
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.batching import Batch, BatchingConfig
+from repro.sim.engine import Simulation
+from repro.sim.metrics import LatencyRecorder, SimulationReport
+from repro.sim.multicell import (
+    CLOUD,
+    DEFAULT_BACKHAUL,
+    DEFAULT_WAN,
+    Cell,
+    CellConfig,
+    MobilityConfig,
+    MobilityModel,
+    ModelSpec,
+    PathCostCache,
+    build_multicell_topology,
+    default_catalogue,
+    order_neighbors,
+)
+from repro.sim.request import (
+    CLOUD_FETCH,
+    COALESCED,
+    COMPLETED,
+    FETCHING,
+    LOCAL_HIT,
+    NEIGHBOR_FETCH,
+    QUEUED,
+    Request,
+)
+from repro.utils.rng import SeedLike
+from repro.workloads.traces import RequestTrace
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Cross-cell knobs of the simulator."""
+
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
+    backhaul: LinkSpec = DEFAULT_BACKHAUL
+    wan: LinkSpec = DEFAULT_WAN
+    #: Semantic feature payload sent back over the downlink per request.
+    feature_bytes: float = 48.0
+    #: Message length assumed for the encode FLOP cost.
+    num_tokens: int = 12
+    #: Keep per-event records (slow; only useful for debugging small runs).
+    trace_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.feature_bytes < 0:
+            raise ConfigurationError(f"feature_bytes must be non-negative, got {self.feature_bytes}")
+        if self.num_tokens < 1:
+            raise ConfigurationError(f"num_tokens must be >= 1, got {self.num_tokens}")
+
+
+class MultiCellSimulator:
+    """Replays request traces through a multi-cell edge deployment."""
+
+    def __init__(
+        self,
+        cells: Sequence[CellConfig],
+        catalogue: Dict[str, ModelSpec],
+        config: Optional[SimulatorConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not cells:
+            raise ConfigurationError("at least one cell is required")
+        if not catalogue:
+            raise ConfigurationError("the model catalogue must not be empty")
+        self.config = config or SimulatorConfig()
+        self.catalogue = dict(catalogue)
+        self.cells: Dict[str, Cell] = {
+            cell_config.name: Cell(cell_config, self.config.batching) for cell_config in cells
+        }
+        if len(self.cells) != len(cells):
+            raise ConfigurationError("cell names must be unique")
+        self.topology = build_multicell_topology(
+            list(self.cells), backhaul=self.config.backhaul, wan=self.config.wan
+        )
+        self.costs = PathCostCache(self.topology)
+        order_neighbors(list(self.cells.values()), self.costs)
+        self.mobility = MobilityModel(list(self.cells), self.config.mobility, seed=seed)
+        self.engine = Simulation(trace=self.config.trace_events)
+        self.latency = LatencyRecorder()
+        self.requests: List[Request] = []
+        self.backhaul_bytes = 0.0
+        self.cloud_bytes = 0.0
+        self._request_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Trace replay
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        num_cells: int,
+        domain_names: Sequence[str],
+        config: Optional[SimulatorConfig] = None,
+        seed: SeedLike = None,
+        **cell_kwargs: object,
+    ) -> "MultiCellSimulator":
+        """Convenience constructor: ``num_cells`` identical cells, default catalogue."""
+        if num_cells < 1:
+            raise ConfigurationError(f"num_cells must be >= 1, got {num_cells}")
+        cell_configs = [CellConfig(name=f"cell_{index}", **cell_kwargs) for index in range(num_cells)]
+        catalogue = default_catalogue(domain_names, seed=seed)
+        return cls(cell_configs, catalogue, config=config, seed=seed)
+
+    def submit(self, timestamp: float, user_id: str, domain: str) -> Request:
+        """Schedule one request's arrival (before or during :meth:`run`)."""
+        if domain not in self.catalogue:
+            raise SimulationError(f"domain {domain!r} is not in the model catalogue")
+        self._request_counter += 1
+        request = Request(
+            request_id=self._request_counter,
+            user_id=user_id,
+            domain=domain,
+            model_key=general_model_key(domain),
+            arrival_time=timestamp,
+            num_tokens=self.config.num_tokens,
+        )
+        self.requests.append(request)
+        self.engine.schedule_at(timestamp, lambda sim, r=request: self._on_arrival(r))
+        return request
+
+    def replay(self, trace: RequestTrace | Iterable, run: bool = True) -> SimulationReport:
+        """Schedule every trace request and (by default) run to completion."""
+        for trace_request in trace:
+            self.submit(trace_request.timestamp, trace_request.user_id, trace_request.domain)
+        if run:
+            return self.run()
+        return self.report(wall_clock_s=0.0)
+
+    def run(self) -> SimulationReport:
+        """Process all scheduled events and return the run's report."""
+        started = time.perf_counter()
+        self.engine.run()
+        return self.report(wall_clock_s=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle stages
+    # ------------------------------------------------------------------ #
+    def _on_arrival(self, request: Request) -> None:
+        moved = self.mobility.maybe_move(request.user_id)
+        cell = self.cells[self.mobility.cell_of(request.user_id)]
+        request.cell = cell.name
+        if moved is not None:
+            request.handover = True
+            cell.stats.handovers_in += 1
+            delay = self.config.mobility.handover_delay_s
+            if delay > 0:
+                self.engine.schedule(delay, lambda sim, r=request, c=cell: self._lookup(r, c))
+                return
+        self._lookup(request, cell)
+
+    def _lookup(self, request: Request, cell: Cell) -> None:
+        now = self.engine.now
+        request.lookup_time = now
+        key = request.model_key
+        entry = cell.cache.get(key, now=now)
+        if entry is not None:
+            cell.stats.hits += 1
+            request.cache_outcome = LOCAL_HIT
+            self._enqueue(request, cell)
+            return
+        waiters = cell.inflight.get(key)
+        if waiters is not None:
+            # A fetch for this model is already in flight; ride along.
+            cell.stats.coalesced += 1
+            request.cache_outcome = COALESCED
+            request.status = FETCHING
+            waiters.append(request)
+            return
+        request.status = FETCHING
+        cell.inflight[key] = [request]
+        spec = self.catalogue[request.domain]
+        source = self._find_source_cell(cell, key)
+        if source is not None:
+            cell.stats.neighbor_fetches += 1
+            request.cache_outcome = NEIGHBOR_FETCH
+            source.cache.pin(key)
+            delay = self.costs.transfer_time(source.name, cell.name, spec.size_bytes)
+            self.backhaul_bytes += spec.size_bytes
+            self.engine.schedule(
+                delay,
+                lambda sim, c=cell, k=key, s=source, m=spec: self._fetch_done(c, k, m, source=s),
+            )
+        else:
+            cell.stats.cloud_fetches += 1
+            request.cache_outcome = CLOUD_FETCH
+            delay = spec.build_cost_s + self.costs.transfer_time(CLOUD, cell.name, spec.size_bytes)
+            self.cloud_bytes += spec.size_bytes
+            self.engine.schedule(
+                delay,
+                lambda sim, c=cell, k=key, m=spec: self._fetch_done(c, k, m, source=None),
+            )
+
+    def _find_source_cell(self, cell: Cell, key: str) -> Optional[Cell]:
+        for neighbor in cell.neighbor_order:
+            if neighbor.cache.peek(key) is not None:
+                return neighbor
+        return None
+
+    def _fetch_done(self, cell: Cell, key: str, spec: ModelSpec, source: Optional[Cell]) -> None:
+        now = self.engine.now
+        if source is not None:
+            source.cache.unpin(key)
+        if spec.size_bytes <= cell.cache.capacity_bytes:
+            entry = CacheEntry(
+                key=key,
+                kind=GENERAL_MODEL,
+                domain=spec.domain,
+                size_bytes=spec.size_bytes,
+                build_cost_s=spec.build_cost_s,
+            )
+            # May still be rejected (everything pinned); the waiting requests
+            # proceed with the freshly fetched model either way.
+            cell.cache.put(entry, now=now)
+        else:
+            # Model too large for this cell's cache: use it transiently.
+            cell.cache.statistics.rejections += 1
+        for request in cell.inflight.pop(key, []):
+            request.fetch_done_time = now
+            self._enqueue(request, cell)
+
+    def _enqueue(self, request: Request, cell: Cell) -> None:
+        now = self.engine.now
+        request.status = QUEUED
+        request.enqueue_time = now
+        flops = encode_flops(self.catalogue[request.domain].parameters, request.num_tokens)
+        batch = cell.batcher.add(request, flops, now)
+        if batch is not None:
+            self._execute_batch(cell, batch)
+        elif len(cell.batcher) == 1:
+            generation = cell.batcher.generation
+            self.engine.schedule(
+                self.config.batching.max_wait_s,
+                lambda sim, c=cell, g=generation: self._batch_timeout(c, g),
+            )
+
+    def _batch_timeout(self, cell: Cell, generation: int) -> None:
+        if cell.batcher.generation != generation:
+            return  # The batch already closed on the size boundary.
+        batch = cell.batcher.flush()
+        if batch is not None:
+            self._execute_batch(cell, batch)
+
+    def _execute_batch(self, cell: Cell, batch: Batch) -> None:
+        now = self.engine.now
+        # Enqueue on the compute resource directly rather than via
+        # EdgeServer.execute: the latter retains a TaskResult per call, which
+        # a 100k+-request replay has no use for (memory stays flat instead).
+        start, finish = cell.server.compute.enqueue(now, batch.flops)
+        cell.stats.batches += 1
+        cell.stats.batched_requests += len(batch)
+        transmit = cell.downlink.transfer_time(self.config.feature_bytes)
+        for request in batch.items:
+            request.compute_start_time = start
+            request.compute_done_time = finish
+        self.engine.schedule_at(
+            finish + transmit,
+            lambda sim, c=cell, items=batch.items: self._complete(c, items),
+        )
+
+    def _complete(self, cell: Cell, requests: List[Request]) -> None:
+        now = self.engine.now
+        for request in requests:
+            request.completion_time = now
+            request.status = COMPLETED
+            cell.stats.completed += 1
+            self.latency.record(now - request.arrival_time)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def report(self, wall_clock_s: float) -> SimulationReport:
+        """Build the :class:`SimulationReport` for everything run so far."""
+        completions = [r.completion_time for r in self.requests if r.completed]
+        duration = max(completions) if completions else 0.0
+        return SimulationReport(
+            completed=len(completions),
+            duration_s=duration,
+            wall_clock_s=wall_clock_s,
+            events_processed=self.engine.events_processed,
+            latency=self.latency.summary(),
+            cells={name: cell.stats for name, cell in self.cells.items()},
+            total_compute_busy_s=sum(cell.server.compute.busy_time for cell in self.cells.values()),
+            backhaul_bytes=self.backhaul_bytes,
+            cloud_bytes=self.cloud_bytes,
+        )

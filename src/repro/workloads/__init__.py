@@ -11,11 +11,14 @@ from repro.workloads.domains import (
     shared_vocabulary,
 )
 from repro.workloads.generator import (
+    ArrivalTraceGenerator,
     GeneratedMessage,
     MessageGenerator,
     UserStyle,
     build_user_population,
+    diurnal_arrival_times,
     generate_user_style,
+    poisson_arrival_times,
 )
 from repro.workloads.metaverse import (
     MetaverseEvent,
@@ -47,6 +50,9 @@ __all__ = [
     "MessageGenerator",
     "generate_user_style",
     "build_user_population",
+    "ArrivalTraceGenerator",
+    "poisson_arrival_times",
+    "diurnal_arrival_times",
     "TraceRequest",
     "RequestTrace",
     "ZipfTraceGenerator",

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.utils.rng import SeedLike, new_rng
 from repro.workloads.domains import DomainSpec, default_domains
+from repro.workloads.traces import RequestTrace, assemble_trace, zipf_probabilities
 
 
 @dataclass
@@ -186,6 +187,146 @@ class MessageGenerator:
             user_id = user_ids[int(self.rng.integers(len(user_ids)))]
             messages.append(self.next_message(user_id))
         return messages
+
+
+# --------------------------------------------------------------------- #
+# Arrival processes
+# --------------------------------------------------------------------- #
+def poisson_arrival_times(
+    num_arrivals: int,
+    rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``num_arrivals`` homogeneous-Poisson arrival timestamps.
+
+    ``rate`` is the mean number of arrivals per simulated second; the returned
+    array is sorted and starts after time 0.
+    """
+    if num_arrivals < 0:
+        raise ValueError(f"num_arrivals must be non-negative, got {num_arrivals}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    return np.cumsum(rng.exponential(1.0 / rate, size=num_arrivals))
+
+
+def diurnal_arrival_times(
+    num_arrivals: int,
+    base_rate: float,
+    peak_rate: float,
+    period_s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample arrivals from a sinusoidal non-homogeneous Poisson process.
+
+    The instantaneous rate oscillates between ``base_rate`` (at ``t = 0``)
+    and ``peak_rate`` (half a period later) with period ``period_s`` — a
+    "compressed day" that lets a run of a few simulated seconds exercise both
+    the quiet and the rush-hour regime.  Sampling uses Lewis-Shedler
+    thinning against the constant ``peak_rate`` envelope.
+    """
+    if num_arrivals < 0:
+        raise ValueError(f"num_arrivals must be non-negative, got {num_arrivals}")
+    if base_rate <= 0 or peak_rate < base_rate:
+        raise ValueError(
+            f"need 0 < base_rate <= peak_rate, got base={base_rate}, peak={peak_rate}"
+        )
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    times = np.empty(num_arrivals, dtype=np.float64)
+    filled = 0
+    t = 0.0
+    while filled < num_arrivals:
+        chunk = max(256, 2 * (num_arrivals - filled))
+        gaps = rng.exponential(1.0 / peak_rate, size=chunk)
+        candidates = t + np.cumsum(gaps)
+        # Rate starts at base_rate and peaks at period_s / 2.
+        rate = base_rate + (peak_rate - base_rate) * 0.5 * (
+            1.0 - np.cos(2.0 * np.pi * candidates / period_s)
+        )
+        accepted = candidates[rng.random(chunk) < rate / peak_rate]
+        take = min(len(accepted), num_arrivals - filled)
+        times[filled : filled + take] = accepted[:take]
+        filled += take
+        t = float(candidates[-1])
+    return times
+
+
+class ArrivalTraceGenerator:
+    """Request traces with realistic arrival processes for the event simulator.
+
+    Combines a Poisson or diurnal arrival-time process with a Zipf-skewed
+    domain popularity and a uniform user population, producing the
+    :class:`~repro.workloads.traces.RequestTrace` the multi-cell simulator
+    (:mod:`repro.sim`) replays.
+
+    Parameters
+    ----------
+    domain_names:
+        Candidate domains, ordered from most to least popular.
+    num_users:
+        Size of the user population (``user_0 … user_{n-1}``).
+    zipf_exponent:
+        Skew of domain popularity (0 = uniform).
+    profile:
+        ``"poisson"`` (constant rate) or ``"diurnal"`` (sinusoidal rate).
+    rate:
+        Mean arrivals per second (the constant rate for ``"poisson"``, the
+        trough rate for ``"diurnal"``).
+    peak_rate:
+        Rush-hour rate for the diurnal profile (default ``3 * rate``).
+    period_s:
+        Length of the compressed "day" for the diurnal profile.
+    """
+
+    PROFILES = ("poisson", "diurnal")
+
+    def __init__(
+        self,
+        domain_names: Sequence[str],
+        num_users: int = 100,
+        zipf_exponent: float = 0.9,
+        profile: str = "poisson",
+        rate: float = 100.0,
+        peak_rate: Optional[float] = None,
+        period_s: float = 60.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if not domain_names:
+            raise ValueError("domain_names must not be empty")
+        if num_users <= 0:
+            raise ValueError(f"num_users must be positive, got {num_users}")
+        if profile not in self.PROFILES:
+            raise ValueError(f"profile must be one of {self.PROFILES}, got {profile!r}")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.domain_names = list(domain_names)
+        self.num_users = num_users
+        self.profile = profile
+        self.rate = rate
+        self.peak_rate = 3.0 * rate if peak_rate is None else peak_rate
+        if profile == "diurnal" and self.peak_rate < rate:
+            raise ValueError(
+                f"peak_rate must be >= rate for the diurnal profile, got "
+                f"rate={rate}, peak_rate={self.peak_rate}"
+            )
+        self.period_s = period_s
+        self.rng = new_rng(seed)
+        self._probabilities = zipf_probabilities(len(self.domain_names), zipf_exponent)
+
+    def arrival_times(self, num_requests: int) -> np.ndarray:
+        """Sorted arrival timestamps for ``num_requests`` requests."""
+        if self.profile == "poisson":
+            return poisson_arrival_times(num_requests, self.rate, self.rng)
+        return diurnal_arrival_times(
+            num_requests, self.rate, self.peak_rate, self.period_s, self.rng
+        )
+
+    def generate(self, num_requests: int) -> RequestTrace:
+        """Sample a :class:`RequestTrace` of ``num_requests`` requests."""
+        if num_requests < 0:
+            raise ValueError(f"num_requests must be non-negative, got {num_requests}")
+        timestamps = self.arrival_times(num_requests)
+        return assemble_trace(timestamps, self.domain_names, self._probabilities, self.num_users, self.rng)
 
 
 def build_user_population(

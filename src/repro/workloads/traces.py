@@ -66,6 +66,32 @@ class RequestTrace:
         return list(seen)
 
 
+def assemble_trace(
+    timestamps: np.ndarray,
+    domain_names: Sequence[str],
+    probabilities: np.ndarray,
+    num_users: int,
+    rng: np.random.Generator,
+) -> RequestTrace:
+    """Attach Zipf-sampled domains and uniform users to arrival ``timestamps``.
+
+    Shared tail of every trace generator: the arrival-time process varies
+    (homogeneous Poisson, diurnal, ...), the domain/user sampling does not.
+    """
+    num_requests = len(timestamps)
+    domain_indices = rng.choice(len(domain_names), size=num_requests, p=probabilities)
+    user_indices = rng.integers(0, num_users, size=num_requests)
+    requests = [
+        TraceRequest(
+            timestamp=float(timestamps[i]),
+            user_id=f"user_{int(user_indices[i])}",
+            domain=domain_names[int(domain_indices[i])],
+        )
+        for i in range(num_requests)
+    ]
+    return RequestTrace(requests=requests)
+
+
 class ZipfTraceGenerator:
     """Generates request traces whose domain popularity follows a Zipf law.
 
@@ -111,17 +137,7 @@ class ZipfTraceGenerator:
         if num_requests < 0:
             raise ValueError(f"num_requests must be non-negative, got {num_requests}")
         timestamps = np.cumsum(self.rng.exponential(1.0 / self.arrival_rate, size=num_requests))
-        domain_indices = self.rng.choice(len(self.domain_names), size=num_requests, p=self._probabilities)
-        user_indices = self.rng.integers(0, self.num_users, size=num_requests)
-        requests = [
-            TraceRequest(
-                timestamp=float(timestamps[i]),
-                user_id=f"user_{int(user_indices[i])}",
-                domain=self.domain_names[int(domain_indices[i])],
-            )
-            for i in range(num_requests)
-        ]
-        return RequestTrace(requests=requests)
+        return assemble_trace(timestamps, self.domain_names, self._probabilities, self.num_users, self.rng)
 
 
 @dataclass

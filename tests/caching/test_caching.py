@@ -166,6 +166,102 @@ class TestSemanticModelCache:
             assert cache.used_bytes <= cache.capacity_bytes
 
 
+class TestZeroCapacityCache:
+    """A zero-byte budget is the 'caching disabled' baseline the simulator uses."""
+
+    def test_zero_capacity_allowed_negative_rejected(self):
+        cache = SemanticModelCache(0)
+        assert cache.capacity_bytes == 0
+        with pytest.raises(CacheError):
+            SemanticModelCache(-1)
+
+    def test_every_lookup_misses_and_ratio_stays_zero(self):
+        cache = SemanticModelCache(0)
+        for _ in range(5):
+            assert cache.get("general/it") is None
+        assert cache.statistics.misses == 5
+        assert cache.statistics.hit_ratio == 0.0
+
+    def test_puts_rejected_without_byte_accounting(self):
+        cache = SemanticModelCache(0)
+        assert cache.put(entry(size=100)) == []
+        assert len(cache) == 0 and cache.used_bytes == 0
+        assert cache.statistics.rejections == 1
+        assert cache.statistics.insertions == 0
+        assert cache.statistics.bytes_admitted == 0
+        assert cache.statistics.evictions == 0
+
+    def test_zero_byte_entry_also_rejected(self):
+        # Even a 0-byte entry must not become resident in a disabled cache.
+        cache = SemanticModelCache(0)
+        assert cache.put(entry(size=0)) == []
+        assert len(cache) == 0
+        assert cache.get("general/it") is None
+
+    def test_get_or_build_still_charges_miss_cost(self):
+        cache = SemanticModelCache(0)
+        built, hit = cache.get_or_build("general/it", lambda: entry(cost=2.0))
+        assert not hit and built.key == "general/it"
+        _, hit = cache.get_or_build("general/it", lambda: entry(cost=2.0))
+        assert not hit  # never becomes resident
+        assert cache.statistics.miss_cost_s == pytest.approx(4.0)
+
+
+class TestPinnedEntries:
+    """Entries being copied by a neighbour cell must survive until unpinned."""
+
+    def test_pin_protects_from_eviction(self):
+        cache = SemanticModelCache(200, policy="lru")
+        cache.put(entry(key="general/a", domain="a", size=100), now=0.0)
+        cache.put(entry(key="general/b", domain="b", size=100), now=1.0)
+        cache.pin("general/a")  # LRU victim would otherwise be general/a
+        evicted = cache.put(entry(key="general/c", domain="c", size=100), now=2.0)
+        assert [e.key for e in evicted] == ["general/b"]
+        assert cache.peek("general/a") is not None
+
+    def test_infeasible_insert_rejected_without_partial_eviction(self):
+        cache = SemanticModelCache(200, policy="lru")
+        cache.put(entry(key="general/a", domain="a", size=100), now=0.0)
+        cache.put(entry(key="general/b", domain="b", size=100), now=1.0)
+        cache.pin("general/a")
+        cache.pin("general/b")
+        evicted = cache.put(entry(key="general/c", domain="c", size=150), now=2.0)
+        assert evicted == []
+        assert cache.statistics.rejections == 1
+        # Nothing was sacrificed for the doomed insertion.
+        assert sorted(cache.keys()) == ["general/a", "general/b"]
+
+    def test_pins_nest(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry())
+        cache.pin("general/it")
+        cache.pin("general/it")
+        cache.unpin("general/it")
+        assert cache.peek("general/it").pinned
+        cache.unpin("general/it")
+        assert not cache.peek("general/it").pinned
+
+    def test_remove_and_replace_of_pinned_entry_raise(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry(size=100))
+        cache.pin("general/it")
+        with pytest.raises(CacheError):
+            cache.remove("general/it")
+        with pytest.raises(CacheError):
+            cache.put(entry(size=50))
+        cache.unpin("general/it")
+        cache.put(entry(size=50))
+        assert cache.used_bytes == 50
+
+    def test_pin_unknown_or_unpinned_raises(self):
+        cache = SemanticModelCache(1000)
+        with pytest.raises(CacheError):
+            cache.pin("general/it")
+        cache.put(entry())
+        with pytest.raises(CacheError):
+            cache.unpin("general/it")
+
+
 class TestPolicyRegistry:
     def test_all_policies_registered(self):
         assert {"lru", "lfu", "fifo", "size-aware", "semantic-popularity"} <= set(available_policies())

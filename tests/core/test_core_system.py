@@ -5,15 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.caching import SemanticModelCache
 from repro.channel import PhysicalChannel, QuantizationSpec
 from repro.core import (
-    CommunicationSession,
     Message,
     ReceiverEdgeServer,
     SemanticEdgeSystem,
     SenderEdgeServer,
-    SessionConfig,
     SystemConfig,
 )
 from repro.core.pipeline import SemanticTransmissionPipeline

@@ -1,0 +1,80 @@
+"""Property-style tests every registered scheduling policy must satisfy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge import ClusterScheduler, EdgeCluster, EdgeServer, ScheduledTask, scheduler_registry
+from repro.exceptions import SchedulingError
+
+ALL_POLICIES = scheduler_registry.names()
+
+
+def build_cluster(num_servers: int) -> EdgeCluster:
+    cluster = EdgeCluster()
+    for index in range(num_servers):
+        # Heterogeneous speeds so the policies have something to choose on.
+        cluster.add_server(EdgeServer(f"edge_{index}", flops_per_second=(index + 1) * 1e9))
+    return cluster
+
+
+tasks_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=1e6, max_value=1e10),  # flops
+        st.floats(min_value=0.0, max_value=100.0),  # arrival time offset
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@pytest.mark.parametrize("policy_name", ALL_POLICIES)
+class TestEveryPolicy:
+    @settings(max_examples=25, deadline=None)
+    @given(specs=tasks_strategy, num_servers=st.integers(min_value=1, max_value=5))
+    def test_places_every_task_on_a_cluster_node(self, policy_name, specs, num_servers):
+        cluster = build_cluster(num_servers)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        arrival = 0.0
+        for index, (flops, gap) in enumerate(specs):
+            arrival += gap  # arrivals are non-decreasing, like a real trace
+            result = scheduler.submit(ScheduledTask(f"task_{index}", flops, arrival))
+            assert result.node in cluster.servers
+            assert result.start_time >= result.arrival_time
+            assert result.finish_time > result.start_time
+        assert len(scheduler.results) == len(specs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(preferred=st.integers(min_value=0, max_value=4))
+    def test_respects_preferred_node(self, policy_name, preferred):
+        cluster = build_cluster(5)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        task = ScheduledTask("pinned", 1e8, 0.0, preferred_node=f"edge_{preferred}")
+        assert scheduler.submit(task).node == f"edge_{preferred}"
+
+    def test_falls_back_to_policy_when_preferred_absent(self, policy_name):
+        cluster = build_cluster(2)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        task = ScheduledTask("ghost-preference", 1e8, 0.0, preferred_node="edge_99")
+        assert scheduler.submit(task).node in cluster.servers
+
+    def test_empty_candidate_set_raises(self, policy_name):
+        scheduler = ClusterScheduler(EdgeCluster(), policy=policy_name)
+        with pytest.raises(SchedulingError):
+            scheduler.submit(ScheduledTask("t", 1e8, 0.0))
+
+    def test_explicit_empty_candidate_list_raises(self, policy_name):
+        scheduler = ClusterScheduler(build_cluster(2), policy=policy_name)
+        with pytest.raises(SchedulingError):
+            scheduler.submit(ScheduledTask("t", 1e8, 0.0), candidates=[])
+
+    def test_policy_select_rejects_no_candidates(self, policy_name):
+        policy = scheduler_registry.create(policy_name)
+        with pytest.raises(SchedulingError):
+            policy.select_node(ScheduledTask("t", 1e8, 0.0), [])
+
+
+def test_registry_has_expected_policies():
+    assert {"round-robin", "least-loaded", "fastest-finish"} <= set(ALL_POLICIES)

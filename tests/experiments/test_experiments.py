@@ -24,7 +24,7 @@ FAST = ExperimentConfig(scale=0.25, sentences_per_domain=60, train_epochs=8, see
 class TestHarness:
     def test_all_experiments_registered(self):
         names = available_experiments()
-        assert {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "fig1"} <= set(names)
+        assert {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "fig1"} <= set(names)
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -94,6 +94,21 @@ class TestCheapExperiments:
         for device in (weakest, strongest):
             best_static = min(latency(device, "always-device"), latency(device, "always-edge"))
             assert latency(device, "adaptive") <= best_static * 1.05
+
+    def test_e9_multicell_scale_story(self):
+        tables = run_experiment("e9", ExperimentConfig(scale=0.05, seed=0))
+        scale = tables["scale"]
+        assert {row["profile"] for row in scale.rows} == {"poisson", "diurnal"}
+        for row in scale.rows:
+            assert row["completed"] == 2500
+            assert 0.0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        for profile in ("poisson", "diurnal"):
+            by_batching = {row["batching"]: row for row in scale.rows if row["profile"] == profile}
+            assert by_batching["batch-8"]["compute_busy_s"] < by_batching["unbatched"]["compute_busy_s"]
+            assert by_batching["batch-8"]["mean_batch_size"] > 1.0
+        per_cell = tables["per_cell"]
+        assert {row["cell"] for row in per_cell.rows} == {"cell_0", "cell_1", "cell_2", "cell_3"}
+        assert all(0.0 <= row["hit_ratio"] <= 1.0 for row in per_cell.rows)
 
     def test_e5_gradient_sync_cheaper_than_full_model(self):
         table = run_experiment("e5", FAST)

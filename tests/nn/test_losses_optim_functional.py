@@ -12,7 +12,6 @@ from repro.nn import (
     SGD,
     Adam,
     LearningRateSchedule,
-    Linear,
     Tensor,
     cosine_embedding_loss,
     cross_entropy_loss,

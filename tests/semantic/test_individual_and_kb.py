@@ -10,7 +10,6 @@ from repro.semantic import (
     BufferBank,
     DomainBuffer,
     IndividualModel,
-    KnowledgeBaseLibrary,
     MismatchCalculator,
     Transaction,
 )

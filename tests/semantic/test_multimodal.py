@@ -11,7 +11,6 @@ from repro.semantic.multimodal import (
     DOMAIN_PATCHES,
     SHARED_PATCHES,
     ImageSemanticCodec,
-    Scene,
     SceneGenerator,
     SceneVocabulary,
 )

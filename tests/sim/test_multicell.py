@@ -1,0 +1,225 @@
+"""Tests for the multi-cell deployment: topology, mobility, cooperative caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import general_model_key
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim import (
+    CLOUD,
+    BatchingConfig,
+    CellConfig,
+    MobilityConfig,
+    MobilityModel,
+    ModelSpec,
+    MultiCellSimulator,
+    PathCostCache,
+    SimulatorConfig,
+    build_multicell_topology,
+    default_catalogue,
+)
+from repro.workloads import ArrivalTraceGenerator
+
+DOMAINS = [f"domain_{index}" for index in range(6)]
+
+
+def make_simulator(num_cells=3, batching=None, mobility=None, cache_capacity=48 * 1024 * 1024, seed=0):
+    cells = [
+        CellConfig(name=f"cell_{index}", cache_capacity_bytes=cache_capacity)
+        for index in range(num_cells)
+    ]
+    config = SimulatorConfig(
+        batching=batching or BatchingConfig(),
+        mobility=mobility or MobilityConfig(),
+    )
+    return MultiCellSimulator(cells, default_catalogue(DOMAINS, seed=seed), config=config, seed=seed)
+
+
+class TestTopology:
+    def test_every_cell_reaches_cloud_and_neighbors(self):
+        topology = build_multicell_topology(["cell_0", "cell_1", "cell_2"])
+        assert set(topology.nodes(kind="edge")) == {"cell_0", "cell_1", "cell_2"}
+        assert topology.nodes(kind="cloud") == [CLOUD]
+        for cell in ("cell_0", "cell_1", "cell_2"):
+            assert topology.has_link(cell, CLOUD)
+        # Ring closure.
+        assert topology.has_link("cell_2", "cell_0")
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_multicell_topology([])
+
+    def test_distant_ring_cells_are_not_cooperative_sources(self):
+        # In a 48-cell ring, the latency-shortest path between opposite cells
+        # runs through the cloud (two 20 ms WAN hops beat 24 backhaul hops);
+        # such pairs must not count as cooperative backhaul neighbours.
+        simulator = MultiCellSimulator.build(48, DOMAINS, seed=0)
+        assert simulator.costs.transits("cell_0", "cell_24", CLOUD)
+        assert not simulator.costs.transits("cell_0", "cell_1", CLOUD)
+        neighbor_names = [cell.name for cell in simulator.cells["cell_0"].neighbor_order]
+        assert "cell_1" in neighbor_names and "cell_47" in neighbor_names
+        assert "cell_24" not in neighbor_names
+
+    def test_path_cost_cache_matches_topology(self):
+        topology = build_multicell_topology(["cell_0", "cell_1", "cell_2", "cell_3"])
+        costs = PathCostCache(topology)
+        for destination in ("cell_1", "cell_2", CLOUD):
+            expected = topology.transfer_time("cell_0", destination, 1_000_000)
+            assert costs.transfer_time("cell_0", destination, 1_000_000) == pytest.approx(expected)
+        assert costs.transfer_time("cell_0", "cell_0", 1e9) == 0.0
+
+
+class TestMobility:
+    def test_initial_assignment_is_stable(self):
+        model = MobilityModel(["a", "b", "c"], MobilityConfig(handover_probability=0.0), seed=1)
+        first = model.cell_of("user_7")
+        assert all(model.cell_of("user_7") == first for _ in range(10))
+
+    def test_no_handover_with_zero_probability(self):
+        model = MobilityModel(["a", "b"], MobilityConfig(handover_probability=0.0), seed=1)
+        assert all(model.maybe_move("user_0") is None for _ in range(50))
+
+    def test_certain_handover_moves_to_other_cell(self):
+        model = MobilityModel(["a", "b"], MobilityConfig(handover_probability=1.0), seed=1)
+        current = model.cell_of("user_0")
+        move = model.maybe_move("user_0")
+        assert move is not None
+        old, new = move
+        assert old == current and new != old
+        assert model.cell_of("user_0") == new
+
+    def test_handover_targets_are_ring_neighbors(self):
+        names = ["a", "b", "c", "d", "e"]
+        model = MobilityModel(names, MobilityConfig(handover_probability=1.0), seed=2)
+        for trial in range(100):
+            user = f"user_{trial}"
+            old, new = model.maybe_move(user)
+            distance = abs(names.index(old) - names.index(new))
+            assert distance in (1, len(names) - 1)  # adjacent, possibly around the wrap
+
+    def test_single_cell_never_hands_over(self):
+        model = MobilityModel(["only"], MobilityConfig(handover_probability=1.0), seed=1)
+        assert model.maybe_move("user_0") is None
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(handover_probability=1.5)
+
+
+class TestCooperativeFetch:
+    def test_neighbor_fetch_preferred_over_cloud(self):
+        simulator = make_simulator(num_cells=2, mobility=MobilityConfig(handover_probability=0.0))
+        cell_0, cell_1 = simulator.cells["cell_0"], simulator.cells["cell_1"]
+        # Find users homed in each cell.
+        users = {simulator.mobility.cell_of(f"user_{i}"): f"user_{i}" for i in range(64)}
+        user_0, user_1 = users["cell_0"], users["cell_1"]
+        simulator.submit(0.0, user_0, "domain_0")
+        simulator.engine.run()
+        assert cell_0.stats.cloud_fetches == 1 and cell_0.stats.neighbor_fetches == 0
+        # Second cell now fetches the already-established model from its neighbour.
+        simulator.submit(100.0, user_1, "domain_0")
+        simulator.engine.run()
+        assert cell_1.stats.cloud_fetches == 0 and cell_1.stats.neighbor_fetches == 1
+        assert cell_1.cache.peek(general_model_key("domain_0")) is not None
+
+    def test_source_entry_pinned_during_transfer(self):
+        simulator = make_simulator(num_cells=2, mobility=MobilityConfig(handover_probability=0.0))
+        cell_0 = simulator.cells["cell_0"]
+        users = {simulator.mobility.cell_of(f"user_{i}"): f"user_{i}" for i in range(64)}
+        simulator.submit(0.0, users["cell_0"], "domain_0")
+        simulator.engine.run()
+        key = general_model_key("domain_0")
+        simulator.submit(100.0, users["cell_1"], "domain_0")
+        # Run only up to the lookup: the transfer is now in flight.
+        simulator.engine.run(until=100.0)
+        assert cell_0.cache.peek(key).pinned
+        simulator.engine.run()
+        assert not cell_0.cache.peek(key).pinned
+
+    def test_concurrent_requests_coalesce_onto_one_fetch(self):
+        simulator = make_simulator(num_cells=1, mobility=MobilityConfig(handover_probability=0.0))
+        for index in range(5):
+            simulator.submit(0.001 * index, f"user_{index}", "domain_0")
+        report = simulator.run()
+        stats = report.cells["cell_0"]
+        assert stats.cloud_fetches == 1
+        assert stats.coalesced == 4
+        assert report.completed == 5
+
+    def test_unknown_domain_rejected(self):
+        simulator = make_simulator()
+        with pytest.raises(SimulationError):
+            simulator.submit(0.0, "user_0", "no-such-domain")
+
+
+class TestSimulatorRuns:
+    def test_all_requests_complete_and_latencies_positive(self):
+        simulator = make_simulator(num_cells=3)
+        trace = ArrivalTraceGenerator(DOMAINS, num_users=50, rate=500.0, seed=3).generate(2000)
+        report = simulator.replay(trace)
+        assert report.completed == 2000
+        assert sum(stats.completed for stats in report.cells.values()) == 2000
+        assert 0.0 < report.latency["p50_s"] <= report.latency["p95_s"] <= report.latency["p99_s"]
+        assert report.requests_per_sec > 0
+        assert all(request.completed for request in simulator.requests)
+
+    def test_handover_charges_delay(self):
+        always_move = MobilityConfig(handover_probability=1.0, handover_delay_s=0.5)
+        simulator = make_simulator(num_cells=2, mobility=always_move)
+        request = simulator.submit(0.0, "user_0", "domain_0")
+        simulator.engine.run()
+        assert request.handover
+        assert request.lookup_time == pytest.approx(0.5)
+        assert sum(s.handovers_in for s in simulator.report(0.0).cells.values()) == 1
+
+    def test_batching_amortizes_compute(self):
+        trace = ArrivalTraceGenerator(DOMAINS, num_users=50, rate=2000.0, seed=5).generate(3000)
+        unbatched = make_simulator(batching=BatchingConfig(max_batch_size=1, max_wait_s=0.0, amortization=1.0))
+        batched = make_simulator(batching=BatchingConfig(max_batch_size=8, max_wait_s=0.01, amortization=0.3))
+        report_unbatched = unbatched.replay(trace)
+        report_batched = batched.replay(trace)
+        assert report_batched.completed == report_unbatched.completed == 3000
+        assert report_batched.mean_batch_size > 1.0
+        assert report_batched.total_compute_busy_s < report_unbatched.total_compute_busy_s
+
+    def test_cache_smaller_than_models_survives_replay(self):
+        # Models are 2-12 MiB; a 1 MiB cache can never host one.  The run
+        # must degrade to transient model use, not crash on insertion.
+        simulator = make_simulator(
+            num_cells=2, cache_capacity=1024 * 1024, mobility=MobilityConfig(handover_probability=0.0)
+        )
+        trace = ArrivalTraceGenerator(DOMAINS, num_users=20, rate=100.0, seed=11).generate(200)
+        report = simulator.replay(trace)
+        assert report.completed == 200
+        assert report.hit_ratio == 0.0
+        assert all(cell.cache.statistics.rejections > 0 for cell in simulator.cells.values())
+
+    def test_zero_capacity_cells_fall_back_to_cloud(self):
+        simulator = make_simulator(
+            num_cells=2, cache_capacity=0, mobility=MobilityConfig(handover_probability=0.0)
+        )
+        trace = ArrivalTraceGenerator(DOMAINS, num_users=20, rate=100.0, seed=7).generate(200)
+        report = simulator.replay(trace)
+        assert report.completed == 200
+        assert report.hit_ratio == 0.0
+        # Nothing is ever resident, so no cell can serve a neighbour.
+        assert all(stats.neighbor_fetches == 0 for stats in report.cells.values())
+        assert sum(stats.cloud_fetches for stats in report.cells.values()) > 0
+
+    def test_build_convenience_constructor(self):
+        simulator = MultiCellSimulator.build(2, DOMAINS, seed=0)
+        assert set(simulator.cells) == {"cell_0", "cell_1"}
+        with pytest.raises(ConfigurationError):
+            MultiCellSimulator.build(0, DOMAINS)
+
+    def test_duplicate_cell_names_rejected(self):
+        cells = [CellConfig(name="dup"), CellConfig(name="dup")]
+        with pytest.raises(ConfigurationError):
+            MultiCellSimulator(cells, default_catalogue(DOMAINS, seed=0))
+
+    def test_model_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModelSpec(domain="d", size_bytes=0, build_cost_s=1.0)
+        with pytest.raises(ConfigurationError):
+            ModelSpec(domain="d", size_bytes=10, build_cost_s=-1.0)

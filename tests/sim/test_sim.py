@@ -1,0 +1,178 @@
+"""Tests for the simulation engine core, request lifecycle and batching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.sim import (
+    BatchAccumulator,
+    BatchingConfig,
+    LatencyRecorder,
+    Request,
+    Simulation,
+    batch_flops,
+)
+
+
+class TestEventQueueOrdering:
+    def test_same_time_events_run_fifo(self):
+        simulation = Simulation()
+        order = []
+        for index in range(5):
+            simulation.schedule(1.0, lambda s, i=index: order.append(i))
+        simulation.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_interleaved_times_sorted(self):
+        simulation = Simulation()
+        order = []
+        for delay in (3.0, 1.0, 2.0, 1.0, 0.5):
+            simulation.schedule(delay, lambda s, d=delay: order.append(d))
+        simulation.run()
+        assert order == [0.5, 1.0, 1.0, 2.0, 3.0]
+
+    def test_events_scheduled_during_run_keep_order(self):
+        simulation = Simulation()
+        order = []
+
+        def spawn(sim):
+            order.append("parent")
+            sim.schedule(0.0, lambda s: order.append("child-now"))
+            sim.schedule(1.0, lambda s: order.append("child-later"))
+
+        simulation.schedule(1.0, spawn)
+        simulation.schedule(1.5, lambda s: order.append("sibling"))
+        simulation.run()
+        assert order == ["parent", "child-now", "sibling", "child-later"]
+
+    def test_trace_disabled_keeps_no_records_but_counts(self):
+        simulation = Simulation(trace=False)
+        for _ in range(10):
+            simulation.schedule(1.0, lambda s: None)
+        simulation.run()
+        assert simulation.processed == []
+        assert simulation.events_processed == 10
+
+    @settings(max_examples=30, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+    def test_processing_order_is_always_nondecreasing(self, delays):
+        simulation = Simulation()
+        seen = []
+        for delay in delays:
+            simulation.schedule(delay, lambda s: seen.append(s.now))
+        simulation.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestBatchingBoundaries:
+    def test_size_boundary_closes_batch(self):
+        accumulator = BatchAccumulator(BatchingConfig(max_batch_size=3, max_wait_s=1.0))
+        assert accumulator.add("a", 10.0, now=0.0) is None
+        assert accumulator.add("b", 10.0, now=0.1) is None
+        batch = accumulator.add("c", 10.0, now=0.2)
+        assert batch is not None and batch.items == ["a", "b", "c"]
+        assert len(accumulator) == 0 and accumulator.deadline is None
+
+    def test_deadline_set_when_batch_opens(self):
+        accumulator = BatchAccumulator(BatchingConfig(max_batch_size=8, max_wait_s=0.5))
+        accumulator.add("a", 1.0, now=2.0)
+        assert accumulator.deadline == pytest.approx(2.5)
+        # The deadline is anchored at the batch opening, not later additions.
+        accumulator.add("b", 1.0, now=2.4)
+        assert accumulator.deadline == pytest.approx(2.5)
+
+    def test_flush_empty_returns_none(self):
+        accumulator = BatchAccumulator()
+        assert accumulator.flush() is None
+
+    def test_generation_increments_per_flush(self):
+        accumulator = BatchAccumulator(BatchingConfig(max_batch_size=1, max_wait_s=1.0))
+        start = accumulator.generation
+        accumulator.add("a", 1.0, now=0.0)
+        accumulator.add("b", 1.0, now=1.0)
+        assert accumulator.generation == start + 2
+
+    def test_zero_wait_flushes_immediately(self):
+        accumulator = BatchAccumulator(BatchingConfig(max_batch_size=8, max_wait_s=0.0))
+        batch = accumulator.add("a", 5.0, now=0.0)
+        assert batch is not None and len(batch) == 1 and batch.flops == 5.0
+
+    def test_amortized_flops(self):
+        # Largest item pays full price, the others 40% of their own cost.
+        assert batch_flops([100.0, 50.0, 50.0], amortization=0.4) == pytest.approx(100 + 0.4 * 100)
+        assert batch_flops([100.0], amortization=0.4) == pytest.approx(100.0)
+        assert batch_flops([], amortization=0.4) == 0.0
+        # Amortization 1.0 reproduces the unbatched total.
+        assert batch_flops([30.0, 20.0, 10.0], amortization=1.0) == pytest.approx(60.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flops=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=16),
+        amortization=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_batch_cost_between_max_and_total(self, flops, amortization):
+        cost = batch_flops(flops, amortization)
+        assert max(flops) - 1e-6 <= cost <= sum(flops) + 1e-6
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(max_wait_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(amortization=0.0)
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(amortization=1.5)
+
+
+class TestRequestLifecycle:
+    def _request(self):
+        return Request(
+            request_id=1,
+            user_id="user_0",
+            domain="it",
+            model_key="general/it",
+            arrival_time=10.0,
+            num_tokens=8,
+        )
+
+    def test_unfinished_request_has_unset_latency(self):
+        request = self._request()
+        assert not request.completed
+        assert request.total_latency == -1.0
+
+    def test_latency_decomposition(self):
+        request = self._request()
+        request.lookup_time = 10.0
+        request.fetch_done_time = 10.5
+        request.enqueue_time = 10.5
+        request.compute_start_time = 10.6
+        request.compute_done_time = 10.7
+        request.completion_time = 10.8
+        request.status = "completed"
+        assert request.completed
+        assert request.total_latency == pytest.approx(0.8)
+        assert request.fetch_delay == pytest.approx(0.5)
+        assert request.batch_wait == pytest.approx(0.1)
+
+    def test_hit_has_zero_fetch_delay(self):
+        request = self._request()
+        request.lookup_time = 10.0
+        assert request.fetch_delay == 0.0
+
+
+class TestLatencyRecorder:
+    def test_percentiles_ordered(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(value / 100.0)
+        summary = recorder.summary()
+        assert summary["p50_s"] <= summary["p95_s"] <= summary["p99_s"] <= summary["max_s"]
+        assert len(recorder) == 100
+
+    def test_empty_summary_is_zero(self):
+        assert LatencyRecorder().summary()["p99_s"] == 0.0

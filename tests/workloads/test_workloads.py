@@ -10,17 +10,19 @@ from hypothesis import strategies as st
 from repro.workloads import (
     DEFAULT_DOMAIN_NAMES,
     POLYSEMOUS_WORDS,
+    ArrivalTraceGenerator,
     MessageGenerator,
     MetaverseWorkload,
     UserStyle,
     ZipfTraceGenerator,
     build_user_population,
-    default_domains,
     default_venues,
+    diurnal_arrival_times,
     generate_all_corpora,
     generate_domain_corpus,
     generate_topic_drift_trace,
     generate_user_style,
+    poisson_arrival_times,
     shared_vocabulary,
     zipf_probabilities,
 )
@@ -147,6 +149,76 @@ class TestTraces:
     def test_topic_drift_length_property(self, num_turns):
         trace = generate_topic_drift_trace(["a", "b", "c"], num_turns, seed=1)
         assert len(trace.domains) == num_turns
+
+
+class TestArrivalProcesses:
+    def test_poisson_arrivals_sorted_with_expected_rate(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrival_times(10_000, rate=50.0, rng=rng)
+        assert len(times) == 10_000
+        assert np.all(np.diff(times) >= 0)
+        observed_rate = len(times) / times[-1]
+        assert observed_rate == pytest.approx(50.0, rel=0.1)
+
+    def test_poisson_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(-1, 1.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(10, 0.0, rng)
+
+    def test_diurnal_arrivals_sorted_and_denser_at_peak(self):
+        rng = np.random.default_rng(0)
+        period = 100.0
+        times = diurnal_arrival_times(20_000, base_rate=20.0, peak_rate=200.0, period_s=period, rng=rng)
+        assert np.all(np.diff(times) >= 0)
+        phase = np.mod(times, period)
+        # Rate peaks at period/2 and bottoms out around 0: the middle half of
+        # the day must hold clearly more arrivals than the edges.
+        peak_arrivals = np.sum((phase > period * 0.25) & (phase < period * 0.75))
+        trough_arrivals = len(times) - peak_arrivals
+        assert peak_arrivals > 1.5 * trough_arrivals
+
+    def test_diurnal_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            diurnal_arrival_times(10, base_rate=0.0, peak_rate=1.0, period_s=10.0, rng=rng)
+        with pytest.raises(ValueError):
+            diurnal_arrival_times(10, base_rate=2.0, peak_rate=1.0, period_s=10.0, rng=rng)
+        with pytest.raises(ValueError):
+            diurnal_arrival_times(10, base_rate=1.0, peak_rate=2.0, period_s=0.0, rng=rng)
+
+    def test_arrival_trace_generator_profiles(self):
+        for profile in ("poisson", "diurnal"):
+            generator = ArrivalTraceGenerator(
+                ["a", "b", "c"], num_users=10, profile=profile, rate=100.0, seed=4
+            )
+            trace = generator.generate(500)
+            assert len(trace) == 500
+            timestamps = [request.timestamp for request in trace]
+            assert timestamps == sorted(timestamps)
+            assert set(trace.domain_counts()) <= {"a", "b", "c"}
+            assert len(trace.users()) <= 10
+
+    def test_arrival_trace_generator_is_deterministic(self):
+        def make():
+            return ArrivalTraceGenerator(["a", "b"], profile="diurnal", rate=50.0, seed=9).generate(100)
+
+        first, second = make(), make()
+        assert [r.timestamp for r in first] == [r.timestamp for r in second]
+        assert [r.domain for r in first] == [r.domain for r in second]
+
+    def test_arrival_trace_generator_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalTraceGenerator([], rate=1.0)
+        with pytest.raises(ValueError):
+            ArrivalTraceGenerator(["a"], profile="weekly")
+        with pytest.raises(ValueError):
+            ArrivalTraceGenerator(["a"], rate=-1.0)
+        with pytest.raises(ValueError):
+            ArrivalTraceGenerator(["a"], profile="diurnal", rate=100.0, peak_rate=50.0)
+        with pytest.raises(ValueError):
+            ArrivalTraceGenerator(["a"]).generate(-1)
 
 
 class TestMetaverse:
