@@ -4,11 +4,33 @@ Besides the classic LRU/LFU/FIFO baselines, :class:`SemanticPopularityPolicy`
 implements the caching behaviour the paper argues for: keep the models whose
 *domains* are popular and whose *rebuild cost* is high (individual models that
 took many transactions to fine-tune are expensive to lose).
+
+Victim selection is structured in two layers:
+
+* :meth:`EvictionPolicy.select_victim` is the *reference* implementation — a
+  linear scan over the given candidates.  It defines each policy's semantics
+  and stays the fallback for policies whose priorities change globally over
+  time (``semantic-popularity``'s scores decay on every access, so no static
+  ordering can hold them).
+* :meth:`EvictionPolicy.pop_victim` is the *fast* path the cache calls on its
+  resident-entry map.  LRU/FIFO maintain an access-ordered ``OrderedDict``
+  (victim = first unpinned entry, O(1) amortized); LFU and size-aware keep a
+  lazy-deletion heap of ``(priority, entry)`` snapshots where stale snapshots
+  are discarded on pop (O(log n) amortized).  Both agree with the reference
+  scan whenever timestamps are distinct; exact ties may be broken differently
+  (by access order instead of map insertion order), which no simulation with
+  continuous timestamps can observe.
+
+A policy instance carries per-cache state (orderings, heaps, popularity
+counters), so each :class:`~repro.caching.cache.SemanticModelCache` needs its
+own instance — never share one across caches.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import heapq
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.caching.entry import CacheEntry
 from repro.utils.registry import Registry
@@ -27,13 +49,54 @@ class EvictionPolicy:
     def on_access(self, entry: CacheEntry, now: float) -> None:
         """Hook called when ``entry`` is accessed (default: nothing)."""
 
+    def on_remove(self, entry: CacheEntry) -> None:
+        """Hook called when ``entry`` leaves the cache (default: nothing)."""
+
     def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
-        """Return the entry that should be evicted."""
+        """Return the entry that should be evicted (reference linear scan)."""
         raise NotImplementedError
+
+    def pop_victim(self, entries: Dict[str, CacheEntry], now: float) -> Optional[CacheEntry]:
+        """Victim among the resident ``entries``, skipping pinned ones.
+
+        The base implementation delegates to :meth:`select_victim` over the
+        unpinned candidates, preserving the O(n) behaviour for third-party
+        policies; the built-in baselines override it with O(1)/O(log n)
+        structures.  Returns ``None`` when every entry is pinned.
+        """
+        candidates = [entry for entry in entries.values() if not entry.pinned]
+        if not candidates:
+            return None
+        return self.select_victim(candidates, now)
+
+
+class _OrderedPolicy(EvictionPolicy):
+    """Shared machinery for policies whose victim is the head of an ordering."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._order[entry.key] = entry
+        self._order.move_to_end(entry.key)
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._order.pop(entry.key, None)
+
+    def pop_victim(self, entries: Dict[str, CacheEntry], now: float) -> Optional[CacheEntry]:
+        for entry in self._order.values():
+            # The residency check guards against a policy instance wrongly
+            # shared across caches: a foreign entry must never be returned as
+            # a victim to a cache that does not hold it (sharing is still
+            # unsupported — per-cache orderings diverge — but it must not
+            # corrupt the calling cache).
+            if not entry.pinned and entries.get(entry.key) is entry:
+                return entry
+        return None
 
 
 @policy_registry.register("fifo")
-class FifoPolicy(EvictionPolicy):
+class FifoPolicy(_OrderedPolicy):
     """Evict the entry inserted earliest."""
 
     name = "fifo"
@@ -43,27 +106,93 @@ class FifoPolicy(EvictionPolicy):
 
 
 @policy_registry.register("lru")
-class LruPolicy(EvictionPolicy):
+class LruPolicy(_OrderedPolicy):
     """Evict the least-recently-used entry."""
 
     name = "lru"
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        if entry.key in self._order:
+            self._order.move_to_end(entry.key)
 
     def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
         return min(entries, key=lambda entry: entry.last_access_time)
 
 
+class _HeapPolicy(EvictionPolicy):
+    """Lazy-deletion heap of ``(priority..., key)`` snapshots.
+
+    Every insert/access pushes a fresh snapshot of the entry's priority; pops
+    discard snapshots that no longer match the entry's current state (or an
+    entry that is gone).  The policy mirrors the resident-entry map (updated
+    through the insert/remove hooks) so the heap can be compacted whenever
+    stale snapshots dominate — on push as well as on pop, since a cache whose
+    working set fits capacity may never need a victim yet still accumulates
+    one snapshot per hit.  Memory therefore stays O(resident entries).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple] = []
+        self._resident: Dict[str, CacheEntry] = {}
+
+    def _priority(self, entry: CacheEntry) -> Tuple:
+        """Current priority tuple of ``entry`` (lowest evicts first)."""
+        raise NotImplementedError
+
+    def _push(self, entry: CacheEntry) -> None:
+        heapq.heappush(self._heap, self._priority(entry) + (entry.key,))
+        if len(self._heap) > 4 * len(self._resident) + 64:
+            self._compact()
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._resident[entry.key] = entry
+        self._push(entry)
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        self._push(entry)
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._resident.pop(entry.key, None)
+
+    def pop_victim(self, entries: Dict[str, CacheEntry], now: float) -> Optional[CacheEntry]:
+        heap = self._heap
+        skipped_pinned: List[Tuple] = []
+        victim: Optional[CacheEntry] = None
+        while heap:
+            snapshot = heap[0]
+            entry = entries.get(snapshot[-1])
+            if entry is None or self._priority(entry) + (entry.key,) != snapshot:
+                heapq.heappop(heap)  # stale: entry gone or re-prioritized since
+                continue
+            if entry.pinned:
+                skipped_pinned.append(heapq.heappop(heap))
+                continue
+            victim = entry
+            break
+        for snapshot in skipped_pinned:
+            heapq.heappush(heap, snapshot)
+        return victim
+
+    def _compact(self) -> None:
+        self._heap = [self._priority(entry) + (entry.key,) for entry in self._resident.values()]
+        heapq.heapify(self._heap)
+
+
 @policy_registry.register("lfu")
-class LfuPolicy(EvictionPolicy):
+class LfuPolicy(_HeapPolicy):
     """Evict the least-frequently-used entry (ties broken by recency)."""
 
     name = "lfu"
+
+    def _priority(self, entry: CacheEntry) -> Tuple:
+        return (entry.access_count, entry.last_access_time)
 
     def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
         return min(entries, key=lambda entry: (entry.access_count, entry.last_access_time))
 
 
 @policy_registry.register("size-aware")
-class SizeAwarePolicy(EvictionPolicy):
+class SizeAwarePolicy(_HeapPolicy):
     """Evict the entry with the lowest access density (accesses per byte).
 
     Large, rarely-used models go first, which suits caches mixing small
@@ -71,6 +200,9 @@ class SizeAwarePolicy(EvictionPolicy):
     """
 
     name = "size-aware"
+
+    def _priority(self, entry: CacheEntry) -> Tuple:
+        return (entry.access_count / max(entry.size_bytes, 1), entry.last_access_time)
 
     def select_victim(self, entries: Iterable[CacheEntry], now: float) -> CacheEntry:
         def density(entry: CacheEntry) -> float:
@@ -92,6 +224,11 @@ class SemanticPopularityPolicy(EvictionPolicy):
     popularity, capturing the paper's point that caching the general model of
     a popular domain also benefits every user deriving an individual model
     from it.
+
+    Because every access decays the popularity of *all* domains (and the
+    recency term depends on ``now``), entry priorities change without the
+    entries being touched — so this policy keeps the reference linear scan
+    instead of a heap; no static ordering could stay valid.
     """
 
     name = "semantic-popularity"

@@ -30,13 +30,26 @@ from repro.nn.losses import (
 from repro.nn.module import Module, ModuleList
 from repro.nn.optim import SGD, Adam, LearningRateSchedule, Optimizer
 from repro.nn.recurrent import GRU, GRUCell, RecurrentClassifier
-from repro.nn.tensor import Tensor, as_tensor, concatenate, ones, stack, zeros
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    set_default_dtype,
+    stack,
+    zeros,
+)
 from repro.nn.transformer import FeedForward, TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
     "Tensor",
     "as_tensor",
     "concatenate",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
     "stack",
     "zeros",
     "ones",

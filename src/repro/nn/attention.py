@@ -47,7 +47,9 @@ def scaled_dot_product_attention(
     )
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
-        fill = np.where(mask, 0.0, _NEGATIVE_FILL)
+        # Build the additive fill in the scores' dtype so a float32 forward
+        # pass is not silently promoted back to float64.
+        fill = np.where(mask, 0.0, _NEGATIVE_FILL).astype(scores.data.dtype, copy=False)
         scores = scores + Tensor(fill)
     weights = scores.softmax(axis=-1)
     output = weights @ value
@@ -60,7 +62,9 @@ class MultiHeadAttention(Module):
     Operates on inputs shaped ``(batch, length, model_dim)``.
     """
 
-    def __init__(self, model_dim: int, num_heads: int, seed: SeedLike = None) -> None:
+    def __init__(
+        self, model_dim: int, num_heads: int, seed: SeedLike = None, dtype: object = None
+    ) -> None:
         super().__init__()
         if model_dim % num_heads != 0:
             raise ValueError(f"model_dim {model_dim} must be divisible by num_heads {num_heads}")
@@ -73,6 +77,8 @@ class MultiHeadAttention(Module):
         self.value_projection = Linear(model_dim, model_dim, seed=seeds[2])
         self.output_projection = Linear(model_dim, model_dim, seed=seeds[3])
         self.last_attention_weights: Optional[np.ndarray] = None
+        if dtype is not None:
+            self.to_dtype(dtype)
 
     def _split_heads(self, tensor: Tensor) -> Tensor:
         batch, length, _ = tensor.shape

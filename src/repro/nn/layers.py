@@ -24,9 +24,21 @@ class Linear(Module):
         Whether to learn an additive bias.
     seed:
         Seed controlling the Xavier initialization.
+    dtype:
+        Optional parameter dtype; ``"float32"`` opts the layer into the
+        reduced-precision inference path (initial values are drawn in float64
+        and then cast, so a float32 layer starts from the same weights as its
+        float64 twin).
     """
 
-    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+        dtype: object = None,
+    ) -> None:
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear dimensions must be positive")
@@ -34,6 +46,8 @@ class Linear(Module):
         self.out_features = out_features
         self.weight = init.xavier_uniform((in_features, out_features), seed=seed)
         self.bias = init.zeros(out_features) if bias else None
+        if dtype is not None:
+            self.to_dtype(dtype)
 
     def forward(self, inputs: Tensor) -> Tensor:
         if inputs.shape[-1] != self.in_features:
@@ -49,13 +63,21 @@ class Linear(Module):
 class Embedding(Module):
     """Token-id to dense-vector lookup table."""
 
-    def __init__(self, num_embeddings: int, embedding_dim: int, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        seed: SeedLike = None,
+        dtype: object = None,
+    ) -> None:
         super().__init__()
         if num_embeddings <= 0 or embedding_dim <= 0:
             raise ValueError("Embedding dimensions must be positive")
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = init.normal((num_embeddings, embedding_dim), std=0.05, seed=seed)
+        if dtype is not None:
+            self.to_dtype(dtype)
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
         token_ids = np.asarray(token_ids, dtype=np.int64)
@@ -100,7 +122,7 @@ class Dropout(Module):
             return inputs
         keep = 1.0 - self.rate
         mask = self._rng.random(inputs.shape) < keep
-        return inputs * Tensor(mask / keep)
+        return inputs * Tensor((mask / keep).astype(inputs.data.dtype, copy=False))
 
 
 class Sequential(Module):
@@ -211,8 +233,16 @@ class PositionalEncoding(Module):
         self.dim = dim
         self.max_length = max_length
 
+    def _cast_extras(self, dtype: np.dtype) -> None:
+        self._table = self._table.astype(dtype, copy=False)
+
     def forward(self, inputs: Tensor) -> Tensor:
         length = inputs.shape[-2]
         if length > self.max_length:
             raise ShapeError(f"sequence length {length} exceeds max_length {self.max_length}")
-        return inputs + Tensor(self._table[:length])
+        table = self._table[:length]
+        if table.dtype != inputs.data.dtype:
+            # Keep the float32 path float32 even if to_dtype was not routed
+            # through this module (e.g. a hand-assembled model).
+            table = table.astype(inputs.data.dtype)
+        return inputs + Tensor(table)

@@ -7,7 +7,7 @@ from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
 
 
 class Module:
@@ -16,6 +16,11 @@ class Module:
     Sub-classes implement :meth:`forward`; assignment of :class:`Tensor`
     attributes with ``requires_grad=True`` registers them as parameters, and
     assignment of :class:`Module` attributes registers them as sub-modules.
+
+    Calling a module in evaluation mode (after :meth:`eval`) runs its forward
+    pass under :class:`~repro.nn.tensor.no_grad`: no autograd tape is built,
+    which is the inference fast path every cached codec uses when serving
+    requests.  :meth:`train` restores full tape construction.
     """
 
     def __init__(self) -> None:
@@ -41,6 +46,9 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        if not self.training and is_grad_enabled():
+            with no_grad():
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
     # ------------------------------------------------------------------ #
@@ -117,6 +125,26 @@ class Module:
     def copy_weights_from(self, other: "Module") -> None:
         """Copy all parameter values from ``other`` (shapes must match)."""
         self.load_state_dict(other.state_dict())
+
+    def to_dtype(self, dtype: str | np.dtype | type) -> "Module":
+        """Cast every parameter (and dtype-sensitive buffer) to ``dtype`` in place.
+
+        The opt-in float32 path: ``model.to_dtype("float32")`` halves the
+        memory traffic of each forward pass, which is what an edge server
+        actually serves with (it already *stores* models at 4 bytes/weight,
+        see :meth:`parameter_bytes`).  Gradients accumulate in the parameter
+        dtype, so casting back via ``to_dtype("float64")`` restores full
+        precision for training.
+        """
+        resolved = np.dtype(dtype)
+        for parameter in self.parameters():
+            parameter.data = parameter.data.astype(resolved, copy=False)
+        for _, module in self.named_modules():
+            module._cast_extras(resolved)
+        return self
+
+    def _cast_extras(self, dtype: np.dtype) -> None:
+        """Hook for sub-classes holding non-parameter arrays (e.g. fixed tables)."""
 
     def parameter_bytes(self, bytes_per_value: int = 4) -> int:
         """Size of the model in bytes assuming ``bytes_per_value`` per weight.

@@ -62,7 +62,11 @@ class GRU(Module):
         if inputs.ndim != 3:
             raise ShapeError(f"GRU expects (batch, length, dim) input, got shape {inputs.shape}")
         batch, length, _ = inputs.shape
-        hidden = initial_hidden if initial_hidden is not None else zeros((batch, self.hidden_dim))
+        if initial_hidden is not None:
+            hidden = initial_hidden
+        else:
+            # Match the input dtype so a float32 sequence stays float32.
+            hidden = zeros((batch, self.hidden_dim), dtype=inputs.data.dtype)
         states: list[Tensor] = []
         for step in range(length):
             hidden = self.cell(inputs[:, step, :], hidden)

@@ -24,6 +24,61 @@ from repro.exceptions import GradientError, ShapeError
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
+#: Dtypes a tensor may hold; anything else is converted to the default dtype.
+_FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+#: Dtype non-float input data is converted to (see :func:`set_default_dtype`).
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+#: Whether new operations record the autograd tape (see :class:`no_grad`).
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+class no_grad:  # noqa: N801 - torch-style lowercase context manager
+    """Context manager that disables autograd tape construction.
+
+    Inside the block every :class:`Tensor` operation computes its value but
+    records no parents and no backward closure, so inference passes pay no
+    graph-building cost and retain no activation memory.  Re-entrant: nested
+    blocks restore the previous state on exit.
+
+    >>> with no_grad():
+    ...     features = encoder(token_ids)   # no tape, not backpropagable
+    """
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def set_default_dtype(dtype: Union[str, np.dtype, type]) -> np.dtype:
+    """Set the dtype non-float input data is converted to; returns the previous one.
+
+    Only ``float32`` and ``float64`` are supported.  Float arrays passed to
+    :class:`Tensor` keep their dtype either way — this governs conversions of
+    ints, lists and python scalars.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {resolved}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
@@ -45,8 +100,11 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` unless already a float
-        array.
+        Array-like payload.  ``float32``/``float64`` arrays keep their dtype
+        (which is how the opt-in float32 inference path propagates end to
+        end); everything else is converted to the default dtype (``float64``
+        unless changed via :func:`set_default_dtype`).  An explicit ``dtype``
+        overrides both.
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
@@ -61,10 +119,16 @@ class Tensor:
         _parents: Tuple["Tensor", ...] = (),
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: Optional[str] = None,
+        dtype: Optional[Union[str, np.dtype, type]] = None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        array = np.asarray(data, dtype=np.float64)
+        if dtype is not None:
+            array = np.asarray(data, dtype=np.dtype(dtype))
+        else:
+            array = np.asarray(data)
+            if array.dtype not in _FLOAT_DTYPES:
+                array = array.astype(_DEFAULT_DTYPE)
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
@@ -102,6 +166,18 @@ class Tensor:
         """Return a new tensor sharing data but cut off from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype: Union[str, np.dtype, type]) -> "Tensor":
+        """Return a detached copy cast to ``dtype`` (float32/float64)."""
+        resolved = np.dtype(dtype)
+        if resolved not in _FLOAT_DTYPES:
+            raise ValueError(f"tensor dtype must be float32 or float64, got {resolved}")
+        return Tensor(self.data.astype(resolved, copy=True), requires_grad=False)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the underlying array."""
+        return self.data.dtype
+
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
         self.grad = None
@@ -124,7 +200,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -134,7 +210,7 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -144,6 +220,13 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, (int, float)):
+            # Scalar fast path: no peer tensor, and numpy's weak scalar
+            # promotion keeps a float32 chain float32.
+            def backward_scalar(grad: np.ndarray) -> None:
+                self._accumulate(grad)
+
+            return self._make(self.data + other, (self,), backward_scalar)
         other = self._as_tensor(other)
         out_data = self.data + other.data
 
@@ -162,12 +245,27 @@ class Tensor:
         return self._make(-self.data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, (int, float)):
+            def backward_scalar(grad: np.ndarray) -> None:
+                self._accumulate(grad)
+
+            return self._make(self.data - other, (self,), backward_scalar)
         return self + (-self._as_tensor(other))
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, (int, float)):
+            def backward_scalar(grad: np.ndarray) -> None:
+                self._accumulate(-grad)
+
+            return self._make(other - self.data, (self,), backward_scalar)
         return self._as_tensor(other) + (-self)
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, (int, float)):
+            def backward_scalar(grad: np.ndarray) -> None:
+                self._accumulate(grad * other)
+
+            return self._make(self.data * other, (self,), backward_scalar)
         other = self._as_tensor(other)
         out_data = self.data * other.data
 
@@ -180,6 +278,11 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, (int, float)):
+            def backward_scalar(grad: np.ndarray) -> None:
+                self._accumulate(grad / other)
+
+            return self._make(self.data / other, (self,), backward_scalar)
         other = self._as_tensor(other)
         out_data = self.data / other.data
 
@@ -190,6 +293,13 @@ class Tensor:
         return self._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, (int, float)):
+            out_data = other / self.data
+
+            def backward_scalar(grad: np.ndarray) -> None:
+                self._accumulate(-grad * out_data / self.data)
+
+            return self._make(out_data, (self,), backward_scalar)
         return self._as_tensor(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -242,7 +352,7 @@ class Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if axis is None:
                 expanded = np.broadcast_to(grad, self.data.shape)
             else:
@@ -417,7 +527,7 @@ class Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slicer)])
 
-        requires = any(t.requires_grad for t in tensors)
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(tensors)
@@ -435,7 +545,7 @@ class Tensor:
             for tensor, piece in zip(tensors, pieces):
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
-        requires = any(t.requires_grad for t in tensors)
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(tensors)
@@ -468,14 +578,19 @@ class Tensor:
         matching the usual "call backward on the loss" workflow.
         """
         if not self.requires_grad:
-            raise GradientError("backward() called on a tensor that does not require grad")
+            raise GradientError(
+                "backward() called on a tensor that does not require grad "
+                "(was the forward pass run under no_grad() or through a module "
+                "in eval() mode? call .train() or compute outside no_grad() to "
+                "build the tape)"
+            )
         if grad is None:
             if self.size != 1:
                 raise GradientError(
                     f"backward() without an explicit gradient requires a scalar, got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         order: list[Tensor] = []
         visited: set[int] = set()
@@ -516,14 +631,22 @@ def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> T
     return Tensor(value, requires_grad=requires_grad)
 
 
-def zeros(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+def zeros(
+    shape: Union[int, Tuple[int, ...]],
+    requires_grad: bool = False,
+    dtype: Optional[Union[str, np.dtype, type]] = None,
+) -> Tensor:
     """A tensor of zeros with the given shape."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape), requires_grad=requires_grad, dtype=dtype)
 
 
-def ones(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+def ones(
+    shape: Union[int, Tuple[int, ...]],
+    requires_grad: bool = False,
+    dtype: Optional[Union[str, np.dtype, type]] = None,
+) -> Tensor:
     """A tensor of ones with the given shape."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape), requires_grad=requires_grad, dtype=dtype)
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

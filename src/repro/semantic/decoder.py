@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.nn import GRU, Linear, Module, PositionalEncoding, Tensor, TransformerEncoder
+from repro.nn import GRU, Linear, Module, PositionalEncoding, Tensor, TransformerEncoder, no_grad
 from repro.semantic.config import CodecConfig
 from repro.utils.rng import new_rng, spawn_rng
 
@@ -50,7 +50,9 @@ class SemanticDecoder(Module):
 
     def forward(self, features: Tensor | np.ndarray) -> Tensor:
         if not isinstance(features, Tensor):
-            features = Tensor(np.asarray(features, dtype=np.float64))
+            # Tensor() preserves float32/float64 inputs, so a float32 decoder
+            # keeps its reduced-precision path end to end.
+            features = Tensor(np.asarray(features))
         if features.ndim == 2:
             features = features.reshape(1, *features.shape)
         projected = self.input_projection(features)
@@ -64,10 +66,11 @@ class SemanticDecoder(Module):
         return self.output_projection(body_output)
 
     def decode_greedy(self, features: np.ndarray) -> np.ndarray:
-        """Argmax token ids for received ``features`` (inference mode)."""
+        """Argmax token ids for received ``features`` (inference mode, no tape)."""
         was_training = self.training
         self.eval()
-        logits = self.forward(features)
+        with no_grad():
+            logits = self.forward(features)
         if was_training:
             self.train()
         return np.argmax(logits.data, axis=-1)

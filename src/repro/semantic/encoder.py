@@ -22,6 +22,7 @@ from repro.nn import (
     PositionalEncoding,
     Tensor,
     TransformerEncoder,
+    no_grad,
     padding_mask,
 )
 from repro.semantic.config import CodecConfig
@@ -78,10 +79,16 @@ class SemanticEncoder(Module):
         return self.feature_projection(body_output).tanh()
 
     def encode(self, token_ids: np.ndarray) -> np.ndarray:
-        """Inference helper: return features as a plain numpy array."""
+        """Inference helper: return features as a plain numpy array.
+
+        Runs under :class:`~repro.nn.tensor.no_grad` in evaluation mode, so no
+        autograd tape is built — this is the per-request hot path an edge
+        server pays after a cache hit.
+        """
         was_training = self.training
         self.eval()
-        features = self.forward(token_ids).data.copy()
+        with no_grad():
+            features = self.forward(token_ids).data.copy()
         if was_training:
             self.train()
         return features
@@ -111,16 +118,17 @@ class SemanticPoolingEncoder(Module):
         if token_ids.ndim == 1:
             token_ids = token_ids[None, :]
         features = self.token_encoder(token_ids)
-        mask = (token_ids != self.pad_id).astype(np.float64)
+        mask = (token_ids != self.pad_id).astype(features.data.dtype)
         denominators = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
         weights = Tensor(mask[..., None] / denominators[..., None])
         return (features * weights).sum(axis=1)
 
     def encode(self, token_ids: np.ndarray) -> np.ndarray:
-        """Inference helper returning pooled features as numpy."""
+        """Inference helper returning pooled features as numpy (no autograd tape)."""
         was_training = self.training
         self.eval()
-        pooled = self.forward(token_ids).data.copy()
+        with no_grad():
+            pooled = self.forward(token_ids).data.copy()
         if was_training:
             self.train()
         return pooled

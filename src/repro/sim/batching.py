@@ -76,6 +76,10 @@ class BatchAccumulator:
         self._items: List[Any] = []
         self._flops: List[float] = []
         self._opened_at: float = 0.0
+        # Boundary knobs hoisted to plain attributes: add() runs once per
+        # request in the replay hot loop.
+        self._max_size = self.config.max_batch_size
+        self._max_wait = self.config.max_wait_s
         #: Absolute deadline of the currently open batch (None when empty).
         self.deadline: Optional[float] = None
         #: Bumped on every flush; timeout events compare generations so a
@@ -91,12 +95,13 @@ class BatchAccumulator:
         When the returned value is ``None`` and ``len(self) == 1``, the
         caller should arrange a flush at :attr:`deadline`.
         """
-        if not self._items:
+        items = self._items
+        if not items:
             self._opened_at = now
-            self.deadline = now + self.config.max_wait_s
-        self._items.append(item)
+            self.deadline = now + self._max_wait
+        items.append(item)
         self._flops.append(flops)
-        if len(self._items) >= self.config.max_batch_size or self.config.max_wait_s == 0.0:
+        if len(items) >= self._max_size or self._max_wait == 0.0:
             return self.flush()
         return None
 

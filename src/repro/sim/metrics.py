@@ -3,42 +3,80 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
 
 class LatencyRecorder:
-    """Accumulates completion latencies and summarizes their distribution."""
+    """Accumulates completion latencies and summarizes their distribution.
 
-    def __init__(self) -> None:
-        self._latencies: List[float] = []
+    Memory is bounded: up to ``reservoir_size`` samples are kept.  While the
+    number of recorded latencies stays at or below that threshold every sample
+    is retained, so percentiles are **exact** — the default threshold of
+    100 000 covers every committed experiment row.  Beyond it the recorder
+    switches to uniform reservoir sampling (Vitter's algorithm R with a seeded
+    generator, so runs stay reproducible): a 1M-request replay then costs the
+    same memory as a 100k one, with percentiles becoming tight estimates.
+    Mean, max and count are always exact regardless of length.
+    """
+
+    def __init__(self, reservoir_size: int = 100_000, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self._capacity = reservoir_size
+        self._samples = np.empty(reservoir_size, dtype=np.float64)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._seed = seed
+        self._rng: np.random.Generator | None = None  # created on first overflow
 
     def record(self, latency_s: float) -> None:
         """Record one completed request's latency."""
-        self._latencies.append(latency_s)
+        index = self._count
+        self._count = index + 1
+        self._sum += latency_s
+        if latency_s > self._max:
+            self._max = latency_s
+        if index < self._capacity:
+            self._samples[index] = latency_s
+            return
+        if self._rng is None:
+            self._rng = np.random.default_rng(self._seed)
+        slot = int(self._rng.integers(0, self._count))
+        if slot < self._capacity:
+            self._samples[slot] = latency_s
 
     def __len__(self) -> int:
-        return len(self._latencies)
+        return self._count
+
+    @property
+    def exact(self) -> bool:
+        """Whether every recorded sample is retained (percentiles are exact)."""
+        return self._count <= self._capacity
+
+    def _values(self) -> np.ndarray:
+        return self._samples[: min(self._count, self._capacity)]
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile latency in seconds (0 when empty)."""
-        if not self._latencies:
+        if self._count == 0:
             return 0.0
-        return float(np.percentile(self._latencies, q))
+        return float(np.percentile(self._values(), q))
 
     def summary(self) -> Dict[str, float]:
         """Mean and p50/p95/p99 latency in seconds."""
-        if not self._latencies:
+        if self._count == 0:
             return {"mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
-        values = np.asarray(self._latencies)
+        values = self._values()
         p50, p95, p99 = np.percentile(values, [50, 95, 99])
         return {
-            "mean_s": float(values.mean()),
+            "mean_s": float(values.mean()) if self.exact else self._sum / self._count,
             "p50_s": float(p50),
             "p95_s": float(p95),
             "p99_s": float(p99),
-            "max_s": float(values.max()),
+            "max_s": self._max,
         }
 
 

@@ -135,6 +135,10 @@ class MobilityModel:
         self.rng = new_rng(seed)
         self._user_cell: Dict[str, str] = {}
         self._ring_index = {name: index for index, name in enumerate(self.cell_names)}
+        # Hot-path constants hoisted out of per-request attribute chases.
+        self._num_cells = len(self.cell_names)
+        self._probability = config.handover_probability
+        self._random = self.rng.random
 
     def cell_of(self, user_id: str) -> str:
         """The user's current serving cell (assigned uniformly on first sight)."""
@@ -149,15 +153,28 @@ class MobilityModel:
 
         Returns ``(old_cell, new_cell)`` when a handover happened, else ``None``.
         """
-        current = self.cell_of(user_id)
-        num_cells = len(self.cell_names)
-        if num_cells < 2 or self.rng.random() >= self.config.handover_probability:
-            return None
-        index = self._ring_index[current]
-        step = 1 if num_cells == 2 or self.rng.random() < 0.5 else -1
-        new = self.cell_names[(index + step) % num_cells]
-        self._user_cell[user_id] = new
-        return current, new
+        return self.resolve(user_id)[1]
+
+    def resolve(self, user_id: str) -> Tuple[str, Optional[Tuple[str, str]]]:
+        """Place the user and sample a handover in one call.
+
+        Returns ``(serving_cell, moved)`` where ``moved`` is the
+        ``(old_cell, new_cell)`` pair when a handover happened, else ``None``.
+        Consumes the RNG stream exactly like ``cell_of`` + ``maybe_move``
+        (same draws, same order), but with a single user lookup — this is the
+        per-arrival hot path of the multi-cell replay.
+        """
+        user_cell = self._user_cell
+        current = user_cell.get(user_id)
+        if current is None:
+            current = self.cell_names[int(self.rng.integers(self._num_cells))]
+            user_cell[user_id] = current
+        if self._num_cells < 2 or self._random() >= self._probability:
+            return current, None
+        step = 1 if self._num_cells == 2 or self._random() < 0.5 else -1
+        new = self.cell_names[(self._ring_index[current] + step) % self._num_cells]
+        user_cell[user_id] = new
+        return new, (current, new)
 
 
 def build_multicell_topology(

@@ -35,6 +35,11 @@ UNSET = -1.0
 class Request:
     """One user request replayed through the simulator.
 
+    ``slots=True`` keeps the per-request footprint flat across 200k+-request
+    replays (no per-instance ``__dict__``), and the order of the six required
+    fields is part of the contract: the replay hot loop constructs requests
+    positionally.
+
     Attributes
     ----------
     request_id:

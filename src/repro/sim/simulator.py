@@ -79,12 +79,17 @@ class SimulatorConfig:
     num_tokens: int = 12
     #: Keep per-event records (slow; only useful for debugging small runs).
     trace_events: bool = False
+    #: Latency samples kept in memory; percentiles are exact up to this count
+    #: and reservoir-sampled beyond it (see :class:`~repro.sim.metrics.LatencyRecorder`).
+    latency_reservoir: int = 100_000
 
     def __post_init__(self) -> None:
         if self.feature_bytes < 0:
             raise ConfigurationError(f"feature_bytes must be non-negative, got {self.feature_bytes}")
         if self.num_tokens < 1:
             raise ConfigurationError(f"num_tokens must be >= 1, got {self.num_tokens}")
+        if self.latency_reservoir < 1:
+            raise ConfigurationError(f"latency_reservoir must be >= 1, got {self.latency_reservoir}")
 
 
 class MultiCellSimulator:
@@ -115,11 +120,33 @@ class MultiCellSimulator:
         order_neighbors(list(self.cells.values()), self.costs)
         self.mobility = MobilityModel(list(self.cells), self.config.mobility, seed=seed)
         self.engine = Simulation(trace=self.config.trace_events)
-        self.latency = LatencyRecorder()
+        self.latency = LatencyRecorder(reservoir_size=self.config.latency_reservoir)
         self.requests: List[Request] = []
         self.backhaul_bytes = 0.0
         self.cloud_bytes = 0.0
         self._request_counter = 0
+        #: Requests replayed lazily by run() via the engine's stream merge.
+        self._arrival_stream: List[Request] = []
+        # Completion counters maintained incrementally so report() does not
+        # rescan every request (events complete in time order, so the last
+        # completion timestamp is the run duration).
+        self._completed_total = 0
+        self._last_completion = 0.0
+        # Per-domain constants resolved once instead of per request: the cache
+        # key, the encode FLOP cost at the configured token count, and the spec.
+        self._domain_info: Dict[str, tuple[str, float, ModelSpec]] = {
+            domain: (
+                general_model_key(domain),
+                encode_flops(spec.parameters, self.config.num_tokens),
+                spec,
+            )
+            for domain, spec in self.catalogue.items()
+        }
+        # Downlink transmit time of one feature payload is constant per cell.
+        self._downlink_time: Dict[str, float] = {
+            name: cell.downlink.transfer_time(self.config.feature_bytes)
+            for name, cell in self.cells.items()
+        }
 
     # ------------------------------------------------------------------ #
     # Trace replay
@@ -140,27 +167,79 @@ class MultiCellSimulator:
         catalogue = default_catalogue(domain_names, seed=seed)
         return cls(cell_configs, catalogue, config=config, seed=seed)
 
-    def submit(self, timestamp: float, user_id: str, domain: str) -> Request:
-        """Schedule one request's arrival (before or during :meth:`run`)."""
-        if domain not in self.catalogue:
+    def _make_request(self, timestamp: float, user_id: str, domain: str) -> Request:
+        info = self._domain_info.get(domain)
+        if info is None:
             raise SimulationError(f"domain {domain!r} is not in the model catalogue")
         self._request_counter += 1
         request = Request(
             request_id=self._request_counter,
             user_id=user_id,
             domain=domain,
-            model_key=general_model_key(domain),
+            model_key=info[0],
             arrival_time=timestamp,
             num_tokens=self.config.num_tokens,
         )
         self.requests.append(request)
+        return request
+
+    def submit(self, timestamp: float, user_id: str, domain: str) -> Request:
+        """Schedule one request's arrival (before or during :meth:`run`)."""
+        request = self._make_request(timestamp, user_id, domain)
         self.engine.schedule_at(timestamp, lambda sim, r=request: self._on_arrival(r))
         return request
 
     def replay(self, trace: RequestTrace | Iterable, run: bool = True) -> SimulationReport:
-        """Schedule every trace request and (by default) run to completion."""
+        """Schedule every trace request and (by default) run to completion.
+
+        Arrivals are *not* pre-scheduled on the event heap: ``run()`` merges
+        the time-sorted request stream into the engine's pop loop
+        (:meth:`~repro.sim.engine.Simulation.run_stream`), so the heap only
+        ever holds the genuinely concurrent work (in-flight fetches, batch
+        timers, completions) instead of 50k pending arrivals.  Processing
+        order is identical to eager scheduling.  With ``run=False`` the
+        arrivals are eagerly scheduled on the event queue instead so a later
+        plain ``engine.run()`` still sees them.
+        """
+        domain_info = self._domain_info
+        num_tokens = self.config.num_tokens
+        counter = self._request_counter
+        pending: List[Request] = []
         for trace_request in trace:
-            self.submit(trace_request.timestamp, trace_request.user_id, trace_request.domain)
+            domain = trace_request.domain
+            info = domain_info.get(domain)
+            if info is None:
+                raise SimulationError(f"domain {domain!r} is not in the model catalogue")
+            counter += 1
+            # Positional construction: measurably cheaper than keyword calls
+            # at 50k+ requests (field order is part of Request's contract).
+            pending.append(
+                Request(
+                    counter,
+                    trace_request.user_id,
+                    domain,
+                    info[0],
+                    trace_request.timestamp,
+                    num_tokens,
+                )
+            )
+        self._request_counter = counter
+        self.requests.extend(pending)
+        if pending:
+            if run:
+                self._arrival_stream.extend(pending)
+                # Stable sort: equal-time arrivals keep trace order.
+                self._arrival_stream.sort(key=lambda request: request.arrival_time)
+            else:
+                # Without an immediate run the arrivals must live on the event
+                # queue so a later engine.run() still sees them.  Schedule
+                # them eagerly in trace order — this cold path trades the
+                # small-heap optimization for exactly the original eager
+                # sequence-number semantics (tied timestamps included).
+                for request in pending:
+                    self.engine.schedule_at(
+                        request.arrival_time, lambda sim, r=request: self._on_arrival(r)
+                    )
         if run:
             return self.run()
         return self.report(wall_clock_s=0.0)
@@ -168,22 +247,45 @@ class MultiCellSimulator:
     def run(self) -> SimulationReport:
         """Process all scheduled events and return the run's report."""
         started = time.perf_counter()
-        self.engine.run()
+        stream = self._arrival_stream
+        if stream:
+            self._arrival_stream = []
+            arrive = self._on_arrival
+            delivered = 0
+
+            def on_stream_item(sim: Simulation, index: int) -> None:
+                nonlocal delivered
+                # Marked delivered before processing: an arrival whose own
+                # handling raises is consumed either way (matching the heap
+                # path, where the popped event is gone after an exception).
+                delivered = index + 1
+                arrive(stream[index])
+
+            try:
+                self.engine.run_stream([request.arrival_time for request in stream], on_stream_item)
+            except BaseException:
+                # Keep the undelivered tail so a retry after a mid-replay
+                # exception continues where the run stopped instead of
+                # silently simulating only the delivered prefix.
+                self._arrival_stream = stream[delivered:]
+                raise
+        else:
+            self.engine.run()
         return self.report(wall_clock_s=time.perf_counter() - started)
 
     # ------------------------------------------------------------------ #
     # Lifecycle stages
     # ------------------------------------------------------------------ #
     def _on_arrival(self, request: Request) -> None:
-        moved = self.mobility.maybe_move(request.user_id)
-        cell = self.cells[self.mobility.cell_of(request.user_id)]
-        request.cell = cell.name
+        cell_name, moved = self.mobility.resolve(request.user_id)
+        cell = self.cells[cell_name]
+        request.cell = cell_name
         if moved is not None:
             request.handover = True
             cell.stats.handovers_in += 1
             delay = self.config.mobility.handover_delay_s
             if delay > 0:
-                self.engine.schedule(delay, lambda sim, r=request, c=cell: self._lookup(r, c))
+                self.engine.post(delay, lambda sim, r=request, c=cell: self._lookup(r, c))
                 return
         self._lookup(request, cell)
 
@@ -207,7 +309,7 @@ class MultiCellSimulator:
             return
         request.status = FETCHING
         cell.inflight[key] = [request]
-        spec = self.catalogue[request.domain]
+        spec = self._domain_info[request.domain][2]
         source = self._find_source_cell(cell, key)
         if source is not None:
             cell.stats.neighbor_fetches += 1
@@ -215,7 +317,7 @@ class MultiCellSimulator:
             source.cache.pin(key)
             delay = self.costs.transfer_time(source.name, cell.name, spec.size_bytes)
             self.backhaul_bytes += spec.size_bytes
-            self.engine.schedule(
+            self.engine.post(
                 delay,
                 lambda sim, c=cell, k=key, s=source, m=spec: self._fetch_done(c, k, m, source=s),
             )
@@ -224,7 +326,7 @@ class MultiCellSimulator:
             request.cache_outcome = CLOUD_FETCH
             delay = spec.build_cost_s + self.costs.transfer_time(CLOUD, cell.name, spec.size_bytes)
             self.cloud_bytes += spec.size_bytes
-            self.engine.schedule(
+            self.engine.post(
                 delay,
                 lambda sim, c=cell, k=key, m=spec: self._fetch_done(c, k, m, source=None),
             )
@@ -261,13 +363,13 @@ class MultiCellSimulator:
         now = self.engine.now
         request.status = QUEUED
         request.enqueue_time = now
-        flops = encode_flops(self.catalogue[request.domain].parameters, request.num_tokens)
+        flops = self._domain_info[request.domain][1]
         batch = cell.batcher.add(request, flops, now)
         if batch is not None:
             self._execute_batch(cell, batch)
         elif len(cell.batcher) == 1:
             generation = cell.batcher.generation
-            self.engine.schedule(
+            self.engine.post(
                 self.config.batching.max_wait_s,
                 lambda sim, c=cell, g=generation: self._batch_timeout(c, g),
             )
@@ -287,33 +389,33 @@ class MultiCellSimulator:
         start, finish = cell.server.compute.enqueue(now, batch.flops)
         cell.stats.batches += 1
         cell.stats.batched_requests += len(batch)
-        transmit = cell.downlink.transfer_time(self.config.feature_bytes)
         for request in batch.items:
             request.compute_start_time = start
             request.compute_done_time = finish
-        self.engine.schedule_at(
-            finish + transmit,
+        self.engine.post(
+            finish + self._downlink_time[cell.name] - now,
             lambda sim, c=cell, items=batch.items: self._complete(c, items),
         )
 
     def _complete(self, cell: Cell, requests: List[Request]) -> None:
         now = self.engine.now
+        record = self.latency.record
         for request in requests:
             request.completion_time = now
             request.status = COMPLETED
-            cell.stats.completed += 1
-            self.latency.record(now - request.arrival_time)
+            record(now - request.arrival_time)
+        cell.stats.completed += len(requests)
+        self._completed_total += len(requests)
+        self._last_completion = now
 
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
     def report(self, wall_clock_s: float) -> SimulationReport:
         """Build the :class:`SimulationReport` for everything run so far."""
-        completions = [r.completion_time for r in self.requests if r.completed]
-        duration = max(completions) if completions else 0.0
         return SimulationReport(
-            completed=len(completions),
-            duration_s=duration,
+            completed=self._completed_total,
+            duration_s=self._last_completion,
             wall_clock_s=wall_clock_s,
             events_processed=self.engine.events_processed,
             latency=self.latency.summary(),

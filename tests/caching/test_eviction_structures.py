@@ -1,0 +1,175 @@
+"""Equivalence and consistency tests for the fast eviction structures.
+
+The O(1)/O(log n) ``pop_victim`` structures (LRU/FIFO ordered dict, LFU and
+size-aware lazy-deletion heaps) must choose the same victim as the reference
+``select_victim`` linear scan whenever timestamps are distinct — the property
+tests here drive random workloads with strictly increasing clocks and compare
+the two on every step.  The incremental byte accounting is cross-checked via
+``assert_consistent`` throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import CacheEntry, SemanticModelCache, make_policy
+
+FAST_POLICIES = ("lru", "lfu", "fifo", "size-aware")
+
+
+def entry(key: str, size: int = 50, domain: str | None = None) -> CacheEntry:
+    return CacheEntry(key=key, kind="general", domain=domain or key, size_bytes=size)
+
+
+#: One workload step: (op, key_index) with op 0=get, 1=put.
+steps_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=14)),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestVictimEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(steps=steps_strategy, policy_name=st.sampled_from(FAST_POLICIES))
+    def test_pop_victim_matches_reference_scan(self, steps, policy_name):
+        cache = SemanticModelCache(200, policy=policy_name)
+        clock = 0.0
+        for op, key_index in steps:
+            clock += 1.0  # strictly increasing: no timestamp ties
+            key = f"general/d{key_index}"
+            if op == 0:
+                cache.get(key, now=clock)
+            else:
+                cache.put(entry(key), now=clock)
+            candidates = [e for e in cache.entries() if not e.pinned]
+            if candidates:
+                fast = cache.policy.pop_victim(cache._entries, cache.clock)
+                reference = cache.policy.select_victim(candidates, cache.clock)
+                assert fast is not None
+                assert fast.key == reference.key, (
+                    f"{policy_name}: pop_victim chose {fast.key}, "
+                    f"reference scan chose {reference.key}"
+                )
+            cache.assert_consistent()
+
+    @settings(max_examples=40, deadline=None)
+    @given(steps=steps_strategy, policy_name=st.sampled_from(FAST_POLICIES))
+    def test_eviction_sequence_matches_capacity_invariant(self, steps, policy_name):
+        cache = SemanticModelCache(137, policy=policy_name)
+        clock = 0.0
+        for op, key_index in steps:
+            clock += 1.0
+            key = f"general/d{key_index}"
+            if op == 0:
+                cache.get(key, now=clock)
+            else:
+                cache.put(entry(key, size=1 + key_index * 7), now=clock)
+            assert cache.used_bytes <= cache.capacity_bytes
+            cache.assert_consistent()
+
+    def test_pop_victim_skips_pinned_entries(self):
+        for policy_name in FAST_POLICIES:
+            cache = SemanticModelCache(300, policy=policy_name)
+            cache.put(entry("general/a"), now=0.0)
+            cache.put(entry("general/b"), now=1.0)
+            cache.pin("general/a")
+            victim = cache.policy.pop_victim(cache._entries, cache.clock)
+            assert victim is not None and victim.key == "general/b", policy_name
+            cache.unpin("general/a")
+
+    def test_pop_victim_returns_none_when_all_pinned(self):
+        for policy_name in FAST_POLICIES:
+            cache = SemanticModelCache(300, policy=policy_name)
+            cache.put(entry("general/a"), now=0.0)
+            cache.pin("general/a")
+            assert cache.policy.pop_victim(cache._entries, cache.clock) is None, policy_name
+
+    def test_heap_policies_discard_stale_snapshots(self):
+        policy = make_policy("lfu")
+        cache = SemanticModelCache(10_000, policy=policy)
+        cache.put(entry("general/a"), now=0.0)
+        cache.put(entry("general/b"), now=1.0)
+        for t in range(2, 30):
+            cache.get("general/a", now=float(t))
+        # 'b' (never re-accessed) must be the victim despite 'a' having many
+        # stale low-count snapshots in the heap.
+        victim = policy.pop_victim(cache._entries, cache.clock)
+        assert victim.key == "general/b"
+
+    def test_heap_compaction_bounds_memory(self):
+        policy = make_policy("lfu")
+        cache = SemanticModelCache(10_000, policy=policy)
+        for index in range(4):
+            cache.put(entry(f"general/d{index}"), now=float(index))
+        for t in range(4, 2000):
+            cache.get(f"general/d{t % 4}", now=float(t))
+            policy.pop_victim(cache._entries, cache.clock)
+        assert len(policy._heap) <= 4 * len(cache._entries) + 64
+
+    @pytest.mark.parametrize("policy_name", ["lfu", "size-aware"])
+    def test_heap_bounded_under_pure_hits(self, policy_name):
+        # A cache whose working set fits capacity never evicts, so pop_victim
+        # never runs — the heap must still not grow one snapshot per hit.
+        policy = make_policy(policy_name)
+        cache = SemanticModelCache(10_000, policy=policy)
+        for index in range(4):
+            cache.put(entry(f"general/d{index}"), now=float(index))
+        for t in range(4, 10_000):
+            cache.get(f"general/d{t % 4}", now=float(t))
+        assert len(policy._heap) <= 4 * len(cache._entries) + 64
+
+    def test_shared_ordered_policy_never_returns_foreign_victim(self):
+        # Sharing a policy across caches is unsupported, but it must not hand
+        # a cache a victim the cache does not hold (which would corrupt it).
+        policy = make_policy("lru")
+        cache_a = SemanticModelCache(1000, policy=policy)
+        cache_b = SemanticModelCache(1000, policy=policy)
+        cache_b.put(entry("general/foreign"), now=0.0)
+        cache_a.put(entry("general/own"), now=1.0)
+        victim = policy.pop_victim(cache_a._entries, 2.0)
+        assert victim is not None and victim.key == "general/own"
+
+
+class TestIncrementalByteAccounting:
+    def test_accounting_tracks_insert_remove_replace(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry("general/a", size=100), now=0.0)
+        assert cache.used_bytes == 100
+        cache.put(entry("general/b", size=200), now=1.0)
+        assert cache.used_bytes == 300
+        cache.put(entry("general/a", size=50), now=2.0)  # replace shrinks
+        assert cache.used_bytes == 250
+        cache.remove("general/b")
+        assert cache.used_bytes == 50 and cache.free_bytes == 950
+        cache.assert_consistent()
+
+    def test_pinned_bytes_follow_pin_nesting(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry("general/a", size=100), now=0.0)
+        assert cache.pinned_bytes == 0
+        cache.pin("general/a")
+        cache.pin("general/a")
+        assert cache.pinned_bytes == 100  # nesting does not double-count
+        cache.unpin("general/a")
+        assert cache.pinned_bytes == 100
+        cache.unpin("general/a")
+        assert cache.pinned_bytes == 0
+        cache.assert_consistent()
+
+    def test_assert_consistent_detects_drift(self):
+        cache = SemanticModelCache(1000)
+        cache.put(entry("general/a", size=100), now=0.0)
+        cache._used_bytes += 1  # simulate a bookkeeping bug
+        with pytest.raises(Exception):
+            cache.assert_consistent()
+
+    def test_rejected_insertions_leave_counters_untouched(self):
+        cache = SemanticModelCache(150)
+        cache.put(entry("general/a", size=100), now=0.0)
+        cache.pin("general/a")
+        assert cache.put(entry("general/b", size=100), now=1.0) == []
+        assert cache.used_bytes == 100 and cache.pinned_bytes == 100
+        cache.assert_consistent()

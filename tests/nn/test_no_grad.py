@@ -1,0 +1,196 @@
+"""Tests for the inference fast path: no_grad, eval-mode modules, float32 opt-in."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GradientError
+from repro.nn import (
+    MLP,
+    Adam,
+    Embedding,
+    Linear,
+    MultiHeadAttention,
+    Tensor,
+    is_grad_enabled,
+    mse_loss,
+    no_grad,
+    set_default_dtype,
+)
+from repro.semantic.config import CodecConfig
+from repro.semantic.decoder import SemanticDecoder
+from repro.semantic.encoder import SemanticEncoder
+
+ARCHITECTURES = ("mlp", "gru", "transformer")
+
+
+def small_config(architecture: str) -> CodecConfig:
+    return CodecConfig(
+        architecture=architecture,
+        embedding_dim=8,
+        hidden_dim=16,
+        feature_dim=4,
+        num_heads=2,
+        num_layers=1,
+        dropout=0.0,
+        seed=0,
+    )
+
+
+def token_batch() -> np.ndarray:
+    return np.random.default_rng(0).integers(1, 50, size=(3, 6))
+
+
+class TestNoGradContext:
+    def test_disables_tape_and_restores(self):
+        value = Tensor(np.ones((2, 2)), requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            result = (value * 2.0).sum()
+        assert is_grad_enabled()
+        assert not result.requires_grad
+        with pytest.raises(GradientError):
+            result.backward()
+
+    def test_nested_blocks_restore_previous_state(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_gradients_flow_outside_block(self):
+        value = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            (value * 3.0).sum()
+        loss = (value * 3.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(value.grad, np.full((2, 2), 3.0))
+
+
+class TestBitIdenticalInference:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_encoder_outputs_identical_with_and_without_no_grad(self, architecture):
+        encoder = SemanticEncoder(50, small_config(architecture))
+        encoder.train()
+        ids = token_batch()
+        with_tape = encoder(ids).data
+        with no_grad():
+            without_tape = encoder(ids).data
+        np.testing.assert_array_equal(with_tape, without_tape)
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_decoder_outputs_identical_with_and_without_no_grad(self, architecture):
+        config = small_config(architecture)
+        decoder = SemanticDecoder(50, config)
+        decoder.train()
+        features = np.random.default_rng(1).normal(size=(3, 6, config.feature_dim))
+        with_tape = decoder(features).data
+        with no_grad():
+            without_tape = decoder(features).data
+        np.testing.assert_array_equal(with_tape, without_tape)
+
+    def test_eval_mode_builds_no_tape(self):
+        encoder = SemanticEncoder(50, small_config("mlp"))
+        ids = token_batch()
+        encoder.train()
+        assert encoder(ids).requires_grad
+        encoder.eval()
+        output = encoder(ids)
+        assert not output.requires_grad
+        np.testing.assert_array_equal(output.data, encoder.encode(ids))
+
+    def test_gradients_still_flow_when_training(self):
+        encoder = SemanticEncoder(50, small_config("mlp"))
+        encoder.train()
+        ids = token_batch()
+        loss = (encoder(ids) * 1.0).sum()
+        loss.backward()
+        grads = [p.grad for p in encoder.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.any(g != 0) for g in grads)
+
+    def test_training_after_inference_pass_unaffected(self):
+        model = MLP(4, [8], 2, seed=0)
+        optimizer = Adam(model.parameters(), 1e-2)
+        inputs = Tensor(np.ones((5, 4)))
+        targets = Tensor(np.zeros((5, 2)))
+        model.eval()
+        model(inputs)  # inference pass must not poison the next training step
+        model.train()
+        loss = mse_loss(model(inputs), targets)
+        loss.backward()
+        optimizer.step()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestFloat32OptIn:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_codec_forward_stays_float32(self, architecture):
+        encoder = SemanticEncoder(50, small_config(architecture))
+        encoder.eval()
+        ids = token_batch()
+        reference = encoder(ids).data
+        encoder.to_dtype("float32")
+        output = encoder(ids)
+        assert output.data.dtype == np.float32
+        np.testing.assert_allclose(output.data, reference, atol=1e-4)
+
+    def test_layers_accept_dtype(self):
+        linear = Linear(4, 3, seed=0, dtype="float32")
+        assert linear.weight.data.dtype == np.float32
+        table = Embedding(10, 4, seed=0, dtype="float32")
+        assert table.weight.data.dtype == np.float32
+        attention = MultiHeadAttention(8, 2, seed=0, dtype="float32")
+        assert attention.query_projection.weight.data.dtype == np.float32
+
+    def test_float32_layer_matches_float64_initialization(self):
+        reference = Linear(4, 3, seed=0)
+        casted = Linear(4, 3, seed=0, dtype="float32")
+        np.testing.assert_allclose(
+            casted.weight.data, reference.weight.data.astype(np.float32), rtol=0
+        )
+
+    def test_gradients_accumulate_in_parameter_dtype(self):
+        model = MLP(4, [8], 2, seed=0).to_dtype("float32")
+        loss = mse_loss(
+            model(Tensor(np.ones((3, 4), dtype=np.float32))),
+            Tensor(np.zeros((3, 2), dtype=np.float32)),
+        )
+        loss.backward()
+        assert all(p.grad.dtype == np.float32 for p in model.parameters())
+
+    def test_cast_back_to_float64(self):
+        model = MLP(4, [8], 2, seed=0).to_dtype("float32").to_dtype("float64")
+        assert all(p.data.dtype == np.float64 for p in model.parameters())
+
+    def test_set_default_dtype_round_trip(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert Tensor([1, 2, 3]).data.dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("int64")
+
+    def test_tensor_preserves_float32_input(self):
+        data = np.ones((2, 2), dtype=np.float32)
+        assert Tensor(data).data.dtype == np.float32
+        assert Tensor(data, dtype="float64").data.dtype == np.float64
+
+    def test_astype_detaches(self):
+        value = Tensor(np.ones(3), requires_grad=True)
+        casted = value.astype("float32")
+        assert casted.data.dtype == np.float32
+        assert not casted.requires_grad

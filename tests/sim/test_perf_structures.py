@@ -1,0 +1,265 @@
+"""Tests for the engine hot-path structures: live counter, post, stream merge,
+and the bounded-reservoir latency recorder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.sim import LatencyRecorder, Simulation
+from repro.sim.multicell import CellConfig, default_catalogue
+from repro.sim.simulator import MultiCellSimulator
+from repro.workloads.generator import ArrivalTraceGenerator
+
+
+class TestPendingCounter:
+    def test_counts_scheduled_and_processed(self):
+        simulation = Simulation()
+        for delay in (1.0, 2.0, 3.0):
+            simulation.schedule(delay, lambda s: None)
+        assert simulation.pending() == 3
+        simulation.run(max_events=1)
+        assert simulation.pending() == 2
+        simulation.run()
+        assert simulation.pending() == 0
+
+    def test_cancel_decrements_once(self):
+        simulation = Simulation()
+        event = simulation.schedule(1.0, lambda s: None)
+        simulation.schedule(2.0, lambda s: None)
+        Simulation.cancel(event)
+        assert simulation.pending() == 1
+        Simulation.cancel(event)  # double-cancel is a no-op
+        assert simulation.pending() == 1
+        simulation.run()
+        assert simulation.pending() == 0
+
+    def test_cancel_after_processing_is_harmless(self):
+        simulation = Simulation()
+        event = simulation.schedule(1.0, lambda s: None)
+        simulation.run()
+        Simulation.cancel(event)
+        assert simulation.pending() == 0
+
+    def test_post_counts_as_pending(self):
+        simulation = Simulation()
+        simulation.post(1.0, lambda s: None)
+        assert simulation.pending() == 1
+        simulation.run()
+        assert simulation.pending() == 0
+
+    def test_pending_is_exact_mid_run(self):
+        # An action querying pending() must see the live count with its own
+        # event already excluded — e.g. a last-event detector.
+        simulation = Simulation()
+        observed = []
+        for _ in range(3):
+            simulation.post(1.0, lambda s: observed.append(s.pending()))
+        simulation.run()
+        assert observed == [2, 1, 0]
+
+
+class TestPost:
+    def test_posted_actions_run_in_time_order(self):
+        simulation = Simulation()
+        order = []
+        simulation.post(2.0, lambda s: order.append("late"))
+        simulation.post(1.0, lambda s: order.append("early"))
+        simulation.schedule(1.5, lambda s: order.append("middle"))
+        simulation.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_posted_action_visible_to_step(self):
+        simulation = Simulation()
+        seen = []
+        simulation.post(1.0, lambda s: seen.append(s.now))
+        record = simulation.step()
+        assert seen == [1.0]
+        assert record is not None and record.time == 1.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().post(-0.5, lambda s: None)
+
+
+class TestRunStream:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=30),
+        followups=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=5),
+    )
+    def test_equivalent_to_eager_scheduling(self, delays, followups):
+        """Stream-fed arrivals produce the exact event order of eager schedule()."""
+
+        def experiment(use_stream: bool):
+            simulation = Simulation(trace=True)
+            log = []
+
+            def arrival(sim: Simulation, index: int) -> None:
+                log.append(("arrival", index, sim.now))
+                extra = followups[index % len(followups)]
+                sim.post(extra, lambda s, i=index: log.append(("followup", i, s.now)))
+
+            times = sorted(delays)
+            if use_stream:
+                simulation.run_stream(times, arrival)
+            else:
+                for index, time in enumerate(times):
+                    simulation.schedule_at(time, lambda s, i=index: arrival(s, i))
+                simulation.run()
+            return log, simulation.events_processed
+
+        stream_log, stream_count = experiment(True)
+        eager_log, eager_count = experiment(False)
+        assert stream_log == eager_log
+        assert stream_count == eager_count
+
+    def test_rejects_unsorted_times(self):
+        simulation = Simulation()
+        with pytest.raises(SimulationError):
+            simulation.run_stream([2.0, 1.0], lambda s, i: None)
+
+    def test_rejects_stream_before_now(self):
+        simulation = Simulation()
+        simulation.schedule(5.0, lambda s: None)
+        simulation.run()
+        with pytest.raises(SimulationError):
+            simulation.run_stream([1.0], lambda s, i: None)
+
+    def test_tie_with_preexisting_event_runs_event_first(self):
+        # An event scheduled before run_stream holds an earlier sequence
+        # number, so on an exact timestamp tie it must run before the stream
+        # item — exactly as eager scheduling would order them.
+        simulation = Simulation()
+        order = []
+        simulation.schedule(1.0, lambda s: order.append("pre-scheduled"))
+        simulation.run_stream([1.0], lambda s, i: order.append("stream"))
+        assert order == ["pre-scheduled", "stream"]
+
+    def test_tie_with_event_scheduled_during_run_runs_stream_first(self):
+        # Conversely, an event posted while the stream runs gets a later
+        # sequence number than the (virtually pre-scheduled) stream items.
+        simulation = Simulation()
+        order = []
+
+        def arrival(sim: Simulation, index: int) -> None:
+            order.append(f"stream-{index}")
+            if index == 0:
+                sim.post(1.0, lambda s: order.append("posted"))  # fires at t=2.0
+
+        simulation.run_stream([1.0, 2.0], arrival)
+        assert order == ["stream-0", "stream-1", "posted"]
+
+    def test_stream_items_recorded_when_tracing(self):
+        simulation = Simulation(trace=True)
+        simulation.run_stream([1.0, 2.0], lambda s, i: None)
+        assert [record.label for record in simulation.processed] == ["arrival", "arrival"]
+        assert simulation.events_processed == 2
+
+
+class TestReplayPaths:
+    def _simulator(self) -> MultiCellSimulator:
+        domains = ["d0", "d1"]
+        cells = [CellConfig(name="cell_0"), CellConfig(name="cell_1")]
+        return MultiCellSimulator(cells, default_catalogue(domains, seed=0), seed=0)
+
+    def _trace(self):
+        generator = ArrivalTraceGenerator(
+            ["d0", "d1"], num_users=20, profile="poisson", rate=200.0, period_s=1.0, seed=0
+        )
+        return generator.generate(300)
+
+    def test_mid_run_exception_preserves_undelivered_arrivals(self):
+        """A crash mid-replay must not silently drop the arrival tail."""
+        simulator = self._simulator()
+
+        def boom(sim):
+            raise RuntimeError("injected failure")
+
+        simulator.engine.schedule(0.5, boom)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            simulator.replay(self._trace())
+        # The undelivered arrivals survived; a retry finishes the replay.
+        assert len(simulator._arrival_stream) > 0
+        report = simulator.run()
+        assert report.completed == 300
+
+    def test_replay_then_run_matches_deferred_engine_run(self):
+        """run=False must leave arrivals on the queue for a later engine.run()."""
+        direct = self._simulator()
+        report_direct = direct.replay(self._trace())
+
+        deferred = self._simulator()
+        deferred.replay(self._trace(), run=False)
+        assert deferred.engine.pending() > 0
+        deferred.engine.run()
+        report_deferred = deferred.report(wall_clock_s=0.0)
+
+        assert report_deferred.completed == report_direct.completed == 300
+        assert report_deferred.latency == report_direct.latency
+        assert report_deferred.hit_ratio == report_direct.hit_ratio
+        # Stream-fed arrivals count as engine events exactly like the deferred
+        # path's chain-fed arrival events: every arrival is one event in both.
+        assert report_deferred.events_processed == report_direct.events_processed
+
+
+class TestLatencyReservoir:
+    def test_exact_under_threshold(self):
+        recorder = LatencyRecorder(reservoir_size=100)
+        values = np.random.default_rng(0).exponential(size=80)
+        for value in values:
+            recorder.record(float(value))
+        assert recorder.exact and len(recorder) == 80
+        summary = recorder.summary()
+        assert summary["p95_s"] == pytest.approx(float(np.percentile(values, 95)))
+        assert summary["mean_s"] == pytest.approx(float(values.mean()))
+        assert summary["max_s"] == pytest.approx(float(values.max()))
+
+    def test_memory_bounded_beyond_threshold(self):
+        recorder = LatencyRecorder(reservoir_size=64, seed=1)
+        for value in range(10_000):
+            recorder.record(float(value))
+        assert len(recorder) == 10_000
+        assert not recorder.exact
+        assert recorder._samples.shape == (64,)
+
+    def test_mean_max_count_exact_beyond_threshold(self):
+        recorder = LatencyRecorder(reservoir_size=16)
+        values = [float(v) for v in range(1000)]
+        for value in values:
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary["mean_s"] == pytest.approx(sum(values) / len(values))
+        assert summary["max_s"] == 999.0
+        assert len(recorder) == 1000
+
+    def test_reservoir_percentiles_are_reasonable(self):
+        recorder = LatencyRecorder(reservoir_size=500, seed=2)
+        values = np.random.default_rng(3).exponential(scale=2.0, size=20_000)
+        for value in values:
+            recorder.record(float(value))
+        estimate = recorder.percentile(50)
+        exact = float(np.percentile(values, 50))
+        assert abs(estimate - exact) / exact < 0.25
+
+    def test_deterministic_given_seed(self):
+        def fill(seed: int) -> list:
+            recorder = LatencyRecorder(reservoir_size=32, seed=seed)
+            for value in range(500):
+                recorder.record(float(value))
+            return list(recorder._values())
+
+        assert fill(7) == fill(7)
+        assert fill(7) != fill(8)
+
+    def test_empty_summary_is_zero(self):
+        summary = LatencyRecorder().summary()
+        assert summary == {"mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+        assert LatencyRecorder().percentile(95) == 0.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(reservoir_size=0)
