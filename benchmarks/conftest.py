@@ -8,6 +8,7 @@ qualitative claim the paper makes for that experiment.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -17,13 +18,17 @@ from repro.metrics import ResultTable
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: The configuration every benchmark (and EXPERIMENTS.md) uses.
+#: The configuration every benchmark (and EXPERIMENTS.md) uses.  ``REPRO_JOBS``
+#: fans each experiment's independent work units across a process pool (CI
+#: smoke runs with 2); results are bit-identical for every value, so the
+#: recorded tables never depend on it.
 BENCHMARK_CONFIG = ExperimentConfig(
     seed=0,
     scale=1.0,
     sentences_per_domain=120,
     train_epochs=15,
     codec_architecture="mlp",
+    jobs=int(os.environ.get("REPRO_JOBS", "1")),
 )
 
 

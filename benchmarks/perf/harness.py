@@ -25,6 +25,8 @@ TENSOR_TRAIN_STEPS = 12
 CACHE_OPERATIONS = 40_000
 ENGINE_EVENTS = 60_000
 E9_REQUESTS = 50_000
+TRACE_REQUESTS = 400_000
+SUITE_REQUESTS_PER_ROW = 12_500
 
 
 def _best_of(function: Callable[[], Dict[str, float]], repeats: int) -> Dict[str, float]:
@@ -221,6 +223,126 @@ def bench_e9_replay(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
     return _best_of(round_, repeats)
 
 
+def bench_trace_generation(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """Arrival-trace generation throughput plus the columnar summary helpers.
+
+    ``ArrivalTraceGenerator.generate`` is the outer bottleneck of every large
+    replay: at millions of requests, building one Python object per request
+    dominates wall time and memory.  The benchmark times generation of a
+    Poisson trace followed by ``domain_counts()`` (the summary pass the
+    experiments run), so revisions that keep the trace columnar get credit
+    while older object-per-request revisions simply run their normal path.
+    """
+    from repro.workloads.generator import ArrivalTraceGenerator
+
+    num_requests = max(int(TRACE_REQUESTS * scale), 5000)
+    domains = [f"domain_{index}" for index in range(12)]
+
+    def round_() -> Dict[str, float]:
+        generator = ArrivalTraceGenerator(
+            domains, num_users=500, zipf_exponent=0.9, profile="poisson", rate=5000.0, seed=0
+        )
+        started = time.perf_counter()
+        trace = generator.generate(num_requests)
+        counts = trace.domain_counts()
+        wall = time.perf_counter() - started
+        assert len(trace) == num_requests and sum(counts.values()) == num_requests
+        return {
+            "wall_s": wall,
+            "requests": float(num_requests),
+            "requests_per_sec": num_requests / wall,
+        }
+
+    return _best_of(round_, repeats)
+
+
+def _suite_parallel_row(payload: Dict[str, object]) -> Dict[str, float]:
+    """One independent (profile x batching) replay row of the parallel-suite bench.
+
+    Module-level so a process pool can dispatch it by reference; takes only
+    picklable primitives and returns a plain dict.
+    """
+    from repro.sim.batching import BatchingConfig
+    from repro.sim.multicell import CellConfig, default_catalogue
+    from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+    from repro.workloads.generator import ArrivalTraceGenerator
+
+    domains = [f"domain_{index}" for index in range(12)]
+    generator = ArrivalTraceGenerator(
+        domains,
+        num_users=500,
+        zipf_exponent=0.9,
+        profile=str(payload["profile"]),
+        rate=float(payload["rate"]),
+        seed=int(payload["seed"]),
+    )
+    trace = generator.generate(int(payload["num_requests"]))
+    config = SimulatorConfig(
+        batching=BatchingConfig(
+            max_batch_size=int(payload["max_batch_size"]),
+            max_wait_s=float(payload["max_wait_s"]),
+            amortization=float(payload["amortization"]),
+        )
+    )
+    cells = [CellConfig(name=f"cell_{index}") for index in range(4)]
+    catalogue = default_catalogue(domains, seed=int(payload["seed"]))
+    simulator = MultiCellSimulator(cells, catalogue, config=config, seed=int(payload["seed"]))
+    report = simulator.replay(trace)
+    return {"completed": float(report.completed), "hit_ratio": report.hit_ratio}
+
+
+def bench_suite_parallel(scale: float = 1.0, repeats: int = 1, jobs: int = 0) -> Dict[str, float]:
+    """Wall clock of a bundle of independent replay rows fanned across a pool.
+
+    The work unit is the E9 row shape — generate a trace, replay it through a
+    4-cell deployment — which is exactly what the experiment runtime fans out
+    under ``--jobs``.  Revisions without the runtime subsystem run the rows
+    serially, so the committed baseline doubles as the serial reference.
+    ``jobs=0`` picks ``min(4, cpu_count)``.
+    """
+    import os
+
+    num_requests = max(int(SUITE_REQUESTS_PER_ROW * scale), 1000)
+    payloads = [
+        {
+            "profile": "poisson",
+            "rate": 5000.0,
+            "seed": seed,
+            "num_requests": num_requests,
+            "max_batch_size": batch,
+            "max_wait_s": 0.005 if batch > 1 else 0.0,
+            "amortization": 0.4 if batch > 1 else 1.0,
+        }
+        for seed in (0, 1)
+        for batch in (1, 8)
+    ]
+    if jobs <= 0:
+        jobs = min(4, os.cpu_count() or 1)
+    try:
+        from repro.runtime import ParallelRunner
+
+        runner = ParallelRunner(jobs=jobs)
+        mapper, effective_jobs = runner.map, runner.jobs
+    except ImportError:  # pre-runtime revisions: serial reference
+        mapper, effective_jobs = (lambda fn, items: [fn(item) for item in items]), 1
+
+    def round_() -> Dict[str, float]:
+        started = time.perf_counter()
+        rows = mapper(_suite_parallel_row, payloads)
+        wall = time.perf_counter() - started
+        completed = sum(row["completed"] for row in rows)
+        assert completed == float(len(payloads) * num_requests)
+        return {
+            "wall_s": wall,
+            "rows": float(len(payloads)),
+            "requests": completed,
+            "requests_per_sec": completed / wall,
+            "jobs": float(effective_jobs),
+        }
+
+    return _best_of(round_, repeats)
+
+
 def run_all(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
     """Run every benchmark and return one nested result dict."""
     return {
@@ -230,4 +352,6 @@ def run_all(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
         "cache": bench_cache(scale, repeats),
         "sim_engine": bench_engine(scale, repeats),
         "e9_replay": bench_e9_replay(scale, max(repeats - 1, 1)),
+        "trace_generation": bench_trace_generation(scale, repeats),
+        "suite_parallel": bench_suite_parallel(scale, max(repeats - 2, 1)),
     }

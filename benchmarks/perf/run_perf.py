@@ -63,6 +63,13 @@ def _speedups(baseline: dict, current: dict) -> dict:
         speedups[f"cache_{policy}_ops_per_sec"] = ratio(
             baseline["cache"][policy]["ops_per_sec"], current["cache"][policy]["ops_per_sec"]
         )
+    # Sections added after the original baseline format: compare only when the
+    # baseline file has them, so older baselines keep working.
+    for section in ("trace_generation", "suite_parallel"):
+        if section in baseline and section in current:
+            speedups[f"{section}_requests_per_sec"] = ratio(
+                baseline[section]["requests_per_sec"], current[section]["requests_per_sec"]
+            )
     return speedups
 
 
@@ -111,7 +118,9 @@ def main(argv: list[str] | None = None) -> int:
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"results written to {args.output}")
-    for section in ("tensor_inference", "tensor_training", "sim_engine", "e9_replay"):
+    sections = ("tensor_inference", "tensor_training", "sim_engine", "e9_replay",
+                "trace_generation", "suite_parallel")
+    for section in sections:
         metrics = current[section]
         rate_key = next(key for key in metrics if key.endswith("_per_sec"))
         print(f"  {section:18s} {metrics[rate_key]:>14,.1f} {rate_key}")
@@ -131,11 +140,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"PERF GATE ERROR: baseline file {args.baseline} not found; nothing to compare against")
             return 2
         gate = args.fail_below_ratio
-        achieved = payload["speedups_vs_baseline"]["sim_engine_events_per_sec"]
-        if achieved < gate:
-            print(f"PERF REGRESSION: sim events/sec at {achieved:.2f}x of baseline (< {gate:.2f}x gate)")
+        gated = {"sim_engine": "sim_engine_events_per_sec"}
+        if "trace_generation_requests_per_sec" in payload["speedups_vs_baseline"]:
+            gated["trace_generation"] = "trace_generation_requests_per_sec"
+        failed = False
+        for section, key in gated.items():
+            achieved = payload["speedups_vs_baseline"][key]
+            if achieved < gate:
+                print(f"PERF REGRESSION: {section} at {achieved:.2f}x of baseline (< {gate:.2f}x gate)")
+                failed = True
+            else:
+                print(f"perf gate ok: {section} at {achieved:.2f}x of baseline (gate {gate:.2f}x)")
+        if failed:
             return 1
-        print(f"perf gate ok: sim events/sec at {achieved:.2f}x of baseline (gate {gate:.2f}x)")
     return 0
 
 

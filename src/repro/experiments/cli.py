@@ -4,15 +4,20 @@ Installed as the ``repro-experiment`` console script::
 
     repro-experiment --list
     repro-experiment e9 --scale 0.2
+    repro-experiment e9 --jobs 4 --scale 10
     repro-experiment e7 --seed 3 --output-dir results/
+    repro-experiment all --jobs 4
 
-Runs one experiment by registry name, prints every result table, and
-optionally persists them as JSON.
+Runs one experiment by registry name (or ``all`` for the whole suite in
+registry order), prints every result table, and optionally persists them as
+JSON.  ``--jobs N`` fans each experiment's independent work units across a
+process pool; results are bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from typing import List, Optional
 
 from repro.experiments.harness import (
@@ -22,6 +27,9 @@ from repro.experiments.harness import (
     tables_of,
 )
 
+#: Pseudo-name running every registered experiment in registry order.
+ALL = "all"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-experiment`` argument parser."""
@@ -29,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiment",
         description="Run one of the paper-reproduction experiments by name.",
     )
-    parser.add_argument("name", nargs="?", help="experiment name, e.g. e1 .. e9 or fig1")
+    parser.add_argument("name", nargs="?", help="experiment name, e.g. e1 .. e9 or fig1, or 'all'")
     parser.add_argument("--list", action="store_true", help="list registered experiments and exit")
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor (default 1.0)")
@@ -38,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--train-epochs", type=int, default=15, help="codec training epochs (default 15)")
     parser.add_argument("--output-dir", default=None, help="directory to persist result tables as JSON")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for each experiment's independent work units; "
+        "0 = all cores; results are bit-identical to --jobs 1 (default 1)",
+    )
     return parser
 
 
@@ -55,8 +70,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.name is None:
         parser.error("an experiment name is required (or use --list)")
-    if args.name not in available_experiments():
+    if args.name != ALL and args.name not in available_experiments():
         parser.error(f"unknown experiment {args.name!r}; use --list to see the registry")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
 
     config = ExperimentConfig(
         seed=args.seed,
@@ -64,11 +81,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         sentences_per_domain=args.sentences_per_domain,
         train_epochs=args.train_epochs,
         output_dir=args.output_dir,
+        jobs=args.jobs,
     )
-    output = run_experiment(args.name, config)
-    for table in tables_of(output):
-        print(table.to_text())
-        print()
+    names = available_experiments() if args.name == ALL else [args.name]
+    suite_started = time.perf_counter()
+    for name in names:
+        if args.name == ALL:
+            print(f"=== {name} ===")
+        started = time.perf_counter()
+        output = run_experiment(name, config)
+        elapsed = time.perf_counter() - started
+        for table in tables_of(output):
+            print(table.to_text())
+            print()
+        if args.name == ALL:
+            print(f"({name} finished in {elapsed:.1f}s)")
+            print()
+    if args.name == ALL:
+        print(f"suite finished in {time.perf_counter() - suite_started:.1f}s with --jobs {args.jobs}")
     if args.output_dir:
         print(f"tables saved under {args.output_dir}")
     return 0

@@ -97,6 +97,30 @@ def _evaluate_traditional(
     }
 
 
+def _snr_rows(payload) -> list:
+    """All three system rows of one SNR point — one unit of the E1 fan-out.
+
+    Each worker builds its own seeded channels and the Huffman baseline from
+    the shipped corpus, so the rows are identical no matter where they run.
+    """
+    codec, pooled, test_sentences, snr_db, quantization_bits, seed = payload
+    from repro.channel import HammingCode
+
+    semantic = _evaluate_semantic(codec, test_sentences, snr_db, quantization_bits, seed)
+    semantic_fec = _evaluate_semantic(
+        codec, test_sentences, snr_db, quantization_bits, seed, channel_code=HammingCode()
+    )
+    traditional = _evaluate_traditional(pooled, test_sentences, snr_db, seed)
+    return [
+        dict(snr_db=snr_db, system="semantic", payload_bytes=semantic["payload_bytes"],
+             token_accuracy=semantic["token_accuracy"], bleu=semantic["bleu"]),
+        dict(snr_db=snr_db, system="semantic+fec", payload_bytes=semantic_fec["payload_bytes"],
+             token_accuracy=semantic_fec["token_accuracy"], bleu=semantic_fec["bleu"]),
+        dict(snr_db=snr_db, system="traditional", payload_bytes=traditional["payload_bytes"],
+             token_accuracy=traditional["token_accuracy"], bleu=traditional["bleu"]),
+    ]
+
+
 @register_experiment("e1")
 def run(
     config: Optional[ExperimentConfig] = None,
@@ -123,33 +147,11 @@ def run(
             "Huffman + Hamming(7,4) bit-level baseline."
         ),
     )
-    from repro.channel import HammingCode
-
-    for snr_db in snrs_db:
-        semantic = _evaluate_semantic(codec, test_sentences, snr_db, quantization_bits, config.seed)
-        semantic_fec = _evaluate_semantic(
-            codec, test_sentences, snr_db, quantization_bits, config.seed, channel_code=HammingCode()
-        )
-        traditional = _evaluate_traditional(pooled, test_sentences, snr_db, config.seed)
-        table.add_row(
-            snr_db=snr_db,
-            system="semantic",
-            payload_bytes=semantic["payload_bytes"],
-            token_accuracy=semantic["token_accuracy"],
-            bleu=semantic["bleu"],
-        )
-        table.add_row(
-            snr_db=snr_db,
-            system="semantic+fec",
-            payload_bytes=semantic_fec["payload_bytes"],
-            token_accuracy=semantic_fec["token_accuracy"],
-            bleu=semantic_fec["bleu"],
-        )
-        table.add_row(
-            snr_db=snr_db,
-            system="traditional",
-            payload_bytes=traditional["payload_bytes"],
-            token_accuracy=traditional["token_accuracy"],
-            bleu=traditional["bleu"],
-        )
+    payloads = [
+        (codec, pooled, test_sentences, snr_db, quantization_bits, config.seed)
+        for snr_db in snrs_db
+    ]
+    for rows in config.runner().map(_snr_rows, payloads):
+        for row in rows:
+            table.add_row(**row)
     return table

@@ -81,6 +81,56 @@ def _cross_domain_accuracy(
     return float(np.mean(accuracies))
 
 
+# --------------------------------------------------------------------- #
+# Parallel work units (module-level so a process pool can dispatch them)
+# --------------------------------------------------------------------- #
+def _train_specialized(payload) -> SemanticCodec:
+    """Train one domain-specialized codec — one unit of the training fan-out."""
+    domain, sentences, codec_config, train_epochs, seed = payload
+    return SemanticCodec.from_corpus(
+        sentences, config=codec_config, domain=domain, train_epochs=train_epochs, seed=seed
+    )
+
+
+def _train_general(payload) -> SemanticCodec:
+    """Train the pooled general baseline codec (same capacity, all domains)."""
+    sentences_by_domain, codec_config, train_epochs, seed = payload
+    baseline = GeneralOnlyBaseline(config=codec_config).fit(
+        sentences_by_domain, train_epochs=train_epochs, seed=seed
+    )
+    return baseline.codec
+
+
+def _train_unit(payload) -> SemanticCodec:
+    """Dispatch one training unit (general baseline or one specialized codec)."""
+    kind, inner = payload
+    return _train_general(inner) if kind == "general" else _train_specialized(inner)
+
+
+def _evaluate_domain_row(payload) -> dict:
+    """Channel-evaluate one domain's specialized and general codecs."""
+    domain, specialized_codec, general_codec, sentences, snr_db, quantization_bits, seed = payload
+    specialized_metrics = _channel_evaluate(specialized_codec, sentences, snr_db, quantization_bits, seed)
+    general_metrics = _channel_evaluate(general_codec, sentences, snr_db, quantization_bits, seed)
+    return dict(
+        domain=domain,
+        specialized_token_accuracy=specialized_metrics["token_accuracy"],
+        general_token_accuracy=general_metrics["token_accuracy"],
+        specialized_bleu=specialized_metrics["bleu"],
+        general_bleu=general_metrics["bleu"],
+        specialization_gain=specialized_metrics["token_accuracy"] - general_metrics["token_accuracy"],
+    )
+
+
+def _cross_domain_row(payload) -> dict:
+    """One row of the cross-domain mismatch matrix (fixed encoder domain)."""
+    encoder_domain, encoder_codec, decoder_codecs, sentences = payload
+    row = {"encoder_domain": encoder_domain}
+    for decoder_domain, decoder_codec in decoder_codecs.items():
+        row[f"decode_{decoder_domain}"] = _cross_domain_accuracy(encoder_codec, decoder_codec, sentences)
+    return row
+
+
 @register_experiment("e2")
 def run(
     config: Optional[ExperimentConfig] = None,
@@ -90,25 +140,26 @@ def run(
 ) -> Dict[str, ResultTable]:
     """Run E2; returns the specialization table and the cross-domain mismatch matrix."""
     config = config or ExperimentConfig()
+    runner = config.runner()
     corpora = generate_all_corpora(config.scaled(config.sentences_per_domain), seed=config.seed)
     test_count = config.scaled(num_test_sentences, minimum=6)
     codec_config = _codec_config(config)
+    domains = list(corpora)
+    sentences_by_domain = {domain: list(corpus.sentences) for domain, corpus in corpora.items()}
 
-    # Domain-specialized codecs (the paper's proposal).
-    specialized: Dict[str, SemanticCodec] = {}
-    for domain, corpus in corpora.items():
-        specialized[domain] = SemanticCodec.from_corpus(
-            list(corpus.sentences),
-            config=codec_config,
-            domain=domain,
-            train_epochs=config.train_epochs,
-            seed=config.seed,
-        )
-
-    # Single general codec with the same capacity (the baseline).
-    general = GeneralOnlyBaseline(config=codec_config).fit(
-        corpora, train_epochs=config.train_epochs, seed=config.seed
-    )
+    # Training fan-out: every domain-specialized codec plus the pooled general
+    # baseline is an independent, seed-determined unit — the dominant cost of
+    # the experiment runs ``jobs``-wide with bit-identical weights.  The
+    # general codec (the largest unit) is submitted first for pool packing.
+    training_payloads = [
+        ("general", (sentences_by_domain, codec_config, config.train_epochs, config.seed))
+    ] + [
+        ("domain", (domain, sentences_by_domain[domain], codec_config, config.train_epochs, config.seed))
+        for domain in domains
+    ]
+    trained = runner.map(_train_unit, training_payloads)
+    general_codec = trained[0]
+    specialized: Dict[str, SemanticCodec] = dict(zip(domains, trained[1:]))
 
     main = ResultTable(
         name="e2_domain_specialization",
@@ -117,23 +168,20 @@ def run(
             "channel: one shared general codec vs domain-specialized codecs of equal capacity."
         ),
     )
-    for domain, corpus in corpora.items():
-        test_sentences = list(corpus.sentences)[:test_count]
-        specialized_metrics = _channel_evaluate(
-            specialized[domain], test_sentences, snr_db, quantization_bits, config.seed
+    evaluation_payloads = [
+        (
+            domain,
+            specialized[domain],
+            general_codec,
+            sentences_by_domain[domain][:test_count],
+            snr_db,
+            quantization_bits,
+            config.seed,
         )
-        general_metrics = _channel_evaluate(
-            general.codec, test_sentences, snr_db, quantization_bits, config.seed
-        )
-        main.add_row(
-            domain=domain,
-            specialized_token_accuracy=specialized_metrics["token_accuracy"],
-            general_token_accuracy=general_metrics["token_accuracy"],
-            specialized_bleu=specialized_metrics["bleu"],
-            general_bleu=general_metrics["bleu"],
-            specialization_gain=specialized_metrics["token_accuracy"]
-            - general_metrics["token_accuracy"],
-        )
+        for domain in domains
+    ]
+    for row in runner.map(_evaluate_domain_row, evaluation_payloads):
+        main.add_row(**row)
 
     cross = ResultTable(
         name="e2_cross_domain_mismatch",
@@ -142,14 +190,16 @@ def run(
             "receiver decodes with the column domain's codec (diagonal = matched KBs)."
         ),
     )
-    domains = list(corpora)
-    for encoder_domain in domains:
-        sentences = list(corpora[encoder_domain].sentences)[: max(6, test_count // 2)]
-        row: Dict[str, float] = {"encoder_domain": encoder_domain}
-        for decoder_domain in domains:
-            row[f"decode_{decoder_domain}"] = _cross_domain_accuracy(
-                specialized[encoder_domain], specialized[decoder_domain], sentences
-            )
+    cross_payloads = [
+        (
+            encoder_domain,
+            specialized[encoder_domain],
+            specialized,
+            sentences_by_domain[encoder_domain][: max(6, test_count // 2)],
+        )
+        for encoder_domain in domains
+    ]
+    for row in runner.map(_cross_domain_row, cross_payloads):
         cross.add_row(**row)
 
     return {"specialization": main, "cross_domain": cross}

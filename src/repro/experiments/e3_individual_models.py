@@ -64,6 +64,69 @@ def _strong_styled_users(num_users: int, domains, rng: np.random.Generator) -> L
     return users
 
 
+def _user_rows(payload) -> List[dict]:
+    """One user's full learning curve — one unit of the E3 fan-out.
+
+    Trains the user's general codec, then fine-tunes an individual model at
+    each transaction budget; all draws come from the explicit seed, so the
+    rows are identical wherever the unit runs.
+    """
+    (
+        user_id,
+        domain,
+        corpus,
+        train_pool,
+        test_pool,
+        codec_config,
+        train_epochs,
+        transactions_per_step,
+        fine_tune_epochs,
+        fine_tune_learning_rate,
+        extra_tokens,
+        seed,
+    ) = payload
+    general = SemanticCodec.from_corpus(
+        corpus,
+        config=codec_config,
+        domain=domain,
+        train_epochs=train_epochs,
+        seed=seed,
+        extra_tokens=extra_tokens,
+    )
+    general_metrics = general.evaluate(test_pool)
+    rows = [
+        dict(
+            user_id=user_id,
+            domain=domain,
+            buffered_transactions=0,
+            model="general",
+            token_accuracy=general_metrics["token_accuracy"],
+            bleu=general_metrics["bleu"],
+        )
+    ]
+    for budget in transactions_per_step:
+        individual = IndividualModel(user_id, domain, general)
+        individual.fine_tune(
+            train_pool[:budget],
+            epochs=fine_tune_epochs,
+            learning_rate=fine_tune_learning_rate,
+            seed=seed,
+            collect_decoder_gradient=False,
+        )
+        metrics = individual.codec.evaluate(test_pool)
+        rows.append(
+            dict(
+                user_id=user_id,
+                domain=domain,
+                buffered_transactions=budget,
+                model="individual",
+                token_accuracy=metrics["token_accuracy"],
+                bleu=metrics["bleu"],
+            )
+        )
+    return rows
+
+
 @register_experiment("e3")
 def run(
     config: Optional[ExperimentConfig] = None,
@@ -100,52 +163,35 @@ def run(
     )
 
     max_transactions = max(transactions_per_step)
+    # Sampling stays serial on the shared experiment RNG (the draw order is
+    # part of the results); the expensive per-user training/fine-tuning below
+    # is seed-determined and fans out across the pool.
+    payloads = []
     for user in users:
         domain = user.favourite_domain or list(domains)[0]
         spec = domains[domain]
         corpus = [spec.sample_sentence(rng) for _ in range(config.scaled(config.sentences_per_domain))]
-        general = SemanticCodec.from_corpus(
-            corpus,
-            config=codec_config,
-            domain=domain,
-            train_epochs=config.train_epochs,
-            seed=config.seed,
-            extra_tokens=extra_tokens,
-        )
-
         # The user's personal message stream (style applied on top of the domain grammar).
         personal_messages = [
             user.apply(spec.sample_sentence(rng), rng) for _ in range(max_transactions + num_test_messages)
         ]
-        train_pool = personal_messages[:max_transactions]
-        test_pool = personal_messages[max_transactions:]
-
-        general_metrics = general.evaluate(test_pool)
-        table.add_row(
-            user_id=user.user_id,
-            domain=domain,
-            buffered_transactions=0,
-            model="general",
-            token_accuracy=general_metrics["token_accuracy"],
-            bleu=general_metrics["bleu"],
+        payloads.append(
+            (
+                user.user_id,
+                domain,
+                corpus,
+                personal_messages[:max_transactions],
+                personal_messages[max_transactions:],
+                codec_config,
+                config.train_epochs,
+                tuple(transactions_per_step),
+                fine_tune_epochs,
+                fine_tune_learning_rate,
+                extra_tokens,
+                config.seed,
+            )
         )
-
-        for budget in transactions_per_step:
-            individual = IndividualModel(user.user_id, domain, general)
-            individual.fine_tune(
-                train_pool[:budget],
-                epochs=fine_tune_epochs,
-                learning_rate=fine_tune_learning_rate,
-                seed=config.seed,
-                collect_decoder_gradient=False,
-            )
-            metrics = individual.codec.evaluate(test_pool)
-            table.add_row(
-                user_id=user.user_id,
-                domain=domain,
-                buffered_transactions=budget,
-                model="individual",
-                token_accuracy=metrics["token_accuracy"],
-                bleu=metrics["bleu"],
-            )
+    for rows in config.runner().map(_user_rows, payloads):
+        for row in rows:
+            table.add_row(**row)
     return table

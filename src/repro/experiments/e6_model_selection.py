@@ -70,6 +70,29 @@ def _conversation(
     return texts, labels
 
 
+def _policy_row(payload) -> dict:
+    """Evaluate one selection policy on the held-out conversations.
+
+    Policies are stateful (bandits learn online), but each unit carries its
+    own freshly pickled policy, so the feedback sequence each policy sees is
+    exactly the serial one regardless of worker placement.
+    """
+    name, policy, test_conversations = payload
+    accuracies = []
+    regrets = []
+    for texts, labels in test_conversations:
+        outcome = evaluate_policy(policy, texts, labels, provide_feedback=True)
+        accuracies.append(outcome.accuracy)
+        regrets.append(outcome.cumulative_regret[-1] if outcome.cumulative_regret else 0)
+    return dict(
+        policy=name,
+        accuracy=float(np.mean(accuracies)),
+        final_regret=float(np.mean(regrets)),
+        conversations=len(test_conversations),
+        turns_per_conversation=len(test_conversations[0][0]),
+    )
+
+
 @register_experiment("e6")
 def run(
     config: Optional[ExperimentConfig] = None,
@@ -140,18 +163,7 @@ def run(
             "(ambiguous turns included); higher is better, oracle = 1.0."
         ),
     )
-    for name, policy in policies.items():
-        accuracies = []
-        regrets = []
-        for texts, labels in test_conversations:
-            outcome = evaluate_policy(policy, texts, labels, provide_feedback=True)
-            accuracies.append(outcome.accuracy)
-            regrets.append(outcome.cumulative_regret[-1] if outcome.cumulative_regret else 0)
-        table.add_row(
-            policy=name,
-            accuracy=float(np.mean(accuracies)),
-            final_regret=float(np.mean(regrets)),
-            conversations=len(test_conversations),
-            turns_per_conversation=len(test_conversations[0][0]),
-        )
+    payloads = [(name, policy, test_conversations) for name, policy in policies.items()]
+    for row in config.runner().map(_policy_row, payloads):
+        table.add_row(**row)
     return table

@@ -83,6 +83,26 @@ def _replay(
     }
 
 
+def _run_row(payload) -> Dict[str, float]:
+    """One independent (cache size x policy) replay row.
+
+    Module-level so the parallel runtime can dispatch it; the columnar trace
+    pickles as three arrays, and the replay RNG is re-derived from the
+    explicit seed, so every row is identical no matter which process runs it.
+    """
+    trace, catalogue, policy, cache_size_mb, individual_fraction, individual_size_bytes, seed = payload
+    cache = SemanticModelCache(int(cache_size_mb * 1024 * 1024), policy=policy)
+    replay_rng = new_rng(seed + 7)
+    metrics = _replay(cache, trace, catalogue, individual_fraction, individual_size_bytes, replay_rng)
+    return dict(
+        policy=policy,
+        cache_size_mb=float(cache_size_mb),
+        hit_ratio=metrics["hit_ratio"],
+        mean_delay_s=metrics["mean_delay_s"],
+        evictions=metrics["evictions"],
+    )
+
+
 @register_experiment("e7")
 def run(
     config: Optional[ExperimentConfig] = None,
@@ -126,16 +146,11 @@ def run(
         evictions=float("nan"),
     )
 
-    for cache_size_mb in cache_sizes_mb:
-        for policy in policies:
-            cache = SemanticModelCache(int(cache_size_mb * 1024 * 1024), policy=policy)
-            replay_rng = new_rng(config.seed + 7)
-            metrics = _replay(cache, trace, catalogue, individual_fraction, individual_size_bytes, replay_rng)
-            table.add_row(
-                policy=policy,
-                cache_size_mb=float(cache_size_mb),
-                hit_ratio=metrics["hit_ratio"],
-                mean_delay_s=metrics["mean_delay_s"],
-                evictions=metrics["evictions"],
-            )
+    payloads = [
+        (trace, catalogue, policy, size_mb, individual_fraction, individual_size_bytes, config.seed)
+        for size_mb in cache_sizes_mb
+        for policy in policies
+    ]
+    for row in config.runner().map(_run_row, payloads):
+        table.add_row(**row)
     return table

@@ -16,7 +16,7 @@ buy under load.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import ExperimentConfig, register_experiment
 from repro.metrics.reporting import ResultTable
@@ -40,8 +40,73 @@ def _build_simulator(
 ) -> MultiCellSimulator:
     cells = [CellConfig(name=f"cell_{index}") for index in range(num_cells)]
     catalogue = default_catalogue(domain_names, seed=seed)
-    config = SimulatorConfig(batching=batching)
+    # Reports are built from incremental counters, so the per-request objects
+    # need not be retained — memory stays flat at --scale 10 and beyond.
+    config = SimulatorConfig(batching=batching, retain_requests=False)
     return MultiCellSimulator(cells, catalogue, config=config, seed=seed)
+
+
+def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """One independent (profile x batching) simulation row.
+
+    Module-level and fully determined by the payload's explicit seed, so the
+    parallel runtime can dispatch it to any worker process: the trace is
+    generated *inside* the row (never pickled), and the returned plain dicts
+    are what the tables record.
+    """
+    profile = str(payload["profile"])
+    policy_name = str(payload["policy"])
+    seed = int(payload["seed"])
+    requests_per_row = int(payload["requests_per_row"])
+    arrival_rate = float(payload["arrival_rate"])
+    domain_names = list(payload["domain_names"])
+    generator = ArrivalTraceGenerator(
+        domain_names,
+        num_users=int(payload["num_users"]),
+        zipf_exponent=float(payload["zipf_exponent"]),
+        profile=profile,
+        rate=arrival_rate if profile == "poisson" else 0.5 * arrival_rate,
+        peak_rate=None if profile == "poisson" else 1.5 * arrival_rate,
+        period_s=max(requests_per_row / arrival_rate, 1.0),
+        seed=seed,
+    )
+    trace = generator.generate(requests_per_row)
+    simulator = _build_simulator(
+        int(payload["num_cells"]), domain_names, BATCHING_POLICIES[policy_name], seed=seed
+    )
+    report = simulator.replay(trace)
+    latency = report.latency
+    scale_row: Dict[str, object] = dict(
+        profile=profile,
+        batching=policy_name,
+        completed=report.completed,
+        requests_per_sec=report.requests_per_sec,
+        p50_ms=latency["p50_s"] * 1000.0,
+        p95_ms=latency["p95_s"] * 1000.0,
+        p99_ms=latency["p99_s"] * 1000.0,
+        mean_ms=latency["mean_s"] * 1000.0,
+        hit_ratio=report.hit_ratio,
+        mean_batch_size=report.mean_batch_size,
+        compute_busy_s=report.total_compute_busy_s,
+        backhaul_mb=report.backhaul_bytes / 1024**2,
+        cloud_mb=report.cloud_bytes / 1024**2,
+    )
+    per_cell_rows: List[Dict[str, object]] = [
+        dict(
+            profile=profile,
+            batching=policy_name,
+            cell=cell_name,
+            completed=stats.completed,
+            hit_ratio=stats.hit_ratio,
+            neighbor_fetches=stats.neighbor_fetches,
+            cloud_fetches=stats.cloud_fetches,
+            coalesced=stats.coalesced,
+            handovers_in=stats.handovers_in,
+            mean_batch_size=stats.mean_batch_size,
+        )
+        for cell_name, stats in sorted(report.cells.items())
+    ]
+    return scale_row, per_cell_rows
 
 
 @register_experiment("e9")
@@ -81,49 +146,25 @@ def run(
         description="Per-cell hit ratio, fetch mix and handover counts for every E9 row.",
     )
 
-    for profile in profiles:
-        for policy_name, batching in BATCHING_POLICIES.items():
-            generator = ArrivalTraceGenerator(
-                domain_names,
-                num_users=num_users,
-                zipf_exponent=zipf_exponent,
-                profile=profile,
-                rate=arrival_rate if profile == "poisson" else 0.5 * arrival_rate,
-                peak_rate=None if profile == "poisson" else 1.5 * arrival_rate,
-                period_s=max(requests_per_row / arrival_rate, 1.0),
-                seed=config.seed,
-            )
-            trace = generator.generate(requests_per_row)
-            simulator = _build_simulator(num_cells, domain_names, batching, seed=config.seed)
-            report = simulator.replay(trace)
-            latency = report.latency
-            scale_table.add_row(
-                profile=profile,
-                batching=policy_name,
-                completed=report.completed,
-                requests_per_sec=report.requests_per_sec,
-                p50_ms=latency["p50_s"] * 1000.0,
-                p95_ms=latency["p95_s"] * 1000.0,
-                p99_ms=latency["p99_s"] * 1000.0,
-                mean_ms=latency["mean_s"] * 1000.0,
-                hit_ratio=report.hit_ratio,
-                mean_batch_size=report.mean_batch_size,
-                compute_busy_s=report.total_compute_busy_s,
-                backhaul_mb=report.backhaul_bytes / 1024**2,
-                cloud_mb=report.cloud_bytes / 1024**2,
-                events_per_wall_sec=report.events_per_wall_sec,
-            )
-            for cell_name, stats in sorted(report.cells.items()):
-                per_cell_table.add_row(
-                    profile=profile,
-                    batching=policy_name,
-                    cell=cell_name,
-                    completed=stats.completed,
-                    hit_ratio=stats.hit_ratio,
-                    neighbor_fetches=stats.neighbor_fetches,
-                    cloud_fetches=stats.cloud_fetches,
-                    coalesced=stats.coalesced,
-                    handovers_in=stats.handovers_in,
-                    mean_batch_size=stats.mean_batch_size,
-                )
+    payloads = [
+        {
+            "profile": profile,
+            "policy": policy_name,
+            "seed": config.seed,
+            "requests_per_row": requests_per_row,
+            "arrival_rate": arrival_rate,
+            "domain_names": domain_names,
+            "num_users": num_users,
+            "zipf_exponent": zipf_exponent,
+            "num_cells": num_cells,
+        }
+        for profile in profiles
+        for policy_name in BATCHING_POLICIES
+    ]
+    # Each row is an independent, seed-determined work unit; the runner merges
+    # results in submission order, so the tables are identical for any --jobs.
+    for scale_row, per_cell_rows in config.runner().map(_run_row, payloads):
+        scale_table.add_row(**scale_row)
+        for row in per_cell_rows:
+            per_cell_table.add_row(**row)
     return {"scale": scale_table, "per_cell": per_cell_table}

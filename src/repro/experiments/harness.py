@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.metrics.reporting import ResultTable
+from repro.runtime import ParallelRunner, SeedTree
 from repro.utils.registry import Registry
 
 ExperimentOutput = Union[ResultTable, Dict[str, ResultTable]]
@@ -26,6 +27,13 @@ class ExperimentConfig:
     ``scale`` multiplies workload sizes: benchmarks run at ``scale=1.0``
     (fast); the EXPERIMENTS.md numbers were produced at the same scale so the
     recorded and regenerated tables are directly comparable.
+
+    ``jobs`` fans each experiment's independent work units (per-domain codec
+    training, per-row simulations) across a process pool via
+    :class:`~repro.runtime.ParallelRunner`.  Results are **bit-identical** for
+    every ``jobs`` value — each unit is fully determined by its explicit seed
+    and results merge in submission order — so parallelism is purely a
+    wall-clock knob.  ``0`` means "all available cores".
     """
 
     seed: int = 0
@@ -34,10 +42,19 @@ class ExperimentConfig:
     train_epochs: int = 15
     codec_architecture: str = "mlp"
     output_dir: Optional[str] = None
+    jobs: int = 1
 
     def scaled(self, value: int, minimum: int = 1) -> int:
         """Scale an integer workload knob, keeping it at least ``minimum``."""
         return max(minimum, int(round(value * self.scale)))
+
+    def runner(self) -> ParallelRunner:
+        """The process-pool runner experiments fan their work units through."""
+        return ParallelRunner(jobs=self.jobs)
+
+    def seed_tree(self) -> SeedTree:
+        """Path-addressed seed derivation rooted at this config's seed."""
+        return SeedTree(self.seed)
 
 
 def register_experiment(name: str) -> Callable:

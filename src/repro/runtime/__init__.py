@@ -1,0 +1,26 @@
+"""Parallel experiment runtime: deterministic seeds + process-pool fan-out.
+
+The runtime makes the reproduction multi-core without changing any result:
+
+* :class:`~repro.runtime.seedtree.SeedTree` — path-addressed, SeedSequence-
+  derived seeds, so every work unit owns an independent stream that does not
+  depend on scheduling order.
+* :class:`~repro.runtime.parallel.ParallelRunner` — fans module-level worker
+  functions across a process pool and merges results in submission order;
+  ``jobs=1`` degrades to a plain in-process loop.
+
+Experiments fan their independent rows (codec training per domain, simulation
+rows per profile/batching/seed) through a runner obtained from
+``ExperimentConfig.runner()``; the ``repro-experiment`` CLI exposes it as
+``--jobs``.
+"""
+
+from repro.runtime.parallel import ParallelRunner, available_cpus, resolve_jobs
+from repro.runtime.seedtree import SeedTree
+
+__all__ = [
+    "ParallelRunner",
+    "SeedTree",
+    "available_cpus",
+    "resolve_jobs",
+]

@@ -1,0 +1,123 @@
+"""Process-pool fan-out for independent experiment work units.
+
+The experiment suite is embarrassingly parallel at the row level: per-domain
+codec training (E1/E2/E3/E6), per-(cache size x policy) replays (E7), and
+per-(profile x batching) simulations (E9) share no state and are fully
+determined by their explicit seeds.  :class:`ParallelRunner` fans such units
+across a process pool and merges the results **in submission order**, so a
+``--jobs N`` run is bit-identical to the serial one — parallelism only changes
+wall-clock, never results.
+
+Design constraints the runner enforces:
+
+* Work functions must be module-level (picklable by reference) and take one
+  picklable argument; results must be picklable.  All experiment workers
+  follow this shape.
+* ``jobs <= 1``, a single item, or an unavailable ``multiprocessing`` runtime
+  all degrade to an in-process loop with identical semantics — the pool is an
+  execution detail, never a correctness dependency.
+* The ``fork`` start method is preferred (cheap, inherits ``sys.path`` and
+  loaded modules); ``spawn`` is the fallback where fork does not exist.
+
+Worker-count note: the pool never exceeds the item count, and chunking is
+1 item per task so long rows interleave instead of convoying.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def available_cpus() -> int:
+    """Usable CPU count (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means "all available cores"."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return available_cpus() if jobs == 0 else jobs
+
+
+def _preferred_context():
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else methods[0])
+
+
+class ParallelRunner:
+    """Maps a picklable function over items, optionally across processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (the default) runs everything in-process;
+        ``0`` uses every available core.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this runner would actually use a process pool."""
+        return self.jobs > 1
+
+    def map(self, function: Callable[[Item], Result], items: Sequence[Item]) -> List[Result]:
+        """``[function(item) for item in items]``, fanned across the pool.
+
+        Results come back in submission order regardless of which worker
+        finished first, so callers can zip them against ``items``.  A worker
+        exception propagates to the caller (remaining tasks are abandoned),
+        matching the serial loop's fail-fast behaviour.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        workers = min(self.jobs, len(items))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=_preferred_context())
+        except (ImportError, OSError, PermissionError):
+            # Pool *creation* failed (no multiprocessing primitives, e.g. a
+            # missing /dev/shm): the pool is an optimization, so degrade to
+            # the serial loop — results are identical by construction.
+            return [function(item) for item in items]
+        try:
+            with pool:
+                return list(pool.map(function, items, chunksize=1))
+        except BrokenProcessPool:
+            # Workers died without a Python exception (seccomp'd clone, OOM
+            # kill): same degradation.  Exceptions raised *by the work
+            # function itself* are not caught here — they propagate to the
+            # caller exactly as the serial loop's would (fail fast, no silent
+            # serial re-run of the whole batch).
+            return [function(item) for item in items]
+
+    def starmap(
+        self, function: Callable[..., Result], argument_tuples: Iterable[Tuple]
+    ) -> List[Result]:
+        """:meth:`map` for functions taking multiple positional arguments."""
+        return self.map(_StarCall(function), [tuple(args) for args in argument_tuples])
+
+
+class _StarCall:
+    """Picklable adapter unpacking one argument tuple into a call."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: Callable[..., Result]) -> None:
+        self.function = function
+
+    def __call__(self, args: Tuple) -> Result:
+        return self.function(*args)

@@ -11,7 +11,7 @@ plus joint training on (possibly channel-impaired) reconstruction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -129,9 +129,15 @@ class SemanticCodec:
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
-    def _batches(self, ids: np.ndarray, batch_size: int, rng: np.random.Generator) -> List[np.ndarray]:
-        order = rng.permutation(len(ids))
-        return [ids[order[start : start + batch_size]] for start in range(0, len(ids), batch_size)]
+    def _batches(self, ids: np.ndarray, batch_size: int, order: np.ndarray) -> Iterator[np.ndarray]:
+        """Yield mini-batches following ``order`` lazily, one at a time.
+
+        The caller owns (and reshuffles) the index buffer across epochs, so an
+        epoch allocates only the batch being trained on instead of every
+        slice up front.
+        """
+        for start in range(0, len(ids), batch_size):
+            yield ids[order[start : start + batch_size]]
 
     def train(
         self,
@@ -157,10 +163,19 @@ class SemanticCodec:
         optimizer = Adam(parameters, learning_rate or self.config.learning_rate)
         self.encoder.train()
         self.decoder.train()
+        # One index buffer reused across epochs.  It must be reset to identity
+        # before each in-place shuffle: Generator.shuffle of the identity
+        # consumes the same stream and yields the same order as the historical
+        # per-epoch ``rng.permutation(len(ids))``, keeping training bit-stable
+        # (shuffling the previous epoch's order would not).
+        identity = np.arange(len(ids))
+        order = identity.copy()
         for _ in range(epochs):
             epoch_losses: List[float] = []
             epoch_accuracies: List[float] = []
-            for batch in self._batches(ids, self.config.batch_size, rng):
+            order[:] = identity
+            rng.shuffle(order)
+            for batch in self._batches(ids, self.config.batch_size, order):
                 optimizer.zero_grad()
                 features = self.encoder(batch)
                 if noise_std > 0.0:
@@ -181,14 +196,35 @@ class SemanticCodec:
     # Evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, sentences: Sequence[str]) -> Dict[str, float]:
-        """Reconstruction quality of the codec on ``sentences`` (no channel)."""
+        """Reconstruction quality of the codec on ``sentences`` (no channel).
+
+        The whole batch runs through *one* encoder forward (inference mode, no
+        autograd tape); decoding is batched per sentence length, so every
+        sentence sees exactly the features and greedy decode it would see
+        alone — per-sentence BLEU/token-accuracy is identical to a
+        one-at-a-time loop, just without N round trips through the models.
+        """
         if not sentences:
             raise KnowledgeBaseError("cannot evaluate on an empty corpus")
+        sentences = list(sentences)
+        ids = self.tokens_to_ids(sentences)
+        lengths = np.count_nonzero(ids != self.vocabulary.pad_id, axis=1)
+        features = self.encoder.encode(ids)
+        # Group equal-length sentences: a group batch carries no padding, so
+        # even architectures whose decoder mixes positions (transformer
+        # attention) produce the same tokens as single-sentence decoding.
+        hypotheses: List[List[str]] = [[] for _ in sentences]
+        for length in np.unique(lengths):
+            group = np.nonzero(lengths == length)[0]
+            group_features = np.asarray(features[group, : int(length), :], dtype=np.float64)
+            decoded = self.decoder.decode_greedy(group_features)
+            for row, sentence_index in enumerate(group):
+                tokens = self.vocabulary.decode(decoded[row])
+                hypotheses[sentence_index] = self.tokenizer.tokenize(self.tokenizer.detokenize(tokens))
         accuracies: List[float] = []
         bleus: List[float] = []
-        for sentence in sentences:
+        for sentence, hypothesis in zip(sentences, hypotheses):
             reference = self.tokenizer.tokenize(sentence)
-            hypothesis = self.tokenizer.tokenize(self.reconstruct(sentence))
             accuracies.append(token_accuracy(reference, hypothesis))
             bleus.append(bleu_score(reference, hypothesis))
         return {

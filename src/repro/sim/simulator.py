@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.caching.entry import CacheEntry, GENERAL_MODEL, general_model_key
 from repro.edge.network import LinkSpec
 from repro.edge.resources import encode_flops
@@ -82,6 +84,11 @@ class SimulatorConfig:
     #: Latency samples kept in memory; percentiles are exact up to this count
     #: and reservoir-sampled beyond it (see :class:`~repro.sim.metrics.LatencyRecorder`).
     latency_reservoir: int = 100_000
+    #: Keep every :class:`~repro.sim.request.Request` on ``simulator.requests``
+    #: after completion.  Required for post-run per-request analysis; turn off
+    #: for multi-million-request replays so memory stays flat (reports are
+    #: unaffected — they are built from incremental counters).
+    retain_requests: bool = True
 
     def __post_init__(self) -> None:
         if self.feature_bytes < 0:
@@ -180,7 +187,8 @@ class MultiCellSimulator:
             arrival_time=timestamp,
             num_tokens=self.config.num_tokens,
         )
-        self.requests.append(request)
+        if self.config.retain_requests:
+            self.requests.append(request)
         return request
 
     def submit(self, timestamp: float, user_id: str, domain: str) -> Request:
@@ -200,7 +208,22 @@ class MultiCellSimulator:
         order is identical to eager scheduling.  With ``run=False`` the
         arrivals are eagerly scheduled on the event queue instead so a later
         plain ``engine.run()`` still sees them.
+
+        A columnar :class:`~repro.workloads.traces.RequestTrace` takes the
+        array fast path: :class:`~repro.sim.request.Request` objects are
+        materialized lazily inside the stream merge, one per arrival, instead
+        of all up front — replaying millions of requests never holds more
+        request objects than are concurrently in flight (unless
+        ``retain_requests`` keeps them).  Results are bit-identical to the
+        object path.
         """
+        if (
+            run
+            and not self._arrival_stream
+            and isinstance(trace, RequestTrace)
+            and trace.is_columnar
+        ):
+            return self._replay_columnar(trace)
         domain_info = self._domain_info
         num_tokens = self.config.num_tokens
         counter = self._request_counter
@@ -224,7 +247,8 @@ class MultiCellSimulator:
                 )
             )
         self._request_counter = counter
-        self.requests.extend(pending)
+        if self.config.retain_requests:
+            self.requests.extend(pending)
         if pending:
             if run:
                 self._arrival_stream.extend(pending)
@@ -243,6 +267,90 @@ class MultiCellSimulator:
         if run:
             return self.run()
         return self.report(wall_clock_s=0.0)
+
+    def _replay_columnar(self, trace: RequestTrace) -> SimulationReport:
+        """Array fast path of :meth:`replay`: lazy per-arrival materialization.
+
+        Request ids are assigned by *trace position* (as the object path does
+        before sorting), and the stable sort keeps tied timestamps in trace
+        order, so every value any event handler observes is identical to the
+        object-based replay.
+        """
+        timestamps = trace.timestamps
+        user_indices = trace.user_indices
+        domain_indices = trace.domain_indices
+        domain_names = trace.domain_names
+        keys: List[str] = []
+        for name in domain_names:
+            info = self._domain_info.get(name)
+            if info is None:
+                raise SimulationError(f"domain {name!r} is not in the model catalogue")
+            keys.append(info[0])
+        num_requests = len(timestamps)
+        started = time.perf_counter()
+        if num_requests == 0:
+            self.engine.run()
+            return self.report(wall_clock_s=time.perf_counter() - started)
+        if np.any(timestamps[1:] < timestamps[:-1]):
+            order = np.argsort(timestamps, kind="stable")
+            sorted_times = timestamps[order]
+        else:
+            order = None
+            sorted_times = timestamps
+        base = self._request_counter
+        self._request_counter = base + num_requests
+        num_tokens = self.config.num_tokens
+        retain = self.config.retain_requests
+        requests_list = self.requests
+        arrive = self._on_arrival
+        # Per-request string formatting hoisted out of the event loop: the
+        # label tables are num_users/num_domains entries, not num_requests.
+        user_labels = [f"user_{index}" for index in range(int(user_indices.max()) + 1)]
+        delivered = 0
+
+        def on_stream_item(sim: Simulation, index: int) -> None:
+            nonlocal delivered
+            # Delivered before processing, matching the object stream path.
+            delivered = index + 1
+            position = index if order is None else int(order[index])
+            domain_index = domain_indices[position]
+            # sim.now is exactly float(sorted_times[index]) — the engine set
+            # the clock to this arrival before invoking the callback.
+            request = Request(
+                base + position + 1,
+                user_labels[user_indices[position]],
+                domain_names[domain_index],
+                keys[domain_index],
+                sim.now,
+                num_tokens,
+            )
+            if retain:
+                requests_list.append(request)
+            arrive(request)
+
+        try:
+            self.engine.run_stream(sorted_times, on_stream_item, presorted=True)
+        except BaseException:
+            # Materialize the undelivered tail so a retry after a mid-replay
+            # exception continues where the run stopped (same contract as the
+            # object path).
+            tail: List[Request] = []
+            for index in range(delivered, num_requests):
+                position = index if order is None else int(order[index])
+                domain_index = domain_indices[position]
+                tail.append(
+                    Request(
+                        base + position + 1,
+                        user_labels[user_indices[position]],
+                        domain_names[domain_index],
+                        keys[domain_index],
+                        float(timestamps[position]),
+                        num_tokens,
+                    )
+                )
+            self._arrival_stream = tail
+            raise
+        return self.report(wall_clock_s=time.perf_counter() - started)
 
     def run(self) -> SimulationReport:
         """Process all scheduled events and return the run's report."""

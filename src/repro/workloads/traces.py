@@ -2,16 +2,29 @@
 
 Experiment E7 sweeps cache size against hit rate; the shape of that curve
 depends on how skewed domain/model popularity is, which this module controls.
+
+Traces are stored **columnar**: one numpy structured array holding arrival
+time, user index and domain index per request, plus the domain-name lookup
+table.  Generating and shipping a multi-million-request trace is therefore
+array work — :class:`TraceRequest` objects are materialized lazily, one at a
+time, only where a consumer actually iterates (and the multi-cell simulator
+bypasses even that, reading the columns directly).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, new_rng
+
+#: Columnar storage of one request per row.  ``user``/``domain`` are indices
+#: into the trace's label tables; per-domain token/FLOPs/byte costs stay
+#: factored through those same indices (see ``MultiCellSimulator``), so the
+#: trace never repeats per-request strings or cost scalars.
+TRACE_DTYPE = np.dtype([("timestamp", "f8"), ("user", "i4"), ("domain", "i4")])
 
 
 def zipf_probabilities(num_items: int, exponent: float = 1.0) -> np.ndarray:
@@ -35,33 +48,151 @@ class TraceRequest:
     kind: str = "message"
 
 
-@dataclass
 class RequestTrace:
-    """An ordered list of :class:`TraceRequest` plus summary helpers."""
+    """An ordered request trace: columnar storage, object view on demand.
 
-    requests: List[TraceRequest] = field(default_factory=list)
+    Two construction modes:
+
+    * ``RequestTrace(requests=[TraceRequest, ...])`` — the legacy object form,
+      kept for hand-built traces in tests and small tools.
+    * :meth:`from_columns` — the columnar form every generator produces: a
+      structured array (:data:`TRACE_DTYPE`) plus the domain-name table.
+
+    Iteration always yields :class:`TraceRequest` values; on a columnar trace
+    they are materialized lazily one at a time, so iterating never builds the
+    whole object list.  Summary helpers (:meth:`domain_counts`, :meth:`users`)
+    run vectorized on the columns.
+    """
+
+    __slots__ = ("_requests", "_columns", "_domain_names")
+
+    def __init__(self, requests: Optional[List[TraceRequest]] = None) -> None:
+        self._requests: Optional[List[TraceRequest]] = list(requests) if requests is not None else []
+        self._columns: Optional[np.ndarray] = None
+        self._domain_names: tuple = ()
+
+    @classmethod
+    def from_columns(
+        cls,
+        timestamps: np.ndarray,
+        user_indices: np.ndarray,
+        domain_indices: np.ndarray,
+        domain_names: Sequence[str],
+    ) -> "RequestTrace":
+        """Build a columnar trace from parallel per-request arrays."""
+        num_requests = len(timestamps)
+        if len(user_indices) != num_requests or len(domain_indices) != num_requests:
+            raise ValueError("timestamps, user_indices and domain_indices must have equal length")
+        columns = np.empty(num_requests, dtype=TRACE_DTYPE)
+        columns["timestamp"] = timestamps
+        columns["user"] = user_indices
+        columns["domain"] = domain_indices
+        trace = cls.__new__(cls)
+        trace._requests = None
+        trace._columns = columns
+        trace._domain_names = tuple(domain_names)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Columnar accessors (the simulator's zero-copy fast path)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_columnar(self) -> bool:
+        """Whether this trace carries columns (enables the array fast paths)."""
+        return self._columns is not None
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Arrival timestamps as a float64 array (columnar traces only)."""
+        return self._require_columns()["timestamp"]
+
+    @property
+    def user_indices(self) -> np.ndarray:
+        """Per-request user index (``user_<i>``) array (columnar traces only)."""
+        return self._require_columns()["user"]
+
+    @property
+    def domain_indices(self) -> np.ndarray:
+        """Per-request index into :attr:`domain_names` (columnar traces only)."""
+        return self._require_columns()["domain"]
+
+    @property
+    def domain_names(self) -> tuple:
+        """Domain lookup table of a columnar trace."""
+        self._require_columns()
+        return self._domain_names
+
+    def _require_columns(self) -> np.ndarray:
+        if self._columns is None:
+            raise ValueError("this RequestTrace was built from objects and has no columns")
+        return self._columns
+
+    # ------------------------------------------------------------------ #
+    # Object view
+    # ------------------------------------------------------------------ #
+    @property
+    def requests(self) -> List[TraceRequest]:
+        """The trace as a list of :class:`TraceRequest` (materialized, cached)."""
+        if self._requests is None:
+            self._requests = list(iter(self))
+        return self._requests
+
+    def _materialize(self, index: int) -> TraceRequest:
+        row = self._columns[index]
+        return TraceRequest(
+            timestamp=float(row["timestamp"]),
+            user_id=f"user_{int(row['user'])}",
+            domain=self._domain_names[int(row["domain"])],
+        )
 
     def __len__(self) -> int:
-        return len(self.requests)
+        if self._columns is not None:
+            return len(self._columns)
+        return len(self._requests)
 
-    def __iter__(self):
-        return iter(self.requests)
+    def __iter__(self) -> Iterator[TraceRequest]:
+        if self._requests is not None:
+            return iter(self._requests)
+        return (self._materialize(index) for index in range(len(self._columns)))
 
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
     def domains(self) -> List[str]:
         """Domain of every request, in order."""
-        return [request.domain for request in self.requests]
+        if self._columns is not None:
+            names = np.asarray(self._domain_names, dtype=object)
+            return list(names[self._columns["domain"]])
+        return [request.domain for request in self._requests]
 
     def domain_counts(self) -> Dict[str, int]:
-        """Number of requests per domain."""
-        counts: Dict[str, int] = {}
-        for request in self.requests:
-            counts[request.domain] = counts.get(request.domain, 0) + 1
-        return counts
+        """Number of requests per domain, keyed in first-seen order."""
+        if self._columns is not None:
+            indices = self._columns["domain"]
+            if len(indices) == 0:
+                return {}
+            present, first_seen = np.unique(indices, return_index=True)
+            counts = np.bincount(indices, minlength=len(self._domain_names))
+            order = np.argsort(first_seen, kind="stable")
+            return {
+                self._domain_names[int(present[i])]: int(counts[present[i]]) for i in order
+            }
+        counts_by_name: Dict[str, int] = {}
+        for request in self._requests:
+            counts_by_name[request.domain] = counts_by_name.get(request.domain, 0) + 1
+        return counts_by_name
 
     def users(self) -> List[str]:
         """Distinct users appearing in the trace, in first-seen order."""
+        if self._columns is not None:
+            indices = self._columns["user"]
+            if len(indices) == 0:
+                return []
+            present, first_seen = np.unique(indices, return_index=True)
+            order = np.argsort(first_seen, kind="stable")
+            return [f"user_{int(present[i])}" for i in order]
         seen: Dict[str, None] = {}
-        for request in self.requests:
+        for request in self._requests:
             seen.setdefault(request.user_id, None)
         return list(seen)
 
@@ -77,19 +208,16 @@ def assemble_trace(
 
     Shared tail of every trace generator: the arrival-time process varies
     (homogeneous Poisson, diurnal, ...), the domain/user sampling does not.
+    The random draws are identical to the historical object-based assembler
+    (``choice`` then ``integers``), so seeded traces are bit-compatible; only
+    the storage changed from one object per request to three arrays.
     """
     num_requests = len(timestamps)
     domain_indices = rng.choice(len(domain_names), size=num_requests, p=probabilities)
     user_indices = rng.integers(0, num_users, size=num_requests)
-    requests = [
-        TraceRequest(
-            timestamp=float(timestamps[i]),
-            user_id=f"user_{int(user_indices[i])}",
-            domain=domain_names[int(domain_indices[i])],
-        )
-        for i in range(num_requests)
-    ]
-    return RequestTrace(requests=requests)
+    return RequestTrace.from_columns(
+        np.asarray(timestamps, dtype=np.float64), user_indices, domain_indices, domain_names
+    )
 
 
 class ZipfTraceGenerator:
