@@ -70,6 +70,10 @@ def _speedups(baseline: dict, current: dict) -> dict:
             speedups[f"{section}_requests_per_sec"] = ratio(
                 baseline[section]["requests_per_sec"], current[section]["requests_per_sec"]
             )
+    if "codec_training" in baseline and "codec_training" in current:
+        speedups["codec_training_steps_per_sec"] = ratio(
+            baseline["codec_training"]["steps_per_sec"], current["codec_training"]["steps_per_sec"]
+        )
     return speedups
 
 
@@ -118,8 +122,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"results written to {args.output}")
-    sections = ("tensor_inference", "tensor_training", "sim_engine", "e9_replay",
-                "trace_generation", "suite_parallel")
+    sections = ("tensor_inference", "tensor_training", "codec_training", "sim_engine",
+                "e9_replay", "trace_generation", "suite_parallel")
     for section in sections:
         metrics = current[section]
         rate_key = next(key for key in metrics if key.endswith("_per_sec"))
@@ -140,9 +144,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"PERF GATE ERROR: baseline file {args.baseline} not found; nothing to compare against")
             return 2
         gate = args.fail_below_ratio
-        gated = {"sim_engine": "sim_engine_events_per_sec"}
-        if "trace_generation_requests_per_sec" in payload["speedups_vs_baseline"]:
-            gated["trace_generation"] = "trace_generation_requests_per_sec"
+        gated = {
+            "sim_engine": "sim_engine_events_per_sec",
+            "tensor_training": "tensor_training_steps_per_sec",
+            "tensor_inference": "tensor_inference_passes_per_sec",
+        }
+        for optional, key in (
+            ("trace_generation", "trace_generation_requests_per_sec"),
+            ("codec_training", "codec_training_steps_per_sec"),
+        ):
+            if key in payload["speedups_vs_baseline"]:
+                gated[optional] = key
         failed = False
         for section, key in gated.items():
             achieved = payload["speedups_vs_baseline"][key]

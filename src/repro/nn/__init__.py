@@ -22,7 +22,9 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import (
     cosine_embedding_loss,
+    cross_entropy_from_parts,
     cross_entropy_loss,
+    cross_entropy_parts,
     kl_divergence_loss,
     mse_loss,
     nll_accuracy,
@@ -36,6 +38,7 @@ from repro.nn.tensor import (
     concatenate,
     is_grad_enabled,
     no_grad,
+    note_data_dependent,
     ones,
     set_default_dtype,
     stack,
@@ -49,6 +52,7 @@ __all__ = [
     "concatenate",
     "no_grad",
     "is_grad_enabled",
+    "note_data_dependent",
     "set_default_dtype",
     "stack",
     "zeros",
@@ -78,6 +82,8 @@ __all__ = [
     "FeedForward",
     "mse_loss",
     "cross_entropy_loss",
+    "cross_entropy_parts",
+    "cross_entropy_from_parts",
     "cosine_embedding_loss",
     "kl_divergence_loss",
     "nll_accuracy",

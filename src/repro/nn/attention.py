@@ -10,7 +10,7 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, note_data_dependent
 from repro.utils.rng import SeedLike, new_rng, spawn_rng
 
 _NEGATIVE_FILL = -1e9
@@ -48,9 +48,11 @@ def scaled_dot_product_attention(
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
         # Build the additive fill in the scores' dtype so a float32 forward
-        # pass is not silently promoted back to float64.
+        # pass is not silently promoted back to float64.  The fill depends on
+        # the *content* of the mask, so graph capture must not bake it in as
+        # a constant: flag it and let tracing fall back to eager.
         fill = np.where(mask, 0.0, _NEGATIVE_FILL).astype(scores.data.dtype, copy=False)
-        scores = scores + Tensor(fill)
+        scores = scores + Tensor(note_data_dependent(fill))
     weights = scores.softmax(axis=-1)
     output = weights @ value
     return output, weights.data.copy()

@@ -1,0 +1,34 @@
+"""Graph-captured tensor runtime: trace the tape once, replay a flat program.
+
+The per-op closure autograd in :mod:`repro.nn.tensor` rebuilds its graph and
+allocates fresh arrays on every training step.  This package removes that
+steady-state cost Dr.Jit-style: one eager execution per (callable, input
+signature) is recorded as a flat op tape, compiled into a program of numpy
+kernels over preallocated buffers (in-place ``out=`` kernels, fused
+element-wise chains, parameter-gradient slabs), and replayed for every
+subsequent call — with results **bit-identical** to eager execution, enforced
+by a bitwise verification replay at capture time and transparent eager
+fallback on shape changes past the cache limit, unsupported ops, or
+data-dependent values entering the tape.
+
+Entry points: :meth:`repro.nn.module.Module.compile` for inference forwards,
+:class:`CompiledTrainStep` for full forward+backward training steps, and
+:func:`configure` / the ``REPRO_GRAPH`` environment variable to disable the
+runtime globally.
+"""
+
+from repro.nn.graph.builder import build_program
+from repro.nn.graph.compiled import CompiledModule, CompiledTrainStep, configure, is_enabled
+from repro.nn.graph.program import Program
+from repro.nn.graph.recorder import TraceRecorder, TraceUnsupported
+
+__all__ = [
+    "CompiledModule",
+    "CompiledTrainStep",
+    "Program",
+    "TraceRecorder",
+    "TraceUnsupported",
+    "build_program",
+    "configure",
+    "is_enabled",
+]

@@ -1,0 +1,1178 @@
+"""Compile a recorded tape into a flat :class:`~repro.nn.graph.program.Program`.
+
+The builder walks the :class:`~repro.nn.graph.recorder.TraceRecorder` nodes in
+recorded (i.e. topological) order and emits one numpy kernel per op, writing
+into preallocated buffers via ``out=``.  Replayed results are **bit-identical**
+to eager execution because every kernel performs the exact same numpy
+operations in the exact same order as the eager implementation in
+:mod:`repro.nn.tensor` — ``np.add(a, b, out=buf)`` produces the same bits as
+``a + b``, and composite ops (sigmoid, softmax, matmul backward) are emitted
+as the same step-by-step chains the eager closures evaluate.
+
+For training programs the builder additionally derives the backward pass from
+the graph structure: it reproduces the eager depth-first topological order,
+then emits each op's gradient arithmetic mirroring the corresponding eager
+backward closure (including ``_unbroadcast`` reduction chains and the
+copy-then-add accumulation order).  Parameter gradients are carved out of one
+contiguous slab per dtype so the optimizers can process every parameter with
+a handful of whole-slab element-wise kernels.
+
+Fusion: element-wise chains (scalar add/mul/neg/pow, sigmoid/tanh, softmax
+family) re-use a single buffer in-place along the chain in forward-only
+programs, so a deep stack of activations costs one buffer instead of one per
+op.  Ops with no allocation-free spelling fall back to allocating kernels
+that bump ``Program.allocations`` (asserted zero for the supported model zoo).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.graph.program import Program
+from repro.nn.graph.recorder import TraceNode, TraceRecorder, TraceUnsupported
+from repro.nn.tensor import Tensor
+
+#: Ops whose output may share the (single-consumer) parent's buffer in
+#: forward-only programs: element-wise with the same shape, evaluated by
+#: kernels that read each input element before writing it.
+_REUSABLE_ELEMENTWISE = {
+    "add_scalar",
+    "sub_scalar",
+    "rsub_scalar",
+    "mul_scalar",
+    "div_scalar",
+    "rdiv_scalar",
+    "neg",
+    "pow",
+    "exp",
+    "log",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "clip",
+    "softmax",
+    "log_softmax",
+}
+
+
+def _dummy(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def _matmul_shape(shape_a: Tuple[int, ...], shape_b: Tuple[int, ...]) -> Tuple[int, ...]:
+    return np.matmul(_dummy(shape_a), _dummy(shape_b)).shape
+
+
+class GraphBuilder:
+    """Single-use builder turning one recorded trace into one program."""
+
+    def __init__(self, recorder: TraceRecorder, params: Sequence[Tensor]) -> None:
+        self.recorder = recorder
+        self.params = list(params)
+        self.program = Program()
+        #: node -> auxiliary fixed arrays produced by the forward kernel
+        #: (relu/clip masks, log-softmax exp scratch) that backward reads.
+        self._aux: Dict[int, Dict[str, np.ndarray]] = {}
+        self._grad: Dict[int, np.ndarray] = {}
+        self._contrib_total: Dict[int, int] = {}
+        self._contrib_seen: Dict[int, int] = {}
+        self._children: Dict[int, int] = {}
+        self._output_ids: set[int] = set()
+        self._forward_only = True
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        output_tensors: Sequence[Tensor],
+        loss_tensor: Optional[Tensor] = None,
+    ) -> Program:
+        """Emit forward kernels for all nodes (and backward from ``loss_tensor``)."""
+        self._forward_only = loss_tensor is None
+        nodes = self.recorder.nodes
+        output_nodes = [self._node_of(tensor) for tensor in output_tensors]
+        output_ids = {node.index for node in output_nodes}
+        self._output_ids = output_ids
+        # Reserve one slot per node up front so operand slots (gather indices,
+        # fancy-index components) allocated during emission never collide with
+        # node indices.
+        for _ in nodes:
+            self.program.new_slot()
+        for node in nodes:
+            if node.kind == "op":
+                for parent in node.parents:
+                    self._children[parent.index] = self._children.get(parent.index, 0) + 1
+
+        for node in nodes:
+            if node.kind == "op":
+                self._emit_forward(node, protected=node.index in output_ids)
+            else:
+                self._emit_leaf(node)
+
+        if loss_tensor is not None:
+            self._emit_backward(self._node_of(loss_tensor))
+
+        self.program.output_slots = [node.index for node in output_nodes]
+        return self.program
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _node_of(self, tensor: Tensor) -> TraceNode:
+        node = self.recorder._by_tensor.get(id(tensor))
+        if node is None:
+            raise TraceUnsupported("output tensor was not produced by the traced call")
+        return node
+
+    def _emit(self, step: Callable[[], None]) -> None:
+        self.program.add_step(step)
+
+    def _scratch(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        return self.program.new_buffer(tuple(shape), np.dtype(dtype))
+
+    def _emit_leaf(self, node: TraceNode) -> None:
+        if node.kind == "param":
+            self.program.param_bindings.append((node.index, node.tensor))
+        elif node.kind == "input":
+            self.program.input_bindings.append((node.index, node.input_name))
+        else:  # const
+            self.program.values[node.index] = node.const_value
+
+    def _operand(self, array: np.ndarray):
+        """Bind an op operand array (indices, ...) as an input slot or constant.
+
+        Returns a zero-arg callable producing the operand at replay time.
+        """
+        name = self.recorder.input_slot_name(array)
+        if name is None:
+            return lambda fixed=array: fixed
+        slot = self.program.new_slot()
+        self.program.input_bindings.append((slot, name))
+        values = self.program.values
+        return lambda values=values, slot=slot: values[slot]
+
+    # ------------------------------------------------------------------ #
+    # Forward emission
+    # ------------------------------------------------------------------ #
+    def _out_buffer(self, node: TraceNode, protected: bool) -> np.ndarray:
+        """Allocate (or, in fused chains, re-use the parent's) output buffer."""
+        if (
+            self._forward_only
+            and not protected
+            and node.op in _REUSABLE_ELEMENTWISE
+            and len(node.parents) == 1
+        ):
+            parent = node.parents[0]
+            parent_value = self.program.values[parent.index]
+            if (
+                parent.kind == "op"
+                and parent.index not in self._output_ids
+                and self._children.get(parent.index, 0) == 1
+                and isinstance(parent_value, np.ndarray)
+                and parent_value.shape == node.shape
+                and parent_value.dtype == node.dtype
+                and parent_value.flags.c_contiguous
+            ):
+                return parent_value
+        return self.program.new_buffer(node.shape, node.dtype)
+
+    def _emit_forward(self, node: TraceNode, protected: bool = False) -> None:
+        values = self.program.values
+        op = node.op
+        attrs = node.attrs
+        parent_slots = [parent.index for parent in node.parents]
+
+        # View ops: no buffer, re-derive the view from the parent each call.
+        if op == "transpose":
+            axes = attrs.get("axes")
+            i = parent_slots[0]
+            self._mark_dynamic(node)
+
+            def step(values=values, i=i, o=node.index, axes=axes) -> None:
+                values[o] = np.transpose(values[i], axes)
+
+            self._emit(step)
+            return
+        if op == "reshape":
+            self._emit_reshape(node, parent_slots[0], attrs["shape"])
+            return
+        if op == "getitem" and not _index_has_arrays(attrs["index"]):
+            index = attrs["index"]
+            i = parent_slots[0]
+            self._mark_dynamic(node)
+
+            def step(values=values, i=i, o=node.index, index=index) -> None:
+                values[o] = values[i][index]
+
+            self._emit(step)
+            return
+
+        buf = self._out_buffer(node, protected)
+        values[node.index] = buf
+
+        ew_binary = {"add": np.add, "mul": np.multiply, "div": np.divide}
+        ew_scalar = {
+            "add_scalar": np.add,
+            "sub_scalar": np.subtract,
+            "mul_scalar": np.multiply,
+            "div_scalar": np.divide,
+        }
+        if op in ew_binary:
+            ufunc = ew_binary[op]
+            i, j = parent_slots
+
+            def step(values=values, i=i, j=j, out=buf, ufunc=ufunc) -> None:
+                ufunc(values[i], values[j], out=out)
+
+            self._emit(step)
+        elif op in ew_scalar:
+            ufunc = ew_scalar[op]
+            i = parent_slots[0]
+            scalar = attrs["scalar"]
+
+            def step(values=values, i=i, s=scalar, out=buf, ufunc=ufunc) -> None:
+                ufunc(values[i], s, out=out)
+
+            self._emit(step)
+        elif op in ("rsub_scalar", "rdiv_scalar"):
+            ufunc = np.subtract if op == "rsub_scalar" else np.divide
+            i = parent_slots[0]
+            scalar = attrs["scalar"]
+
+            def step(values=values, i=i, s=scalar, out=buf, ufunc=ufunc) -> None:
+                ufunc(s, values[i], out=out)
+
+            self._emit(step)
+        elif op == "neg":
+            i = parent_slots[0]
+
+            def step(values=values, i=i, out=buf) -> None:
+                np.negative(values[i], out=out)
+
+            self._emit(step)
+        elif op == "pow":
+            i = parent_slots[0]
+            exponent = attrs["exponent"]
+
+            def step(values=values, i=i, e=exponent, out=buf) -> None:
+                np.power(values[i], e, out=out)
+
+            self._emit(step)
+        elif op in ("exp", "log", "tanh"):
+            ufunc = {"exp": np.exp, "log": np.log, "tanh": np.tanh}[op]
+            i = parent_slots[0]
+
+            def step(values=values, i=i, out=buf, ufunc=ufunc) -> None:
+                ufunc(values[i], out=out)
+
+            self._emit(step)
+        elif op == "sigmoid":
+            # Mirrors eager 1.0 / (1.0 + np.exp(-x)) step by step.
+            i = parent_slots[0]
+
+            def step(values=values, i=i, out=buf) -> None:
+                np.negative(values[i], out=out)
+                np.exp(out, out=out)
+                np.add(out, 1.0, out=out)
+                np.divide(1.0, out, out=out)
+
+            self._emit(step)
+        elif op == "relu":
+            i = parent_slots[0]
+            mask = self._scratch(node.shape, np.dtype(bool))
+            self._aux[node.index] = {"mask": mask}
+
+            def step(values=values, i=i, out=buf, mask=mask) -> None:
+                np.greater(values[i], 0, out=mask)
+                np.multiply(values[i], mask, out=out)
+
+            self._emit(step)
+        elif op == "clip":
+            i = parent_slots[0]
+            minimum, maximum = attrs["minimum"], attrs["maximum"]
+            mask = self._scratch(node.shape, np.dtype(bool))
+            mask2 = self._scratch(node.shape, np.dtype(bool))
+            self._aux[node.index] = {"mask": mask}
+
+            def step(
+                values=values, i=i, out=buf, mask=mask, mask2=mask2, lo=minimum, hi=maximum
+            ) -> None:
+                np.greater_equal(values[i], lo, out=mask)
+                np.less_equal(values[i], hi, out=mask2)
+                np.logical_and(mask, mask2, out=mask)
+                np.clip(values[i], lo, hi, out=out)
+
+            self._emit(step)
+        elif op == "matmul":
+            i, j = parent_slots
+            if len(node.shape) == 0:
+
+                def step(values=values, i=i, j=j, out=buf) -> None:
+                    out[...] = values[i] @ values[j]
+
+            else:
+
+                def step(values=values, i=i, j=j, out=buf) -> None:
+                    np.matmul(values[i], values[j], out=out)
+
+            self._emit(step)
+        elif op == "sum":
+            i = parent_slots[0]
+            axis, keepdims = attrs["axis"], attrs["keepdims"]
+
+            def step(values=values, i=i, out=buf, axis=axis, keepdims=keepdims) -> None:
+                np.sum(values[i], axis=axis, keepdims=keepdims, out=out)
+
+            self._emit(step)
+        elif op == "softmax":
+            self._emit_softmax(node, parent_slots[0], buf, log=False)
+        elif op == "log_softmax":
+            self._emit_softmax(node, parent_slots[0], buf, log=True)
+        elif op == "gather_rows":
+            i = parent_slots[0]
+            indices = self._operand(attrs["indices"])
+
+            def step(values=values, i=i, idx=indices, out=buf) -> None:
+                np.take(values[i], idx(), axis=0, out=out)
+
+            self._emit(step)
+        elif op == "getitem":
+            self._emit_getitem_advanced(node, parent_slots[0], buf, attrs["index"])
+        elif op == "concatenate":
+            axis = attrs["axis"]
+            slots = tuple(parent_slots)
+
+            def step(values=values, slots=slots, axis=axis, out=buf) -> None:
+                np.concatenate([values[s] for s in slots], axis=axis, out=out)
+
+            self._emit(step)
+        elif op == "stack":
+            axis = attrs["axis"]
+            slots = tuple(parent_slots)
+            try:
+                np.stack([_dummy(p.shape) for p in node.parents], axis=axis, out=_dummy(node.shape))
+
+                def step(values=values, slots=slots, axis=axis, out=buf) -> None:
+                    np.stack([values[s] for s in slots], axis=axis, out=out)
+
+            except TypeError:  # pragma: no cover - very old numpy without out=
+                program = self.program
+
+                def step(values=values, slots=slots, axis=axis, out=buf, program=program) -> None:
+                    program.allocations += 1
+                    out[...] = np.stack([values[s] for s in slots], axis=axis)
+
+            self._emit(step)
+        else:
+            raise TraceUnsupported(f"no compiled kernel for op {op!r}")
+
+    def _mark_dynamic(self, node: TraceNode) -> None:
+        self.program.values[node.index] = None
+
+    def _emit_reshape(self, node: TraceNode, parent_slot: int, shape: Tuple[int, ...]) -> None:
+        values = self.program.values
+        parent_value = values[parent_slot]
+        self._mark_dynamic(node)
+        if isinstance(parent_value, np.ndarray):
+            # Fixed-parent reshape: decide view vs copy once at build time.
+            view = parent_value.reshape(shape)
+            if np.shares_memory(view, parent_value):
+
+                def step(values=values, o=node.index, view=view) -> None:
+                    values[o] = view
+
+                self._emit(step)
+                return
+            buf = self.program.new_buffer(tuple(shape), node.dtype)
+            dst = buf.reshape(parent_value.shape)
+
+            def step(values=values, o=node.index, dst=dst, src=parent_value, buf=buf) -> None:
+                np.copyto(dst, src)
+                values[o] = buf
+
+            self._emit(step)
+            return
+        program = self.program
+
+        def step(values=values, i=parent_slot, o=node.index, shape=shape, program=program) -> None:
+            reshaped = values[i].reshape(shape)
+            if reshaped.base is None:
+                program.allocations += 1
+            values[o] = reshaped
+
+        self._emit(step)
+
+    def _emit_softmax(self, node: TraceNode, parent_slot: int, buf: np.ndarray, log: bool) -> None:
+        values = self.program.values
+        axis = node.attrs["axis"]
+        reduced_shape = list(node.shape)
+        reduced_shape[axis] = 1
+        reduced = self._scratch(tuple(reduced_shape), node.dtype)
+        if log:
+            exps = self._scratch(node.shape, node.dtype)
+            self._aux[node.index] = {"exps": exps}
+
+            def step(values=values, i=parent_slot, out=buf, red=reduced, exps=exps, axis=axis) -> None:
+                np.amax(values[i], axis=axis, keepdims=True, out=red)
+                np.subtract(values[i], red, out=out)  # shifted
+                np.exp(out, out=exps)
+                np.sum(exps, axis=axis, keepdims=True, out=red)
+                np.log(red, out=red)
+                np.subtract(out, red, out=out)
+
+            self._emit(step)
+        else:
+
+            def step(values=values, i=parent_slot, out=buf, red=reduced, axis=axis) -> None:
+                np.amax(values[i], axis=axis, keepdims=True, out=red)
+                np.subtract(values[i], red, out=out)
+                np.exp(out, out=out)
+                np.sum(out, axis=axis, keepdims=True, out=red)
+                np.divide(out, red, out=out)
+
+            self._emit(step)
+
+    def _emit_getitem_advanced(
+        self, node: TraceNode, parent_slot: int, buf: np.ndarray, index: object
+    ) -> None:
+        values = self.program.values
+        program = self.program
+        parent = node.parents[0]
+        if (
+            isinstance(index, np.ndarray)
+            and index.dtype != np.dtype(bool)
+            and np.issubdtype(index.dtype, np.integer)
+        ):
+            idx = self._operand(index)
+
+            def step(values=values, i=parent_slot, idx=idx, out=buf) -> None:
+                np.take(values[i], idx(), axis=0, out=out)
+
+            self._emit(step)
+            return
+        if (
+            isinstance(index, tuple)
+            and len(index) == 2
+            and len(parent.shape) == 2
+            and all(
+                isinstance(part, np.ndarray) and np.issubdtype(part.dtype, np.integer)
+                for part in index
+            )
+            and index[0].shape == index[1].shape
+        ):
+            # a[rows, cols] on a 2-D array: flatten to one allocation-free take.
+            rows, cols = (self._operand(part) for part in index)
+            columns = parent.shape[1]
+            flat = self._scratch(index[0].shape, np.dtype(np.int64))
+
+            def step(
+                values=values,
+                i=parent_slot,
+                rows=rows,
+                cols=cols,
+                out=buf,
+                flat=flat,
+                c=columns,
+                program=program,
+            ) -> None:
+                base = values[i]
+                row_index, col_index = rows(), cols()
+                # Flattening breaks python-style negative wrapping, and a
+                # non-contiguous base ravels differently — both fall back to
+                # the (allocating) fancy gather, which is always exact.
+                if base.flags.c_contiguous and row_index.min() >= 0 and col_index.min() >= 0:
+                    np.multiply(row_index, c, out=flat)
+                    np.add(flat, col_index, out=flat)
+                    np.take(base.reshape(-1), flat, out=out)
+                else:  # pragma: no cover - cross-entropy indices are non-negative
+                    program.allocations += 1
+                    out[...] = base[row_index, col_index]
+
+            self._emit(step)
+            return
+
+        # Generic fallback: correct for any index expression, but allocates.
+        resolvers = _index_resolvers(index, self._operand)
+
+        def step(values=values, i=parent_slot, out=buf, resolvers=resolvers, program=program) -> None:
+            program.allocations += 1
+            out[...] = values[i][_resolve_index(resolvers)]
+
+        self._emit(step)
+
+    # ------------------------------------------------------------------ #
+    # Backward emission
+    # ------------------------------------------------------------------ #
+    def _emit_backward(self, loss: TraceNode) -> None:
+        if int(np.prod(loss.shape)) != 1:
+            raise TraceUnsupported("compiled backward requires a scalar loss")
+        if not loss.requires_grad:
+            raise TraceUnsupported("loss does not require grad; nothing to differentiate")
+        order = self._toposort(loss)
+        # Contribution counts: one per (child op, requires-grad parent) edge,
+        # exactly matching one eager ``_accumulate`` call per edge.
+        for node in order:
+            if node.kind != "op":
+                continue
+            for parent in node.parents:
+                if parent.requires_grad:
+                    self._contrib_total[parent.index] = (
+                        self._contrib_total.get(parent.index, 0) + 1
+                    )
+        self._allocate_grad_slab(order)
+        self._grad[loss.index] = np.ones(loss.shape, dtype=loss.dtype)
+        for node in reversed(order):
+            if node.kind != "op":
+                continue
+            grad = self._grad.get(node.index)
+            if grad is None:  # pragma: no cover - every ordered op receives grad
+                raise TraceUnsupported(f"no gradient reached traced op {node.op!r}")
+            self._emit_backward_op(node, grad)
+
+    def _toposort(self, root: TraceNode) -> List[TraceNode]:
+        """Depth-first topological order, byte-for-byte the eager algorithm."""
+        order: List[TraceNode] = []
+        visited: set[int] = set()
+        stack = [(root, iter(root.parents))]
+        seen_on_stack = {id(root)}
+        while stack:
+            current, parents = stack[-1]
+            advanced = False
+            for parent in parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    if id(parent) in seen_on_stack:
+                        continue
+                    stack.append((parent, iter(parent.parents)))
+                    seen_on_stack.add(id(parent))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                seen_on_stack.discard(id(current))
+                if id(current) not in visited:
+                    visited.add(id(current))
+                    order.append(current)
+        return order
+
+    def _allocate_grad_slab(self, order: List[TraceNode]) -> None:
+        """Carve parameter gradients out of one contiguous slab per dtype.
+
+        Slab layout follows the declared parameter order so the optimizers can
+        recognise the slab (``Optimizer._gradient_slab``) and run whole-slab
+        element-wise updates.
+        """
+        param_nodes: Dict[int, TraceNode] = {}
+        for node in order:
+            if node.kind == "param" and self._contrib_total.get(node.index, 0) > 0:
+                param_nodes[id(node.tensor)] = node
+        by_dtype: Dict[np.dtype, List[Tensor]] = {}
+        for tensor in self.params:
+            node = param_nodes.get(id(tensor))
+            if node is not None:
+                by_dtype.setdefault(node.dtype, []).append(tensor)
+        for dtype, tensors in by_dtype.items():
+            total = sum(int(np.prod(t.data.shape)) for t in tensors)
+            slab = self.program.new_buffer((total,), dtype)
+            offset = 0
+            for tensor in tensors:
+                count = int(np.prod(tensor.data.shape))
+                view = slab[offset : offset + count].reshape(tensor.data.shape)
+                offset += count
+                node = param_nodes[id(tensor)]
+                self._grad[node.index] = view
+                self.program.grad_bindings.append((tensor, view))
+
+    def _grad_buffer(self, node: TraceNode) -> np.ndarray:
+        buffer = self._grad.get(node.index)
+        if buffer is None:
+            buffer = self._scratch(node.shape, node.dtype)
+            self._grad[node.index] = buffer
+        return buffer
+
+    def _accumulate(self, parent: TraceNode, src: np.ndarray) -> None:
+        """Route one gradient contribution into ``parent``'s gradient storage.
+
+        Mirrors eager ``Tensor._accumulate``: dtype cast, unbroadcast
+        reduction, then copy-on-first / add-on-subsequent — with the copy
+        elided (aliased) when this is the only contribution to a non-parameter
+        node, which changes no values.
+        """
+        if not parent.requires_grad:
+            return
+        src = self._cast_fixed(src, parent.dtype)
+        src = self._unbroadcast_emit(src, parent.shape)
+        seen = self._contrib_seen.get(parent.index, 0)
+        self._contrib_seen[parent.index] = seen + 1
+        if seen == 0:
+            if self._contrib_total.get(parent.index, 0) == 1 and parent.kind != "param":
+                self._grad[parent.index] = src
+                return
+            dst = self._grad_buffer(parent)
+
+            def step(dst=dst, src=src) -> None:
+                np.copyto(dst, src)
+
+            self._emit(step)
+        else:
+            dst = self._grad[parent.index]
+
+            def step(dst=dst, src=src) -> None:
+                np.add(dst, src, out=dst)
+
+            self._emit(step)
+
+    def _cast_fixed(self, src: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        if src.dtype == dtype:
+            return src
+        cast = self._scratch(src.shape, dtype)
+
+        def step(dst=cast, src=src) -> None:
+            np.copyto(dst, src, casting="unsafe")
+
+        self._emit(step)
+        return cast
+
+    def _unbroadcast_emit(self, src: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+        """Emit the eager ``_unbroadcast`` reduction chain over fixed arrays."""
+        shape = tuple(shape)
+        if src.shape == shape:
+            return src
+        current = src
+        while current.ndim > len(shape):
+            reduced = self._scratch(current.shape[1:], current.dtype)
+
+            def step(dst=reduced, src=current) -> None:
+                np.sum(src, axis=0, out=dst)
+
+            self._emit(step)
+            current = reduced
+        for axis, size in enumerate(shape):
+            if size == 1 and current.shape[axis] != 1:
+                kept = list(current.shape)
+                kept[axis] = 1
+                reduced = self._scratch(tuple(kept), current.dtype)
+
+                def step(dst=reduced, src=current, axis=axis) -> None:
+                    np.sum(src, axis=axis, keepdims=True, out=dst)
+
+                self._emit(step)
+                current = reduced
+        return self._reshape_fixed(current, shape)
+
+    def _reshape_fixed(self, array: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+        """Reshape a fixed array; emits a copy step when a view is impossible."""
+        view = array.reshape(shape)
+        if np.shares_memory(view, array):
+            return view
+        buffer = self._scratch(shape, array.dtype)
+        dst = buffer.reshape(array.shape)
+
+        def step(dst=dst, src=array) -> None:
+            np.copyto(dst, src)
+
+        self._emit(step)
+        return buffer
+
+    # -- per-op backward handlers -------------------------------------- #
+    def _emit_backward_op(self, node: TraceNode, grad: np.ndarray) -> None:
+        op = node.op
+        parents = node.parents
+        values = self.program.values
+        attrs = node.attrs
+
+        def fv(parent: TraceNode) -> Callable[[], np.ndarray]:
+            return lambda values=values, i=parent.index: values[i]
+
+        def out_value() -> Callable[[], np.ndarray]:
+            return lambda values=values, i=node.index: values[i]
+
+        def ew_scratch(*operands: Tuple[Tuple[int, ...], np.dtype]) -> np.ndarray:
+            shape = np.broadcast_shapes(*(o[0] for o in operands))
+            dtype = np.result_type(*(o[1] for o in operands))
+            return self._scratch(shape, dtype)
+
+        if op in ("add", "add_scalar", "sub_scalar"):
+            for parent in parents:
+                self._accumulate(parent, grad)
+        elif op in ("neg", "rsub_scalar"):
+            (parent,) = parents
+            if parent.requires_grad:
+                scratch = self._scratch(grad.shape, grad.dtype)
+
+                def step(dst=scratch, g=grad) -> None:
+                    np.negative(g, out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "mul":
+            pa, pb = parents
+            if pa.requires_grad:
+                scratch = ew_scratch((grad.shape, grad.dtype), (pb.shape, pb.dtype))
+
+                def step(dst=scratch, g=grad, other=fv(pb)) -> None:
+                    np.multiply(g, other(), out=dst)
+
+                self._emit(step)
+                self._accumulate(pa, scratch)
+            if pb.requires_grad:
+                scratch = ew_scratch((grad.shape, grad.dtype), (pa.shape, pa.dtype))
+
+                def step(dst=scratch, g=grad, other=fv(pa)) -> None:
+                    np.multiply(g, other(), out=dst)
+
+                self._emit(step)
+                self._accumulate(pb, scratch)
+        elif op == "mul_scalar":
+            (parent,) = parents
+            if parent.requires_grad:
+                scratch = self._scratch(grad.shape, grad.dtype)
+
+                def step(dst=scratch, g=grad, s=attrs["scalar"]) -> None:
+                    np.multiply(g, s, out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "div":
+            pa, pb = parents
+            if pa.requires_grad:
+                scratch = ew_scratch((grad.shape, grad.dtype), (pb.shape, pb.dtype))
+
+                def step(dst=scratch, g=grad, other=fv(pb)) -> None:
+                    np.divide(g, other(), out=dst)
+
+                self._emit(step)
+                self._accumulate(pa, scratch)
+            if pb.requires_grad:
+                # Eager: -grad * a / (b ** 2)
+                numerator = ew_scratch((grad.shape, grad.dtype), (pa.shape, pa.dtype))
+                squared = self._scratch(pb.shape, pb.dtype)
+                result = ew_scratch(
+                    (numerator.shape, numerator.dtype), (squared.shape, squared.dtype)
+                )
+                neg = self._scratch(grad.shape, grad.dtype)
+
+                def step1(dst=neg, g=grad) -> None:
+                    np.negative(g, out=dst)
+
+                def step2(dst=numerator, src=neg, a=fv(pa)) -> None:
+                    np.multiply(src, a(), out=dst)
+
+                def step3(dst=squared, b=fv(pb)) -> None:
+                    np.power(b(), 2, out=dst)
+
+                def step4(dst=result, num=numerator, den=squared) -> None:
+                    np.divide(num, den, out=dst)
+
+                self._emit(step1)
+                self._emit(step2)
+                self._emit(step3)
+                self._emit(step4)
+                self._accumulate(pb, result)
+        elif op == "div_scalar":
+            (parent,) = parents
+            if parent.requires_grad:
+                scratch = self._scratch(grad.shape, grad.dtype)
+
+                def step(dst=scratch, g=grad, s=attrs["scalar"]) -> None:
+                    np.divide(g, s, out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "rdiv_scalar":
+            (parent,) = parents
+            if parent.requires_grad:
+                # Eager: -grad * out_data / x
+                scratch = self._scratch(node.shape, node.dtype)
+
+                def step1(dst=scratch, g=grad) -> None:
+                    np.negative(g, out=dst)
+
+                def step2(dst=scratch, out=out_value()) -> None:
+                    np.multiply(dst, out(), out=dst)
+
+                def step3(dst=scratch, x=fv(parent)) -> None:
+                    np.divide(dst, x(), out=dst)
+
+                self._emit(step1)
+                self._emit(step2)
+                self._emit(step3)
+                self._accumulate(parent, scratch)
+        elif op == "pow":
+            (parent,) = parents
+            if parent.requires_grad:
+                exponent = attrs["exponent"]
+                # Eager: grad * exponent * x ** (exponent - 1)
+                scaled = self._scratch(grad.shape, grad.dtype)
+                powered = self._scratch(parent.shape, parent.dtype)
+                result = ew_scratch((scaled.shape, scaled.dtype), (powered.shape, powered.dtype))
+
+                def step1(dst=scaled, g=grad, e=exponent) -> None:
+                    np.multiply(g, e, out=dst)
+
+                def step2(dst=powered, x=fv(parent), e=exponent) -> None:
+                    np.power(x(), e - 1, out=dst)
+
+                def step3(dst=result, a=scaled, b=powered) -> None:
+                    np.multiply(a, b, out=dst)
+
+                self._emit(step1)
+                self._emit(step2)
+                self._emit(step3)
+                self._accumulate(parent, result)
+        elif op == "matmul":
+            self._emit_backward_matmul(node, grad)
+        elif op == "sum":
+            (parent,) = parents
+            if parent.requires_grad:
+                src = self._cast_fixed(grad, parent.dtype)
+                axis, keepdims = attrs["axis"], attrs["keepdims"]
+                if axis is None:
+                    expanded = np.broadcast_to(src, parent.shape)
+                else:
+                    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                    expanded = src
+                    if not keepdims:
+                        for ax in sorted(a % len(parent.shape) for a in axes):
+                            expanded = np.expand_dims(expanded, ax)
+                    expanded = np.broadcast_to(expanded, parent.shape)
+                self._accumulate(parent, expanded)
+        elif op == "reshape":
+            (parent,) = parents
+            if parent.requires_grad:
+                self._accumulate(parent, self._reshape_fixed(grad, attrs["original_shape"]))
+        elif op == "transpose":
+            (parent,) = parents
+            if parent.requires_grad:
+                axes = attrs.get("axes")
+                if axes is None:
+                    self._accumulate(parent, np.transpose(grad))
+                else:
+                    inverse = np.argsort(axes)
+                    self._accumulate(parent, np.transpose(grad, inverse))
+        elif op in ("getitem", "gather_rows"):
+            self._emit_backward_scatter(node, grad)
+        elif op == "exp":
+            (parent,) = parents
+            if parent.requires_grad:
+                scratch = self._scratch(node.shape, node.dtype)
+
+                def step(dst=scratch, g=grad, out=out_value()) -> None:
+                    np.multiply(g, out(), out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "log":
+            (parent,) = parents
+            if parent.requires_grad:
+                scratch = ew_scratch((grad.shape, grad.dtype), (parent.shape, parent.dtype))
+
+                def step(dst=scratch, g=grad, x=fv(parent)) -> None:
+                    np.divide(g, x(), out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "tanh":
+            (parent,) = parents
+            if parent.requires_grad:
+                # Eager: grad * (1.0 - out ** 2)
+                scratch = self._scratch(node.shape, node.dtype)
+
+                def step(dst=scratch, g=grad, out=out_value()) -> None:
+                    np.power(out(), 2, out=dst)
+                    np.subtract(1.0, dst, out=dst)
+                    np.multiply(g, dst, out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "sigmoid":
+            (parent,) = parents
+            if parent.requires_grad:
+                # Eager: grad * out * (1.0 - out)
+                first = self._scratch(node.shape, node.dtype)
+                second = self._scratch(node.shape, node.dtype)
+
+                def step(a=first, b=second, g=grad, out=out_value()) -> None:
+                    np.multiply(g, out(), out=a)
+                    np.subtract(1.0, out(), out=b)
+                    np.multiply(a, b, out=a)
+
+                self._emit(step)
+                self._accumulate(parent, first)
+        elif op in ("relu", "clip"):
+            (parent,) = parents
+            if parent.requires_grad:
+                mask = self._aux[node.index]["mask"]
+                scratch = self._scratch(node.shape, node.dtype)
+
+                def step(dst=scratch, g=grad, mask=mask) -> None:
+                    np.multiply(g, mask, out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "softmax":
+            (parent,) = parents
+            if parent.requires_grad:
+                axis = attrs["axis"]
+                reduced_shape = list(node.shape)
+                reduced_shape[axis] = 1
+                prod = self._scratch(node.shape, node.dtype)
+                dot = self._scratch(tuple(reduced_shape), node.dtype)
+
+                def step(prod=prod, dot=dot, g=grad, out=out_value(), axis=axis) -> None:
+                    np.multiply(g, out(), out=prod)
+                    np.sum(prod, axis=axis, keepdims=True, out=dot)
+                    np.subtract(g, dot, out=prod)
+                    np.multiply(out(), prod, out=prod)
+
+                self._emit(step)
+                self._accumulate(parent, prod)
+        elif op == "log_softmax":
+            (parent,) = parents
+            if parent.requires_grad:
+                axis = attrs["axis"]
+                exps = self._aux[node.index]["exps"]
+                reduced_shape = list(node.shape)
+                reduced_shape[axis] = 1
+                gsum = self._scratch(tuple(reduced_shape), node.dtype)
+                scratch = self._scratch(node.shape, node.dtype)
+
+                def step(
+                    dst=scratch, gsum=gsum, g=grad, out=out_value(), exps=exps, axis=axis
+                ) -> None:
+                    np.exp(out(), out=exps)  # lazy softmax, exactly eager's np.exp(out_data)
+                    np.sum(g, axis=axis, keepdims=True, out=gsum)
+                    np.multiply(exps, gsum, out=dst)
+                    np.subtract(g, dst, out=dst)
+
+                self._emit(step)
+                self._accumulate(parent, scratch)
+        elif op == "concatenate":
+            axis = attrs["axis"]
+            sizes = [parent.shape[axis] for parent in parents]
+            offsets = np.cumsum([0] + sizes)
+            for parent, start, stop in zip(parents, offsets[:-1], offsets[1:]):
+                if not parent.requires_grad:
+                    continue
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                self._accumulate(parent, grad[tuple(slicer)])
+        elif op == "stack":
+            axis = attrs["axis"]
+            pieces = np.split(grad, len(parents), axis=axis)
+            for parent, piece in zip(parents, pieces):
+                if parent.requires_grad:
+                    self._accumulate(parent, np.squeeze(piece, axis=axis))
+        else:
+            raise TraceUnsupported(f"no compiled backward for op {op!r}")
+
+    def _emit_backward_matmul(self, node: TraceNode, grad: np.ndarray) -> None:
+        pa, pb = node.parents
+        values = self.program.values
+        a_ndim, b_ndim = len(pa.shape), len(pb.shape)
+
+        def fv(parent: TraceNode) -> Callable[[], np.ndarray]:
+            return lambda values=values, i=parent.index: values[i]
+
+        if a_ndim == 1 and b_ndim == 1:
+            if pa.requires_grad:
+                scratch = self._scratch(pb.shape, np.result_type(grad.dtype, pb.dtype))
+
+                def step(dst=scratch, g=grad, b=fv(pb)) -> None:
+                    np.multiply(g, b(), out=dst)
+
+                self._emit(step)
+                self._accumulate(pa, scratch)
+            if pb.requires_grad:
+                scratch = self._scratch(pa.shape, np.result_type(grad.dtype, pa.dtype))
+
+                def step(dst=scratch, g=grad, a=fv(pa)) -> None:
+                    np.multiply(g, a(), out=dst)
+
+                self._emit(step)
+                self._accumulate(pb, scratch)
+            return
+        if a_ndim == 1:
+            grad2 = np.expand_dims(grad, axis=-2)
+            swapped_b = tuple(pb.shape[:-2]) + (pb.shape[-1], pb.shape[-2])
+            if pa.requires_grad:
+                # Eager: (grad2 @ swapaxes(b, -1, -2)).reshape(-1, len_a).sum(axis=0)
+                product = self._scratch(
+                    _matmul_shape(grad2.shape, swapped_b), np.result_type(grad.dtype, pb.dtype)
+                )
+
+                def step(dst=product, g2=grad2, b=fv(pb)) -> None:
+                    np.matmul(g2, np.swapaxes(b(), -1, -2), out=dst)
+
+                self._emit(step)
+                flat = self._reshape_fixed(
+                    product, (int(np.prod(product.shape) // pa.shape[0]), pa.shape[0])
+                )
+                summed = self._scratch((pa.shape[0],), product.dtype)
+
+                def step2(dst=summed, src=flat) -> None:
+                    np.sum(src, axis=0, out=dst)
+
+                self._emit(step2)
+                self._accumulate(pa, summed)
+            if pb.requires_grad:
+                # Eager: _unbroadcast(swapaxes(a2, -1, -2) @ grad2, b.shape)
+                product = self._scratch(
+                    _matmul_shape((pa.shape[0], 1), grad2.shape), np.result_type(grad.dtype, pa.dtype)
+                )
+
+                def step(dst=product, g2=grad2, a=fv(pa)) -> None:
+                    a2 = a().reshape(1, -1)
+                    np.matmul(np.swapaxes(a2, -1, -2), g2, out=dst)
+
+                self._emit(step)
+                self._accumulate(pb, product)
+            return
+        if b_ndim == 1:
+            grad2 = np.expand_dims(grad, axis=-1)
+            if pa.requires_grad:
+                # Eager: _unbroadcast(grad2 @ b2.T, a.shape)
+                product = self._scratch(
+                    _matmul_shape(grad2.shape, (1, pb.shape[0])), np.result_type(grad.dtype, pb.dtype)
+                )
+
+                def step(dst=product, g2=grad2, b=fv(pb)) -> None:
+                    np.matmul(g2, b().reshape(-1, 1).T, out=dst)
+
+                self._emit(step)
+                self._accumulate(pa, product)
+            if pb.requires_grad:
+                dtype = np.result_type(grad.dtype, pa.dtype)
+                if a_ndim > 2:
+                    # Eager: (swapaxes(a, -1, -2) @ grad2).reshape(-1, len_b).sum(axis=0)
+                    swapped_a = tuple(pa.shape[:-2]) + (pa.shape[-1], pa.shape[-2])
+                    product = self._scratch(_matmul_shape(swapped_a, grad2.shape), dtype)
+
+                    def step(dst=product, g2=grad2, a=fv(pa)) -> None:
+                        np.matmul(np.swapaxes(a(), -1, -2), g2, out=dst)
+
+                    self._emit(step)
+                    flat = self._reshape_fixed(
+                        product, (int(np.prod(product.shape) // pb.shape[0]), pb.shape[0])
+                    )
+                    summed = self._scratch((pb.shape[0],), dtype)
+
+                    def step2(dst=summed, src=flat) -> None:
+                        np.sum(src, axis=0, out=dst)
+
+                    self._emit(step2)
+                    self._accumulate(pb, summed)
+                else:
+                    # Eager: (a.T @ grad2).reshape(b.shape)
+                    product = self._scratch(
+                        _matmul_shape((pa.shape[1], pa.shape[0]), grad2.shape), dtype
+                    )
+
+                    def step(dst=product, g2=grad2, a=fv(pa)) -> None:
+                        np.matmul(a().T, g2, out=dst)
+
+                    self._emit(step)
+                    self._accumulate(pb, self._reshape_fixed(product, pb.shape))
+            return
+        # General case: both operands >= 2-D.
+        if pa.requires_grad:
+            swapped_b = tuple(pb.shape[:-2]) + (pb.shape[-1], pb.shape[-2])
+            product = self._scratch(
+                _matmul_shape(grad.shape, swapped_b), np.result_type(grad.dtype, pb.dtype)
+            )
+
+            def step(dst=product, g=grad, b=fv(pb)) -> None:
+                np.matmul(g, np.swapaxes(b(), -1, -2), out=dst)
+
+            self._emit(step)
+            self._accumulate(pa, self._unbroadcast_emit(product, pa.shape))
+        if pb.requires_grad:
+            swapped_a = tuple(pa.shape[:-2]) + (pa.shape[-1], pa.shape[-2])
+            product = self._scratch(
+                _matmul_shape(swapped_a, grad.shape), np.result_type(grad.dtype, pa.dtype)
+            )
+
+            def step(dst=product, g=grad, a=fv(pa)) -> None:
+                np.matmul(np.swapaxes(a(), -1, -2), g, out=dst)
+
+            self._emit(step)
+            self._accumulate(pb, self._unbroadcast_emit(product, pb.shape))
+
+    def _emit_backward_scatter(self, node: TraceNode, grad: np.ndarray) -> None:
+        """getitem / gather_rows backward: zeroed full buffer + ``np.add.at``."""
+        (parent,) = node.parents
+        if not parent.requires_grad:
+            return
+        full = self._scratch(parent.shape, parent.dtype)
+        if node.op == "gather_rows":
+            indices = self._operand(node.attrs["indices"])
+            width = parent.shape[-1]
+            grad2 = self._reshape_fixed(grad, (int(np.prod(grad.shape) // width), width))
+
+            def step(full=full, idx=indices, g2=grad2) -> None:
+                np.copyto(full, 0.0)
+                np.add.at(full, idx().reshape(-1), g2)
+
+            self._emit(step)
+        else:
+            resolvers = _index_resolvers(node.attrs["index"], self._operand)
+
+            def step(full=full, resolvers=resolvers, g=grad) -> None:
+                np.copyto(full, 0.0)
+                np.add.at(full, _resolve_index(resolvers), g)
+
+            self._emit(step)
+        self._accumulate(parent, full)
+
+
+# ---------------------------------------------------------------------- #
+# Index plumbing shared by getitem forward/backward
+# ---------------------------------------------------------------------- #
+def _index_has_arrays(index: object) -> bool:
+    if isinstance(index, np.ndarray):
+        return True
+    if isinstance(index, tuple):
+        return any(isinstance(part, np.ndarray) for part in index)
+    return False
+
+
+def _index_resolvers(index: object, operand) -> Tuple[bool, object]:
+    """Precompile an index expression into per-call resolvable parts."""
+    if isinstance(index, tuple):
+        parts = tuple(
+            operand(part) if isinstance(part, np.ndarray) else (lambda fixed=part: fixed)
+            for part in index
+        )
+        return (True, parts)
+    if isinstance(index, np.ndarray):
+        return (False, operand(index))
+    return (False, lambda fixed=index: fixed)
+
+
+def _resolve_index(resolvers: Tuple[bool, object]):
+    is_tuple, parts = resolvers
+    if is_tuple:
+        return tuple(part() for part in parts)
+    return parts()
+
+
+def build_program(
+    recorder: TraceRecorder,
+    output_tensors: Sequence[Tensor],
+    params: Sequence[Tensor],
+    loss_tensor: Optional[Tensor] = None,
+) -> Program:
+    """Compile ``recorder``'s tape into a program returning ``output_tensors``.
+
+    When ``loss_tensor`` is given the program also contains the full backward
+    pass from it, publishing parameter gradients as slab views.
+    """
+    unused = recorder.unused_inputs()
+    if unused:
+        raise TraceUnsupported(
+            f"declared inputs {sorted(unused)} never reached the graph; "
+            "their content would be baked in as constants"
+        )
+    return GraphBuilder(recorder, params).build(output_tensors, loss_tensor)

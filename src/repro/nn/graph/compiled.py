@@ -1,0 +1,305 @@
+"""User-facing graph-capture entry points: compiled modules and train steps.
+
+Both wrappers share the same lifecycle:
+
+1. **Trace** — the first call with a given input signature (shapes/dtypes/
+   static arguments) runs eagerly with the tape recorder installed, so the
+   caller gets the exact eager result while the tape is captured.
+2. **Verify** — the freshly built program replays the same inputs once and
+   every output (and, for train steps, every parameter gradient) is compared
+   *bitwise* against the eager result.  Any difference permanently disables
+   capture for the wrapped callable — fallback is always silent and safe.
+3. **Replay** — subsequent calls with a known signature execute the flat
+   program: no tape, no closures, no per-step allocations.
+
+A shape change simply traces a new program (signatures are cached LRU up to
+``max_programs``); an unsupported construct (data-dependent numpy values such
+as attention mask fills or dropout masks, exotic ops) marks the wrapper
+eager-only.  The runtime can be disabled globally with ``REPRO_GRAPH=0`` or
+:func:`configure`.
+
+Contract for traced callables: an aborted trace re-runs the callable eagerly,
+so forwards must be side-effect free up to their first
+:func:`~repro.nn.tensor.note_data_dependent` flag — in particular, any
+consumption of random state must happen *after* the flag (see ``Dropout``),
+otherwise the fallback re-run would shift the stream.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.graph.builder import build_program
+from repro.nn.graph.program import Program
+from repro.nn.graph.recorder import TraceRecorder, TraceUnsupported
+from repro.nn.tensor import Tensor, is_grad_enabled, set_trace_recorder
+
+_ENABLED = os.environ.get("REPRO_GRAPH", "1").strip().lower() not in ("0", "false", "off", "no")
+
+
+def is_enabled() -> bool:
+    """Whether graph capture is globally enabled (env ``REPRO_GRAPH``)."""
+    return _ENABLED
+
+
+def configure(enabled: Optional[bool] = None) -> bool:
+    """Enable/disable the graph runtime at run time; returns the current state."""
+    global _ENABLED
+    if enabled is not None:
+        _ENABLED = bool(enabled)
+    return _ENABLED
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.shape == b.shape and a.dtype == b.dtype and np.array_equal(a, b, equal_nan=True)
+
+
+class _TracedCall:
+    """Run a callable under a fresh recorder, restoring the previous one."""
+
+    def __init__(self, inputs: Dict[str, np.ndarray], params: Sequence[Tensor]) -> None:
+        self.recorder = TraceRecorder(inputs=inputs, params=list(params))
+
+    def __enter__(self) -> TraceRecorder:
+        self._previous = set_trace_recorder(self.recorder)
+        return self.recorder
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_trace_recorder(self._previous)
+
+
+class CompiledModule:
+    """Signature-keyed graph capture for a module's *inference* forward pass.
+
+    Obtained via :meth:`repro.nn.module.Module.compile`.  Calls replay a
+    captured program only when no autograd tape could be needed (the module is
+    in ``eval()`` mode or gradients are globally disabled); a training-mode
+    call under an active tape always runs eagerly, so compiled modules can be
+    dropped into existing code without changing autograd semantics.
+
+    Returned tensors view the program's persistent buffers: consume or copy
+    them before the next call.
+    """
+
+    def __init__(self, module, max_programs: int = 32, verify: bool = True) -> None:
+        self.module = module
+        self.max_programs = max_programs
+        self.verify = verify
+        self._programs: "OrderedDict[tuple, Tuple[Program, bool]]" = OrderedDict()
+        self._unsupported = False
+        # Parameter list cached once: programs bind these tensor objects, so
+        # modules must not gain/lose parameters after compilation (they never
+        # do in this codebase).  Dtypes are read per call for the signature —
+        # ``to_dtype`` flips them in place and must key a fresh program.
+        self._params = module.parameters()
+        self.traces = 0
+        self.replays = 0
+        self.fallbacks = 0
+
+    def _param_dtypes(self) -> tuple:
+        return tuple(parameter.data.dtype.str for parameter in self._params)
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, *args, **kwargs):
+        module = self.module
+        if not _ENABLED or self._unsupported or (module.training and is_grad_enabled()):
+            self.fallbacks += 1
+            return module(*args, **kwargs)
+        arrays: Dict[str, np.ndarray] = {}
+        key_parts: List[object] = [bool(module.training), self._param_dtypes()]
+        items: Iterable[Tuple[str, object]] = [
+            (f"arg{position}", value) for position, value in enumerate(args)
+        ] + sorted(kwargs.items())
+        for name, value in items:
+            if isinstance(value, Tensor):
+                if value.requires_grad:
+                    self.fallbacks += 1
+                    return module(*args, **kwargs)
+                arrays[name] = value.data
+                key_parts.append((name, "tensor", value.data.shape, value.data.dtype.str))
+            elif isinstance(value, np.ndarray):
+                arrays[name] = value
+                key_parts.append((name, "array", value.shape, value.dtype.str))
+            else:
+                key_parts.append((name, "static", repr(value)))
+        key = tuple(key_parts)
+        entry = self._programs.get(key)
+        if entry is not None:
+            self._programs.move_to_end(key)
+            program, is_tuple = entry
+            outputs = [Tensor(array) for array in program.run(arrays)]
+            self.replays += 1
+            return tuple(outputs) if is_tuple else outputs[0]
+        return self._trace(key, arrays, args, kwargs)
+
+    def _trace(self, key: tuple, arrays: Dict[str, np.ndarray], args, kwargs):
+        module = self.module
+        self.traces += 1
+        try:
+            with _TracedCall(arrays, self._params) as recorder:
+                eager = module(*args, **kwargs)
+        except TraceUnsupported:
+            # The forward aborted mid-flight (data-dependent value): re-run
+            # eagerly.  Safe because flags fire before any state consumption.
+            self._unsupported = True
+            self.fallbacks += 1
+            return module(*args, **kwargs)
+        is_tuple = isinstance(eager, tuple)
+        outputs = list(eager) if is_tuple else [eager]
+        try:
+            program = build_program(recorder, outputs, self._params)
+        except TraceUnsupported:
+            # The forward completed; only the compilation failed — the eager
+            # result is complete and correct, no need to run anything twice.
+            self._unsupported = True
+            self.fallbacks += 1
+            return eager
+        if self.verify:
+            replayed = program.run(arrays)
+            if not all(
+                _bitwise_equal(out.data, replay) for out, replay in zip(outputs, replayed)
+            ):  # pragma: no cover - defence in depth; kernels are pinned by tests
+                self._unsupported = True
+                self.fallbacks += 1
+                return module(*args, **kwargs)
+        while len(self._programs) >= self.max_programs:
+            self._programs.popitem(last=False)
+        self._programs[key] = (program, is_tuple)
+        return eager
+
+    # ------------------------------------------------------------------ #
+    @property
+    def program_count(self) -> int:
+        """Number of cached per-signature programs."""
+        return len(self._programs)
+
+    @property
+    def supported(self) -> bool:
+        """False once a trace hit an unsupported construct (eager-only)."""
+        return not self._unsupported
+
+    def programs(self) -> List[Program]:
+        """The cached programs (for tests and diagnostics)."""
+        return [program for program, _ in self._programs.values()]
+
+
+class CompiledTrainStep:
+    """Graph capture of one full training step: forward, loss **and** backward.
+
+    ``fn(**arrays)`` must build the loss (first output) and any auxiliary
+    tensors (e.g. logits) from the declared input arrays and the given
+    parameters; ``None``-valued inputs are simply omitted (their presence is
+    part of the signature).  Each call — traced, replayed, or fallen back —
+    leaves every parameter's ``.grad`` holding exactly what eager
+    ``loss.backward()`` after ``zero_grad()`` would have produced, so callers
+    keep their optimizer logic unchanged.
+
+    Replayed gradients live in one contiguous slab per dtype, which
+    :class:`repro.nn.optim.Optimizer` detects to run whole-slab updates.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Tuple[Tensor, ...]],
+        params: Sequence[Tensor],
+        max_programs: int = 16,
+        verify: bool = True,
+    ) -> None:
+        self.fn = fn
+        self.params = list(params)
+        self.max_programs = max_programs
+        self.verify = verify
+        self._programs: "OrderedDict[tuple, Program]" = OrderedDict()
+        self._unsupported = False
+        self.traces = 0
+        self.replays = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, **arrays: Optional[np.ndarray]) -> Tuple[Tensor, ...]:
+        for parameter in self.params:
+            parameter.grad = None
+        present = {name: value for name, value in arrays.items() if value is not None}
+        if not _ENABLED or self._unsupported:
+            self.fallbacks += 1
+            return self._eager(present)
+        key = tuple(
+            (name, present[name].shape, present[name].dtype.str) if name in present else (name,)
+            for name in sorted(arrays)
+        ) + (tuple(parameter.data.dtype.str for parameter in self.params),)
+        program = self._programs.get(key)
+        if program is not None:
+            self._programs.move_to_end(key)
+            outputs = program.run(present)
+            program.publish_gradients()
+            self.replays += 1
+            return tuple(Tensor(array) for array in outputs)
+        return self._trace(key, present)
+
+    def _eager(self, present: Dict[str, np.ndarray]) -> Tuple[Tensor, ...]:
+        outputs = self.fn(**present)
+        outputs = outputs if isinstance(outputs, tuple) else (outputs,)
+        outputs[0].backward()
+        return outputs
+
+    def _trace(self, key: tuple, present: Dict[str, np.ndarray]) -> Tuple[Tensor, ...]:
+        self.traces += 1
+        try:
+            with _TracedCall(present, self.params) as recorder:
+                outputs = self.fn(**present)
+            outputs = outputs if isinstance(outputs, tuple) else (outputs,)
+            outputs[0].backward()
+            program = build_program(recorder, outputs, self.params, loss_tensor=outputs[0])
+        except TraceUnsupported:
+            self._unsupported = True
+            self.fallbacks += 1
+            if "outputs" in locals() and isinstance(outputs, tuple) and outputs[0].grad is not None:
+                # fn traced fine but the build failed after the eager backward
+                # already ran: the eager results are complete and correct.
+                return outputs
+            return self._eager(present)
+        if self.verify and not self._verify(program, present, outputs):
+            self._unsupported = True  # pragma: no cover - defence in depth
+            return outputs
+        while len(self._programs) >= self.max_programs:
+            self._programs.popitem(last=False)
+        self._programs[key] = program
+        return outputs
+
+    def _verify(
+        self, program: Program, present: Dict[str, np.ndarray], outputs: Tuple[Tensor, ...]
+    ) -> bool:
+        """Replay once and require bitwise-equal outputs and gradients."""
+        eager_grads = [parameter.grad for parameter in self.params]
+        replayed = program.run(present)
+        ok = all(_bitwise_equal(out.data, replay) for out, replay in zip(outputs, replayed))
+        slab_grads = {id(tensor): grad for tensor, grad in program.grad_bindings}
+        for parameter, eager_grad in zip(self.params, eager_grads):
+            slab_grad = slab_grads.get(id(parameter))
+            if (eager_grad is None) != (slab_grad is None):
+                ok = False
+            elif eager_grad is not None and not _bitwise_equal(eager_grad, slab_grad):
+                ok = False
+        # The eager gradients stay bound on the parameters either way.
+        for parameter, eager_grad in zip(self.params, eager_grads):
+            parameter.grad = eager_grad
+        return ok
+
+    # ------------------------------------------------------------------ #
+    @property
+    def supported(self) -> bool:
+        """False once a trace hit an unsupported construct (eager-only)."""
+        return not self._unsupported
+
+    @property
+    def program_count(self) -> int:
+        """Number of cached per-signature programs."""
+        return len(self._programs)
+
+    def programs(self) -> List[Program]:
+        """The cached programs (for tests and diagnostics)."""
+        return list(self._programs.values())

@@ -1,0 +1,103 @@
+"""Flat replayable programs: preallocated buffers + a list of numpy kernels.
+
+A :class:`Program` is what the :mod:`~repro.nn.graph.builder` produces from a
+recorded tape: a ``values`` table (one entry per traced node, plus operand
+slots), a list of zero-argument step closures that execute the captured
+computation with ``out=`` numpy kernels into persistent buffers, and binding
+tables describing which ``values`` entries must be refreshed per call
+(parameters from ``tensor.data``, inputs from the call arguments).
+
+Replay therefore allocates no per-step intermediate arrays on the steady-state
+path; the few kernels that have no allocation-free numpy spelling (exotic
+fancy indexing, reshapes of oddly-strided inputs) increment
+:attr:`Program.allocations` so tests — and the perf harness — can assert the
+hot paths stay clean.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Program:
+    """A compiled forward(+backward) execution plan over persistent buffers."""
+
+    def __init__(self) -> None:
+        #: Runtime value table, one entry per slot; leaf slots are re-bound per
+        #: call, op slots point at preallocated buffers (or views thereof).
+        self.values: List[Optional[np.ndarray]] = []
+        #: Zero-arg closures executed in order; each runs one (or one fused
+        #: chain of) numpy kernels.
+        self.steps: List[Callable[[], None]] = []
+        #: ``(slot, tensor)`` pairs re-bound from ``tensor.data`` every call.
+        self.param_bindings: List[Tuple[int, Tensor]] = []
+        #: ``(slot, input_name)`` pairs filled from the call arguments.
+        self.input_bindings: List[Tuple[int, str]] = []
+        #: Slots whose values are returned (in traced-output order).
+        self.output_slots: List[int] = []
+        #: ``(parameter_tensor, grad_array)`` pairs published after backward.
+        self.grad_bindings: List[Tuple[Tensor, np.ndarray]] = []
+        #: Preallocated output/scratch buffers (for introspection/tests).
+        self.buffers: List[np.ndarray] = []
+        #: Number of per-call array allocations performed by fallback kernels.
+        self.allocations = 0
+        #: Number of completed replays.
+        self.replays = 0
+
+    # ------------------------------------------------------------------ #
+    # Build-time helpers
+    # ------------------------------------------------------------------ #
+    def new_slot(self, value: Optional[np.ndarray] = None) -> int:
+        """Append a slot (optionally pre-bound to a fixed array)."""
+        self.values.append(value)
+        return len(self.values) - 1
+
+    def new_buffer(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Allocate a persistent output/scratch buffer."""
+        buffer = np.empty(shape, dtype=dtype)
+        self.buffers.append(buffer)
+        return buffer
+
+    def add_step(self, step: Callable[[], None]) -> None:
+        self.steps.append(step)
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Total bytes held by the program's persistent buffers."""
+        return sum(buffer.nbytes for buffer in self.buffers)
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def run(self, inputs: Optional[Dict[str, np.ndarray]] = None) -> List[np.ndarray]:
+        """Execute all steps and return the arrays bound to the output slots.
+
+        The returned arrays (and any published gradients) are the program's
+        persistent buffers: they are overwritten by the next replay, so
+        callers must consume or copy them before calling again.
+        """
+        values = self.values
+        for slot, tensor in self.param_bindings:
+            values[slot] = tensor.data
+        if inputs is not None:
+            for slot, name in self.input_bindings:
+                values[slot] = inputs[name]
+        for step in self.steps:
+            step()
+        self.replays += 1
+        return [values[slot] for slot in self.output_slots]
+
+    def publish_gradients(self) -> None:
+        """Point each parameter's ``.grad`` at its slab view for this replay."""
+        for tensor, grad in self.grad_bindings:
+            tensor.grad = grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program(steps={len(self.steps)}, buffers={len(self.buffers)}, "
+            f"replays={self.replays}, allocations={self.allocations})"
+        )

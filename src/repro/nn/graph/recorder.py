@@ -1,0 +1,181 @@
+"""Tape capture for the graph runtime: one eager run recorded as flat nodes.
+
+A :class:`TraceRecorder` hooks into :mod:`repro.nn.tensor` (via
+``set_trace_recorder``) and receives every tensor operation as it executes
+eagerly.  The result is a list of :class:`TraceNode` records in execution
+order — already a valid topological order of the dataflow graph — that the
+builder compiles into a replayable :class:`~repro.nn.graph.program.Program`.
+
+Leaves (tensors that enter the graph without being produced by a recorded op)
+are classified at record time:
+
+``param``
+    A tensor that requires grad (module parameters).  Replay re-binds the
+    slot from ``tensor.data`` on every call, so optimizer updates,
+    ``load_state_dict`` and ``to_dtype`` are all picked up.
+``input``
+    An array the caller declared as varying per call (matched by the identity
+    of the underlying buffer).  Replay fills these from the call arguments.
+``const``
+    Anything else — assumed call-invariant and captured by reference.
+    Call sites that feed *content-derived* numpy values into the tape
+    (attention mask fills, dropout masks) flag them via
+    :func:`repro.nn.tensor.note_data_dependent`, which aborts the trace with
+    :class:`TraceUnsupported` so the caller falls back to eager execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class TraceUnsupported(Exception):
+    """Raised when a trace cannot be soundly captured; callers fall back to eager."""
+
+
+class TraceNode:
+    """One recorded tensor (leaf or op output) of a captured execution."""
+
+    __slots__ = (
+        "index",
+        "op",
+        "parents",
+        "attrs",
+        "shape",
+        "dtype",
+        "requires_grad",
+        "kind",
+        "input_name",
+        "const_value",
+        "tensor",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        op: Optional[str],
+        parents: Tuple["TraceNode", ...],
+        attrs: Optional[dict],
+        tensor: Tensor,
+        kind: str = "op",
+    ) -> None:
+        self.index = index
+        self.op = op
+        self.parents = parents
+        self.attrs = attrs or {}
+        self.shape = tensor.data.shape
+        self.dtype = tensor.data.dtype
+        self.requires_grad = tensor.requires_grad
+        self.kind = kind  # "op" | "param" | "input" | "const"
+        self.input_name: Optional[str] = None
+        self.const_value: Optional[np.ndarray] = None
+        # Strong reference: keeps ids stable for the duration of the trace and
+        # lets the builder bind param slots to the live tensor object.
+        self.tensor = tensor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceNode({self.index}, {self.kind}:{self.op}, shape={self.shape})"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceNode` records while installed as the active trace.
+
+    Parameters
+    ----------
+    inputs:
+        Mapping of input name to the exact array object the traced callable
+        will consume.  Arrays are matched by buffer identity, so the traced
+        code must use these objects directly (the integration points
+        canonicalize dtype/shape before declaring them).
+    params:
+        Tensors whose values persist across calls (module parameters).
+    """
+
+    def __init__(
+        self,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        params: Optional[List[Tensor]] = None,
+    ) -> None:
+        self.nodes: List[TraceNode] = []
+        self._by_tensor: Dict[int, TraceNode] = {}
+        self._input_by_data: Dict[int, str] = {}
+        self._inputs: Dict[str, np.ndarray] = dict(inputs or {})
+        for name, array in self._inputs.items():
+            self._input_by_data[id(array)] = name
+        self._param_ids = {id(p) for p in (params or [])}
+        self.used_inputs: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Hooks called from repro.nn.tensor
+    # ------------------------------------------------------------------ #
+    def record_op(
+        self,
+        op: Optional[str],
+        parents: Tuple[Tensor, ...],
+        out: Tensor,
+        attrs: Optional[dict],
+    ) -> None:
+        if op is None:
+            raise TraceUnsupported("tensor op executed without trace metadata")
+        parent_nodes = tuple(self._node_for(parent) for parent in parents)
+        node = TraceNode(len(self.nodes), op, parent_nodes, attrs, out)
+        self.nodes.append(node)
+        self._by_tensor[id(out)] = node
+        if attrs:
+            for value in attrs.values():
+                self._classify_operand(value)
+
+    def check_data_dependent(self, array: np.ndarray) -> None:
+        raise TraceUnsupported(
+            "forward pass feeds input-derived numpy data into the graph "
+            "(mask, sampled noise, ...); this module cannot be captured"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Node lookup / leaf classification
+    # ------------------------------------------------------------------ #
+    def _node_for(self, tensor: Tensor) -> TraceNode:
+        node = self._by_tensor.get(id(tensor))
+        if node is not None:
+            return node
+        node = TraceNode(len(self.nodes), None, (), None, tensor, kind="const")
+        if id(tensor) in self._param_ids or tensor.requires_grad:
+            node.kind = "param"
+        else:
+            name = self._input_by_data.get(id(tensor.data))
+            if name is not None:
+                node.kind = "input"
+                node.input_name = name
+                self.used_inputs.add(name)
+            else:
+                node.const_value = tensor.data
+        self.nodes.append(node)
+        self._by_tensor[id(tensor)] = node
+        return node
+
+    def _classify_operand(self, value: object) -> None:
+        """Mark inputs referenced through op attrs (e.g. gather indices) as used."""
+        if isinstance(value, np.ndarray):
+            name = self._input_by_data.get(id(value))
+            if name is not None:
+                self.used_inputs.add(name)
+        elif isinstance(value, tuple):
+            for item in value:
+                self._classify_operand(item)
+
+    def input_slot_name(self, array: np.ndarray) -> Optional[str]:
+        """Name of the declared input backing ``array``, if any."""
+        return self._input_by_data.get(id(array))
+
+    def unused_inputs(self) -> set[str]:
+        """Declared inputs the trace never consumed.
+
+        A non-empty result means per-call data leaked into the program as a
+        captured constant (e.g. the caller copied an input before use), so
+        replay would be unsound; callers treat this as :class:`TraceUnsupported`.
+        """
+        return set(self._inputs) - self.used_inputs

@@ -9,7 +9,7 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.nn import init
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, note_data_dependent
 from repro.utils.rng import SeedLike, new_rng, spawn_rng
 
 
@@ -121,6 +121,11 @@ class Dropout(Module):
         if not self.training or self.rate == 0.0:
             return inputs
         keep = 1.0 - self.rate
+        # Freshly sampled per call: graph capture must not replay one mask.
+        # Abort any active capture BEFORE touching the rng — a trace that dies
+        # here is re-run eagerly, and that re-run must draw exactly the mask
+        # an uncaptured call would have drawn (the stream must not shift).
+        note_data_dependent(inputs.data)
         mask = self._rng.random(inputs.shape) < keep
         return inputs * Tensor((mask / keep).astype(inputs.data.dtype, copy=False))
 

@@ -19,6 +19,50 @@ def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     return (difference * difference).mean()
 
 
+def cross_entropy_parts(
+    targets: np.ndarray, ignore_index: Optional[int] = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-batch index/weight arrays of the cross-entropy gather.
+
+    Returns ``(rows, safe_targets, weights)`` — the plain-numpy values
+    :func:`cross_entropy_loss` derives from the integer targets.  Splitting
+    them out lets the graph runtime declare them as per-call inputs of a
+    compiled training step (they change with every batch) while the tensor
+    arithmetic in :func:`cross_entropy_from_parts` is traced once.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not np.any(keep):
+            raise ValueError("all targets are ignore_index; loss undefined")
+    else:
+        keep = np.ones_like(flat_targets, dtype=bool)
+    rows = np.arange(flat_targets.shape[0])
+    safe_targets = np.where(keep, flat_targets, 0)
+    weights = keep.astype(np.float64) / keep.sum()
+    return rows, safe_targets, weights
+
+
+def cross_entropy_from_parts(
+    logits: Tensor,
+    rows: np.ndarray,
+    safe_targets: np.ndarray,
+    weights: np.ndarray,
+) -> Tensor:
+    """Tensor half of the cross entropy, fed by :func:`cross_entropy_parts`.
+
+    Identical op sequence (reshape → log-softmax → gather → weighted sum) to
+    the historical inline implementation, so losses and gradients are
+    bit-identical however the two halves are combined.
+    """
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    log_probs = flat_logits.log_softmax(axis=-1)
+    picked = log_probs[rows, safe_targets]
+    return -(picked * Tensor(weights)).sum()
+
+
 def cross_entropy_loss(
     logits: Tensor,
     targets: np.ndarray,
@@ -35,23 +79,8 @@ def cross_entropy_loss(
         raise ShapeError(
             f"logits batch shape {logits.shape[:-1]} does not match targets shape {targets.shape}"
         )
-    num_classes = logits.shape[-1]
-    flat_logits = logits.reshape(-1, num_classes)
-    flat_targets = targets.reshape(-1)
-
-    if ignore_index is not None:
-        keep = flat_targets != ignore_index
-        if not np.any(keep):
-            raise ValueError("all targets are ignore_index; loss undefined")
-    else:
-        keep = np.ones_like(flat_targets, dtype=bool)
-
-    log_probs = flat_logits.log_softmax(axis=-1)
-    rows = np.arange(flat_targets.shape[0])
-    safe_targets = np.where(keep, flat_targets, 0)
-    picked = log_probs[rows, safe_targets]
-    weights = Tensor(keep.astype(np.float64) / keep.sum())
-    return -(picked * weights).sum()
+    rows, safe_targets, weights = cross_entropy_parts(targets, ignore_index)
+    return cross_entropy_from_parts(logits, rows, safe_targets, weights)
 
 
 def nll_accuracy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> float:

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple
 
 import numpy as np
 
 from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.nn.graph import CompiledModule
 
 
 class Module:
@@ -50,6 +53,29 @@ class Module:
             with no_grad():
                 return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
+
+    def compile(self) -> "CompiledModule":
+        """Return a graph-captured wrapper around this module's forward pass.
+
+        The wrapper traces one eager execution per input signature, compiles
+        it into a flat numpy program with preallocated buffers, and replays
+        that program on subsequent calls — bit-identical to eager, with
+        transparent eager fallback for unsupported constructs (see
+        :mod:`repro.nn.graph`).  Replay only engages when no autograd tape is
+        needed (``eval()`` mode or gradients disabled); training-mode calls
+        under an active tape run eagerly.  The wrapper is cached, so repeated
+        ``compile()`` calls share one program cache.
+
+        Returned tensors view the program's persistent buffers and are
+        overwritten by the next call; copy them to retain values.
+        """
+        from repro.nn.graph import CompiledModule  # local import: graph depends on tensor
+
+        cached = getattr(self, "_compiled_module", None)
+        if cached is None:
+            cached = CompiledModule(self)
+            object.__setattr__(self, "_compiled_module", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # Parameter traversal

@@ -1,12 +1,38 @@
-"""Gradient-descent optimizers for the numpy autograd engine."""
+"""Gradient-descent optimizers for the numpy autograd engine.
+
+All optimizers update allocation-free: momentum/moment state lives in
+persistent per-parameter arrays (keyed by parameter *index*, so replacing a
+parameter tensor object between steps cannot orphan state the way the
+historical ``id()`` keying could), and every update runs through
+``np.multiply/np.add(..., out=)`` on those arrays.  The update arithmetic
+mirrors the historical allocating implementation ufunc for ufunc, so
+parameter trajectories are bit-identical.
+
+When the graph runtime (:mod:`repro.nn.graph`) publishes gradients, every
+parameter's ``.grad`` is a view into one contiguous slab.  The optimizers
+detect that layout and run each element-wise update as a handful of
+whole-slab kernels instead of ``O(num_parameters)`` small ones — element-wise
+math is blocking-invariant, so this too is bit-identical to the per-parameter
+loop.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+
+class _SlabView:
+    """Resolved slab layout: every gradient is a contiguous slice of one base."""
+
+    __slots__ = ("base", "bounds")
+
+    def __init__(self, base: np.ndarray, bounds: List[Tuple[int, int]]) -> None:
+        self.base = base
+        self.bounds = bounds
 
 
 class Optimizer:
@@ -20,6 +46,10 @@ class Optimizer:
             raise ValueError(f"learning rate must be positive, got {learning_rate}")
         self.learning_rate = learning_rate
         self.step_count = 0
+        #: Persistent squared-gradient scratch per parameter (clip_gradients).
+        self._square_scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._slab_scratch: Optional[np.ndarray] = None
+        self._slab_cache: Optional[Tuple[Tuple[int, ...], Optional[_SlabView]]] = None
 
     def zero_grad(self) -> None:
         """Clear gradients on all tracked parameters."""
@@ -30,22 +60,94 @@ class Optimizer:
         """Apply one parameter update; implemented by subclasses."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Gradient slab detection (graph-runtime fast path)
+    # ------------------------------------------------------------------ #
+    def _gradient_slab(self) -> Optional[_SlabView]:
+        """The common slab behind all gradients, if they tile one contiguously.
+
+        The graph runtime carves parameter gradients out of one buffer in
+        parameter order; recognising that layout lets ``clip_gradients`` (and
+        slab-capable subclasses) touch all gradients with single whole-slab
+        kernels.  Returns ``None`` for ordinary per-parameter gradients.
+        """
+        grads = [parameter.grad for parameter in self.parameters]
+        if any(grad is None for grad in grads):
+            return None
+        key = tuple(id(grad) for grad in grads)
+        if self._slab_cache is not None and self._slab_cache[0] == key:
+            return self._slab_cache[1]
+        slab = self._resolve_slab(grads)
+        self._slab_cache = (key, slab)
+        return slab
+
+    @staticmethod
+    def _resolve_slab(grads: List[np.ndarray]) -> Optional[_SlabView]:
+        base = grads[0].base
+        if base is None or base.ndim != 1 or not base.flags.c_contiguous:
+            return None
+        base_address = base.__array_interface__["data"][0]
+        itemsize = base.itemsize
+        offset = 0
+        bounds: List[Tuple[int, int]] = []
+        for grad in grads:
+            if grad.base is not base or grad.dtype != base.dtype or not grad.flags.c_contiguous:
+                return None
+            start = (grad.__array_interface__["data"][0] - base_address) // itemsize
+            if start != offset:
+                return None
+            bounds.append((offset, offset + grad.size))
+            offset += grad.size
+        if offset != base.size:
+            return None
+        return _SlabView(base, bounds)
+
+    # ------------------------------------------------------------------ #
+    # Gradient clipping
+    # ------------------------------------------------------------------ #
     def clip_gradients(self, max_norm: float) -> float:
-        """Scale gradients so their global L2 norm does not exceed ``max_norm``.
+        """Scale gradients *in place* so their global L2 norm stays ≤ ``max_norm``.
 
         Returns the pre-clipping norm, which is useful for monitoring training
         stability of the recurrent selectors.
+
+        The norm is accumulated as per-parameter sums of squares (squares
+        taken by one ``np.power`` pass into persistent scratch, a single
+        whole-slab pass when the gradients tile a graph-runtime slab) in
+        parameter order — deliberately *not* one ``np.linalg.norm`` over a
+        concatenated view, whose different summation blocking would change
+        the result in the last ulp and with it every committed training
+        trajectory.  Scaling is one in-place multiply per gradient (one per
+        slab), so no gradient array is ever reallocated.
         """
+        slab = self._gradient_slab()
         total = 0.0
-        for parameter in self.parameters:
-            if parameter.grad is not None:
-                total += float((parameter.grad**2).sum())
+        if slab is not None:
+            scratch = self._slab_scratch
+            if scratch is None or scratch.shape != slab.base.shape or scratch.dtype != slab.base.dtype:
+                scratch = self._slab_scratch = np.empty_like(slab.base)
+            np.power(slab.base, 2, out=scratch)
+            for start, stop in slab.bounds:
+                total += float(scratch[start:stop].sum())
+            norm = float(np.sqrt(total))
+            if norm > max_norm and norm > 0:
+                np.multiply(slab.base, max_norm / norm, out=slab.base)
+            return norm
+        for index, parameter in enumerate(self.parameters):
+            grad = parameter.grad
+            if grad is None:
+                continue
+            scratch = self._square_scratch[index]
+            if scratch is None or scratch.shape != grad.shape or scratch.dtype != grad.dtype:
+                scratch = self._square_scratch[index] = np.empty_like(grad)
+            np.power(grad, 2, out=scratch)
+            total += float(scratch.sum())
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
             for parameter in self.parameters:
                 if parameter.grad is not None:
-                    parameter.grad = parameter.grad * scale
+                    np.multiply(parameter.grad, scale, out=parameter.grad)
         return norm
 
 
@@ -64,28 +166,45 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: Dict[int, np.ndarray] = {}
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._update_scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self.step_count += 1
-        for parameter in self.parameters:
+        for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
             gradient = parameter.grad
+            scratch = self._update_scratch[index]
+            if scratch is None or scratch.shape != gradient.shape or scratch.dtype != gradient.dtype:
+                scratch = self._update_scratch[index] = np.empty_like(gradient)
             if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
+                # gradient + weight_decay * data, without touching .grad
+                np.multiply(parameter.data, self.weight_decay, out=scratch)
+                np.add(gradient, scratch, out=scratch)
+                gradient = scratch
             if self.momentum:
-                velocity = self._velocity.get(id(parameter))
+                velocity = self._velocity[index]
                 if velocity is None:
-                    velocity = np.zeros_like(parameter.data)
-                velocity = self.momentum * velocity + gradient
-                self._velocity[id(parameter)] = velocity
+                    velocity = self._velocity[index] = np.zeros_like(parameter.data)
+                # momentum * velocity + gradient
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, gradient, out=velocity)
                 gradient = velocity
-            parameter.data -= self.learning_rate * gradient
+            # data -= learning_rate * gradient
+            np.multiply(gradient, self.learning_rate, out=scratch)
+            np.subtract(parameter.data, scratch, out=parameter.data)
 
 
 class Adam(Optimizer):
-    """Adam optimizer with bias correction."""
+    """Adam optimizer with bias correction.
+
+    State (first/second moments, scratch) persists per parameter index; the
+    update is ten in-place ufuncs per parameter — or per *slab* when the graph
+    runtime's contiguous gradient layout is detected, in which case the state
+    arrays are migrated into matching slabs once and every element-wise kernel
+    covers all parameters at once.
+    """
 
     def __init__(
         self,
@@ -103,30 +222,135 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._first_moment: Dict[int, np.ndarray] = {}
-        self._second_moment: Dict[int, np.ndarray] = {}
+        self._first_moment: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._second_moment: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._moment_scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._hat_scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._slab_state: Optional[dict] = None
+
+    # -- per-parameter path --------------------------------------------- #
+    def _step_parameter(self, index: int, parameter: Tensor) -> None:
+        gradient = parameter.grad
+        shape, dtype = gradient.shape, gradient.dtype
+        first = self._first_moment[index]
+        if first is None:
+            first = self._first_moment[index] = np.zeros_like(parameter.data)
+            self._second_moment[index] = np.zeros_like(parameter.data)
+        second = self._second_moment[index]
+        scratch = self._moment_scratch[index]
+        if scratch is None or scratch.shape != shape or scratch.dtype != dtype:
+            scratch = self._moment_scratch[index] = np.empty(shape, dtype)
+        hat = self._hat_scratch[index]
+        if hat is None or hat.shape != shape or hat.dtype != dtype:
+            hat = self._hat_scratch[index] = np.empty(shape, dtype)
+        if self.weight_decay:
+            np.multiply(parameter.data, self.weight_decay, out=scratch)
+            np.add(gradient, scratch, out=scratch)
+            gradient = scratch
+            # scratch holds the decayed gradient until the second-moment
+            # update completes; the moment terms go through ``hat`` instead.
+            np.multiply(gradient, 1 - self.beta1, out=hat)
+            np.multiply(first, self.beta1, out=first)
+            np.add(first, hat, out=first)
+            np.power(gradient, 2, out=hat)
+            np.multiply(hat, 1 - self.beta2, out=hat)
+            np.multiply(second, self.beta2, out=second)
+            np.add(second, hat, out=second)
+        else:
+            # first = beta1 * first + (1 - beta1) * gradient
+            np.multiply(gradient, 1 - self.beta1, out=scratch)
+            np.multiply(first, self.beta1, out=first)
+            np.add(first, scratch, out=first)
+            # second = beta2 * second + (1 - beta2) * gradient ** 2
+            np.power(gradient, 2, out=scratch)
+            np.multiply(scratch, 1 - self.beta2, out=scratch)
+            np.multiply(second, self.beta2, out=second)
+            np.add(second, scratch, out=second)
+        correction1 = 1 - self.beta1**self.step_count
+        correction2 = 1 - self.beta2**self.step_count
+        # data -= learning_rate * (first / c1) / (sqrt(second / c2) + eps)
+        np.divide(first, correction1, out=hat)
+        np.divide(second, correction2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        np.add(scratch, self.eps, out=scratch)
+        np.multiply(hat, self.learning_rate, out=hat)
+        np.divide(hat, scratch, out=hat)
+        np.subtract(parameter.data, hat, out=parameter.data)
+
+    # -- slab path ------------------------------------------------------ #
+    def _slab_arrays(self, slab: _SlabView) -> dict:
+        state = self._slab_state
+        if state is not None and state["base_shape"] == slab.base.shape and state["dtype"] == slab.base.dtype:
+            return state
+        first = np.zeros_like(slab.base)
+        second = np.zeros_like(slab.base)
+        # Migrate any existing per-parameter state so switching to the slab
+        # layout mid-training (e.g. after the first traced step) is seamless.
+        for index, (start, stop) in enumerate(slab.bounds):
+            if self._first_moment[index] is not None:
+                first[start:stop] = self._first_moment[index].reshape(-1)
+                second[start:stop] = self._second_moment[index].reshape(-1)
+            shape = self.parameters[index].data.shape
+            self._first_moment[index] = first[start:stop].reshape(shape)
+            self._second_moment[index] = second[start:stop].reshape(shape)
+        hat = np.empty_like(slab.base)
+        state = {
+            "base_shape": slab.base.shape,
+            "dtype": slab.base.dtype,
+            "first": first,
+            "second": second,
+            "scratch": np.empty_like(slab.base),
+            "hat": hat,
+            "decayed": np.empty_like(slab.base) if self.weight_decay else None,
+            # Per-parameter views over the update slab, prebuilt once so the
+            # final subtract loop does no slicing per step.
+            "updates": [
+                hat[start:stop].reshape(parameter.data.shape)
+                for parameter, (start, stop) in zip(self.parameters, slab.bounds)
+            ],
+        }
+        self._slab_state = state
+        return state
+
+    def _step_slab(self, slab: _SlabView) -> None:
+        state = self._slab_arrays(slab)
+        first, second = state["first"], state["second"]
+        scratch, hat = state["scratch"], state["hat"]
+        gradient = slab.base
+        if self.weight_decay:
+            decayed = state["decayed"]
+            for parameter, (start, stop) in zip(self.parameters, slab.bounds):
+                np.multiply(parameter.data.reshape(-1), self.weight_decay, out=decayed[start:stop])
+            np.add(gradient, decayed, out=decayed)
+            gradient = decayed
+        np.multiply(gradient, 1 - self.beta1, out=scratch)
+        np.multiply(first, self.beta1, out=first)
+        np.add(first, scratch, out=first)
+        np.power(gradient, 2, out=scratch)
+        np.multiply(scratch, 1 - self.beta2, out=scratch)
+        np.multiply(second, self.beta2, out=second)
+        np.add(second, scratch, out=second)
+        correction1 = 1 - self.beta1**self.step_count
+        correction2 = 1 - self.beta2**self.step_count
+        np.divide(first, correction1, out=hat)
+        np.divide(second, correction2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        np.add(scratch, self.eps, out=scratch)
+        np.multiply(hat, self.learning_rate, out=hat)
+        np.divide(hat, scratch, out=hat)
+        for parameter, update in zip(self.parameters, state["updates"]):
+            np.subtract(parameter.data, update, out=parameter.data)
 
     def step(self) -> None:
         self.step_count += 1
-        for parameter in self.parameters:
+        slab = self._gradient_slab()
+        if slab is not None:
+            self._step_slab(slab)
+            return
+        for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
-            gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
-            key = id(parameter)
-            first = self._first_moment.get(key)
-            second = self._second_moment.get(key)
-            if first is None:
-                first = np.zeros_like(parameter.data)
-                second = np.zeros_like(parameter.data)
-            first = self.beta1 * first + (1 - self.beta1) * gradient
-            second = self.beta2 * second + (1 - self.beta2) * gradient**2
-            self._first_moment[key] = first
-            self._second_moment[key] = second
-            first_hat = first / (1 - self.beta1**self.step_count)
-            second_hat = second / (1 - self.beta2**self.step_count)
-            parameter.data -= self.learning_rate * first_hat / (np.sqrt(second_hat) + self.eps)
+            self._step_parameter(index, parameter)
 
 
 class LearningRateSchedule:

@@ -33,6 +33,40 @@ _DEFAULT_DTYPE = np.dtype(np.float64)
 #: Whether new operations record the autograd tape (see :class:`no_grad`).
 _GRAD_ENABLED = True
 
+#: Active graph-capture recorder (see :mod:`repro.nn.graph`).  When set, every
+#: tensor operation additionally records ``(op, parents, output, attrs)`` so
+#: the graph runtime can compile the tape into a replayable flat program.
+_TRACE = None
+
+
+def set_trace_recorder(recorder) -> object:
+    """Install ``recorder`` as the active op-trace sink; returns the previous one.
+
+    The recorder only needs two methods: ``record_op(op, parents, out, attrs)``
+    called for every tensor operation, and ``check_data_dependent(array)``
+    called for arrays flagged via :func:`note_data_dependent`.  Pass ``None``
+    to stop tracing.
+    """
+    global _TRACE
+    previous = _TRACE
+    _TRACE = recorder
+    return previous
+
+
+def note_data_dependent(array: np.ndarray) -> np.ndarray:
+    """Flag ``array`` as derived from input *content* (masks, sampled noise).
+
+    Graph capture assumes arrays entering the tape from outside are
+    call-invariant constants; call sites that compute per-call values with
+    plain numpy (attention mask fills, dropout masks, pooling weights) flag
+    them here so an active trace aborts and the caller transparently falls
+    back to eager execution instead of replaying stale data.  A no-op when no
+    trace is active.
+    """
+    if _TRACE is not None:
+        _TRACE.check_data_dependent(array)
+    return array
+
 
 def is_grad_enabled() -> bool:
     """Whether operations currently record the autograd tape."""
@@ -199,12 +233,16 @@ class Tensor:
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
+        op: Optional[str] = None,
+        attrs: Optional[dict] = None,
     ) -> "Tensor":
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
             out._backward = backward
+        if _TRACE is not None:
+            _TRACE.record_op(op, parents, out, attrs)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -226,7 +264,7 @@ class Tensor:
             def backward_scalar(grad: np.ndarray) -> None:
                 self._accumulate(grad)
 
-            return self._make(self.data + other, (self,), backward_scalar)
+            return self._make(self.data + other, (self,), backward_scalar, "add_scalar", {"scalar": other})
         other = self._as_tensor(other)
         out_data = self.data + other.data
 
@@ -234,7 +272,7 @@ class Tensor:
             self._accumulate(grad)
             other._accumulate(grad)
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "add")
 
     __radd__ = __add__
 
@@ -242,14 +280,14 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return self._make(-self.data, (self,), backward)
+        return self._make(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         if isinstance(other, (int, float)):
             def backward_scalar(grad: np.ndarray) -> None:
                 self._accumulate(grad)
 
-            return self._make(self.data - other, (self,), backward_scalar)
+            return self._make(self.data - other, (self,), backward_scalar, "sub_scalar", {"scalar": other})
         return self + (-self._as_tensor(other))
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -257,7 +295,7 @@ class Tensor:
             def backward_scalar(grad: np.ndarray) -> None:
                 self._accumulate(-grad)
 
-            return self._make(other - self.data, (self,), backward_scalar)
+            return self._make(other - self.data, (self,), backward_scalar, "rsub_scalar", {"scalar": other})
         return self._as_tensor(other) + (-self)
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -265,7 +303,7 @@ class Tensor:
             def backward_scalar(grad: np.ndarray) -> None:
                 self._accumulate(grad * other)
 
-            return self._make(self.data * other, (self,), backward_scalar)
+            return self._make(self.data * other, (self,), backward_scalar, "mul_scalar", {"scalar": other})
         other = self._as_tensor(other)
         out_data = self.data * other.data
 
@@ -273,7 +311,7 @@ class Tensor:
             self._accumulate(grad * other.data)
             other._accumulate(grad * self.data)
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "mul")
 
     __rmul__ = __mul__
 
@@ -282,7 +320,7 @@ class Tensor:
             def backward_scalar(grad: np.ndarray) -> None:
                 self._accumulate(grad / other)
 
-            return self._make(self.data / other, (self,), backward_scalar)
+            return self._make(self.data / other, (self,), backward_scalar, "div_scalar", {"scalar": other})
         other = self._as_tensor(other)
         out_data = self.data / other.data
 
@@ -290,7 +328,7 @@ class Tensor:
             self._accumulate(grad / other.data)
             other._accumulate(-grad * self.data / (other.data**2))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         if isinstance(other, (int, float)):
@@ -299,7 +337,7 @@ class Tensor:
             def backward_scalar(grad: np.ndarray) -> None:
                 self._accumulate(-grad * out_data / self.data)
 
-            return self._make(out_data, (self,), backward_scalar)
+            return self._make(out_data, (self,), backward_scalar, "rdiv_scalar", {"scalar": other})
         return self._as_tensor(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -310,7 +348,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "pow", {"exponent": exponent})
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._as_tensor(other)
@@ -342,7 +380,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad_a, a.shape))
             other._accumulate(_unbroadcast(grad_b, b.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "matmul")
 
     # ------------------------------------------------------------------ #
     # Reductions and reshaping
@@ -363,7 +401,7 @@ class Tensor:
                 expanded = np.broadcast_to(grad, self.data.shape)
             self._accumulate(expanded)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sum", {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over ``axis`` (all axes when ``None``)."""
@@ -384,7 +422,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original_shape))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "reshape", {"shape": out_data.shape, "original_shape": original_shape})
 
     def transpose(self, *axes: int) -> "Tensor":
         """Permute dimensions; with no arguments reverses them."""
@@ -403,7 +441,7 @@ class Tensor:
                 inverse = np.argsort(axes_tuple)
                 self._accumulate(np.transpose(grad, inverse))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "transpose", {"axes": axes_tuple})
 
     @property
     def T(self) -> "Tensor":  # noqa: N802 - numpy-style alias
@@ -418,7 +456,7 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "getitem", {"index": index})
 
     # ------------------------------------------------------------------ #
     # Element-wise non-linearities
@@ -430,7 +468,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
         """Element-wise natural logarithm."""
@@ -439,7 +477,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
         """Element-wise square root."""
@@ -452,7 +490,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
         """Element-wise logistic sigmoid."""
@@ -461,7 +499,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         """Element-wise rectified linear unit."""
@@ -471,7 +509,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "relu")
 
     def clip(self, minimum: float, maximum: float) -> "Tensor":
         """Clamp values to ``[minimum, maximum]`` (gradient is 1 inside)."""
@@ -481,7 +519,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "clip", {"minimum": minimum, "maximum": maximum})
 
     # ------------------------------------------------------------------ #
     # Softmax family
@@ -496,19 +534,27 @@ class Tensor:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
             self._accumulate(out_data * (grad - dot))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "softmax", {"axis": axis})
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        """Numerically stable log-softmax along ``axis``."""
+        """Numerically stable log-softmax along ``axis``.
+
+        The forward pass takes a single exponential pass (over the shifted
+        logits, for the log-sum term); the softmax needed by the backward pass
+        is derived lazily as ``exp(out)`` only when gradients actually flow,
+        so inference (``no_grad`` / ``eval()``) never pays for it.  Training
+        results are bit-identical to the historical two-pass implementation
+        because the backward term is the exact same ``np.exp(out_data)``.
+        """
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
-        softmax = np.exp(out_data)
 
         def backward(grad: np.ndarray) -> None:
+            softmax = np.exp(out_data)
             self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "log_softmax", {"axis": axis})
 
     # ------------------------------------------------------------------ #
     # Structural operations
@@ -532,6 +578,8 @@ class Tensor:
         if requires:
             out._parents = tuple(tensors)
             out._backward = backward
+        if _TRACE is not None:
+            _TRACE.record_op("concatenate", tuple(tensors), out, {"axis": axis})
         return out
 
     @staticmethod
@@ -550,6 +598,8 @@ class Tensor:
         if requires:
             out._parents = tuple(tensors)
             out._backward = backward
+        if _TRACE is not None:
+            _TRACE.record_op("stack", tuple(tensors), out, {"axis": axis})
         return out
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
@@ -566,7 +616,7 @@ class Tensor:
             np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.data.shape[-1]))
             self._accumulate(full)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "gather_rows", {"indices": indices})
 
     # ------------------------------------------------------------------ #
     # Backward pass

@@ -14,7 +14,14 @@ from typing import Deque, Sequence
 
 import numpy as np
 
-from repro.nn import Adam, RecurrentClassifier, Tensor, cross_entropy_loss
+from repro.nn import (
+    Adam,
+    RecurrentClassifier,
+    Tensor,
+    cross_entropy_from_parts,
+    cross_entropy_loss,
+    cross_entropy_parts,
+)
 from repro.selection.features import MessageFeaturizer
 from repro.selection.policy import SelectionPolicy
 from repro.utils.rng import SeedLike, new_rng
@@ -66,20 +73,47 @@ class ContextualDomainSelector:
         rng = new_rng(seed)
         optimizer = Adam(self.model.parameters(), learning_rate)
         losses: list[float] = []
+        # Graph-captured GRU training step (None when the runtime is
+        # disabled).  The recurrent unroll is exactly the workload where
+        # trace-and-replay pays off most: eager rebuilds hundreds of small
+        # tape nodes per step, the replay runs a flat kernel program.
+        step = self._build_train_step()
         for _ in range(epochs):
             order = rng.permutation(len(targets))
             epoch_losses = []
             for start in range(0, len(targets), batch_size):
                 batch_index = order[start : start + batch_size]
                 optimizer.zero_grad()
-                logits = self.model(Tensor(features[batch_index]))
-                loss = cross_entropy_loss(logits, targets[batch_index])
-                loss.backward()
+                if step is not None:
+                    batch_features = np.ascontiguousarray(features[batch_index])
+                    rows, safe_targets, weights = cross_entropy_parts(targets[batch_index])
+                    loss, _ = step(
+                        features=batch_features, rows=rows, targets=safe_targets, weights=weights
+                    )
+                else:
+                    logits = self.model(Tensor(features[batch_index]))
+                    loss = cross_entropy_loss(logits, targets[batch_index])
+                    loss.backward()
                 optimizer.clip_gradients(5.0)
                 optimizer.step()
                 epoch_losses.append(loss.item())
             losses.append(float(np.mean(epoch_losses)))
         return losses
+
+    def _build_train_step(self):
+        """Compiled classification train step, or ``None`` if capture is off."""
+        from repro.nn.graph import CompiledTrainStep, is_enabled
+
+        if not is_enabled():
+            return None
+        model = self.model
+
+        def fn(features, rows, targets, weights):
+            logits = model(Tensor(features))
+            loss = cross_entropy_from_parts(logits, rows, targets, weights)
+            return loss, logits
+
+        return CompiledTrainStep(fn, model.parameters())
 
     def predict_from_window(self, window_features: np.ndarray) -> str:
         """Domain prediction from a ``(window, dim)`` feature array."""

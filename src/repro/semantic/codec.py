@@ -16,12 +16,51 @@ from typing import Dict, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import KnowledgeBaseError
-from repro.nn import Adam, Tensor, cross_entropy_loss, nll_accuracy
+from repro.nn import (
+    Adam,
+    Tensor,
+    cross_entropy_from_parts,
+    cross_entropy_loss,
+    cross_entropy_parts,
+    nll_accuracy,
+)
 from repro.semantic.config import CodecConfig, TrainingReport
 from repro.semantic.decoder import SemanticDecoder
 from repro.semantic.encoder import SemanticEncoder
 from repro.text import Tokenizer, Vocabulary, bleu_score, token_accuracy
 from repro.utils.rng import SeedLike, new_rng
+
+
+def build_codec_train_step(encoder, decoder):
+    """A graph-captured joint reconstruction training step, or ``None``.
+
+    The returned :class:`~repro.nn.graph.CompiledTrainStep` computes
+    ``cross_entropy(decoder(encoder(ids) [+ noise]), targets)`` and its
+    backward pass as a replayed flat program — bit-identical to the eager
+    loop (verified bitwise at capture), with transparent eager fallback for
+    architectures the tracer cannot capture (e.g. the transformer's
+    input-dependent attention mask).  Returns ``None`` when the graph runtime
+    is disabled (``REPRO_GRAPH=0`` / :func:`repro.nn.graph.configure`), in
+    which case callers run their historical eager step.
+
+    Shared by :meth:`SemanticCodec.train` and
+    :meth:`repro.semantic.individual.IndividualModel.fine_tune` — the two
+    loops that dominate e1/e2/e3/e6 wall-clock.
+    """
+    from repro.nn.graph import CompiledTrainStep, is_enabled
+
+    if not is_enabled():
+        return None
+
+    def fn(ids, rows, targets, weights, noise=None):
+        features = encoder(ids)
+        if noise is not None:
+            features = features + Tensor(noise)
+        logits = decoder(features)
+        loss = cross_entropy_from_parts(logits, rows, targets, weights)
+        return loss, logits
+
+    return CompiledTrainStep(fn, encoder.parameters() + decoder.parameters())
 
 
 @dataclass
@@ -170,6 +209,13 @@ class SemanticCodec:
         # (shuffling the previous epoch's order would not).
         identity = np.arange(len(ids))
         order = identity.copy()
+        # Graph-captured step (None when the runtime is disabled): traced on
+        # the first batch of each shape, replayed for the rest of training.
+        # The rng is consumed in exactly the eager order (shuffle, then one
+        # noise draw per batch), so trajectories stay bit-identical.
+        step = build_codec_train_step(self.encoder, self.decoder)
+        pad_id = self.vocabulary.pad_id
+        feature_dim = self.config.feature_dim
         for _ in range(epochs):
             epoch_losses: List[float] = []
             epoch_accuracies: List[float] = []
@@ -177,16 +223,27 @@ class SemanticCodec:
             rng.shuffle(order)
             for batch in self._batches(ids, self.config.batch_size, order):
                 optimizer.zero_grad()
-                features = self.encoder(batch)
-                if noise_std > 0.0:
-                    features = features + Tensor(rng.normal(0.0, noise_std, size=features.shape))
-                logits = self.decoder(features)
-                loss = cross_entropy_loss(logits, batch, ignore_index=self.vocabulary.pad_id)
-                loss.backward()
+                if step is not None:
+                    noise = (
+                        rng.normal(0.0, noise_std, size=batch.shape + (feature_dim,))
+                        if noise_std > 0.0
+                        else None
+                    )
+                    rows, safe_targets, weights = cross_entropy_parts(batch, pad_id)
+                    loss, logits = step(
+                        ids=batch, rows=rows, targets=safe_targets, weights=weights, noise=noise
+                    )
+                else:
+                    features = self.encoder(batch)
+                    if noise_std > 0.0:
+                        features = features + Tensor(rng.normal(0.0, noise_std, size=features.shape))
+                    logits = self.decoder(features)
+                    loss = cross_entropy_loss(logits, batch, ignore_index=pad_id)
+                    loss.backward()
                 optimizer.clip_gradients(5.0)
                 optimizer.step()
                 epoch_losses.append(loss.item())
-                epoch_accuracies.append(nll_accuracy(logits, batch, ignore_index=self.vocabulary.pad_id))
+                epoch_accuracies.append(nll_accuracy(logits, batch, ignore_index=pad_id))
             self.training_report.record(float(np.mean(epoch_losses)), float(np.mean(epoch_accuracies)))
         self.encoder.eval()
         self.decoder.eval()

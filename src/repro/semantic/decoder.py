@@ -66,11 +66,19 @@ class SemanticDecoder(Module):
         return self.output_projection(body_output)
 
     def decode_greedy(self, features: np.ndarray) -> np.ndarray:
-        """Argmax token ids for received ``features`` (inference mode, no tape)."""
+        """Argmax token ids for received ``features`` (inference mode, no tape).
+
+        Runs through the graph runtime when enabled: one captured program per
+        feature shape, replayed with preallocated buffers (bit-identical to
+        eager, transparent fallback otherwise).
+        """
+        from repro.nn.graph import is_enabled as graph_enabled
+
         was_training = self.training
         self.eval()
         with no_grad():
-            logits = self.forward(features)
+            runner = self.compile() if graph_enabled() else self
+            logits = runner(features)
         if was_training:
             self.train()
         return np.argmax(logits.data, axis=-1)

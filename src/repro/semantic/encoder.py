@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShapeError
 from repro.nn import (
     GRU,
     Embedding,
@@ -23,6 +23,7 @@ from repro.nn import (
     Tensor,
     TransformerEncoder,
     no_grad,
+    note_data_dependent,
     padding_mask,
 )
 from repro.semantic.config import CodecConfig
@@ -83,12 +84,30 @@ class SemanticEncoder(Module):
 
         Runs under :class:`~repro.nn.tensor.no_grad` in evaluation mode, so no
         autograd tape is built — this is the per-request hot path an edge
-        server pays after a cache hit.
+        server pays after a cache hit.  When the graph runtime is enabled the
+        forward pass replays a captured flat program (bit-identical, falling
+        back to eager for architectures it cannot trace); the ids are
+        canonicalised first so the capture recognises them as the per-call
+        input.
         """
+        from repro.nn.graph import is_enabled as graph_enabled
+
         was_training = self.training
         self.eval()
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        # Replayed programs run the bare gather kernel, skipping the host-side
+        # range validation Embedding.forward performs during the trace — so an
+        # invalid id must fail as loudly here as it would eagerly.
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.vocab_size):
+            raise ShapeError(
+                f"token ids must be in [0, {self.vocab_size}), got range "
+                f"[{token_ids.min()}, {token_ids.max()}]"
+            )
         with no_grad():
-            features = self.forward(token_ids).data.copy()
+            runner = self.compile() if graph_enabled() else self
+            features = runner(token_ids).data.copy()
         if was_training:
             self.train()
         return features
@@ -120,7 +139,9 @@ class SemanticPoolingEncoder(Module):
         features = self.token_encoder(token_ids)
         mask = (token_ids != self.pad_id).astype(features.data.dtype)
         denominators = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
-        weights = Tensor(mask[..., None] / denominators[..., None])
+        # Pooling weights depend on which positions are padding — per-call
+        # content, so graph capture falls back to eager for this module.
+        weights = Tensor(note_data_dependent(mask[..., None] / denominators[..., None]))
         return (features * weights).sum(axis=1)
 
     def encode(self, token_ids: np.ndarray) -> np.ndarray:

@@ -1,0 +1,310 @@
+"""Fallback semantics of the graph runtime: shapes, unsupported ops, kill switch.
+
+Capture must never change behavior: a shape change simply traces another
+program, an unsupported construct (data-dependent numpy values) silently runs
+eager forever, and the whole runtime can be disabled via ``REPRO_GRAPH=0`` /
+:func:`repro.nn.graph.configure`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Sequential,
+    Tensor,
+    cross_entropy_from_parts,
+    cross_entropy_parts,
+    mse_loss,
+)
+from repro.nn.graph import CompiledTrainStep, configure, is_enabled
+from repro.semantic.config import CodecConfig
+from repro.semantic.decoder import SemanticDecoder
+from repro.semantic.encoder import SemanticEncoder, SemanticPoolingEncoder
+
+
+@pytest.fixture(autouse=True)
+def _graph_enabled():
+    previous = is_enabled()
+    configure(enabled=True)
+    yield
+    configure(enabled=previous)
+
+
+# ---------------------------------------------------------------------- #
+# Shape changes: retrace, replay per signature, LRU bound
+# ---------------------------------------------------------------------- #
+def test_shape_change_traces_new_program_and_stays_correct():
+    model = MLP(6, [8], 3, seed=0)
+    model.eval()
+    compiled = model.compile()
+    rng = np.random.default_rng(0)
+    for batch_size in (2, 5, 2, 5, 9):
+        batch = Tensor(rng.normal(size=(batch_size, 6)))
+        assert np.array_equal(compiled(batch).data, model(batch).data)
+    assert compiled.traces == 3  # one per distinct shape
+    assert compiled.replays == 2  # repeated shapes replayed
+    assert compiled.program_count == 3
+
+
+def test_program_cache_is_lru_bounded():
+    model = MLP(4, [5], 2, seed=0)
+    model.eval()
+    compiled = model.compile()
+    compiled.max_programs = 2
+    rng = np.random.default_rng(1)
+    for batch_size in (1, 2, 3, 4):
+        batch = Tensor(rng.normal(size=(batch_size, 4)))
+        assert np.array_equal(compiled(batch).data, model(batch).data)
+    assert compiled.program_count == 2  # oldest signatures evicted, not leaked
+
+
+def test_train_step_shape_change_keeps_trajectory_correct():
+    """Uneven final batches (the codec remainder batch) retrace and stay exact."""
+    rng = np.random.default_rng(2)
+    model_eager = MLP(5, [7], 4, seed=1)
+    model_compiled = MLP(5, [7], 4, seed=1)
+    step = CompiledTrainStep(
+        lambda x, y: mse_loss(model_compiled(Tensor(x)), Tensor(y)),
+        model_compiled.parameters(),
+    )
+    for batch_size in (6, 6, 3, 6, 3):
+        x = rng.normal(size=(batch_size, 5))
+        y = rng.normal(size=(batch_size, 4))
+        for parameter in model_eager.parameters():
+            parameter.grad = None
+        eager_loss = mse_loss(model_eager(Tensor(x)), Tensor(y))
+        eager_loss.backward()
+        loss, = step(x=x, y=y)
+        assert loss.item() == eager_loss.item()
+        for eager_p, p in zip(model_eager.parameters(), model_compiled.parameters()):
+            assert np.array_equal(eager_p.grad, p.grad)
+    assert step.traces == 2 and step.replays == 3
+
+
+# ---------------------------------------------------------------------- #
+# Unsupported constructs: permanent, silent eager fallback
+# ---------------------------------------------------------------------- #
+def test_transformer_encoder_mask_falls_back_to_eager():
+    """The padding-mask fill is input-content-dependent: capture must refuse."""
+    config = CodecConfig(architecture="transformer", seed=0)
+    encoder = SemanticEncoder(40, config, pad_id=0)
+    encoder.eval()
+    compiled = encoder.compile()
+    rng = np.random.default_rng(3)
+    first = rng.integers(1, 40, size=(3, 8))
+    second = rng.integers(1, 40, size=(3, 8))
+    second[:, 5:] = 0  # different padding pattern -> different mask
+    for token_ids in (first, second, first):
+        assert np.array_equal(compiled(token_ids).data, encoder(token_ids).data)
+    assert not compiled.supported
+    assert compiled.program_count == 0
+
+
+def test_pooling_encoder_falls_back_to_eager():
+    config = CodecConfig(architecture="mlp", seed=0)
+    pooled = SemanticPoolingEncoder(30, config, pad_id=0)
+    pooled.eval()
+    compiled = pooled.compile()
+    rng = np.random.default_rng(4)
+    token_ids = rng.integers(1, 30, size=(4, 6))
+    token_ids[2, 3:] = 0
+    assert np.array_equal(compiled(token_ids).data, pooled(token_ids).data)
+    assert not compiled.supported
+
+
+def test_dropout_fallback_does_not_shift_the_rng_stream():
+    """The aborted trace re-runs the forward; Dropout must not have consumed
+    its rng during the aborted attempt, or every draw afterwards shifts."""
+    from repro.nn import Linear, Sequential as Seq
+
+    def run(enabled):
+        configure(enabled=enabled)
+        model = Seq(Linear(4, 4, seed=0), Dropout(0.5, seed=1))
+        model.train()
+        step = CompiledTrainStep(
+            lambda x: (model(Tensor(x)) * 1.0).sum(), model.parameters()
+        )
+        rng = np.random.default_rng(2)
+        losses = []
+        for _ in range(3):
+            for parameter in model.parameters():
+                parameter.grad = None
+            loss, = step(x=rng.normal(size=(3, 4)))
+            losses.append(loss.item())
+        return losses
+
+    assert run(True) == run(False)
+
+
+def test_dropout_module_falls_back_in_training_capture():
+    model = Sequential(Dropout(0.5, seed=0))
+    model.train()
+
+    def fn(x):
+        return (model(Tensor(x)) * 1.0).sum()
+
+    step = CompiledTrainStep(fn, [Tensor(np.ones(1), requires_grad=True)])
+    # No trainable parameter participates, so backward raises in both eager
+    # and compiled paths identically; what we assert is the *capture* outcome:
+    x = np.ones((3, 3))
+    with pytest.raises(Exception):
+        step(x=x)
+    assert not step.supported
+
+
+def test_transformer_codec_training_step_falls_back_bitwise():
+    """A full transformer train step silently runs eager — same numbers."""
+    from repro.nn import cross_entropy_loss
+
+    config = CodecConfig(architecture="transformer", seed=0)
+    rng = np.random.default_rng(5)
+    ids = rng.integers(1, 40, size=(4, 8))
+    ids[:, 6:] = 0
+
+    eager_encoder = SemanticEncoder(40, config, pad_id=0)
+    eager_decoder = SemanticDecoder(40, config)
+    eager_loss = cross_entropy_loss(eager_decoder(eager_encoder(ids)), ids, ignore_index=0)
+    eager_loss.backward()
+
+    encoder = SemanticEncoder(40, config, pad_id=0)
+    decoder = SemanticDecoder(40, config)
+    params = encoder.parameters() + decoder.parameters()
+
+    def fn(ids, rows, targets, weights):
+        logits = decoder(encoder(ids))
+        return cross_entropy_from_parts(logits, rows, targets, weights), logits
+
+    step = CompiledTrainStep(fn, params)
+    rows, safe_targets, weights = cross_entropy_parts(ids, 0)
+    loss, _ = step(ids=ids, rows=rows, targets=safe_targets, weights=weights)
+    assert not step.supported
+    assert loss.item() == eager_loss.item()
+    eager_params = eager_encoder.parameters() + eager_decoder.parameters()
+    for eager_p, p in zip(eager_params, params):
+        assert (eager_p.grad is None) == (p.grad is None)
+        if eager_p.grad is not None:
+            assert np.array_equal(eager_p.grad, p.grad)
+
+
+def test_unused_declared_input_refuses_capture():
+    """If a declared input never reaches the tape, replay would bake in stale
+    data — the builder must refuse and the wrapper must fall back."""
+    model = MLP(4, [5], 2, seed=0)
+
+    def fn(x):
+        # Copy before use: the traced graph sees a constant, not the input.
+        return mse_loss(model(Tensor(x.copy())), Tensor(np.zeros((3, 2))))
+
+    step = CompiledTrainStep(fn, model.parameters())
+    x = np.ones((3, 4))
+    loss_first, = step(x=x)
+    assert not step.supported
+    # Still correct (eager) for fresh inputs.
+    loss_second, = step(x=np.full((3, 4), 2.0))
+    assert loss_second.item() != loss_first.item()
+
+
+# ---------------------------------------------------------------------- #
+# Kill switch
+# ---------------------------------------------------------------------- #
+def test_encode_validates_token_ids_even_when_replaying():
+    """Replay skips Embedding's host-side range check; encode() must keep
+    rejecting invalid ids as loudly as the eager path does."""
+    from repro.exceptions import ShapeError
+
+    config = CodecConfig(architecture="mlp", seed=0)
+    encoder = SemanticEncoder(50, config, pad_id=0)
+    rng = np.random.default_rng(7)
+    encoder.encode(rng.integers(0, 50, size=(3, 6)))  # trace + cache
+    bad_negative = np.array([[1, -2, 3, 4, 5, 6]])
+    bad_overflow = np.array([[1, 2, 3, 4, 5, 99]])
+    for bad in (bad_negative, bad_overflow):
+        with pytest.raises(ShapeError):
+            encoder.encode(bad)
+
+
+def test_build_failure_returns_finished_eager_result_without_rerun():
+    """A forward that traces fine but cannot compile must not run twice."""
+    from repro.nn import Linear, Module
+
+    class Detaching(Module):
+        def __init__(self):
+            super().__init__()
+            self.linear = Linear(3, 2, seed=0)
+            self.calls = 0
+
+        def forward(self, x):
+            object.__setattr__(self, "calls", self.calls + 1)
+            # detach() creates a tensor no traced op produced: the build
+            # cannot map the output and raises TraceUnsupported.
+            return self.linear(x).detach()
+
+    module = Detaching()
+    module.eval()
+    compiled = module.compile()
+    batch = Tensor(np.ones((2, 3)))
+    expected = module(batch)
+    calls_before = module.calls
+    out = compiled(batch)
+    assert module.calls == calls_before + 1  # exactly one forward, no re-run
+    assert np.array_equal(out.data, expected.data)
+    assert not compiled.supported
+
+
+def test_to_dtype_after_trace_keys_a_fresh_program():
+    """Casting parameters in place must not replay a stale-dtype program."""
+    config = CodecConfig(architecture="mlp", seed=0)
+    encoder = SemanticEncoder(50, config, pad_id=0)
+    encoder.eval()
+    rng = np.random.default_rng(6)
+    token_ids = rng.integers(1, 50, size=(4, 8))
+    float64_features = encoder.encode(token_ids)
+    encoder.to_dtype("float32")
+    compiled32 = encoder.encode(token_ids)
+    configure(enabled=False)
+    eager32 = encoder.encode(token_ids)
+    configure(enabled=True)
+    assert compiled32.dtype == np.float32
+    assert np.array_equal(compiled32, eager32)
+    encoder.to_dtype("float64")
+    assert encoder.encode(token_ids).dtype == np.float64
+    assert float64_features.dtype == np.float64
+
+
+def test_configure_disables_capture_entirely():
+    configure(enabled=False)
+    model = MLP(3, [4], 2, seed=0)
+    model.eval()
+    compiled = model.compile()
+    batch = Tensor(np.ones((2, 3)))
+    assert np.array_equal(compiled(batch).data, model(batch).data)
+    assert compiled.traces == 0 and compiled.program_count == 0
+
+    model.train()  # the eager fallback step needs the tape
+    step = CompiledTrainStep(
+        lambda x: mse_loss(model(Tensor(x)), Tensor(np.zeros((2, 2)))), model.parameters()
+    )
+    step(x=np.ones((2, 3)))
+    assert step.program_count == 0 and step.fallbacks == 1
+
+
+def test_env_variable_spelling(monkeypatch):
+    """REPRO_GRAPH=0 must disable the runtime at import-derived default."""
+    import importlib
+
+    import repro.nn.graph.compiled as compiled_module
+
+    monkeypatch.setenv("REPRO_GRAPH", "0")
+    importlib.reload(compiled_module)
+    assert not compiled_module.is_enabled()
+    monkeypatch.delenv("REPRO_GRAPH")
+    importlib.reload(compiled_module)
+    assert compiled_module.is_enabled()
+    # Restore the package-level aliases after reload.
+    import repro.nn.graph as graph_package
+
+    importlib.reload(graph_package)

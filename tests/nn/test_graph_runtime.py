@@ -1,0 +1,334 @@
+"""Bit-identity and buffer-reuse guarantees of the graph-captured runtime.
+
+Every test here pins the same contract: a compiled replay must produce the
+exact bits eager execution produces — forward values, loss, gradients, and
+whole training trajectories — while allocating nothing per step on the
+steady-state path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    MLP,
+    Adam,
+    Linear,
+    RecurrentClassifier,
+    Tensor,
+    cross_entropy_from_parts,
+    cross_entropy_loss,
+    cross_entropy_parts,
+    mse_loss,
+)
+from repro.nn.graph import CompiledTrainStep, configure, is_enabled
+from repro.semantic import CodecConfig, SemanticCodec
+from repro.semantic.config import CodecConfig as Config
+from repro.semantic.decoder import SemanticDecoder
+from repro.semantic.encoder import SemanticEncoder
+
+ARCHITECTURES = ("mlp", "gru", "transformer")
+
+SENTENCES = [
+    "the server deploys the model",
+    "semantic features cross the channel",
+    "edge caching reduces latency",
+    "the user walks between cells",
+    "models are trained on domain data",
+    "the decoder restores the message",
+    "a knowledge base per domain",
+    "gradients synchronize the copies",
+    "bandwidth is scarce at the edge",
+    "the paper reports big savings",
+    "quantization compresses features",
+    "caching policies evict models",
+]
+
+
+@pytest.fixture(autouse=True)
+def _graph_enabled():
+    previous = is_enabled()
+    configure(enabled=True)
+    yield
+    configure(enabled=previous)
+
+
+def _codec_pair(architecture: str, seed: int = 0):
+    config = Config(architecture=architecture, seed=seed)
+    encoder = SemanticEncoder(60, config, pad_id=0)
+    decoder = SemanticDecoder(60, config)
+    return encoder, decoder
+
+
+def _state(modules) -> dict:
+    state = {}
+    for label, module in modules.items():
+        for name, parameter in module.named_parameters():
+            state[f"{label}.{name}"] = parameter.data.copy()
+    return state
+
+
+# ---------------------------------------------------------------------- #
+# Compiled module forward
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_compiled_encoder_forward_bitwise_equals_eager(architecture):
+    encoder, _ = _codec_pair(architecture)
+    encoder.eval()
+    compiled = encoder.compile()
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        token_ids = rng.integers(1, 60, size=(5, 9))
+        expected = encoder(token_ids).data
+        actual = compiled(token_ids).data
+        assert np.array_equal(expected, actual)
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_compiled_decoder_forward_bitwise_equals_eager(architecture):
+    _, decoder = _codec_pair(architecture)
+    decoder.eval()
+    compiled = decoder.compile()
+    rng = np.random.default_rng(1)
+    for _ in range(3):
+        features = rng.normal(size=(4, 7, decoder.config.feature_dim))
+        expected = decoder(features).data
+        actual = compiled(features).data
+        assert np.array_equal(expected, actual)
+
+
+def test_compiled_module_replays_after_first_trace():
+    model = MLP(6, [8], 3, seed=0)
+    model.eval()
+    compiled = model.compile()
+    rng = np.random.default_rng(2)
+    first = rng.normal(size=(4, 6))
+    compiled(Tensor(first))
+    assert compiled.traces == 1 and compiled.replays == 0
+    for _ in range(3):
+        batch = rng.normal(size=(4, 6))
+        assert np.array_equal(compiled(Tensor(batch)).data, model(Tensor(batch)).data)
+    assert compiled.traces == 1 and compiled.replays >= 3
+
+
+def test_compiled_module_tuple_outputs():
+    gru = GRU(5, 7, seed=0)
+    gru.eval()
+    compiled = gru.compile()
+    rng = np.random.default_rng(3)
+    sequence = Tensor(rng.normal(size=(2, 6, 5)))
+    states_e, final_e = gru(sequence)
+    compiled(sequence)  # trace
+    states_c, final_c = compiled(sequence)  # replay
+    assert np.array_equal(states_e.data, states_c.data)
+    assert np.array_equal(final_e.data, final_c.data)
+    assert compiled.replays == 1
+
+
+def test_training_mode_under_grad_stays_eager():
+    model = MLP(4, [5], 2, seed=0)
+    model.train()
+    compiled = model.compile()
+    out = compiled(Tensor(np.ones((2, 4)), requires_grad=False))
+    # Eager path keeps the tape alive so backward still works.
+    assert compiled.traces == 0 and compiled.fallbacks == 1
+    out.sum().backward()
+    assert model.parameters()[0].grad is not None
+
+
+# ---------------------------------------------------------------------- #
+# Compiled train step: loss + gradients + trajectories
+# ---------------------------------------------------------------------- #
+def _train_step_fn(encoder, decoder):
+    def fn(ids, rows, targets, weights):
+        logits = decoder(encoder(ids))
+        return cross_entropy_from_parts(logits, rows, targets, weights), logits
+
+    return fn
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_compiled_step_loss_and_gradients_bitwise(architecture):
+    rng = np.random.default_rng(4)
+    ids = rng.integers(1, 60, size=(6, 8))
+    ids[:, 6:] = 0
+
+    eager_encoder, eager_decoder = _codec_pair(architecture)
+    logits = eager_decoder(eager_encoder(ids))
+    eager_loss = cross_entropy_loss(logits, ids, ignore_index=0)
+    eager_loss.backward()
+    eager_grads = {
+        name: parameter.grad.copy()
+        for module in (eager_encoder, eager_decoder)
+        for name, parameter in module.named_parameters()
+        if parameter.grad is not None
+    }
+
+    encoder, decoder = _codec_pair(architecture)
+    params = encoder.parameters() + decoder.parameters()
+    step = CompiledTrainStep(_train_step_fn(encoder, decoder), params)
+    rows, safe_targets, weights = cross_entropy_parts(ids, 0)
+    for call in range(3):  # trace, then replays — all identical
+        loss, step_logits = step(ids=ids, rows=rows, targets=safe_targets, weights=weights)
+        assert loss.item() == eager_loss.item(), (architecture, call)
+        assert np.array_equal(step_logits.data, logits.data)
+        grads = {
+            name: parameter.grad
+            for module in (encoder, decoder)
+            for name, parameter in module.named_parameters()
+            if parameter.grad is not None
+        }
+        assert set(grads) == set(eager_grads)
+        for name in eager_grads:
+            assert np.array_equal(grads[name], eager_grads[name]), (architecture, call, name)
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+@pytest.mark.parametrize("noise_std", [0.0, 0.1])
+def test_codec_three_epoch_training_identical_on_off(architecture, noise_std):
+    def run(enabled):
+        configure(enabled=enabled)
+        codec = SemanticCodec.from_corpus(
+            SENTENCES, config=CodecConfig(architecture=architecture, seed=0), domain="d"
+        )
+        report = codec.train(SENTENCES, epochs=3, seed=1, noise_std=noise_std)
+        return codec, report
+
+    compiled_codec, compiled_report = run(True)
+    eager_codec, eager_report = run(False)
+    assert compiled_report.losses == eager_report.losses
+    assert compiled_report.token_accuracies == eager_report.token_accuracies
+    compiled_state = compiled_codec.state_dict()
+    eager_state = eager_codec.state_dict()
+    for half in ("encoder", "decoder"):
+        for key in eager_state[half]:
+            assert np.array_equal(eager_state[half][key], compiled_state[half][key])
+    # Evaluation (batched greedy decode through the compiled forward) matches.
+    configure(enabled=True)
+    assert compiled_codec.evaluate(SENTENCES) == eager_codec.evaluate(SENTENCES)
+
+
+def test_recurrent_classifier_step_bitwise():
+    rng = np.random.default_rng(5)
+    features = rng.normal(size=(8, 4, 6))
+    targets = rng.integers(0, 3, size=8)
+
+    eager_model = RecurrentClassifier(6, 10, 3, seed=0)
+    eager_loss = cross_entropy_loss(eager_model(Tensor(features)), targets)
+    eager_loss.backward()
+
+    model = RecurrentClassifier(6, 10, 3, seed=0)
+
+    def fn(features, rows, targets, weights):
+        logits = model(Tensor(features))
+        return cross_entropy_from_parts(logits, rows, targets, weights), logits
+
+    step = CompiledTrainStep(fn, model.parameters())
+    rows, safe_targets, weights = cross_entropy_parts(targets)
+    for _ in range(2):
+        loss, _ = step(features=features, rows=rows, targets=safe_targets, weights=weights)
+        assert loss.item() == eager_loss.item()
+    for eager_p, p in zip(eager_model.parameters(), model.parameters()):
+        assert np.array_equal(eager_p.grad, p.grad)
+
+
+# ---------------------------------------------------------------------- #
+# Buffer reuse: no steady-state allocations, stable buffers, grad slab
+# ---------------------------------------------------------------------- #
+def test_replay_allocates_nothing_and_reuses_buffers():
+    rng = np.random.default_rng(6)
+    inputs = rng.normal(size=(16, 8))
+    targets = rng.normal(size=(16, 4))
+    model = MLP(8, [12, 12], 4, seed=0)
+
+    step = CompiledTrainStep(
+        lambda inputs, targets: mse_loss(model(Tensor(inputs)), Tensor(targets)),
+        model.parameters(),
+    )
+    optimizer = Adam(model.parameters(), 1e-3)
+    step(inputs=inputs, targets=targets)
+    (program,) = step.programs()
+    buffer_ids = [id(buffer) for buffer in program.buffers]
+    loss_ids = set()
+    for _ in range(5):
+        loss, = step(inputs=inputs, targets=targets)
+        optimizer.step()
+        loss_ids.add(id(loss.data))
+    assert program.allocations == 0
+    assert program.replays >= 5
+    assert [id(buffer) for buffer in program.buffers] == buffer_ids
+    assert len(loss_ids) == 1  # output buffer is reused across replays
+
+
+def test_codec_step_program_is_allocation_free():
+    encoder, decoder = _codec_pair("mlp")
+    params = encoder.parameters() + decoder.parameters()
+    step = CompiledTrainStep(_train_step_fn(encoder, decoder), params)
+    rng = np.random.default_rng(7)
+    ids = rng.integers(1, 60, size=(6, 8))
+    rows, safe_targets, weights = cross_entropy_parts(ids, 0)
+    for _ in range(4):
+        step(ids=ids, rows=rows, targets=safe_targets, weights=weights)
+    (program,) = step.programs()
+    assert program.allocations == 0
+
+
+def test_gradients_form_one_contiguous_slab():
+    encoder, decoder = _codec_pair("mlp")
+    params = encoder.parameters() + decoder.parameters()
+    step = CompiledTrainStep(_train_step_fn(encoder, decoder), params)
+    rng = np.random.default_rng(8)
+    ids = rng.integers(1, 60, size=(6, 8))
+    rows, safe_targets, weights = cross_entropy_parts(ids, 0)
+    step(ids=ids, rows=rows, targets=safe_targets, weights=weights)
+    step(ids=ids, rows=rows, targets=safe_targets, weights=weights)  # replay publishes slab
+    bases = {id(parameter.grad.base) for parameter in params}
+    assert len(bases) == 1 and None not in bases
+    optimizer = Adam(params, 1e-3)
+    assert optimizer._gradient_slab() is not None
+
+
+# ---------------------------------------------------------------------- #
+# log-softmax satellite: one exp pass, unchanged bits
+# ---------------------------------------------------------------------- #
+def test_log_softmax_forward_and_backward_bits_pinned():
+    rng = np.random.default_rng(9)
+    values = rng.normal(size=(5, 7)) * 10.0
+    tensor = Tensor(values, requires_grad=True)
+    out = tensor.log_softmax(axis=-1)
+    # Historical two-pass forward reference.
+    shifted = values - values.max(axis=-1, keepdims=True)
+    reference = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    assert np.array_equal(out.data, reference)
+    upstream = rng.normal(size=out.shape)
+    out.backward(upstream)
+    softmax = np.exp(reference)
+    expected_grad = upstream - softmax * upstream.sum(axis=-1, keepdims=True)
+    assert np.array_equal(tensor.grad, expected_grad)
+
+
+def test_functional_log_softmax_and_softmax_bits_pinned():
+    from repro.nn.functional import log_softmax, softmax
+
+    rng = np.random.default_rng(10)
+    values = rng.normal(size=(6, 11)) * 5.0
+    shifted = values - values.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    assert np.array_equal(log_softmax(values), shifted - np.log(exps.sum(axis=-1, keepdims=True)))
+    assert np.array_equal(softmax(values), exps / exps.sum(axis=-1, keepdims=True))
+    # The input array must never be mutated in place.
+    copy = values.copy()
+    log_softmax(values)
+    softmax(values)
+    assert np.array_equal(values, copy)
+
+
+def test_linear_compiled_matches_direct_matmul():
+    layer = Linear(5, 3, seed=0)
+    layer.eval()
+    compiled = layer.compile()
+    rng = np.random.default_rng(11)
+    batch = Tensor(rng.normal(size=(7, 5)))
+    assert np.array_equal(layer(batch).data, compiled(batch).data)

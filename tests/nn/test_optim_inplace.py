@@ -1,0 +1,216 @@
+"""In-place optimizers must be bit-identical to the historical allocating ones.
+
+The references below are verbatim transcriptions of the pre-refactor ``SGD``
+``Adam`` and ``clip_gradients`` bodies (fresh-array arithmetic, ``id()``-keyed
+state); the suite pins the new in-place/slab implementations to their exact
+bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, SGD, Tensor, mse_loss
+from repro.nn.graph import CompiledTrainStep, configure, is_enabled
+
+SHAPES = [(8, 16), (16,), (16, 4), (4,), (3, 5, 2)]
+
+
+@pytest.fixture(autouse=True)
+def _graph_enabled():
+    previous = is_enabled()
+    configure(enabled=True)
+    yield
+    configure(enabled=previous)
+
+
+def _reference_sgd_step(data, grads, lr, momentum, weight_decay, velocity):
+    for index, (p, g) in enumerate(zip(data, grads)):
+        if g is None:
+            continue
+        if weight_decay:
+            g = g + weight_decay * p
+        if momentum:
+            v = velocity.get(index)
+            if v is None:
+                v = np.zeros_like(p)
+            v = momentum * v + g
+            velocity[index] = v
+            g = v
+        data[index] = p - lr * g
+    return data
+
+
+def _reference_adam_step(data, grads, lr, b1, b2, eps, weight_decay, state, t):
+    for index, (p, g) in enumerate(zip(data, grads)):
+        if g is None:
+            continue
+        if weight_decay:
+            g = g + weight_decay * p
+        first, second = state.get(index, (None, None))
+        if first is None:
+            first = np.zeros_like(p)
+            second = np.zeros_like(p)
+        first = b1 * first + (1 - b1) * g
+        second = b2 * second + (1 - b2) * g**2
+        state[index] = (first, second)
+        first_hat = first / (1 - b1**t)
+        second_hat = second / (1 - b2**t)
+        data[index] = p - lr * first_hat / (np.sqrt(second_hat) + eps)
+    return data
+
+
+def _reference_clip(grads, max_norm):
+    total = 0.0
+    for g in grads:
+        if g is not None:
+            total += float((g**2).sum())
+    norm = float(np.sqrt(total))
+    scaled = list(grads)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        scaled = [g * scale if g is not None else None for g in grads]
+    return norm, scaled
+
+
+@pytest.mark.parametrize("momentum", [0.0, 0.9])
+@pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+def test_sgd_inplace_bitwise_equals_reference(momentum, weight_decay):
+    rng = np.random.default_rng(0)
+    params = [Tensor(rng.normal(size=s), requires_grad=True) for s in SHAPES]
+    reference = [p.data.copy() for p in params]
+    optimizer = SGD(params, 0.05, momentum=momentum, weight_decay=weight_decay)
+    velocity: dict = {}
+    for step in range(6):
+        grads = [rng.normal(size=s) if (step + i) % 7 else None for i, s in enumerate(SHAPES)]
+        for p, g in zip(params, grads):
+            p.grad = None if g is None else g.copy()
+        optimizer.step()
+        reference = _reference_sgd_step(reference, grads, 0.05, momentum, weight_decay, velocity)
+        for p, r in zip(params, reference):
+            assert np.array_equal(p.data, r)
+
+
+@pytest.mark.parametrize("weight_decay", [0.0, 0.02])
+def test_adam_inplace_bitwise_equals_reference(weight_decay):
+    rng = np.random.default_rng(1)
+    params = [Tensor(rng.normal(size=s), requires_grad=True) for s in SHAPES]
+    reference = [p.data.copy() for p in params]
+    optimizer = Adam(params, 1e-3, weight_decay=weight_decay)
+    state: dict = {}
+    for step in range(1, 7):
+        grads = [rng.normal(size=s) for s in SHAPES]
+        for p, g in zip(params, grads):
+            p.grad = g.copy()
+        optimizer.step()
+        reference = _reference_adam_step(
+            reference, grads, 1e-3, 0.9, 0.999, 1e-8, weight_decay, state, step
+        )
+        for p, r in zip(params, reference):
+            assert np.array_equal(p.data, r)
+
+
+def test_optimizer_state_survives_parameter_replacement():
+    """Index-keyed state: replacing a tensor object keeps its momentum slot."""
+    rng = np.random.default_rng(2)
+    params = [Tensor(rng.normal(size=(4,)), requires_grad=True)]
+    optimizer = SGD(params, 0.1, momentum=0.9)
+    params[0].grad = np.ones(4)
+    optimizer.step()
+    assert optimizer._velocity[0] is not None
+    # Replace the tracked tensor object in place (same position).
+    optimizer.parameters[0] = Tensor(params[0].data.copy(), requires_grad=True)
+    optimizer.parameters[0].grad = np.ones(4)
+    velocity_before = optimizer._velocity[0].copy()
+    optimizer.step()
+    assert not np.array_equal(optimizer._velocity[0], velocity_before)  # state evolved
+
+
+def test_clip_gradients_inplace_bitwise_and_no_realloc():
+    rng = np.random.default_rng(3)
+    params = [Tensor(rng.normal(size=s), requires_grad=True) for s in SHAPES]
+    optimizer = Adam(params, 1e-3)
+    grads = [rng.normal(size=s) * 3 for s in SHAPES]
+    grads[1] = None
+    for p, g in zip(params, grads):
+        p.grad = None if g is None else g.copy()
+    grad_ids = [None if p.grad is None else id(p.grad) for p in params]
+    expected_norm, expected = _reference_clip(grads, 1.5)
+    norm = optimizer.clip_gradients(1.5)
+    assert norm == expected_norm
+    for p, e, gid in zip(params, expected, grad_ids):
+        if e is None:
+            assert p.grad is None
+        else:
+            assert id(p.grad) == gid  # scaled in place, not reallocated
+            assert np.array_equal(p.grad, e)
+
+
+def test_clip_gradients_below_threshold_leaves_gradients_untouched():
+    rng = np.random.default_rng(4)
+    params = [Tensor(rng.normal(size=(5,)), requires_grad=True)]
+    params[0].grad = rng.normal(size=(5,)) * 1e-3
+    before = params[0].grad.copy()
+    optimizer = SGD(params, 0.1)
+    norm = optimizer.clip_gradients(10.0)
+    assert norm < 10.0
+    assert np.array_equal(params[0].grad, before)
+
+
+def test_clip_gradients_slab_path_bitwise_equals_per_parameter():
+    """Slab gradients (graph runtime) clip to exactly the same bits."""
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(12, 6))
+    y = rng.normal(size=(12, 3))
+
+    eager_model = MLP(6, [9], 3, seed=7)
+    eager_optimizer = Adam(eager_model.parameters(), 1e-3)
+    compiled_model = MLP(6, [9], 3, seed=7)
+    compiled_optimizer = Adam(compiled_model.parameters(), 1e-3)
+    step = CompiledTrainStep(
+        lambda x, y: mse_loss(compiled_model(Tensor(x)), Tensor(y)),
+        compiled_model.parameters(),
+    )
+    for _ in range(5):
+        eager_optimizer.zero_grad()
+        loss = mse_loss(eager_model(Tensor(x)), Tensor(y))
+        loss.backward()
+        eager_norm = eager_optimizer.clip_gradients(0.05)  # low: clipping always fires
+        eager_optimizer.step()
+        step(x=x, y=y)
+        compiled_norm = compiled_optimizer.clip_gradients(0.05)
+        compiled_optimizer.step()
+        assert compiled_norm == eager_norm
+    for eager_p, p in zip(eager_model.parameters(), compiled_model.parameters()):
+        assert np.array_equal(eager_p.data, p.data)
+
+
+def test_adam_slab_state_migrates_from_eager_steps():
+    """Mixing eager steps (per-param grads) and replayed steps (slab grads)
+    must follow the exact same trajectory as pure eager."""
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(10, 5))
+    y = rng.normal(size=(10, 2))
+
+    eager_model = MLP(5, [6], 2, seed=3)
+    eager_optimizer = Adam(eager_model.parameters(), 1e-3)
+    mixed_model = MLP(5, [6], 2, seed=3)
+    mixed_optimizer = Adam(mixed_model.parameters(), 1e-3)
+    step = CompiledTrainStep(
+        lambda x, y: mse_loss(mixed_model(Tensor(x)), Tensor(y)),
+        mixed_model.parameters(),
+    )
+    for iteration in range(6):
+        eager_optimizer.zero_grad()
+        loss = mse_loss(eager_model(Tensor(x)), Tensor(y))
+        loss.backward()
+        eager_optimizer.step()
+        if iteration == 2:
+            # Force one eager (non-slab) step in the middle of the mixed run.
+            configure(enabled=False)
+        step(x=x, y=y)
+        configure(enabled=True)
+        mixed_optimizer.step()
+    for eager_p, p in zip(eager_model.parameters(), mixed_model.parameters()):
+        assert np.array_equal(eager_p.data, p.data)
