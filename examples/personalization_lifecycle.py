@@ -22,7 +22,7 @@ import numpy as np
 from repro.core import Message, ReceiverEdgeServer, SenderEdgeServer
 from repro.edge import build_linear_topology
 from repro.federated import DecoderSynchronizer, SyncConfig, parameter_drift
-from repro.semantic import CodecConfig, KnowledgeBaseLibrary, MismatchCalculator
+from repro.semantic import CodecConfig, KnowledgeBaseLibrary
 from repro.workloads import UserStyle, default_domains
 
 
@@ -67,7 +67,6 @@ def main() -> None:
     receiver = ReceiverEdgeServer("edge_1", library)
     topology = build_linear_topology(num_edge_servers=2, devices_per_server=0)
     synchronizer = DecoderSynchronizer(topology, "edge_0", "edge_1", config=SyncConfig(compress=True, topk_fraction=0.25))
-    mismatch = MismatchCalculator()
 
     user_messages = [user.apply(spec.sample_sentence(rng), rng) for _ in range(48)]
     test_messages = user_messages[32:]

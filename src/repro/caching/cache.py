@@ -34,6 +34,9 @@ class CacheStatistics:
     bytes_admitted: int = 0
     bytes_evicted: int = 0
     miss_cost_s: float = 0.0
+    #: Entries dropped by an explicit :meth:`SemanticModelCache.wipe` (a cold
+    #: restart), counted separately from capacity evictions.
+    wipes: int = 0
 
     @property
     def requests(self) -> int:
@@ -178,16 +181,11 @@ class SemanticModelCache:
         if self._pinned_bytes + entry.size_bytes > self.capacity_bytes:
             self.statistics.rejections += 1
             return []
-        evicted: List[CacheEntry] = []
         if existing is not None:
             self._remove(entry.key)
-        while self._used_bytes + entry.size_bytes > self.capacity_bytes:
-            victim = self.policy.pop_victim(self._entries, self.clock)
-            if victim is None:  # unreachable given the feasibility check
-                raise CacheError("eviction required but every entry is pinned")
-            evicted.append(self._remove(victim.key))
-            self.statistics.evictions += 1
-            self.statistics.bytes_evicted += victim.size_bytes
+        evicted = self._evict_down_to(self.capacity_bytes - entry.size_bytes)
+        if self._used_bytes + entry.size_bytes > self.capacity_bytes:
+            raise CacheError("eviction required but every entry is pinned")  # unreachable
         entry.insert_time = self.clock
         entry.last_access_time = self.clock
         self._entries[entry.key] = entry
@@ -197,6 +195,24 @@ class SemanticModelCache:
         self.policy.on_insert(entry, self.clock)
         self.statistics.insertions += 1
         self.statistics.bytes_admitted += entry.size_bytes
+        return evicted
+
+    def _evict_down_to(self, budget: int) -> List[CacheEntry]:
+        """Policy-evict unpinned entries until ``used_bytes <= budget``.
+
+        The one eviction-accounting sequence shared by :meth:`put` (making
+        room for an insertion) and :meth:`resize` (shrinking the budget).
+        Stops early — leaving the cache over ``budget`` — when everything
+        left is pinned.
+        """
+        evicted: List[CacheEntry] = []
+        while self._used_bytes > budget:
+            victim = self.policy.pop_victim(self._entries, self.clock)
+            if victim is None:  # everything left is pinned
+                break
+            evicted.append(self._remove(victim.key))
+            self.statistics.evictions += 1
+            self.statistics.bytes_evicted += victim.size_bytes
         return evicted
 
     def _remove(self, key: str) -> CacheEntry:
@@ -215,6 +231,37 @@ class SemanticModelCache:
         if entry is not None and entry.pinned:
             raise CacheError(f"cannot remove pinned entry {key!r}")
         return self._remove(key)
+
+    def wipe(self, now: Optional[float] = None) -> List[CacheEntry]:
+        """Drop every unpinned entry (a cache cold-restart); returns them.
+
+        Pinned entries survive: their payload is being copied to a neighbour
+        cell right now, and dropping the transfer source mid-flight would
+        corrupt the pin accounting.  Wiped entries are counted in
+        ``statistics.wipes`` (not as capacity evictions).
+        """
+        if now is not None:
+            self.advance_clock(now)
+        wiped = [entry for entry in self._entries.values() if not entry.pinned]
+        for entry in wiped:
+            self._remove(entry.key)
+        self.statistics.wipes += len(wiped)
+        return wiped
+
+    def resize(self, capacity_bytes: int, now: Optional[float] = None) -> List[CacheEntry]:
+        """Change the byte budget mid-run, evicting down to it if shrunk.
+
+        Evictions follow the configured policy and count as normal capacity
+        evictions.  If pinned entries alone exceed the new budget the cache is
+        left over-full (pins are never broken); subsequent insertions are
+        rejected until pins release and usage drains below the budget.
+        """
+        if capacity_bytes < 0:
+            raise CacheError(f"capacity_bytes must be non-negative, got {capacity_bytes}")
+        if now is not None:
+            self.advance_clock(now)
+        self.capacity_bytes = capacity_bytes
+        return self._evict_down_to(capacity_bytes)
 
     # ------------------------------------------------------------------ #
     # Pinning (protection of entries with in-flight readers)

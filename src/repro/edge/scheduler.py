@@ -79,18 +79,40 @@ class FastestFinishPolicy(SchedulingPolicy):
 
 
 class ClusterScheduler:
-    """Places tasks on an :class:`EdgeCluster` according to a policy."""
+    """Places tasks on an :class:`EdgeCluster` according to a policy.
+
+    The scheduler is failure-aware: nodes marked failed via
+    :meth:`mark_failed` are excluded from every placement (including
+    ``preferred_node`` pins — a dead preference falls through to the policy's
+    choice among the survivors) until :meth:`mark_recovered` brings them back.
+    """
 
     def __init__(self, cluster: EdgeCluster, policy: SchedulingPolicy | str = "fastest-finish") -> None:
         self.cluster = cluster
         self.policy = scheduler_registry.create(policy) if isinstance(policy, str) else policy
         self.results: List[TaskResult] = []
+        self._failed: set = set()
+
+    def mark_failed(self, name: str) -> None:
+        """Exclude ``name`` from scheduling until :meth:`mark_recovered`."""
+        self.cluster.node(name)  # validates the name
+        self._failed.add(name)
+
+    def mark_recovered(self, name: str) -> None:
+        """Return a failed node to the candidate pool (no-op if not failed)."""
+        self._failed.discard(name)
+
+    def failed_nodes(self) -> List[str]:
+        """Names of the nodes currently excluded from scheduling."""
+        return sorted(self._failed)
 
     def submit(self, task: ScheduledTask, candidates: Optional[Sequence[str]] = None) -> TaskResult:
         """Schedule and execute ``task`` on one of the candidate nodes.
 
         ``candidates`` defaults to every server in the cluster; a task with a
-        ``preferred_node`` that is among the candidates is pinned there.
+        ``preferred_node`` that is among the (alive) candidates is pinned
+        there.  Failed nodes are never chosen; if every candidate is failed a
+        :class:`SchedulingError` is raised.
         """
         if candidates is None:
             candidate_nodes: List[ComputeNode] = list(self.cluster.servers.values())
@@ -98,6 +120,10 @@ class ClusterScheduler:
             candidate_nodes = [self.cluster.node(name) for name in candidates]
         if not candidate_nodes:
             raise SchedulingError("no candidate nodes available")
+        if self._failed:
+            candidate_nodes = [node for node in candidate_nodes if node.name not in self._failed]
+            if not candidate_nodes:
+                raise SchedulingError("every candidate node is marked failed")
         if task.preferred_node is not None:
             for node in candidate_nodes:
                 if node.name == task.preferred_node:

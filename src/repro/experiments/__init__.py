@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     e7_cache_policies,
     e8_edge_offloading,
     e9_multicell_scale,
+    e10_scenario_stress,
     fig1_workflow,
 )
 from repro.experiments.harness import (

@@ -1,0 +1,61 @@
+"""Declarative stress scenarios for the multi-cell simulator.
+
+The scenario engine turns the event-driven simulator into an instrument for
+adversarial conditions: a :class:`ScenarioSpec` composes piecewise workload
+phases (flash crowds, popularity flips, churn waves), a fault timeline (cell
+outages, cache wipes, link brownouts, capacity crunches, mobility storms) and
+per-phase measurement windows into one reproducible run.  The curated catalog
+(:func:`catalog`) ships nine named scenarios; the ``repro-scenario`` CLI and
+experiment E10 run them, bit-identically at any ``--jobs``.
+"""
+
+from repro.scenarios.catalog import catalog, get_scenario, scenario_names
+from repro.scenarios.measure import PhaseCollector
+from repro.scenarios.runner import (
+    ScenarioResult,
+    apply_fault,
+    build_simulator,
+    run_catalog,
+    run_scenario,
+    schedule_faults,
+)
+from repro.scenarios.spec import (
+    CACHE_RESIZE,
+    CACHE_WIPE,
+    CELL_FAIL,
+    CELL_RECOVER,
+    FAULT_KINDS,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    MOBILITY_SET,
+    FaultEvent,
+    ScenarioSpec,
+    WorkloadPhase,
+)
+from repro.scenarios.workload import phase_request_count, synthesize_trace
+
+__all__ = [
+    "ScenarioSpec",
+    "WorkloadPhase",
+    "FaultEvent",
+    "FAULT_KINDS",
+    "CELL_FAIL",
+    "CELL_RECOVER",
+    "CACHE_WIPE",
+    "LINK_DEGRADE",
+    "LINK_RESTORE",
+    "CACHE_RESIZE",
+    "MOBILITY_SET",
+    "catalog",
+    "scenario_names",
+    "get_scenario",
+    "PhaseCollector",
+    "ScenarioResult",
+    "run_scenario",
+    "run_catalog",
+    "build_simulator",
+    "schedule_faults",
+    "apply_fault",
+    "synthesize_trace",
+    "phase_request_count",
+]

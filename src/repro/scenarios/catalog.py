@@ -1,0 +1,176 @@
+"""The curated scenario catalog.
+
+Nine named, reproducible stress scenarios covering the adversarial regimes the
+happy-path experiments never reach: demand spikes, cell outages, cache cold
+restarts, popularity flips, mobility storms, churn waves, link brownouts and
+capacity crunches — plus a steady-state control every other scenario is read
+against.  Each is a plain :class:`~repro.scenarios.spec.ScenarioSpec`; adding
+a scenario is adding one entry here (the CLI, the runner, E10 and CI pick it
+up by name).
+
+Sizing: at ``scale=1`` each scenario replays roughly 40–70k requests, so the
+full catalog is of the same order as one E9 run; CI's smoke job runs it at
+``--scale 0.05``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    CACHE_RESIZE,
+    CACHE_WIPE,
+    CELL_FAIL,
+    CELL_RECOVER,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    MOBILITY_SET,
+    FaultEvent,
+    ScenarioSpec,
+    WorkloadPhase,
+)
+
+
+def _specs() -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            name="steady_state",
+            description=(
+                "Control: one stationary phase, no faults — the baseline every "
+                "stressed regime is compared against."
+            ),
+            phases=(WorkloadPhase("steady", duration_s=12.0),),
+        ),
+        ScenarioSpec(
+            name="flash_crowd",
+            description=(
+                "A 6x demand spike between two calm phases (a viral event): the "
+                "batchers and caches absorb a burst far above provisioned load."
+            ),
+            base_rate=2500.0,
+            phases=(
+                WorkloadPhase("calm", duration_s=4.0),
+                WorkloadPhase("spike", duration_s=4.0, rate_multiplier=6.0),
+                WorkloadPhase("cooldown", duration_s=4.0),
+            ),
+        ),
+        ScenarioSpec(
+            name="cell_outage",
+            description=(
+                "One of four cells fails mid-run and recovers cold two phases "
+                "later; its users fail over to backhaul neighbours."
+            ),
+            phases=(
+                WorkloadPhase("healthy", duration_s=4.0),
+                WorkloadPhase("outage", duration_s=4.0),
+                WorkloadPhase("recovered", duration_s=4.0),
+            ),
+            events=(
+                FaultEvent(time_s=4.0, kind=CELL_FAIL, cell="cell_1"),
+                FaultEvent(time_s=8.0, kind=CELL_RECOVER, cell="cell_1"),
+            ),
+        ),
+        ScenarioSpec(
+            name="cache_cold_restart",
+            description=(
+                "Every cell's cache is wiped mid-run (a fleet-wide restart): "
+                "the hit ratio collapses and the refill storm hits cloud+backhaul."
+            ),
+            phases=(
+                WorkloadPhase("warm", duration_s=5.0),
+                WorkloadPhase("cold", duration_s=5.0),
+            ),
+            events=(FaultEvent(time_s=5.0, kind=CACHE_WIPE),),
+        ),
+        ScenarioSpec(
+            name="popularity_flip",
+            description=(
+                "The domain popularity ranking rotates by half the catalogue at "
+                "a phase boundary: the cached working set is suddenly the wrong one."
+            ),
+            phases=(
+                WorkloadPhase("before", duration_s=5.0),
+                WorkloadPhase("after", duration_s=5.0, domain_shift=6),
+            ),
+        ),
+        ScenarioSpec(
+            name="rush_hour_mobility",
+            description=(
+                "A commute: demand doubles while the handover probability jumps "
+                "10x (users in motion), then both relax."
+            ),
+            phases=(
+                WorkloadPhase("off_peak", duration_s=4.0),
+                WorkloadPhase("rush", duration_s=4.0, rate_multiplier=2.0),
+                WorkloadPhase("evening", duration_s=4.0),
+            ),
+            events=(
+                FaultEvent(time_s=4.0, kind=MOBILITY_SET, value=0.2),
+                FaultEvent(time_s=8.0, kind=MOBILITY_SET, value=0.02),
+            ),
+        ),
+        ScenarioSpec(
+            name="user_churn_wave",
+            description=(
+                "Half the user population is replaced at each phase boundary: "
+                "fresh users carry no cell affinity, re-randomizing placement."
+            ),
+            phases=(
+                WorkloadPhase("cohort_a", duration_s=4.0),
+                WorkloadPhase("cohort_b", duration_s=4.0, user_churn=0.5),
+                WorkloadPhase("cohort_c", duration_s=4.0, user_churn=0.5),
+            ),
+        ),
+        ScenarioSpec(
+            name="link_brownout",
+            description=(
+                "Every downlink slows 8x for a window (weather, interference), "
+                "then restores: per-request radio time dominates latency."
+            ),
+            phases=(
+                WorkloadPhase("clear", duration_s=4.0),
+                WorkloadPhase("brownout", duration_s=4.0),
+                WorkloadPhase("restored", duration_s=4.0),
+            ),
+            events=(
+                FaultEvent(time_s=4.0, kind=LINK_DEGRADE, factor=8.0),
+                FaultEvent(time_s=8.0, kind=LINK_RESTORE),
+            ),
+        ),
+        ScenarioSpec(
+            name="capacity_crunch",
+            description=(
+                "Every cache shrinks to a quarter of its budget mid-run "
+                "(co-tenant pressure) and is restored later: eviction storms, "
+                "then a refill."
+            ),
+            phases=(
+                WorkloadPhase("full_budget", duration_s=4.0),
+                WorkloadPhase("crunch", duration_s=4.0),
+                WorkloadPhase("restored", duration_s=4.0),
+            ),
+            events=(
+                FaultEvent(time_s=4.0, kind=CACHE_RESIZE, factor=0.25),
+                FaultEvent(time_s=8.0, kind=CACHE_RESIZE, factor=1.0),
+            ),
+        ),
+    ]
+
+
+def catalog() -> Dict[str, ScenarioSpec]:
+    """The named scenario catalog, in curated order."""
+    return {spec.name: spec for spec in _specs()}
+
+
+def scenario_names() -> List[str]:
+    """Catalog names in curated order."""
+    return [spec.name for spec in _specs()]
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one catalog scenario by name."""
+    specs = catalog()
+    if name not in specs:
+        known = ", ".join(specs)
+        raise KeyError(f"unknown scenario {name!r}; catalog has: {known}")
+    return specs[name]

@@ -1,0 +1,175 @@
+"""Command-line front end for the scenario engine.
+
+Installed as the ``repro-scenario`` console script::
+
+    repro-scenario list
+    repro-scenario show flash_crowd
+    repro-scenario run --all --scale 0.05
+    repro-scenario run cell_outage flash_crowd --jobs 4 --output-dir results/
+    repro-scenario compare cell_outage --policies lru,lfu,semantic-popularity
+
+``run`` replays named scenarios (or the whole catalog) and prints the summary
+and per-phase tables; ``compare`` runs one scenario under several cache
+policies and pivots the headline metrics per policy.  Rows fan across the
+parallel runtime with ``--jobs``; every table is byte-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.harness import save_output
+from repro.metrics.reporting import ResultTable
+from repro.scenarios.catalog import catalog, get_scenario, scenario_names
+from repro.scenarios.runner import run_catalog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-scenario`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scenario",
+        description="Run declarative stress scenarios through the multi-cell simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the scenario catalog and exit")
+
+    show = sub.add_parser("show", help="print one scenario's full JSON spec")
+    show.add_argument("name", help="scenario name (see `repro-scenario list`)")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="arrival-rate scale factor; the timeline (phases, fault times) "
+            "never moves, only the request count (default 1.0)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the (scenario x policy) rows; 0 = all "
+            "cores; results are bit-identical to --jobs 1 (default 1)",
+        )
+        p.add_argument("--output-dir", default=None, help="directory to persist tables as JSON")
+        p.add_argument(
+            "--no-phases", action="store_true", help="print only the summary table"
+        )
+
+    run = sub.add_parser("run", help="run scenarios and print their result tables")
+    run.add_argument("names", nargs="*", help="scenario names (default: requires --all)")
+    run.add_argument("--all", action="store_true", help="run the whole catalog")
+    run.add_argument(
+        "--policy", default=None, help="override the cache policy of every scenario"
+    )
+    common(run)
+
+    compare = sub.add_parser(
+        "compare", help="run one scenario under several cache policies and pivot"
+    )
+    compare.add_argument("name", help="scenario to compare policies on")
+    compare.add_argument(
+        "--policies",
+        default="lru,lfu,semantic-popularity",
+        help="comma-separated cache policies (default lru,lfu,semantic-popularity)",
+    )
+    common(compare)
+    return parser
+
+
+def _print_tables(tables: List[ResultTable]) -> None:
+    for table in tables:
+        print(table.to_text())
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        specs = catalog()
+        width = max(len(name) for name in specs)
+        for spec in specs.values():
+            stamp = f"{len(spec.phases)} phases, {len(spec.events)} events"
+            print(f"{spec.name.ljust(width)}  [{stamp}]  {spec.description}")
+        return 0
+
+    if args.command == "show":
+        try:
+            print(get_scenario(args.name).to_json())
+        except KeyError as error:
+            parser.error(str(error))
+        return 0
+
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+
+    if args.command == "run":
+        if args.all:
+            names = scenario_names()
+        elif args.names:
+            names = list(args.names)
+        else:
+            parser.error("name at least one scenario or pass --all")
+        try:
+            specs = [get_scenario(name) for name in names]
+        except KeyError as error:
+            parser.error(str(error))
+        policies = [args.policy] if args.policy else None
+        tables = run_catalog(
+            specs, seed=args.seed, scale=args.scale, jobs=args.jobs, policies=policies
+        )
+        shown = [tables["summary"]] if args.no_phases else list(tables.values())
+        _print_tables(shown)
+        if args.output_dir:
+            save_output("scenario", tables, args.output_dir)
+            print(f"tables saved under {args.output_dir}")
+        return 0
+
+    # compare
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        parser.error(str(error))
+    policies = [policy.strip() for policy in args.policies.split(",") if policy.strip()]
+    if not policies:
+        parser.error("--policies must name at least one policy")
+    tables = run_catalog(
+        [spec],
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        policies=policies,
+        table_prefix=f"compare_{spec.name}",
+    )
+    pivot = ResultTable(
+        name=f"{spec.name}_policy_comparison",
+        description=f"Headline metrics of {spec.name!r} per cache policy.",
+    )
+    for row in tables["summary"].rows:
+        pivot.add_row(
+            policy=row["policy"],
+            completed=row["completed"],
+            dropped=row["dropped"],
+            p50_ms=row["p50_ms"],
+            p95_ms=row["p95_ms"],
+            hit_ratio=row["hit_ratio"],
+            cloud_fetches=row["cloud_fetches"],
+            backhaul_mb=row["backhaul_mb"],
+        )
+    _print_tables([pivot] if args.no_phases else [pivot, tables["phases"]])
+    if args.output_dir:
+        save_output(f"compare_{spec.name}", tables, args.output_dir)
+        print(f"tables saved under {args.output_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""Scenario execution: build, inject, replay, measure.
+
+:func:`run_scenario` is the single-scenario path: synthesize the spec's trace
+(:mod:`repro.scenarios.workload`), build a fresh multi-cell deployment,
+schedule the fault timeline on the event engine, attach the per-phase
+collector, replay, and return both the per-phase rows and a one-line summary.
+
+:func:`run_catalog` fans ``(scenario x policy)`` rows across the
+:class:`~repro.runtime.ParallelRunner` process pool exactly like the
+e-experiments do: each row is a module-level worker fully determined by its
+payload (the spec travels as a plain dict), results merge in submission
+order, so every table is **byte-identical at any ``--jobs``**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.reporting import ResultTable
+from repro.runtime import ParallelRunner, SeedTree
+from repro.scenarios.measure import PhaseCollector
+from repro.scenarios.spec import (
+    CACHE_RESIZE,
+    CACHE_WIPE,
+    CELL_FAIL,
+    CELL_RECOVER,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    MOBILITY_SET,
+    FaultEvent,
+    ScenarioSpec,
+)
+from repro.scenarios.workload import synthesize_trace
+from repro.sim.metrics import SimulationReport
+from repro.sim.multicell import CellConfig, MobilityConfig, default_catalogue
+from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+
+
+def build_simulator(spec: ScenarioSpec, seed: int) -> MultiCellSimulator:
+    """A fresh deployment shaped by ``spec`` (same seed ⇒ same deployment).
+
+    The model catalogue and mobility streams derive from seed-tree paths that
+    do **not** include the cache policy, so two specs differing only in policy
+    replay the identical trace through the identical deployment — policy
+    comparisons are paired, not merely seeded alike.
+    """
+    tree = SeedTree(seed).child("scenario", spec.name)
+    capacity_bytes = int(spec.cache_capacity_mb * 1024 * 1024)
+    cells = [
+        CellConfig(
+            name=f"cell_{index}",
+            cache_capacity_bytes=capacity_bytes,
+            cache_policy=spec.cache_policy,
+        )
+        for index in range(spec.num_cells)
+    ]
+    domain_names = [f"domain_{index}" for index in range(spec.num_domains)]
+    catalogue = default_catalogue(domain_names, seed=tree.seed("catalogue"))
+    config = SimulatorConfig(
+        mobility=MobilityConfig(handover_probability=spec.handover_probability),
+        retain_requests=False,
+    )
+    return MultiCellSimulator(cells, catalogue, config=config, seed=tree.seed("mobility"))
+
+
+def apply_fault(simulator: MultiCellSimulator, spec: ScenarioSpec, event: FaultEvent) -> None:
+    """Execute one fault event against the live simulator (now = event time)."""
+    targets = [event.cell] if event.cell is not None else list(simulator.cells)
+    if event.kind == CELL_FAIL:
+        simulator.fail_cell(event.cell)
+    elif event.kind == CELL_RECOVER:
+        simulator.recover_cell(event.cell)
+    elif event.kind == CACHE_WIPE:
+        for name in targets:
+            simulator.wipe_cell_cache(name)
+    elif event.kind == LINK_DEGRADE:
+        for name in targets:
+            simulator.degrade_downlink(name, event.factor)
+    elif event.kind == LINK_RESTORE:
+        for name in targets:
+            simulator.restore_downlink(name)
+    elif event.kind == CACHE_RESIZE:
+        capacity = int(spec.cache_capacity_mb * 1024 * 1024 * event.factor)
+        for name in targets:
+            simulator.resize_cell_cache(name, capacity)
+    elif event.kind == MOBILITY_SET:
+        simulator.set_handover_probability(event.value)
+    else:  # pragma: no cover - spec validation rejects unknown kinds
+        raise ValueError(f"unknown fault kind {event.kind!r}")
+
+
+def schedule_faults(simulator: MultiCellSimulator, spec: ScenarioSpec) -> None:
+    """Put the spec's fault timeline on the engine ahead of the replay.
+
+    Pre-run heap events hold earlier sequence numbers than streamed arrivals,
+    so a fault at time ``t`` fires before any arrival stamped exactly ``t`` —
+    a phase boundary cleanly separates the regimes.
+    """
+    for event in spec.events:
+        simulator.engine.schedule_at(
+            event.time_s,
+            lambda sim, e=event: apply_fault(simulator, spec, e),
+            label=f"fault:{event.kind}",
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run measured."""
+
+    spec: ScenarioSpec
+    report: SimulationReport
+    summary: Dict[str, object]
+    phases: List[Dict[str, object]]
+
+
+def run_scenario(spec: ScenarioSpec, seed: int = 0, scale: float = 1.0) -> ScenarioResult:
+    """Run one scenario end to end and return its summary + per-phase rows.
+
+    Counter semantics differ between the two row kinds, deliberately: the
+    summary's outcome counters (``hit_ratio``, ``neighbor_fetches``, ...)
+    aggregate per-cell **lookup events**, so a request re-homed by a cell
+    failure counts at both the cell it left and the cell that served it —
+    that is the real load each cell saw.  The per-phase rows count each
+    **request** once, by its final outcome.  Under fault injection the two
+    views legitimately disagree by exactly the failed-over work.
+    """
+    trace = synthesize_trace(spec, seed=seed, scale=scale)
+    simulator = build_simulator(spec, seed=seed)
+    collector = PhaseCollector(spec)
+    simulator.on_request_end = collector
+    schedule_faults(simulator, spec)
+    report = simulator.replay(trace)
+    summary: Dict[str, object] = dict(
+        scenario=spec.name,
+        policy=spec.cache_policy,
+        requests=len(trace),
+        completed=report.completed,
+        dropped=report.dropped,
+        mean_ms=report.latency["mean_s"] * 1000.0,
+        p50_ms=report.latency["p50_s"] * 1000.0,
+        p95_ms=report.latency["p95_s"] * 1000.0,
+        p99_ms=report.latency["p99_s"] * 1000.0,
+        hit_ratio=report.hit_ratio,
+        neighbor_fetches=sum(stats.neighbor_fetches for stats in report.cells.values()),
+        cloud_fetches=sum(stats.cloud_fetches for stats in report.cells.values()),
+        coalesced=sum(stats.coalesced for stats in report.cells.values()),
+        handovers=sum(stats.handovers_in for stats in report.cells.values()),
+        failovers=sum(stats.failovers for stats in report.cells.values()),
+        mean_batch_size=report.mean_batch_size,
+        compute_busy_s=report.total_compute_busy_s,
+        backhaul_mb=report.backhaul_bytes / 1024**2,
+        cloud_mb=report.cloud_bytes / 1024**2,
+    )
+    phase_rows = [
+        dict(scenario=spec.name, policy=spec.cache_policy, **row) for row in collector.rows()
+    ]
+    return ScenarioResult(spec=spec, report=report, summary=summary, phases=phase_rows)
+
+
+def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """One independent (scenario x policy) work unit for the process pool."""
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    policy = payload.get("policy")
+    if policy:
+        spec = spec.with_policy(str(policy))
+    result = run_scenario(spec, seed=int(payload["seed"]), scale=float(payload["scale"]))
+    return result.summary, result.phases
+
+
+def run_catalog(
+    specs: Sequence[ScenarioSpec],
+    seed: int = 0,
+    scale: float = 1.0,
+    jobs: int = 1,
+    policies: Optional[Sequence[str]] = None,
+    table_prefix: str = "scenario",
+) -> Dict[str, ResultTable]:
+    """Run every ``(scenario, policy)`` pair and collect two result tables.
+
+    ``policies=None`` runs each spec under its own configured policy; a list
+    runs every spec under every named policy (the E10 comparison shape).
+    Rows fan across the process pool and merge in submission order, so the
+    returned tables are byte-identical for every ``jobs`` value.
+    """
+    payloads: List[Dict[str, object]] = [
+        {"spec": spec.to_dict(), "seed": seed, "scale": scale, "policy": policy}
+        for spec in specs
+        for policy in (policies if policies is not None else [None])
+    ]
+    summary_table = ResultTable(
+        name=f"{table_prefix}_summary",
+        description=(
+            f"End-to-end outcome of each stress scenario at scale={scale}, seed={seed}: "
+            "latency percentiles, drop/failover counts and cache behaviour per "
+            "(scenario, policy) row."
+        ),
+    )
+    phase_table = ResultTable(
+        name=f"{table_prefix}_phases",
+        description=(
+            "Per-phase measurement windows of every scenario row: each workload phase "
+            "(calm/spike, healthy/outage/recovered, ...) is reported separately."
+        ),
+    )
+    for summary, phase_rows in ParallelRunner(jobs=jobs).map(_run_row, payloads):
+        summary_table.add_row(**summary)
+        for row in phase_rows:
+            phase_table.add_row(**row)
+    return {"summary": summary_table, "phases": phase_table}

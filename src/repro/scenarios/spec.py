@@ -1,0 +1,274 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the unit the scenario engine runs: plain, frozen,
+JSON-serializable dataclasses composing
+
+* **workload phases** (:class:`WorkloadPhase`) — a piecewise arrival-rate
+  schedule with per-phase popularity skew, popularity rotation and user-churn
+  waves, synthesized into one columnar request trace
+  (:mod:`repro.scenarios.workload`);
+* a **fault timeline** (:class:`FaultEvent`) — timed mutations injected into
+  the discrete-event simulator (cell failure/recovery, cache wipes, link
+  degradation, capacity resizing, mobility surges);
+* **measurement windows** — every phase is reported separately
+  (:mod:`repro.scenarios.measure`), so degraded and recovered regimes never
+  blur into one average.
+
+Specs round-trip through ``to_dict``/``from_dict`` (and JSON), which is also
+how they cross process boundaries when the runner fans scenarios across the
+parallel runtime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Fault-event kinds understood by :func:`repro.scenarios.runner.apply_fault`.
+CELL_FAIL = "cell_fail"
+CELL_RECOVER = "cell_recover"
+CACHE_WIPE = "cache_wipe"
+LINK_DEGRADE = "link_degrade"
+LINK_RESTORE = "link_restore"
+CACHE_RESIZE = "cache_resize"
+MOBILITY_SET = "mobility_set"
+
+FAULT_KINDS = (
+    CELL_FAIL,
+    CELL_RECOVER,
+    CACHE_WIPE,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    CACHE_RESIZE,
+    MOBILITY_SET,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One piecewise-constant segment of the workload schedule.
+
+    Attributes
+    ----------
+    name:
+        Phase label; also names the measurement window in every result table.
+    duration_s:
+        Simulated length of the phase.
+    rate_multiplier:
+        Arrival rate of the phase as a multiple of the spec's ``base_rate``
+        (a flash crowd is simply a phase with a large multiplier).
+    zipf_exponent:
+        Per-phase popularity skew override (``None`` = the spec's default).
+    domain_shift:
+        Rotate the popularity ranking by this many positions: domain ``i``
+        inherits the popularity rank that domain ``i - shift`` had.  A shift
+        of half the domain count is a popularity flip — the cache's working
+        set is suddenly the wrong one.
+    user_churn:
+        Fraction of the user pool replaced by never-seen users at the start
+        of the phase (a churn wave).  Fresh users carry no serving-cell
+        affinity, so they re-randomize mobility placement.
+    """
+
+    name: str
+    duration_s: float
+    rate_multiplier: float = 1.0
+    zipf_exponent: Optional[float] = None
+    domain_shift: int = 0
+    user_churn: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("phase name must not be empty")
+        if self.duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be positive, got {self.duration_s}")
+        if self.rate_multiplier <= 0:
+            raise ConfigurationError(f"rate_multiplier must be positive, got {self.rate_multiplier}")
+        if self.zipf_exponent is not None and self.zipf_exponent < 0:
+            raise ConfigurationError(f"zipf_exponent must be non-negative, got {self.zipf_exponent}")
+        if not 0.0 <= self.user_churn <= 1.0:
+            raise ConfigurationError(f"user_churn must be in [0, 1], got {self.user_churn}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed mutation of the running deployment.
+
+    Attributes
+    ----------
+    time_s:
+        Absolute simulation time at which the event fires.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    cell:
+        Target cell name (``cell_<i>``); ``None`` targets every cell for the
+        kinds where that makes sense (wipe, link, resize).  ``cell_fail`` and
+        ``cell_recover`` require an explicit cell.
+    factor:
+        Meaning depends on ``kind``: downlink slow-down multiple for
+        ``link_degrade`` (8 = eight times slower), capacity multiple of the
+        configured budget for ``cache_resize`` (0.25 = shrink to a quarter).
+    value:
+        The new handover probability for ``mobility_set``.
+    """
+
+    time_s: float
+    kind: str
+    cell: Optional[str] = None
+    factor: float = 1.0
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigurationError(f"time_s must be non-negative, got {self.time_s}")
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.kind in (CELL_FAIL, CELL_RECOVER) and self.cell is None:
+            raise ConfigurationError(f"{self.kind} requires an explicit cell")
+        if self.factor <= 0:
+            raise ConfigurationError(f"factor must be positive, got {self.factor}")
+        if self.kind == MOBILITY_SET:
+            if self.value is None or not 0.0 <= self.value <= 1.0:
+                raise ConfigurationError(f"mobility_set requires value in [0, 1], got {self.value}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, reproducible stress scenario.
+
+    The workload (phases), the fault timeline (events) and the deployment
+    shape live in one flat object: the same spec plus the same seed always
+    produces byte-identical result tables, at any ``--jobs``.
+    """
+
+    name: str
+    description: str
+    phases: Tuple[WorkloadPhase, ...]
+    events: Tuple[FaultEvent, ...] = ()
+    num_cells: int = 4
+    num_domains: int = 12
+    num_users: int = 400
+    #: Nominal arrivals per simulated second at ``rate_multiplier=1``.
+    base_rate: float = 4000.0
+    zipf_exponent: float = 0.9
+    cache_policy: str = "lru"
+    cache_capacity_mb: float = 48.0
+    handover_probability: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must not be empty")
+        if not self.phases:
+            raise ConfigurationError("a scenario needs at least one phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        object.__setattr__(self, "events", tuple(self.events))
+        names = [phase.name for phase in self.phases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"phase names must be unique, got {names}")
+        if self.num_cells < 1:
+            raise ConfigurationError(f"num_cells must be >= 1, got {self.num_cells}")
+        if self.num_domains < 1:
+            raise ConfigurationError(f"num_domains must be >= 1, got {self.num_domains}")
+        if self.num_users < 1:
+            raise ConfigurationError(f"num_users must be >= 1, got {self.num_users}")
+        if self.base_rate <= 0:
+            raise ConfigurationError(f"base_rate must be positive, got {self.base_rate}")
+        if self.zipf_exponent < 0:
+            raise ConfigurationError(f"zipf_exponent must be non-negative, got {self.zipf_exponent}")
+        if self.cache_capacity_mb <= 0:
+            raise ConfigurationError(f"cache_capacity_mb must be positive, got {self.cache_capacity_mb}")
+        if not 0.0 <= self.handover_probability <= 1.0:
+            raise ConfigurationError(
+                f"handover_probability must be in [0, 1], got {self.handover_probability}"
+            )
+        duration = self.total_duration_s
+        # The exact names the runner generates — 'cell_01' is not 'cell_1'.
+        cell_names = {f"cell_{index}" for index in range(self.num_cells)}
+        for event in self.events:
+            if event.time_s > duration:
+                raise ConfigurationError(
+                    f"event {event.kind!r} at t={event.time_s}s is past the scenario end "
+                    f"({duration}s)"
+                )
+            if event.cell is not None and event.cell not in cell_names:
+                raise ConfigurationError(
+                    f"event targets unknown cell {event.cell!r} (deployment has "
+                    f"{self.num_cells} cells named cell_0..cell_{self.num_cells - 1})"
+                )
+
+    @property
+    def total_duration_s(self) -> float:
+        """Simulated length of the whole scenario."""
+        return sum(phase.duration_s for phase in self.phases)
+
+    def phase_boundaries(self) -> List[float]:
+        """Phase start times plus the final end time (``len(phases) + 1`` values)."""
+        boundaries = [0.0]
+        for phase in self.phases:
+            boundaries.append(boundaries[-1] + phase.duration_s)
+        return boundaries
+
+    def phase_request_count(self, index: int, scale: float = 1.0) -> int:
+        """Requests the synthesizer draws for phase ``index`` at ``scale`` (>= 1).
+
+        ``scale`` multiplies the *rate*, not the duration, so fault-event
+        times and phase boundaries never move with it.
+        """
+        phase = self.phases[index]
+        return max(1, round(self.base_rate * phase.rate_multiplier * scale * phase.duration_s))
+
+    def expected_requests(self, scale: float = 1.0) -> int:
+        """Total request count the workload synthesizer will draw at ``scale``."""
+        return sum(self.phase_request_count(index, scale) for index in range(len(self.phases)))
+
+    def with_policy(self, policy: str) -> "ScenarioSpec":
+        """A copy of this spec running a different cache eviction policy."""
+        return replace(self, cache_policy=policy)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (tuples become lists)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["phases"] = tuple(
+            phase if isinstance(phase, WorkloadPhase) else WorkloadPhase(**phase)
+            for phase in payload.get("phases", ())
+        )
+        payload["events"] = tuple(
+            event if isinstance(event, FaultEvent) else FaultEvent(**event)
+            for event in payload.get("events", ())
+        )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Serialize the spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+__all__ = [
+    "WorkloadPhase",
+    "FaultEvent",
+    "ScenarioSpec",
+    "FAULT_KINDS",
+    "CELL_FAIL",
+    "CELL_RECOVER",
+    "CACHE_WIPE",
+    "LINK_DEGRADE",
+    "LINK_RESTORE",
+    "CACHE_RESIZE",
+    "MOBILITY_SET",
+]

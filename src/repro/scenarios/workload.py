@@ -1,0 +1,82 @@
+"""Phase-structured workload synthesis for scenario specs.
+
+Turns a :class:`~repro.scenarios.spec.ScenarioSpec`'s phase schedule into one
+columnar :class:`~repro.workloads.traces.RequestTrace`:
+
+* per phase, arrival timestamps are uniform order statistics on the phase
+  window (:func:`~repro.workloads.generator.segment_arrival_times` — the
+  conditional law of a Poisson process given its count), so a piecewise
+  schedule is just concatenated segments and the global timestamp array is
+  non-decreasing by construction;
+* domains are Zipf-sampled per phase with the phase's skew and popularity
+  rotation, so a ``domain_shift`` between phases moves the hot set;
+* user indices are drawn from a live pool that churn waves mutate at phase
+  starts (replaced slots get never-seen user ids).
+
+Every random draw comes from a :class:`~repro.runtime.SeedTree` path that
+names the scenario and the phase, so the trace is a pure function of
+``(spec, seed, scale)`` — independent of process count, submission order, or
+which worker synthesizes it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.runtime import SeedTree
+from repro.scenarios.spec import ScenarioSpec
+from repro.workloads.generator import segment_arrival_times
+from repro.workloads.traces import RequestTrace, zipf_probabilities
+
+
+def phase_request_count(spec: ScenarioSpec, phase_index: int, scale: float) -> int:
+    """Deterministic request count of one phase at ``scale`` (always >= 1).
+
+    Delegates to :meth:`ScenarioSpec.phase_request_count` — the one place the
+    sizing formula lives, so ``expected_requests`` always predicts exactly
+    what the synthesizer draws.
+    """
+    return spec.phase_request_count(phase_index, scale)
+
+
+def synthesize_trace(spec: ScenarioSpec, seed: int, scale: float = 1.0) -> RequestTrace:
+    """Sample the scenario's full request trace (columnar, time-sorted)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    tree = SeedTree(seed).child("scenario", spec.name)
+    pool = np.arange(spec.num_users, dtype=np.int64)
+    next_user_id = spec.num_users
+    time_chunks: List[np.ndarray] = []
+    domain_chunks: List[np.ndarray] = []
+    user_chunks: List[np.ndarray] = []
+    start = 0.0
+    for index, phase in enumerate(spec.phases):
+        rng = tree.rng("phase", index)
+        count = phase_request_count(spec, index, scale)
+        times = segment_arrival_times(start, phase.duration_s, count, rng)
+        exponent = spec.zipf_exponent if phase.zipf_exponent is None else phase.zipf_exponent
+        probabilities = zipf_probabilities(spec.num_domains, exponent)
+        if phase.domain_shift:
+            # Domain i inherits the popularity rank domain (i - shift) had.
+            probabilities = np.roll(probabilities, phase.domain_shift)
+        domains = rng.choice(spec.num_domains, size=count, p=probabilities)
+        if phase.user_churn > 0.0 and index > 0:
+            churned = round(phase.user_churn * spec.num_users)
+            if churned > 0:
+                slots = rng.choice(spec.num_users, size=churned, replace=False)
+                pool[slots] = next_user_id + np.arange(churned)
+                next_user_id += churned
+        users = pool[rng.integers(0, spec.num_users, size=count)]
+        time_chunks.append(times)
+        domain_chunks.append(domains)
+        user_chunks.append(users)
+        start += phase.duration_s
+    domain_names = [f"domain_{index}" for index in range(spec.num_domains)]
+    return RequestTrace.from_columns(
+        np.concatenate(time_chunks),
+        np.concatenate(user_chunks),
+        np.concatenate(domain_chunks),
+        domain_names,
+    )

@@ -93,6 +93,11 @@ class CellStats:
     completed: int = 0
     batches: int = 0
     batched_requests: int = 0
+    #: Requests re-homed to this cell because their serving cell had failed
+    #: (a subset of ``handovers_in``; only non-zero under fault injection).
+    failovers: int = 0
+    #: Requests this cell had to drop because no alive cell was reachable.
+    dropped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -127,6 +132,9 @@ class SimulationReport:
     total_compute_busy_s: float = 0.0
     backhaul_bytes: float = 0.0
     cloud_bytes: float = 0.0
+    #: Requests dropped because no alive cell could serve them (fault
+    #: injection only; always 0 in a healthy deployment).
+    dropped: int = 0
 
     @property
     def requests_per_sec(self) -> float:

@@ -14,7 +14,7 @@ request, charging a control-plane handover delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.caching.cache import SemanticModelCache
@@ -98,6 +98,15 @@ class Cell:
         self.inflight: Dict[str, List[object]] = {}
         #: Other cells ordered by increasing backhaul cost (set by the deployment).
         self.neighbor_order: List["Cell"] = []
+        #: Whether the cell is currently down (fault injection); a failed cell
+        #: serves no arrivals, admits nothing to its cache, and is skipped as a
+        #: cooperative fetch source.
+        self.failed: bool = False
+        #: Bumped on every failure.  Model fetches capture it when they start
+        #: and are discarded on completion if it moved — a fetch that was in
+        #: flight across an outage must not admit a model into the cold
+        #: post-recovery cache or serve a newer fetch's waiters.
+        self.failure_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -147,6 +156,28 @@ class MobilityModel:
             cell = self.cell_names[int(self.rng.integers(len(self.cell_names)))]
             self._user_cell[user_id] = cell
         return cell
+
+    def place(self, user_id: str, cell_name: str) -> None:
+        """Pin ``user_id`` to ``cell_name`` without consuming the RNG stream.
+
+        Used by failure-driven handovers: the simulator re-homes a user to a
+        chosen alive cell, which must not disturb the random-handover draws of
+        every later arrival.
+        """
+        if cell_name not in self._ring_index:
+            raise ConfigurationError(f"unknown cell {cell_name!r}")
+        self._user_cell[user_id] = cell_name
+
+    def set_handover_probability(self, probability: float) -> None:
+        """Change the per-arrival handover probability mid-run (mobility storms).
+
+        Both the hot-path copy and the public ``config`` move, so readers of
+        either always agree on the live value.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"handover_probability must be in [0, 1], got {probability}")
+        self._probability = probability
+        self.config = replace(self.config, handover_probability=probability)
 
     def maybe_move(self, user_id: str) -> Optional[Tuple[str, str]]:
         """Move the user to a random ring neighbour with the configured probability.

@@ -19,6 +19,10 @@ ARRIVED = "arrived"
 FETCHING = "fetching"
 QUEUED = "queued"
 COMPLETED = "completed"
+#: Terminal state of a request that could not be served: its serving cell
+#: failed and no alive cell was reachable (only possible under fault
+#: injection, never in a healthy deployment).
+DROPPED = "dropped"
 
 #: Cache-lookup outcomes.
 LOCAL_HIT = "hit"

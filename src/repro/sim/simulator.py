@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from repro.sim.request import (
     CLOUD_FETCH,
     COALESCED,
     COMPLETED,
+    DROPPED,
     FETCHING,
     LOCAL_HIT,
     NEIGHBOR_FETCH,
@@ -149,11 +150,18 @@ class MultiCellSimulator:
             )
             for domain, spec in self.catalogue.items()
         }
-        # Downlink transmit time of one feature payload is constant per cell.
+        # Downlink transmit time of one feature payload is constant per cell
+        # (until a link-degradation fault scales it; the baseline is kept so
+        # restore_downlink is exact, not a division).
         self._downlink_time: Dict[str, float] = {
             name: cell.downlink.transfer_time(self.config.feature_bytes)
             for name, cell in self.cells.items()
         }
+        self._downlink_base: Dict[str, float] = dict(self._downlink_time)
+        #: Optional observer called once per request at its terminal event
+        #: (completion or drop).  Scenario measurement windows hang off this;
+        #: ``None`` (the default) costs one predicate per completion.
+        self.on_request_end: Optional[Callable[[Request], None]] = None
 
     # ------------------------------------------------------------------ #
     # Trace replay
@@ -388,6 +396,11 @@ class MultiCellSimulator:
         cell_name, moved = self.mobility.resolve(request.user_id)
         cell = self.cells[cell_name]
         request.cell = cell_name
+        if cell.failed:
+            # The serving cell is down: hand the user over to the nearest
+            # alive neighbour (this also re-homes the user for later arrivals).
+            self._failover(request, cell)
+            return
         if moved is not None:
             request.handover = True
             cell.stats.handovers_in += 1
@@ -397,7 +410,45 @@ class MultiCellSimulator:
                 return
         self._lookup(request, cell)
 
+    def _failover(self, request: Request, from_cell: Cell) -> None:
+        """Re-home ``request`` from a failed cell to its nearest alive neighbour.
+
+        Fallback candidates are the failed cell's backhaul-reachable neighbours
+        in increasing transfer-cost order (the cooperative-fetch ordering).  If
+        every one of them is down too the request is dropped — the only way a
+        request ever terminates unserved.  A failure handover charges the same
+        control-plane delay as a mobility handover.
+        """
+        fallback: Optional[Cell] = None
+        for neighbor in from_cell.neighbor_order:
+            if not neighbor.failed:
+                fallback = neighbor
+                break
+        if fallback is None:
+            request.status = DROPPED
+            from_cell.stats.dropped += 1
+            hook = self.on_request_end
+            if hook is not None:
+                hook(request)
+            return
+        request.handover = True
+        request.cell = fallback.name
+        fallback.stats.handovers_in += 1
+        fallback.stats.failovers += 1
+        self.mobility.place(request.user_id, fallback.name)
+        delay = self.config.mobility.handover_delay_s
+        if delay > 0:
+            self.engine.post(delay, lambda sim, r=request, c=fallback: self._lookup(r, c))
+        else:
+            self._lookup(request, fallback)
+
     def _lookup(self, request: Request, cell: Cell) -> None:
+        if cell.failed:
+            # The cell went down while this request was in a handover delay
+            # (or mid-failover chain); keep falling over until an alive cell
+            # answers or every candidate is gone.
+            self._failover(request, cell)
+            return
         now = self.engine.now
         request.lookup_time = now
         key = request.model_key
@@ -419,6 +470,7 @@ class MultiCellSimulator:
         cell.inflight[key] = [request]
         spec = self._domain_info[request.domain][2]
         source = self._find_source_cell(cell, key)
+        epoch = cell.failure_epoch
         if source is not None:
             cell.stats.neighbor_fetches += 1
             request.cache_outcome = NEIGHBOR_FETCH
@@ -427,7 +479,9 @@ class MultiCellSimulator:
             self.backhaul_bytes += spec.size_bytes
             self.engine.post(
                 delay,
-                lambda sim, c=cell, k=key, s=source, m=spec: self._fetch_done(c, k, m, source=s),
+                lambda sim, c=cell, k=key, s=source, m=spec, e=epoch: self._fetch_done(
+                    c, k, m, source=s, epoch=e
+                ),
             )
         else:
             cell.stats.cloud_fetches += 1
@@ -436,19 +490,37 @@ class MultiCellSimulator:
             self.cloud_bytes += spec.size_bytes
             self.engine.post(
                 delay,
-                lambda sim, c=cell, k=key, m=spec: self._fetch_done(c, k, m, source=None),
+                lambda sim, c=cell, k=key, m=spec, e=epoch: self._fetch_done(
+                    c, k, m, source=None, epoch=e
+                ),
             )
 
     def _find_source_cell(self, cell: Cell, key: str) -> Optional[Cell]:
         for neighbor in cell.neighbor_order:
-            if neighbor.cache.peek(key) is not None:
+            if not neighbor.failed and neighbor.cache.peek(key) is not None:
                 return neighbor
         return None
 
-    def _fetch_done(self, cell: Cell, key: str, spec: ModelSpec, source: Optional[Cell]) -> None:
+    def _fetch_done(
+        self, cell: Cell, key: str, spec: ModelSpec, source: Optional[Cell], epoch: int = 0
+    ) -> None:
         now = self.engine.now
         if source is not None:
-            source.cache.unpin(key)
+            source_entry = source.cache.unpin(key)
+            if source.failed and not source_entry.pinned:
+                # The source died mid-transfer: the pin kept the payload alive
+                # for this copy, and its release completes the failure wipe —
+                # otherwise the entry would outlive the outage and recover warm.
+                source.cache.remove(key)
+                source.cache.statistics.wipes += 1
+        if cell.failed or epoch != cell.failure_epoch:
+            # The destination died while the model was in flight (and possibly
+            # recovered since).  The bytes were already spent and the source
+            # pin is released above; this fetch's waiters were failed over at
+            # failure time, so nothing is admitted and nobody is served —
+            # in particular not the waiters of any *newer* fetch for the same
+            # key started after recovery, whose own completion is still due.
+            return
         if spec.size_bytes <= cell.cache.capacity_bytes:
             entry = CacheEntry(
                 key=key,
@@ -508,13 +580,99 @@ class MultiCellSimulator:
     def _complete(self, cell: Cell, requests: List[Request]) -> None:
         now = self.engine.now
         record = self.latency.record
+        hook = self.on_request_end
         for request in requests:
             request.completion_time = now
             request.status = COMPLETED
             record(now - request.arrival_time)
+            if hook is not None:
+                hook(request)
         cell.stats.completed += len(requests)
         self._completed_total += len(requests)
         self._last_completion = now
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (timed mid-run mutations)
+    # ------------------------------------------------------------------ #
+    # Scenario timelines (:mod:`repro.scenarios`) schedule these through
+    # ``engine.schedule_at``; they are also directly callable between runs.
+    # None of them consumes randomness, so a fault-free run's RNG streams are
+    # untouched and a faulted run is exactly as deterministic as the spec.
+    def fail_cell(self, name: str) -> None:
+        """Take a cell down: wipe its cache, hand over everything it holds.
+
+        Requests waiting in the cell's batch queue and requests parked on its
+        in-flight fetches are failed over to the nearest alive neighbour (or
+        dropped if none exists).  The cache loses every unpinned entry — a
+        later :meth:`recover_cell` is a cold restart.  Requests already past
+        the encode stage (completion events in flight) complete normally:
+        their features were already transmitted.
+        """
+        cell = self.cells[name]
+        if cell.failed:
+            return
+        cell.failed = True
+        cell.failure_epoch += 1
+        now = self.engine.now
+        cell.cache.wipe(now=now)
+        # Flush (rather than drop) the open batch so its requests are re-homed;
+        # the generation bump turns any pending batch-timeout into a no-op.
+        batch = cell.batcher.flush()
+        displaced: List[Request] = list(batch.items) if batch is not None else []
+        for waiters in cell.inflight.values():
+            displaced.extend(waiters)
+        cell.inflight.clear()
+        for request in displaced:
+            self._failover(request, cell)
+
+    def recover_cell(self, name: str) -> None:
+        """Bring a failed cell back (cache cold — it was wiped at failure).
+
+        Entries that survived the failure wipe only because a neighbour's copy
+        was in flight are dropped when that pin releases (see ``_fetch_done``);
+        the wipe here catches any such survivor whose pin released after a
+        second failure window, keeping the cold-restart invariant.  The one
+        deliberate exception: an entry still pinned *right now* (its transfer
+        outlived the whole outage) stays, because pins are never broken.
+        """
+        cell = self.cells[name]
+        if cell.failed:
+            cell.cache.wipe(now=self.engine.now)
+            cell.failed = False
+
+    def alive_cells(self) -> List[str]:
+        """Names of the cells currently up."""
+        return [name for name, cell in self.cells.items() if not cell.failed]
+
+    def wipe_cell_cache(self, name: str) -> int:
+        """Cold-restart one cell's cache without downtime; returns entries dropped.
+
+        Pinned entries (transfer sources with a copy in flight) survive — see
+        :meth:`~repro.caching.cache.SemanticModelCache.wipe`.
+        """
+        return len(self.cells[name].cache.wipe(now=self.engine.now))
+
+    def degrade_downlink(self, name: str, factor: float) -> None:
+        """Scale one cell's per-request downlink time by ``factor`` (>= 1 slows).
+
+        The factor applies to the healthy baseline, so repeated degradations
+        replace each other instead of compounding.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be positive, got {factor}")
+        self._downlink_time[name] = self._downlink_base[name] * factor
+
+    def restore_downlink(self, name: str) -> None:
+        """Reset one cell's downlink to its healthy baseline."""
+        self._downlink_time[name] = self._downlink_base[name]
+
+    def resize_cell_cache(self, name: str, capacity_bytes: int) -> None:
+        """Change one cell's cache budget mid-run, evicting down to it if shrunk."""
+        self.cells[name].cache.resize(capacity_bytes, now=self.engine.now)
+
+    def set_handover_probability(self, probability: float) -> None:
+        """Change the mobility model's handover probability mid-run."""
+        self.mobility.set_handover_probability(probability)
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -531,4 +689,5 @@ class MultiCellSimulator:
             total_compute_busy_s=sum(cell.server.compute.busy_time for cell in self.cells.values()),
             backhaul_bytes=self.backhaul_bytes,
             cloud_bytes=self.cloud_bytes,
+            dropped=sum(cell.stats.dropped for cell in self.cells.values()),
         )

@@ -19,6 +19,7 @@ from repro.workloads.generator import (
     diurnal_arrival_times,
     generate_user_style,
     poisson_arrival_times,
+    segment_arrival_times,
 )
 from repro.workloads.metaverse import (
     MetaverseEvent,
@@ -53,6 +54,7 @@ __all__ = [
     "ArrivalTraceGenerator",
     "poisson_arrival_times",
     "diurnal_arrival_times",
+    "segment_arrival_times",
     "TraceRequest",
     "RequestTrace",
     "ZipfTraceGenerator",

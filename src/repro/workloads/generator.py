@@ -251,6 +251,27 @@ def diurnal_arrival_times(
     return times
 
 
+def segment_arrival_times(
+    start_s: float,
+    duration_s: float,
+    num_arrivals: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sorted arrival timestamps of one constant-rate segment.
+
+    Samples ``num_arrivals`` uniform order statistics on
+    ``[start_s, start_s + duration_s)`` — exactly the conditional law of a
+    homogeneous Poisson process given its arrival count, which makes segments
+    composable: a piecewise-constant rate schedule is just consecutive
+    segments with different counts (the scenario engine's workload phases).
+    """
+    if num_arrivals < 0:
+        raise ValueError(f"num_arrivals must be non-negative, got {num_arrivals}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    return np.sort(rng.uniform(start_s, start_s + duration_s, size=num_arrivals))
+
+
 class ArrivalTraceGenerator:
     """Request traces with realistic arrival processes for the event simulator.
 

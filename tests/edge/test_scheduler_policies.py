@@ -78,3 +78,43 @@ class TestEveryPolicy:
 
 def test_registry_has_expected_policies():
     assert {"round-robin", "least-loaded", "fastest-finish"} <= set(ALL_POLICIES)
+
+
+@pytest.mark.parametrize("policy_name", ALL_POLICIES)
+class TestFailureAwareness:
+    def test_failed_node_is_never_chosen(self, policy_name):
+        cluster = build_cluster(3)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        scheduler.mark_failed("edge_1")
+        for index in range(12):
+            result = scheduler.submit(ScheduledTask(f"task_{index}", 1e8, float(index)))
+            assert result.node != "edge_1"
+
+    def test_failed_preference_falls_through_to_survivors(self, policy_name):
+        cluster = build_cluster(3)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        scheduler.mark_failed("edge_2")
+        task = ScheduledTask("pinned-to-dead", 1e8, 0.0, preferred_node="edge_2")
+        assert scheduler.submit(task).node in {"edge_0", "edge_1"}
+
+    def test_every_candidate_failed_raises(self, policy_name):
+        cluster = build_cluster(2)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        scheduler.mark_failed("edge_0")
+        scheduler.mark_failed("edge_1")
+        with pytest.raises(SchedulingError):
+            scheduler.submit(ScheduledTask("t", 1e8, 0.0))
+
+    def test_recovery_restores_the_node(self, policy_name):
+        cluster = build_cluster(1)
+        scheduler = ClusterScheduler(cluster, policy=policy_name)
+        scheduler.mark_failed("edge_0")
+        scheduler.mark_recovered("edge_0")
+        assert scheduler.failed_nodes() == []
+        assert scheduler.submit(ScheduledTask("t", 1e8, 0.0)).node == "edge_0"
+
+    def test_mark_failed_validates_the_name(self, policy_name):
+        scheduler = ClusterScheduler(build_cluster(1), policy=policy_name)
+        with pytest.raises(SchedulingError):
+            scheduler.mark_failed("edge_99")
+        assert scheduler.failed_nodes() == []

@@ -1,0 +1,75 @@
+"""The repro-scenario command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import scenario_names
+from repro.scenarios.cli import main
+
+
+def test_list_prints_the_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_show_prints_a_json_spec(capsys):
+    assert main(["show", "flash_crowd"]) == 0
+    spec = json.loads(capsys.readouterr().out)
+    assert spec["name"] == "flash_crowd"
+    assert [phase["name"] for phase in spec["phases"]] == ["calm", "spike", "cooldown"]
+
+
+def test_show_unknown_scenario_errors():
+    with pytest.raises(SystemExit):
+        main(["show", "nope"])
+
+
+def test_run_requires_names_or_all():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_run_named_scenarios(capsys):
+    assert main(["run", "steady_state", "--scale", "0.02", "--no-phases"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario_summary" in out
+    assert "steady_state" in out
+    assert "scenario_phases" not in out
+
+
+def test_run_all_with_phase_tables(capsys, tmp_path):
+    out_dir = tmp_path / "tables"
+    assert main(["run", "--all", "--scale", "0.01", "--output-dir", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario_summary" in out
+    assert "scenario_phases" in out
+    saved = sorted(path.name for path in out_dir.iterdir())
+    assert saved == ["scenario_scenario_phases.json", "scenario_scenario_summary.json"]
+    summary = json.loads((out_dir / "scenario_scenario_summary.json").read_text())
+    assert len(summary["rows"]) == len(scenario_names())
+
+
+def test_run_with_policy_override(capsys):
+    assert main(["run", "steady_state", "--scale", "0.02", "--policy", "lfu", "--no-phases"]) == 0
+    assert "lfu" in capsys.readouterr().out
+
+
+def test_compare_pivots_policies(capsys):
+    assert main(
+        ["compare", "steady_state", "--scale", "0.02", "--policies", "lru,lfu", "--no-phases"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "policy_comparison" in out
+    assert "lru" in out and "lfu" in out
+
+
+def test_invalid_jobs_and_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "steady_state", "--jobs", "-1"])
+    with pytest.raises(SystemExit):
+        main(["run", "steady_state", "--scale", "0"])

@@ -1,0 +1,141 @@
+"""Scenario execution: fault application, phase measurement, jobs determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    CACHE_RESIZE,
+    CACHE_WIPE,
+    CELL_FAIL,
+    CELL_RECOVER,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    MOBILITY_SET,
+    FaultEvent,
+    ScenarioSpec,
+    WorkloadPhase,
+    build_simulator,
+    catalog,
+    get_scenario,
+    run_catalog,
+    run_scenario,
+)
+from repro.scenarios.runner import apply_fault
+from repro.utils.serialization import to_json
+
+#: Small-but-meaningful sizing shared by the runner tests.
+SCALE = 0.05
+
+
+def tiny_outage_spec():
+    return ScenarioSpec(
+        name="test_outage",
+        description="fail one of three cells, then recover it",
+        num_cells=3,
+        num_users=60,
+        base_rate=2000.0,
+        phases=(
+            WorkloadPhase("healthy", duration_s=2.0),
+            WorkloadPhase("outage", duration_s=2.0),
+            WorkloadPhase("recovered", duration_s=2.0),
+        ),
+        events=(
+            FaultEvent(time_s=2.0, kind=CELL_FAIL, cell="cell_1"),
+            FaultEvent(time_s=4.0, kind=CELL_RECOVER, cell="cell_1"),
+        ),
+    )
+
+
+class TestRunScenario:
+    def test_outage_run_accounts_for_every_request(self):
+        result = run_scenario(tiny_outage_spec(), seed=0, scale=SCALE)
+        summary = result.summary
+        assert summary["completed"] + summary["dropped"] == summary["requests"]
+        assert summary["dropped"] == 0
+        assert summary["failovers"] > 0
+        assert [row["phase"] for row in result.phases] == ["healthy", "outage", "recovered"]
+        assert sum(row["completed"] for row in result.phases) == summary["completed"]
+
+    def test_outage_window_shows_the_failure_handovers(self):
+        result = run_scenario(tiny_outage_spec(), seed=0, scale=SCALE)
+        by_phase = {row["phase"]: row for row in result.phases}
+        # The outage window re-homes the failed cell's users, so it carries
+        # clearly more handovers than the healthy window's random mobility.
+        assert by_phase["outage"]["completed"] > 0
+        assert by_phase["outage"]["handovers"] > by_phase["healthy"]["handovers"]
+
+    def test_phase_windows_partition_by_arrival_time(self):
+        spec = ScenarioSpec(
+            name="partition",
+            description="two equal phases",
+            num_users=40,
+            base_rate=1000.0,
+            phases=(WorkloadPhase("p0", duration_s=2.0), WorkloadPhase("p1", duration_s=2.0)),
+        )
+        result = run_scenario(spec, seed=0, scale=SCALE)
+        p0, p1 = result.phases
+        assert p0["completed"] == p1["completed"] == 100
+        assert (p0["start_s"], p0["end_s"]) == (0.0, 2.0)
+        assert (p1["start_s"], p1["end_s"]) == (2.0, 4.0)
+
+
+class TestApplyFault:
+    def test_each_kind_dispatches(self):
+        spec = get_scenario("steady_state")
+        simulator = build_simulator(spec, seed=0)
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=CELL_FAIL, cell="cell_0"))
+        assert simulator.cells["cell_0"].failed
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=CELL_RECOVER, cell="cell_0"))
+        assert not simulator.cells["cell_0"].failed
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=LINK_DEGRADE, factor=4.0))
+        assert simulator._downlink_time["cell_2"] == pytest.approx(
+            4.0 * simulator._downlink_base["cell_2"]
+        )
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=LINK_RESTORE))
+        assert simulator._downlink_time["cell_2"] == simulator._downlink_base["cell_2"]
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=CACHE_RESIZE, factor=0.5))
+        expected = int(spec.cache_capacity_mb * 1024 * 1024 * 0.5)
+        assert all(cell.cache.capacity_bytes == expected for cell in simulator.cells.values())
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=MOBILITY_SET, value=0.9))
+        assert simulator.mobility._probability == 0.9
+        apply_fault(simulator, spec, FaultEvent(time_s=0.0, kind=CACHE_WIPE))
+        assert all(len(cell.cache) == 0 for cell in simulator.cells.values())
+
+
+class TestDeterminism:
+    def test_same_spec_and_seed_are_byte_identical(self):
+        spec = tiny_outage_spec()
+        one = run_scenario(spec, seed=3, scale=SCALE)
+        two = run_scenario(spec, seed=3, scale=SCALE)
+        assert to_json(one.summary) == to_json(two.summary)
+        assert to_json(one.phases) == to_json(two.phases)
+
+    def test_jobs_1_and_jobs_4_are_byte_identical(self):
+        # The acceptance gate: the same catalog subset, fanned across four
+        # worker processes, must produce byte-identical tables.  (In sandboxes
+        # without multiprocessing the runner degrades to serial, which passes
+        # trivially — real CI exercises the pool.)
+        specs = [get_scenario(name) for name in ("steady_state", "cell_outage", "flash_crowd")]
+        serial = run_catalog(specs, seed=0, scale=SCALE, jobs=1)
+        fanned = run_catalog(specs, seed=0, scale=SCALE, jobs=4)
+        for key in ("summary", "phases"):
+            assert to_json(serial[key].rows) == to_json(fanned[key].rows)
+
+    def test_policy_rows_are_paired(self):
+        specs = [get_scenario("steady_state")]
+        tables = run_catalog(specs, seed=0, scale=SCALE, jobs=1, policies=["lru", "lfu"])
+        rows = tables["summary"].rows
+        assert [row["policy"] for row in rows] == ["lru", "lfu"]
+        assert rows[0]["requests"] == rows[1]["requests"]
+
+
+def test_full_catalog_smoke():
+    # Every curated scenario runs to completion at smoke scale and loses
+    # nothing (no scenario ever kills every reachable cell).
+    tables = run_catalog(list(catalog().values()), seed=0, scale=SCALE, jobs=1)
+    rows = tables["summary"].rows
+    assert len(rows) == len(catalog())
+    for row in rows:
+        assert row["completed"] + row["dropped"] == row["requests"]
+        assert row["dropped"] == 0

@@ -1,0 +1,130 @@
+"""Scenario spec construction, validation and serialization round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    CACHE_WIPE,
+    CELL_FAIL,
+    MOBILITY_SET,
+    FaultEvent,
+    ScenarioSpec,
+    WorkloadPhase,
+    catalog,
+    get_scenario,
+    scenario_names,
+)
+
+
+def tiny_spec(**overrides):
+    payload = dict(
+        name="tiny",
+        description="two phases, one fault",
+        phases=(
+            WorkloadPhase("a", duration_s=1.0),
+            WorkloadPhase("b", duration_s=2.0, rate_multiplier=3.0),
+        ),
+        events=(FaultEvent(time_s=1.0, kind=CELL_FAIL, cell="cell_0"),),
+    )
+    payload.update(overrides)
+    return ScenarioSpec(**payload)
+
+
+class TestValidation:
+    def test_accepts_a_sound_spec(self):
+        spec = tiny_spec()
+        assert spec.total_duration_s == 3.0
+        assert spec.phase_boundaries() == [0.0, 1.0, 3.0]
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(phases=())
+
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(phases=(WorkloadPhase("a", 1.0), WorkloadPhase("a", 1.0)))
+
+    def test_rejects_event_past_the_end(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(events=(FaultEvent(time_s=99.0, kind=CACHE_WIPE),))
+
+    def test_rejects_event_on_unknown_cell(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(events=(FaultEvent(time_s=0.5, kind=CELL_FAIL, cell="cell_7"),))
+
+    def test_rejects_non_numeric_cell_names_cleanly(self):
+        # A malformed name from a hand-authored JSON spec must surface as the
+        # validation error, not a bare ValueError from int().
+        for bad in ("cell_one", "tower_3", "cell_", "cell_-1", "cell_01"):
+            with pytest.raises(ConfigurationError):
+                tiny_spec(events=(FaultEvent(time_s=0.5, kind=CELL_FAIL, cell=bad),))
+
+    def test_rejects_unknown_fault_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time_s=0.0, kind="meteor_strike")
+
+    def test_cell_fail_requires_a_cell(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time_s=0.0, kind=CELL_FAIL)
+
+    def test_mobility_set_requires_a_probability(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time_s=0.0, kind=MOBILITY_SET)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time_s=0.0, kind=MOBILITY_SET, value=1.5)
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase("x", duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase("x", duration_s=1.0, rate_multiplier=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase("x", duration_s=1.0, user_churn=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase("", duration_s=1.0)
+
+    def test_expected_requests_scales_the_rate_not_the_timeline(self):
+        spec = tiny_spec()
+        full = spec.expected_requests(1.0)
+        tiny = spec.expected_requests(0.05)
+        assert tiny < full
+        assert spec.total_duration_s == 3.0  # unchanged by scale
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = tiny_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = tiny_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_with_policy_only_changes_the_policy(self):
+        spec = tiny_spec()
+        other = spec.with_policy("lfu")
+        assert other.cache_policy == "lfu"
+        assert other.phases == spec.phases
+        assert other.events == spec.events
+
+    def test_catalog_round_trips(self):
+        for spec in catalog().values():
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+class TestCatalog:
+    def test_names_are_stable_and_unique(self):
+        names = scenario_names()
+        assert len(names) == len(set(names))
+        assert "flash_crowd" in names
+        assert "cell_outage" in names
+        assert "cache_cold_restart" in names
+        assert "popularity_flip" in names
+        assert "rush_hour_mobility" in names
+        assert len(names) >= 8
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_scenario("definitely_not_a_scenario")
