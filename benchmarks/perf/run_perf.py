@@ -143,6 +143,21 @@ def main(argv: list[str] | None = None) -> int:
             # would turn the CI regression gate green forever.
             print(f"PERF GATE ERROR: baseline file {args.baseline} not found; nothing to compare against")
             return 2
+        baseline = payload["baseline"]
+        mismatches = [
+            f"{field}: baseline {baseline.get(field)!r} != current {current[field]!r}"
+            for field in ("platform", "python")
+            if baseline.get(field) != current[field]
+        ]
+        if mismatches:
+            # Absolute throughputs are only comparable on the machine and
+            # interpreter that produced the baseline; on any other host the
+            # gate would measure the hardware, not the code.  Skip loudly.
+            print("PERF GATE SKIPPED: baseline was recorded on a different host")
+            for line in mismatches:
+                print(f"  {line}")
+            print("  (re-record with --save-baseline on this host to re-arm the gate)")
+            return 0
         gate = args.fail_below_ratio
         gated = {
             "sim_engine": "sim_engine_events_per_sec",

@@ -1,6 +1,5 @@
 """Edge-computing substrate: event simulation, nodes, network, scheduling, offloading."""
 
-from repro.edge.events import EventRecord, Simulation
 from repro.edge.network import LinkSpec, NetworkTopology, build_linear_topology
 from repro.edge.offloading import (
     AdaptiveOffloadingPolicy,
@@ -29,6 +28,11 @@ from repro.edge.scheduler import (
     scheduler_registry,
 )
 from repro.edge.server import ComputeNode, EdgeCluster, EdgeServer, MobileDevice, TaskResult
+
+# The event engine lives in repro.sim; re-exported here because the edge
+# substrate (cluster scheduler, offloading) predates the move and external
+# callers import it from either package.
+from repro.sim.engine import EventRecord, Simulation
 
 __all__ = [
     "Simulation",

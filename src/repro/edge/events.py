@@ -1,10 +1,21 @@
-"""Backward-compatible home of the discrete-event engine.
+"""Deprecated alias of :mod:`repro.sim.engine`.
 
-The engine moved to :mod:`repro.sim.engine` when the multi-cell request
-simulator was built on top of it; this module re-exports it so existing
-imports (``from repro.edge.events import Simulation``) keep working.
+The discrete-event engine moved to :mod:`repro.sim.engine` when the
+multi-cell request simulator was built on top of it.  This module now only
+exists so very old imports (``from repro.edge.events import Simulation``)
+keep resolving; importing it warns, and in-repo code imports from
+:mod:`repro.sim.engine` directly.
 """
 
+import warnings
+
 from repro.sim.engine import EventAction, EventRecord, Simulation
+
+warnings.warn(
+    "repro.edge.events is deprecated; import Simulation, EventRecord and "
+    "EventAction from repro.sim.engine instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["EventAction", "EventRecord", "Simulation"]

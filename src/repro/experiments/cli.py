@@ -26,9 +26,60 @@ from repro.experiments.harness import (
     run_experiment,
     tables_of,
 )
+from repro.sim.backend import BACKEND_ENV, available_backends
 
 #: Pseudo-name running every registered experiment in registry order.
 ALL = "all"
+
+
+def add_shared_arguments(
+    parser: argparse.ArgumentParser,
+    scale_help: str = "workload scale factor (default 1.0)",
+    jobs_help: str = (
+        "worker processes for independent work units; 0 = all cores; "
+        "results are bit-identical to --jobs 1 (default 1)"
+    ),
+) -> argparse._ArgumentGroup:
+    """The flag set every repro console script shares, as one argument group.
+
+    ``repro-experiment`` and ``repro-scenario`` both accept ``--seed``,
+    ``--scale``, ``--jobs``, ``--backend`` and ``--shards`` with identical
+    semantics; defining them here keeps the commands drift-free.  ``--backend``
+    defaults to ``None`` so the ``REPRO_BACKEND`` environment variable is
+    honoured (explicit flag > environment > serial); validation beyond simple
+    types is the caller's job via :func:`validate_shared_arguments`.
+    """
+    group = parser.add_argument_group("shared options")
+    group.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    group.add_argument("--scale", type=float, default=1.0, help=scale_help)
+    group.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    group.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="simulator backend; default honours the "
+        f"{BACKEND_ENV} environment variable, then 'serial'",
+    )
+    group.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker shards for backends that partition one replay "
+        "(sharded backend default: 2)",
+    )
+    return group
+
+
+def validate_shared_arguments(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject out-of-range shared-flag values with a uniform parser error."""
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,18 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("name", nargs="?", help="experiment name, e.g. e1 .. e9 or fig1, or 'all'")
     parser.add_argument("--list", action="store_true", help="list registered experiments and exit")
-    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
-    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor (default 1.0)")
     parser.add_argument(
         "--sentences-per-domain", type=int, default=120, help="corpus size per domain (default 120)"
     )
     parser.add_argument("--train-epochs", type=int, default=15, help="codec training epochs (default 15)")
     parser.add_argument("--output-dir", default=None, help="directory to persist result tables as JSON")
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for each experiment's independent work units; "
+    add_shared_arguments(
+        parser,
+        jobs_help="worker processes for each experiment's independent work units; "
         "0 = all cores; results are bit-identical to --jobs 1 (default 1)",
     )
     return parser
@@ -72,8 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("an experiment name is required (or use --list)")
     if args.name != ALL and args.name not in available_experiments():
         parser.error(f"unknown experiment {args.name!r}; use --list to see the registry")
-    if args.jobs < 0:
-        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    validate_shared_arguments(parser, args)
 
     config = ExperimentConfig(
         seed=args.seed,
@@ -82,6 +128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         train_epochs=args.train_epochs,
         output_dir=args.output_dir,
         jobs=args.jobs,
+        backend=args.backend,
+        shards=args.shards,
     )
     names = available_experiments() if args.name == ALL else [args.name]
     suite_started = time.perf_counter()

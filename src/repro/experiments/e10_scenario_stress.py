@@ -25,6 +25,7 @@ from repro.experiments.harness import ExperimentConfig, register_experiment
 from repro.metrics.reporting import ResultTable
 from repro.scenarios.catalog import catalog
 from repro.scenarios.runner import run_catalog
+from repro.sim.backend import resolve_backend_name
 
 #: The eviction policies every scenario is replayed under.
 POLICIES: Sequence[str] = ("lru", "lfu", "semantic-popularity")
@@ -42,6 +43,8 @@ def run(
     settings replay the whole catalog, about 464k requests, once per policy.
     """
     config = config or ExperimentConfig()
+    resolved = resolve_backend_name(config.backend)
+    suffix = "" if resolved == "serial" else f"_{resolved}"
     tables = run_catalog(
         list(catalog().values()),
         seed=config.seed,
@@ -49,9 +52,11 @@ def run(
         jobs=config.jobs,
         policies=list(policies),
         table_prefix="e10_scenario",
+        backend=resolved,
+        shards=config.shards,
     )
     stress = tables["summary"]
-    stress.name = "e10_scenario_stress"
+    stress.name = f"e10_scenario_stress{suffix}"
     stress.description = (
         "Every cache policy replaying the full stress-scenario catalog "
         f"(scale={config.scale}) through the fault-injecting multi-cell simulator: "
@@ -59,7 +64,7 @@ def run(
         "(scenario, policy) row."
     )
     phases = tables["phases"]
-    phases.name = "e10_scenario_phases"
+    phases.name = f"e10_scenario_phases{suffix}"
     phases.description = (
         "Per-phase measurement windows of every E10 row: degraded and recovered "
         "regimes reported separately."

@@ -20,9 +20,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import ExperimentConfig, register_experiment
 from repro.metrics.reporting import ResultTable
+from repro.runtime import ParallelRunner
+from repro.sim.backend import SimBackend, create_backend, resolve_backend_name
 from repro.sim.batching import BatchingConfig
 from repro.sim.multicell import CellConfig, default_catalogue
-from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+from repro.sim.simulator import SimulatorConfig
 from repro.workloads.generator import ArrivalTraceGenerator
 
 #: The two batching policies every profile is replayed under.
@@ -37,13 +39,15 @@ def _build_simulator(
     domain_names: Sequence[str],
     batching: BatchingConfig,
     seed: int,
-) -> MultiCellSimulator:
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
+) -> SimBackend:
     cells = [CellConfig(name=f"cell_{index}") for index in range(num_cells)]
     catalogue = default_catalogue(domain_names, seed=seed)
     # Reports are built from incremental counters, so the per-request objects
     # need not be retained — memory stays flat at --scale 10 and beyond.
     config = SimulatorConfig(batching=batching, retain_requests=False)
-    return MultiCellSimulator(cells, catalogue, config=config, seed=seed)
+    return create_backend(backend, cells, catalogue, config=config, seed=seed, shards=shards)
 
 
 def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
@@ -71,8 +75,14 @@ def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[s
         seed=seed,
     )
     trace = generator.generate(requests_per_row)
+    shards = payload.get("shards")
     simulator = _build_simulator(
-        int(payload["num_cells"]), domain_names, BATCHING_POLICIES[policy_name], seed=seed
+        int(payload["num_cells"]),
+        domain_names,
+        BATCHING_POLICIES[policy_name],
+        seed=seed,
+        backend=str(payload.get("backend") or "serial"),
+        shards=None if shards is None else int(shards),
     )
     report = simulator.replay(trace)
     latency = report.latency
@@ -132,9 +142,13 @@ def run(
     config = config or ExperimentConfig()
     requests_per_row = config.scaled(num_requests, minimum=1000)
     domain_names = [f"domain_{index}" for index in range(num_domains)]
+    # Non-serial backends publish under suffixed table names so their goldens
+    # never collide with the serial bit-identity reference tables.
+    resolved = resolve_backend_name(config.backend)
+    suffix = "" if resolved == "serial" else f"_{resolved}"
 
     scale_table = ResultTable(
-        name="e9_multicell_scale",
+        name=f"e9_multicell_scale{suffix}",
         description=(
             "End-to-end latency percentiles, throughput and cache behaviour of a "
             f"{num_cells}-cell edge deployment replaying {requests_per_row} requests per row "
@@ -142,7 +156,7 @@ def run(
         ),
     )
     per_cell_table = ResultTable(
-        name="e9_multicell_per_cell",
+        name=f"e9_multicell_per_cell{suffix}",
         description="Per-cell hit ratio, fetch mix and handover counts for every E9 row.",
     )
 
@@ -157,13 +171,18 @@ def run(
             "num_users": num_users,
             "zipf_exponent": zipf_exponent,
             "num_cells": num_cells,
+            "backend": resolved,
+            "shards": config.shards,
         }
         for profile in profiles
         for policy_name in BATCHING_POLICIES
     ]
     # Each row is an independent, seed-determined work unit; the runner merges
     # results in submission order, so the tables are identical for any --jobs.
-    for scale_row, per_cell_rows in config.runner().map(_run_row, payloads):
+    # Backends that parallelize internally (sharded) run the rows sequentially:
+    # their own workers are the parallelism, and worker pools must not nest.
+    runner = config.runner() if resolved == "serial" else ParallelRunner(jobs=1)
+    for scale_row, per_cell_rows in runner.map(_run_row, payloads):
         scale_table.add_row(**scale_row)
         for row in per_cell_rows:
             per_cell_table.add_row(**row)

@@ -34,6 +34,14 @@ class ExperimentConfig:
     every ``jobs`` value — each unit is fully determined by its explicit seed
     and results merge in submission order — so parallelism is purely a
     wall-clock knob.  ``0`` means "all available cores".
+
+    ``backend`` selects the simulator engine for simulator-driven experiments
+    through the :mod:`repro.sim.backend` registry (``None`` honours the
+    ``REPRO_BACKEND`` environment variable and defaults to ``serial``);
+    ``shards`` is forwarded to backends that partition one replay across
+    workers.  Non-serial backends publish their tables under suffixed names
+    (``*_sharded``) so the serial bit-identity reference tables never mix
+    with backend-specific goldens.
     """
 
     seed: int = 0
@@ -43,6 +51,8 @@ class ExperimentConfig:
     codec_architecture: str = "mlp"
     output_dir: Optional[str] = None
     jobs: int = 1
+    backend: Optional[str] = None
+    shards: Optional[int] = None
 
     def scaled(self, value: int, minimum: int = 1) -> int:
         """Scale an integer workload knob, keeping it at least ``minimum``."""

@@ -5,6 +5,7 @@ Installed as the ``repro-scenario`` console script::
     repro-scenario list
     repro-scenario show flash_crowd
     repro-scenario run --all --scale 0.05
+    repro-scenario run --all --scale 0.05 --backend sharded --shards 2
     repro-scenario run cell_outage flash_crowd --jobs 4 --output-dir results/
     repro-scenario compare cell_outage --policies lru,lfu,semantic-popularity
 
@@ -19,6 +20,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from repro.experiments.cli import add_shared_arguments, validate_shared_arguments
 from repro.experiments.harness import save_output
 from repro.metrics.reporting import ResultTable
 from repro.scenarios.catalog import catalog, get_scenario, scenario_names
@@ -39,19 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("name", help="scenario name (see `repro-scenario list`)")
 
     def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
-        p.add_argument(
-            "--scale",
-            type=float,
-            default=1.0,
-            help="arrival-rate scale factor; the timeline (phases, fault times) "
-            "never moves, only the request count (default 1.0)",
-        )
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            help="worker processes for the (scenario x policy) rows; 0 = all "
+        # --seed/--scale/--jobs/--backend/--shards are the shared repro flag
+        # set (same semantics as repro-experiment); only the help strings are
+        # specialized here.
+        add_shared_arguments(
+            p,
+            scale_help="arrival-rate scale factor; the timeline (phases, fault "
+            "times) never moves, only the request count (default 1.0)",
+            jobs_help="worker processes for the (scenario x policy) rows; 0 = all "
             "cores; results are bit-identical to --jobs 1 (default 1)",
         )
         p.add_argument("--output-dir", default=None, help="directory to persist tables as JSON")
@@ -106,10 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(error))
         return 0
 
-    if args.jobs < 0:
-        parser.error(f"--jobs must be >= 0, got {args.jobs}")
-    if args.scale <= 0:
-        parser.error(f"--scale must be positive, got {args.scale}")
+    validate_shared_arguments(parser, args)
 
     if args.command == "run":
         if args.all:
@@ -124,7 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(error))
         policies = [args.policy] if args.policy else None
         tables = run_catalog(
-            specs, seed=args.seed, scale=args.scale, jobs=args.jobs, policies=policies
+            specs,
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            policies=policies,
+            backend=args.backend,
+            shards=args.shards,
         )
         shown = [tables["summary"]] if args.no_phases else list(tables.values())
         _print_tables(shown)
@@ -148,6 +148,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         policies=policies,
         table_prefix=f"compare_{spec.name}",
+        backend=args.backend,
+        shards=args.shards,
     )
     pivot = ResultTable(
         name=f"{spec.name}_policy_comparison",

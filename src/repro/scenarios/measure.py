@@ -69,12 +69,34 @@ class PhaseCollector:
     """
 
     def __init__(self, spec: ScenarioSpec, latency_reservoir: int = 100_000) -> None:
+        self._spec = spec
+        self._reservoir = latency_reservoir
         boundaries = spec.phase_boundaries()
         self._starts = boundaries[:-1]
         self.windows: List[_PhaseWindow] = [
             _PhaseWindow(phase.name, boundaries[i], boundaries[i + 1], latency_reservoir)
             for i, phase in enumerate(spec.phases)
         ]
+
+    def clone_empty(self) -> "PhaseCollector":
+        """A fresh collector over the same windows (sharded per-shard hook)."""
+        return PhaseCollector(self._spec, latency_reservoir=self._reservoir)
+
+    def merge(self, other: "PhaseCollector") -> None:
+        """Fold another collector's windows into this one, deterministically.
+
+        The sharded backend observes each shard's terminal requests in its
+        own collector and merges them in shard-index order; counters add
+        exactly, latency distributions merge via
+        :meth:`~repro.sim.metrics.LatencyRecorder.absorb`.
+        """
+        for window, theirs in zip(self.windows, other.windows):
+            window.completed += theirs.completed
+            window.dropped += theirs.dropped
+            window.handovers += theirs.handovers
+            for key, count in theirs.outcomes.items():
+                window.outcomes[key] += count
+            window.latency.absorb(theirs.latency)
 
     def __call__(self, request: Request) -> None:
         # A request arriving exactly on a boundary belongs to the later phase;

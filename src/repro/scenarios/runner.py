@@ -32,18 +32,29 @@ from repro.scenarios.spec import (
     ScenarioSpec,
 )
 from repro.scenarios.workload import synthesize_trace
+from repro.sim.backend import SimBackend, create_backend, resolve_backend_name
 from repro.sim.metrics import SimulationReport
 from repro.sim.multicell import CellConfig, MobilityConfig, default_catalogue
-from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+from repro.sim.simulator import SimulatorConfig
 
 
-def build_simulator(spec: ScenarioSpec, seed: int) -> MultiCellSimulator:
+def build_simulator(
+    spec: ScenarioSpec,
+    seed: int,
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
+) -> SimBackend:
     """A fresh deployment shaped by ``spec`` (same seed ⇒ same deployment).
 
     The model catalogue and mobility streams derive from seed-tree paths that
     do **not** include the cache policy, so two specs differing only in policy
     replay the identical trace through the identical deployment — policy
     comparisons are paired, not merely seeded alike.
+
+    ``backend`` selects the execution engine through the
+    :mod:`repro.sim.backend` registry (``None`` honours ``REPRO_BACKEND``
+    and defaults to serial); ``shards`` is forwarded to backends that
+    partition work.
     """
     tree = SeedTree(seed).child("scenario", spec.name)
     capacity_bytes = int(spec.cache_capacity_mb * 1024 * 1024)
@@ -61,47 +72,60 @@ def build_simulator(spec: ScenarioSpec, seed: int) -> MultiCellSimulator:
         mobility=MobilityConfig(handover_probability=spec.handover_probability),
         retain_requests=False,
     )
-    return MultiCellSimulator(cells, catalogue, config=config, seed=tree.seed("mobility"))
+    return create_backend(
+        backend, cells, catalogue, config=config, seed=tree.seed("mobility"), shards=shards
+    )
 
 
-def apply_fault(simulator: MultiCellSimulator, spec: ScenarioSpec, event: FaultEvent) -> None:
-    """Execute one fault event against the live simulator (now = event time)."""
-    targets = [event.cell] if event.cell is not None else list(simulator.cells)
+def fault_calls(spec: ScenarioSpec, event: FaultEvent) -> List[Tuple[str, tuple]]:
+    """Lower one fault event to ordered backend method calls (pure data).
+
+    This is the backend-agnostic form of the timeline: every backend executes
+    the same ``(method, args)`` sequence through
+    :meth:`~repro.sim.backend.SimBackend.schedule_calls`, however it runs.
+    """
+    targets = (
+        [event.cell]
+        if event.cell is not None
+        else [f"cell_{index}" for index in range(spec.num_cells)]
+    )
     if event.kind == CELL_FAIL:
-        simulator.fail_cell(event.cell)
-    elif event.kind == CELL_RECOVER:
-        simulator.recover_cell(event.cell)
-    elif event.kind == CACHE_WIPE:
-        for name in targets:
-            simulator.wipe_cell_cache(name)
-    elif event.kind == LINK_DEGRADE:
-        for name in targets:
-            simulator.degrade_downlink(name, event.factor)
-    elif event.kind == LINK_RESTORE:
-        for name in targets:
-            simulator.restore_downlink(name)
-    elif event.kind == CACHE_RESIZE:
+        return [("fail_cell", (event.cell,))]
+    if event.kind == CELL_RECOVER:
+        return [("recover_cell", (event.cell,))]
+    if event.kind == CACHE_WIPE:
+        return [("wipe_cell_cache", (name,)) for name in targets]
+    if event.kind == LINK_DEGRADE:
+        return [("degrade_downlink", (name, event.factor)) for name in targets]
+    if event.kind == LINK_RESTORE:
+        return [("restore_downlink", (name,)) for name in targets]
+    if event.kind == CACHE_RESIZE:
         capacity = int(spec.cache_capacity_mb * 1024 * 1024 * event.factor)
-        for name in targets:
-            simulator.resize_cell_cache(name, capacity)
-    elif event.kind == MOBILITY_SET:
-        simulator.set_handover_probability(event.value)
-    else:  # pragma: no cover - spec validation rejects unknown kinds
-        raise ValueError(f"unknown fault kind {event.kind!r}")
+        return [("resize_cell_cache", (name, capacity)) for name in targets]
+    if event.kind == MOBILITY_SET:
+        return [("set_handover_probability", (event.value,))]
+    raise ValueError(f"unknown fault kind {event.kind!r}")  # pragma: no cover
 
 
-def schedule_faults(simulator: MultiCellSimulator, spec: ScenarioSpec) -> None:
-    """Put the spec's fault timeline on the engine ahead of the replay.
+def apply_fault(simulator: SimBackend, spec: ScenarioSpec, event: FaultEvent) -> None:
+    """Execute one fault event against the live simulator (now = event time)."""
+    for method, args in fault_calls(spec, event):
+        getattr(simulator, method)(*args)
 
-    Pre-run heap events hold earlier sequence numbers than streamed arrivals,
-    so a fault at time ``t`` fires before any arrival stamped exactly ``t`` —
-    a phase boundary cleanly separates the regimes.
+
+def schedule_faults(simulator: SimBackend, spec: ScenarioSpec) -> None:
+    """Put the spec's fault timeline on the backend ahead of the replay.
+
+    One :meth:`~repro.sim.backend.SimBackend.schedule_calls` batch per fault
+    event.  On the serial engine that is one pre-run heap event per fault:
+    pre-run events hold earlier sequence numbers than streamed arrivals, so a
+    fault at time ``t`` fires before any arrival stamped exactly ``t`` — a
+    phase boundary cleanly separates the regimes (and the committed tables
+    stay byte-identical to the historical closure scheduling).
     """
     for event in spec.events:
-        simulator.engine.schedule_at(
-            event.time_s,
-            lambda sim, e=event: apply_fault(simulator, spec, e),
-            label=f"fault:{event.kind}",
+        simulator.schedule_calls(
+            event.time_s, fault_calls(spec, event), label=f"fault:{event.kind}"
         )
 
 
@@ -115,7 +139,13 @@ class ScenarioResult:
     phases: List[Dict[str, object]]
 
 
-def run_scenario(spec: ScenarioSpec, seed: int = 0, scale: float = 1.0) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    scale: float = 1.0,
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
+) -> ScenarioResult:
     """Run one scenario end to end and return its summary + per-phase rows.
 
     Counter semantics differ between the two row kinds, deliberately: the
@@ -127,7 +157,7 @@ def run_scenario(spec: ScenarioSpec, seed: int = 0, scale: float = 1.0) -> Scena
     views legitimately disagree by exactly the failed-over work.
     """
     trace = synthesize_trace(spec, seed=seed, scale=scale)
-    simulator = build_simulator(spec, seed=seed)
+    simulator = build_simulator(spec, seed=seed, backend=backend, shards=shards)
     collector = PhaseCollector(spec)
     simulator.on_request_end = collector
     schedule_faults(simulator, spec)
@@ -165,7 +195,14 @@ def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[s
     policy = payload.get("policy")
     if policy:
         spec = spec.with_policy(str(policy))
-    result = run_scenario(spec, seed=int(payload["seed"]), scale=float(payload["scale"]))
+    shards = payload.get("shards")
+    result = run_scenario(
+        spec,
+        seed=int(payload["seed"]),
+        scale=float(payload["scale"]),
+        backend=payload.get("backend"),
+        shards=None if shards is None else int(shards),
+    )
     return result.summary, result.phases
 
 
@@ -176,6 +213,8 @@ def run_catalog(
     jobs: int = 1,
     policies: Optional[Sequence[str]] = None,
     table_prefix: str = "scenario",
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, ResultTable]:
     """Run every ``(scenario, policy)`` pair and collect two result tables.
 
@@ -183,9 +222,23 @@ def run_catalog(
     runs every spec under every named policy (the E10 comparison shape).
     Rows fan across the process pool and merge in submission order, so the
     returned tables are byte-identical for every ``jobs`` value.
+
+    ``backend``/``shards`` select the simulator backend per row.  Backends
+    that parallelize internally (sharded) run the rows sequentially — their
+    own workers are the parallelism, and worker pools must not nest.
     """
+    resolved = resolve_backend_name(backend)
+    if resolved != "serial":
+        jobs = 1
     payloads: List[Dict[str, object]] = [
-        {"spec": spec.to_dict(), "seed": seed, "scale": scale, "policy": policy}
+        {
+            "spec": spec.to_dict(),
+            "seed": seed,
+            "scale": scale,
+            "policy": policy,
+            "backend": resolved,
+            "shards": shards,
+        }
         for spec in specs
         for policy in (policies if policies is not None else [None])
     ]

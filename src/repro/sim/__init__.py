@@ -4,10 +4,22 @@
 (:mod:`repro.sim.engine`), a request lifecycle (:mod:`repro.sim.request`),
 per-cell request batching (:mod:`repro.sim.batching`), and a multi-cell
 deployment with user mobility and cooperative caching
-(:mod:`repro.sim.multicell`) — all orchestrated by
-:class:`~repro.sim.simulator.MultiCellSimulator`.
+(:mod:`repro.sim.multicell`) — orchestrated through the
+:class:`~repro.sim.backend.SimBackend` API, whose reference implementation is
+:class:`~repro.sim.simulator.MultiCellSimulator` (``serial``) and whose
+multi-core implementation is
+:class:`~repro.sim.sharded.ShardedSimulator` (``sharded``).
 """
 
+from repro.sim.backend import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    SimBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.sim.engine import EventAction, EventRecord, Simulation
 from repro.sim.batching import Batch, BatchAccumulator, BatchingConfig, batch_flops
 from repro.sim.metrics import CellStats, LatencyRecorder, SimulationReport
@@ -31,9 +43,17 @@ from repro.sim.request import (
     NEIGHBOR_FETCH,
     Request,
 )
+from repro.sim.sharded import ShardedConfig, ShardedSimulator
 from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
 
 __all__ = [
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "SimBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "resolve_backend_name",
     "Simulation",
     "EventAction",
     "EventRecord",
@@ -62,4 +82,6 @@ __all__ = [
     "COALESCED",
     "MultiCellSimulator",
     "SimulatorConfig",
+    "ShardedConfig",
+    "ShardedSimulator",
 ]

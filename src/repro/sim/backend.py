@@ -1,0 +1,184 @@
+"""The ``SimBackend`` API: one simulator surface, many execution strategies.
+
+Everything above the simulator — scenario timelines (:mod:`repro.scenarios`),
+the e-experiments (:mod:`repro.experiments`), both CLIs — drives a replay
+through the small protocol defined here instead of reaching into
+:class:`~repro.sim.simulator.MultiCellSimulator` directly.  A backend is
+anything that can
+
+* **replay** a request trace and hand back a
+  :class:`~repro.sim.metrics.SimulationReport`,
+* expose **per-cell state** (the ``cells`` mapping of live
+  :class:`~repro.sim.multicell.Cell` objects, or a merged equivalent),
+* apply the **fault vocabulary** (``fail_cell``, ``wipe_cell_cache``,
+  ``resize_cell_cache``, ``degrade_downlink``, …) at scheduled simulation
+  times via :meth:`SimBackend.schedule_calls`,
+* invoke the **``on_request_end``** hook once per request at its terminal
+  event (completion or drop), and
+* **assemble the report** from whatever it executed.
+
+Two backends ship today:
+
+``serial``
+    :class:`~repro.sim.simulator.MultiCellSimulator` itself — one process,
+    one event heap, the bit-identity reference every committed result table
+    pins.
+
+``sharded``
+    :class:`~repro.sim.sharded.ShardedSimulator` — cells partitioned across
+    fork-pool workers advancing in conservative time windows (see
+    :mod:`repro.sim.sharded`).  Deterministic under its own semantics and
+    pinned by its own golden tables; statistically equivalent to serial, not
+    byte-identical.
+
+Backend selection is spelled identically everywhere: a ``--backend`` CLI
+flag on both entry points, overridable by the ``REPRO_BACKEND`` environment
+variable (explicit flags beat the environment).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import SimulationReport
+from repro.sim.multicell import Cell, CellConfig, ModelSpec
+from repro.sim.request import Request
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Name of the default (reference) backend.
+DEFAULT_BACKEND = "serial"
+
+
+@runtime_checkable
+class SimBackend(Protocol):
+    """Structural interface every simulator backend satisfies.
+
+    :class:`~repro.sim.simulator.MultiCellSimulator` is the reference
+    implementation; :class:`~repro.sim.sharded.ShardedSimulator` the first
+    alternative.  The protocol is ``runtime_checkable`` so tests can assert
+    conformance with ``isinstance``.
+    """
+
+    #: Registry name ("serial", "sharded", ...).
+    backend_name: str
+
+    #: Per-cell live state, keyed by cell name.
+    cells: Dict[str, Cell]
+
+    #: Called once per request at its terminal event (completion or drop).
+    on_request_end: Optional[Callable[[Request], None]]
+
+    def replay(self, trace, run: bool = True) -> SimulationReport:
+        """Replay a request trace to completion and return the run's report."""
+        ...
+
+    def schedule_calls(self, time_s: float, calls: Sequence[tuple], label: str = "") -> None:
+        """Schedule ordered ``(method_name, args)`` fault calls at ``time_s``."""
+        ...
+
+    def report(self, wall_clock_s: float) -> SimulationReport:
+        """Assemble the report for everything run so far."""
+        ...
+
+    # Fault vocabulary -------------------------------------------------- #
+    def fail_cell(self, name: str) -> None: ...
+
+    def recover_cell(self, name: str) -> None: ...
+
+    def wipe_cell_cache(self, name: str) -> int: ...
+
+    def resize_cell_cache(self, name: str, capacity_bytes: int) -> None: ...
+
+    def degrade_downlink(self, name: str, factor: float) -> None: ...
+
+    def restore_downlink(self, name: str) -> None: ...
+
+    def set_handover_probability(self, probability: float) -> None: ...
+
+    def alive_cells(self) -> list: ...
+
+
+#: A backend factory: ``(cells, catalogue, config, seed, **options) -> SimBackend``.
+BackendFactory = Callable[..., SimBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    if not name:
+        raise ConfigurationError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_name(requested: Optional[str] = None) -> str:
+    """The backend to use: explicit request > ``REPRO_BACKEND`` > ``serial``.
+
+    An explicit CLI flag always wins; the environment variable only fills in
+    when the caller passed ``None`` (flag left at its default).
+    """
+    if requested:
+        return requested
+    return os.environ.get(BACKEND_ENV, "").strip() or DEFAULT_BACKEND
+
+
+def create_backend(
+    name: Optional[str],
+    cells: Sequence[CellConfig],
+    catalogue: Dict[str, ModelSpec],
+    config=None,
+    seed=None,
+    **options,
+) -> SimBackend:
+    """Instantiate the backend ``name`` resolves to over the given deployment.
+
+    ``options`` are backend-specific knobs (e.g. ``shards=4`` for the sharded
+    backend); factories reject options they do not understand.
+    """
+    resolved = resolve_backend_name(name)
+    factory = _REGISTRY.get(resolved)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown simulator backend {resolved!r}; available: {', '.join(available_backends())}"
+        )
+    return factory(cells, catalogue, config=config, seed=seed, **options)
+
+
+def _serial_factory(cells, catalogue, config=None, seed=None, **options) -> SimBackend:
+    from repro.sim.simulator import MultiCellSimulator
+
+    # The serial engine has no backend-specific knobs; `shards` is accepted
+    # (and must be 1-or-unset) so callers can pass a uniform option set.
+    shards = options.pop("shards", None)
+    if options:
+        raise ConfigurationError(f"serial backend got unknown options: {sorted(options)}")
+    if shards not in (None, 1):
+        raise ConfigurationError(f"serial backend is single-process; got shards={shards}")
+    return MultiCellSimulator(cells, catalogue, config=config, seed=seed)
+
+
+def _sharded_factory(cells, catalogue, config=None, seed=None, **options) -> SimBackend:
+    from repro.sim.sharded import ShardedConfig, ShardedSimulator
+
+    shards = options.pop("shards", None)
+    sharded_config = options.pop("sharded_config", None)
+    if options:
+        raise ConfigurationError(f"sharded backend got unknown options: {sorted(options)}")
+    if sharded_config is None:
+        sharded_config = ShardedConfig() if shards is None else ShardedConfig(num_shards=int(shards))
+    elif shards is not None:
+        raise ConfigurationError("pass either shards or sharded_config, not both")
+    return ShardedSimulator(cells, catalogue, config=config, seed=seed, sharded=sharded_config)
+
+
+register_backend("serial", _serial_factory)
+register_backend("sharded", _sharded_factory)

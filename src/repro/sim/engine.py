@@ -178,7 +178,8 @@ class Simulation:
         and die by reference counting, while generation-0 scans would
         otherwise fire thousands of times across a 200k-event replay.
         """
-        return self._run_merged((), None, until, max_events)
+        count, _ = self._run_merged((), None, until, max_events)
+        return count
 
     def run_stream(
         self,
@@ -214,7 +215,37 @@ class Simulation:
                 raise SimulationError("run_stream requires times sorted non-decreasingly")
         if len(times) and times[0] < self.now:
             raise SimulationError(f"stream starts at {times[0]} before current time {self.now}")
-        return self._run_merged(times, callback, None, None)
+        count, _ = self._run_merged(times, callback, None, None)
+        return count
+
+    def run_stream_window(
+        self,
+        times: Sequence[float],
+        callback: Callable[["Simulation", int], None],
+        start_index: int = 0,
+        until: Optional[float] = None,
+        boundary: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """One windowed slice of a merged stream run; resumable.
+
+        Processes heap events and stream items (``callback(sim, i)`` at
+        ``times[i]``, starting from ``start_index``) up to and including
+        simulation time ``until``, then stops with the clock set to ``until``.
+        Returns ``(events_processed, next_start_index)`` so the caller can
+        advance window by window — the sharded backend's conservative
+        time-window loop.  ``boundary`` pins the sequence-number tie-break of
+        the *first* window (pass the value captured before the windowed run
+        began) so same-time ordering is consistent across the whole replay;
+        ``None`` captures it at call time.  ``times`` must be sorted
+        non-decreasingly (callers validate once up front, not per window).
+        """
+        if start_index < 0:
+            raise SimulationError(f"start_index must be >= 0, got {start_index}")
+        if start_index < len(times) and times[start_index] < self.now:
+            raise SimulationError(
+                f"stream resumes at {times[start_index]} before current time {self.now}"
+            )
+        return self._run_merged(times, callback, until, None, start_index, boundary)
 
     def _run_merged(
         self,
@@ -222,12 +253,14 @@ class Simulation:
         callback: Optional[Callable[["Simulation", int], None]],
         until: Optional[float],
         max_events: Optional[int],
-    ) -> int:
+        start_index: int = 0,
+        boundary: Optional[int] = None,
+    ) -> Tuple[int, int]:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         count = 0
-        index = 0
+        index = start_index
         num_stream = len(times)
         queue = self._queue
         pop = heapq.heappop
@@ -236,7 +269,10 @@ class Simulation:
         # Events already on the heap hold sequence numbers <= this boundary;
         # had the stream been scheduled eagerly right now it would get larger
         # ones, so on exact timestamp ties those pre-existing events win.
-        boundary = self._sequence
+        # Windowed callers pass the boundary captured before their first
+        # window so the tie-break stays consistent across the whole replay.
+        if boundary is None:
+            boundary = self._sequence
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -294,7 +330,7 @@ class Simulation:
             if gc_was_enabled:
                 gc.enable()
             self._running = False
-        return count
+        return count, index
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued — O(1)."""

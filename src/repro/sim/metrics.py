@@ -31,6 +31,9 @@ class LatencyRecorder:
         self._max = 0.0
         self._seed = seed
         self._rng: np.random.Generator | None = None  # created on first overflow
+        #: Explicit retained-sample count after an :meth:`absorb` merge;
+        #: ``None`` means "derive from count" (the normal recording path).
+        self._retained: int | None = None
 
     def record(self, latency_s: float) -> None:
         """Record one completed request's latency."""
@@ -51,13 +54,45 @@ class LatencyRecorder:
     def __len__(self) -> int:
         return self._count
 
+    def absorb(self, other: "LatencyRecorder") -> None:
+        """Merge another recorder's distribution into this one, deterministically.
+
+        The sharded backend records latencies per shard and merges at the end.
+        Exact counters (count, sum, max) add exactly.  Retained samples are
+        concatenated; when the union exceeds this recorder's capacity it is
+        down-sampled at evenly spaced indices — a deterministic, order-stable
+        reduction, so merged percentiles are exact whenever every input was
+        exact and the union fits, and tight reservoir-style estimates beyond
+        that.  Merge order must be deterministic (shard-index order) for
+        byte-stable results, which the sharded drivers guarantee.
+        """
+        if other._count == 0:
+            return
+        mine = np.copy(self._values())
+        theirs = other._values()
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        self._count += other._count
+        union = np.concatenate([mine, theirs]) if len(mine) else np.copy(theirs)
+        if len(union) > self._capacity:
+            keep = np.linspace(0, len(union) - 1, self._capacity).round().astype(np.int64)
+            union = union[keep]
+        self._samples[: len(union)] = union
+        self._retained = len(union)
+
+    @property
+    def retained(self) -> int:
+        """Number of samples currently held (== count while exact)."""
+        return min(self._count, self._capacity) if self._retained is None else self._retained
+
     @property
     def exact(self) -> bool:
         """Whether every recorded sample is retained (percentiles are exact)."""
-        return self._count <= self._capacity
+        return self._count == self.retained
 
     def _values(self) -> np.ndarray:
-        return self._samples[: min(self._count, self._capacity)]
+        return self._samples[: self.retained]
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile latency in seconds (0 when empty)."""

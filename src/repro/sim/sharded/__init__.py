@@ -1,0 +1,23 @@
+"""Sharded simulator backend: one replay partitioned across worker processes.
+
+See :mod:`repro.sim.sharded.simulator` for the execution model (contiguous
+ring segments, deterministic mobility pre-pass, conservative time windows,
+barrier-exchanged directory deltas and failover forwards) and
+:mod:`repro.sim.backend` for the ``SimBackend`` API it implements.
+"""
+
+from repro.sim.sharded.partition import partition_cells, plan_mobility
+from repro.sim.sharded.shard import Forward, ShardResult, ShardSimulator, WindowMessage
+from repro.sim.sharded.simulator import DRIVERS, ShardedConfig, ShardedSimulator
+
+__all__ = [
+    "DRIVERS",
+    "Forward",
+    "ShardResult",
+    "ShardSimulator",
+    "ShardedConfig",
+    "ShardedSimulator",
+    "WindowMessage",
+    "partition_cells",
+    "plan_mobility",
+]

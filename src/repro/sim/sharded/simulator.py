@@ -1,0 +1,488 @@
+"""The sharded backend facade: partition, plan, drive, merge.
+
+:class:`ShardedSimulator` implements the :class:`~repro.sim.backend.SimBackend`
+surface by splitting the ring into contiguous cell segments
+(:func:`~repro.sim.sharded.partition.partition_cells`), resolving every
+request's serving cell in the deterministic mobility pre-pass
+(:func:`~repro.sim.sharded.partition.plan_mobility`), and advancing one
+:class:`~repro.sim.sharded.shard.ShardSimulator` per segment in lockstep
+**conservative time windows**.  The default window is the minimum backhaul
+fetch latency — the fastest any cross-shard effect (a cooperative fetch from
+a remote cell) can propagate — so deferring cross-shard state to window
+barriers never reorders anything that could have interacted sooner.
+
+Two drivers execute the identical window loop:
+
+``inline``
+    Every shard lives in this process; windows advance round-robin.  Used
+    for ``driver="auto"`` on single-core hosts, and by tests asserting
+    driver-independence.
+
+``process``
+    One forked worker per shard, strict-lockstep message exchange through
+    pipes each window.  The coordinator routes exactly the messages the
+    inline driver routes, in the same order, so both drivers produce
+    identical results — parallelism is purely a wall-clock knob, as
+    everywhere else in this repo.
+
+``num_shards=1`` delegates to the serial engine outright, making the
+single-shard sharded backend **byte-identical** to ``backend="serial"``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.runtime.parallel import available_cpus, _preferred_context
+from repro.sim.metrics import LatencyRecorder, SimulationReport
+from repro.sim.multicell import (
+    Cell,
+    CellConfig,
+    ModelSpec,
+    PathCostCache,
+    build_multicell_topology,
+    order_neighbors,
+)
+from repro.sim.sharded.partition import (
+    FaultTimelineView,
+    partition_cells,
+    plan_mobility,
+)
+from repro.sim.sharded.shard import ShardSimulator, WindowMessage
+from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+from repro.utils.rng import SeedLike
+from repro.workloads.traces import RequestTrace
+
+#: Driver choices for :class:`ShardedConfig`.
+DRIVERS = ("auto", "inline", "process")
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Execution knobs of the sharded backend.
+
+    Attributes
+    ----------
+    num_shards:
+        Worker count; clamped to the cell count.  ``1`` delegates to the
+        serial engine (byte-identical results).
+    window_s:
+        Conservative window length; ``None`` derives the minimum backhaul
+        fetch latency from the catalogue (smallest model over one backhaul
+        hop).  The window is part of the sharded backend's semantics: golden
+        tables pin results at the derived default.
+    max_forward_hops:
+        Cross-shard failover forwards a request carries before it is
+        dropped; bounds pathological outage chains.
+    driver:
+        ``auto`` picks ``process`` on multi-core hosts, ``inline``
+        otherwise; both produce identical results.
+    """
+
+    num_shards: int = 2
+    window_s: Optional[float] = None
+    max_forward_hops: int = 4
+    driver: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ConfigurationError(f"window_s must be positive, got {self.window_s}")
+        if self.max_forward_hops < 1:
+            raise ConfigurationError(
+                f"max_forward_hops must be >= 1, got {self.max_forward_hops}"
+            )
+        if self.driver not in DRIVERS:
+            raise ConfigurationError(f"driver must be one of {DRIVERS}, got {self.driver!r}")
+
+
+def _build_shard(payload: Dict[str, object]) -> ShardSimulator:
+    """Construct one shard from its (picklable) payload dict."""
+    return ShardSimulator(**payload)
+
+
+def _shard_worker(pipe, payload: Dict[str, object]) -> None:
+    """Process-driver worker: one shard, strict-lockstep window protocol."""
+    try:
+        shard = _build_shard(payload)
+        while True:
+            command = pipe.recv()
+            if command[0] == "step":
+                _, until, incoming = command
+                shard.deliver(incoming)
+                pipe.send(("ok", shard.advance_to(until)))
+            elif command[0] == "finalize":
+                pipe.send(("ok", shard.finalize()))
+                break
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown shard command {command[0]!r}")
+    except BaseException as error:  # pragma: no cover - forwarded to coordinator
+        try:
+            pipe.send(("error", repr(error)))
+        except Exception:
+            pass
+        raise
+    finally:
+        pipe.close()
+
+
+class ShardedSimulator:
+    """Multi-core replay of the multi-cell deployment (SimBackend)."""
+
+    backend_name = "sharded"
+
+    def __init__(
+        self,
+        cells: Sequence[CellConfig],
+        catalogue: Dict[str, ModelSpec],
+        config: Optional[SimulatorConfig] = None,
+        seed: SeedLike = None,
+        sharded: Optional[ShardedConfig] = None,
+    ) -> None:
+        if not cells:
+            raise ConfigurationError("at least one cell is required")
+        if not catalogue:
+            raise ConfigurationError("the model catalogue must not be empty")
+        self.config = config or SimulatorConfig()
+        self.sharded = sharded or ShardedConfig()
+        self.catalogue = dict(catalogue)
+        self._cell_configs = list(cells)
+        self._seed = seed
+        #: Inert per-cell state for pre-replay introspection; after a replay
+        #: each cell's ``stats`` holds the merged per-cell counters.
+        self.cells: Dict[str, Cell] = {
+            cell_config.name: Cell(cell_config, self.config.batching) for cell_config in cells
+        }
+        if len(self.cells) != len(cells):
+            raise ConfigurationError("cell names must be unique")
+        self.topology = build_multicell_topology(
+            list(self.cells), backhaul=self.config.backhaul, wan=self.config.wan
+        )
+        self.costs = PathCostCache(self.topology)
+        order_neighbors(list(self.cells.values()), self.costs)
+        self.on_request_end = None
+        self._timeline: List[Tuple[float, Tuple[Tuple[str, tuple], ...], str]] = []
+        self._report: Optional[SimulationReport] = None
+        self._serial_delegate: Optional[MultiCellSimulator] = None
+        self._replayed = False
+
+    # ------------------------------------------------------------------ #
+    # Fault API (recorded, broadcast to every shard at replay time)
+    # ------------------------------------------------------------------ #
+    def schedule_calls(self, time_s: float, calls: Sequence[tuple], label: str = "") -> None:
+        """Record ordered fault calls to fire at ``time_s`` in every shard.
+
+        The sharded backend needs the complete fault timeline *before* the
+        replay: the mobility pre-pass resolves outage re-homes from it, and
+        every shard schedules it on its own engine so the global
+        alive/failed view stays consistent without messaging.
+        """
+        if self._replayed:
+            raise SimulationError(
+                "the sharded backend needs its fault timeline before replay()"
+            )
+        self._timeline.append((float(time_s), tuple((m, tuple(a)) for m, a in calls), label))
+
+    def _record(self, method: str, *args: object) -> None:
+        self.schedule_calls(0.0, [(method, args)], label=f"direct:{method}")
+
+    # Direct fault calls are recorded at t=0 (the sharded replay is one-shot;
+    # mid-run mutation goes through schedule_calls timelines).
+    def fail_cell(self, name: str) -> None:
+        self._record("fail_cell", name)
+
+    def recover_cell(self, name: str) -> None:
+        self._record("recover_cell", name)
+
+    def wipe_cell_cache(self, name: str) -> int:
+        self._record("wipe_cell_cache", name)
+        return 0
+
+    def resize_cell_cache(self, name: str, capacity_bytes: int) -> None:
+        self._record("resize_cell_cache", name, capacity_bytes)
+
+    def degrade_downlink(self, name: str, factor: float) -> None:
+        self._record("degrade_downlink", name, factor)
+
+    def restore_downlink(self, name: str) -> None:
+        self._record("restore_downlink", name)
+
+    def set_handover_probability(self, probability: float) -> None:
+        self._record("set_handover_probability", probability)
+
+    def alive_cells(self) -> List[str]:
+        """Cell names not failed at t=0 by the recorded timeline."""
+        faults = FaultTimelineView(
+            [(t, calls) for t, calls, _ in self._timeline],
+            self.config.mobility.handover_probability,
+        )
+        return [name for name in self.cells if not faults.failed_at(name, 0.0)]
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def window_s(self) -> float:
+        """The conservative window actually used (configured or derived)."""
+        if self.sharded.window_s is not None:
+            return self.sharded.window_s
+        min_size = min(spec.size_bytes for spec in self.catalogue.values())
+        derived = self.config.backhaul.transfer_time(min_size)
+        return derived if derived > 0 else 0.01
+
+    def replay(self, trace, run: bool = True) -> SimulationReport:
+        """Partition, plan, and replay ``trace`` across the shards."""
+        if not run:
+            raise ConfigurationError("the sharded backend only supports replay(run=True)")
+        if self._replayed:
+            raise SimulationError("the sharded backend is one-shot; build a fresh instance")
+        started = time.perf_counter()
+        num_shards = min(self.sharded.num_shards, len(self.cells))
+        if num_shards == 1:
+            return self._replay_serial(trace, started)
+        self._replayed = True
+        hook = self.on_request_end
+        if hook is not None and not (hasattr(hook, "clone_empty") and hasattr(hook, "merge")):
+            raise ConfigurationError(
+                "the sharded backend needs an on_request_end hook with "
+                "clone_empty()/merge(other) (per-shard observation, deterministic merge)"
+            )
+        columns = self._extract_columns(trace)
+        sorted_times, user_codes, user_labels, domain_codes, domain_names = columns
+        cell_names = list(self.cells)
+        faults = FaultTimelineView(
+            [(t, calls) for t, calls, _ in self._timeline],
+            self.config.mobility.handover_probability,
+        )
+        neighbor_names = {
+            name: [other.name for other in cell.neighbor_order]
+            for name, cell in self.cells.items()
+        }
+        seed_root = int(self._seed) if self._seed is not None else 0
+        plan_cells, plan_flags = plan_mobility(
+            sorted_times,
+            user_labels,
+            user_codes,
+            cell_names,
+            seed_root,
+            faults,
+            neighbor_names,
+        )
+        segments = partition_cells(cell_names, num_shards)
+        shard_of_cell = np.empty(len(cell_names), dtype=np.int64)
+        for shard_index, segment in enumerate(segments):
+            for name in segment:
+                shard_of_cell[cell_names.index(name)] = shard_index
+        request_shards = shard_of_cell[plan_cells]
+        request_ids = np.arange(1, len(sorted_times) + 1, dtype=np.int64)
+        payloads: List[Dict[str, object]] = []
+        for shard_index, segment in enumerate(segments):
+            mask = request_shards == shard_index
+            payloads.append(
+                dict(
+                    cell_configs=self._cell_configs,
+                    catalogue=self.catalogue,
+                    config=self.config,
+                    shard_index=shard_index,
+                    owned=segment,
+                    times=sorted_times[mask],
+                    user_codes=user_codes[mask],
+                    user_labels=user_labels,
+                    domain_codes=domain_codes[mask],
+                    domain_names=domain_names,
+                    plan_cells=plan_cells[mask],
+                    plan_flags=plan_flags[mask],
+                    request_ids=request_ids[mask],
+                    forward_id_base=(shard_index + 1) * 10**12,
+                    timeline=self._timeline,
+                    max_forward_hops=self.sharded.max_forward_hops,
+                    on_request_end=None if hook is None else hook.clone_empty(),
+                )
+            )
+        window = self.window_s()
+        driver = self.sharded.driver
+        if driver == "auto":
+            driver = "process" if available_cpus() > 1 else "inline"
+        if driver == "process":
+            try:
+                results = self._drive_process(payloads, window)
+            except (ImportError, OSError, PermissionError):
+                # No usable multiprocessing primitives (sandboxes); the
+                # inline driver produces identical results by construction.
+                results = self._drive_inline(payloads, window)
+        else:
+            results = self._drive_inline(payloads, window)
+        return self._merge(results, time.perf_counter() - started)
+
+    def _replay_serial(self, trace, started: float) -> SimulationReport:
+        """``num_shards=1``: delegate to the serial engine, byte-identically."""
+        self._replayed = True
+        delegate = MultiCellSimulator(
+            self._cell_configs, self.catalogue, config=self.config, seed=self._seed
+        )
+        delegate.on_request_end = self.on_request_end
+        for time_s, calls, label in self._timeline:
+            delegate.schedule_calls(time_s, calls, label=label)
+        report = delegate.replay(trace)
+        self._serial_delegate = delegate
+        self.cells = delegate.cells
+        self._report = replace(report, wall_clock_s=time.perf_counter() - started)
+        return self._report
+
+    def _extract_columns(self, trace):
+        """Sorted columnar view of any trace (arrays or objects)."""
+        if isinstance(trace, RequestTrace) and trace.is_columnar:
+            timestamps = np.asarray(trace.timestamps, dtype=np.float64)
+            user_codes = np.asarray(trace.user_indices, dtype=np.int64)
+            domain_codes = np.asarray(trace.domain_indices, dtype=np.int64)
+            domain_names = list(trace.domain_names)
+            max_user = int(user_codes.max()) + 1 if len(user_codes) else 0
+            user_labels = [f"user_{index}" for index in range(max_user)]
+        else:
+            times_list: List[float] = []
+            user_labels = []
+            user_index: Dict[str, int] = {}
+            domain_names = []
+            domain_index: Dict[str, int] = {}
+            user_code_list: List[int] = []
+            domain_code_list: List[int] = []
+            for item in trace:
+                times_list.append(float(item.timestamp))
+                code = user_index.setdefault(item.user_id, len(user_labels))
+                if code == len(user_labels):
+                    user_labels.append(item.user_id)
+                user_code_list.append(code)
+                dcode = domain_index.setdefault(item.domain, len(domain_names))
+                if dcode == len(domain_names):
+                    domain_names.append(item.domain)
+                domain_code_list.append(dcode)
+            timestamps = np.asarray(times_list, dtype=np.float64)
+            user_codes = np.asarray(user_code_list, dtype=np.int64)
+            domain_codes = np.asarray(domain_code_list, dtype=np.int64)
+        for name in domain_names:
+            if name not in self.catalogue:
+                raise SimulationError(f"domain {name!r} is not in the model catalogue")
+        if len(timestamps) > 1 and bool(np.any(timestamps[1:] < timestamps[:-1])):
+            order = np.argsort(timestamps, kind="stable")
+            timestamps = timestamps[order]
+            user_codes = user_codes[order]
+            domain_codes = domain_codes[order]
+        return timestamps, user_codes, user_labels, domain_codes, domain_names
+
+    # ------------------------------------------------------------------ #
+    # Drivers (identical window loop, different execution substrate)
+    # ------------------------------------------------------------------ #
+    def _drive_inline(self, payloads: List[Dict[str, object]], window: float):
+        shards = [_build_shard(payload) for payload in payloads]
+        incoming: List[List[WindowMessage]] = [[] for _ in shards]
+        until = window
+        while True:
+            outgoing: List[WindowMessage] = []
+            for index, shard in enumerate(shards):
+                shard.deliver(incoming[index])
+                outgoing.append(shard.advance_to(until))
+            if all(m.done for m in outgoing) and not any(m.forwards for m in outgoing):
+                break
+            incoming = self._route(outgoing, len(shards))
+            until += window
+        return [shard.finalize() for shard in shards]
+
+    def _drive_process(self, payloads: List[Dict[str, object]], window: float):
+        context = _preferred_context()
+        parents = []
+        processes = []
+        try:
+            for payload in payloads:
+                parent, child = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker, args=(child, payload), daemon=True
+                )
+                process.start()
+                child.close()
+                parents.append(parent)
+                processes.append(process)
+            incoming: List[List[WindowMessage]] = [[] for _ in payloads]
+            until = window
+            while True:
+                for index, parent in enumerate(parents):
+                    parent.send(("step", until, incoming[index]))
+                outgoing = [self._receive(parent) for parent in parents]
+                if all(m.done for m in outgoing) and not any(m.forwards for m in outgoing):
+                    break
+                incoming = self._route(outgoing, len(parents))
+                until += window
+            for parent in parents:
+                parent.send(("finalize",))
+            return [self._receive(parent) for parent in parents]
+        finally:
+            for parent in parents:
+                parent.close()
+            for process in processes:
+                process.join(timeout=30)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+
+    @staticmethod
+    def _receive(parent):
+        status, value = parent.recv()
+        if status != "ok":
+            raise SimulationError(f"shard worker failed: {value}")
+        return value
+
+    @staticmethod
+    def _route(outgoing: List[WindowMessage], num_shards: int) -> List[List[WindowMessage]]:
+        """Every shard receives every other shard's message, in shard order."""
+        return [
+            [message for message in outgoing if message.shard != index]
+            for index in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Merge
+    # ------------------------------------------------------------------ #
+    def _merge(self, results, wall_clock_s: float) -> SimulationReport:
+        results = sorted(results, key=lambda result: result.shard)
+        latency = LatencyRecorder(reservoir_size=self.config.latency_reservoir)
+        for result in results:
+            latency.absorb(result.latency)
+        stats_by_cell: Dict[str, object] = {}
+        for result in results:
+            stats_by_cell.update(result.cell_stats)
+        cells = {name: stats_by_cell[name] for name in self.cells}
+        for name, stats in cells.items():
+            self.cells[name].stats = stats
+        hook = self.on_request_end
+        if hook is not None:
+            for result in results:
+                hook.merge(result.hook)
+        self._report = SimulationReport(
+            completed=sum(result.completed for result in results),
+            duration_s=max(result.last_completion for result in results),
+            wall_clock_s=wall_clock_s,
+            events_processed=sum(result.events_processed for result in results),
+            latency=latency.summary(),
+            cells=cells,
+            total_compute_busy_s=sum(result.compute_busy_s for result in results),
+            backhaul_bytes=sum(result.backhaul_bytes for result in results),
+            cloud_bytes=sum(result.cloud_bytes for result in results),
+            dropped=sum(stats.dropped for stats in cells.values()),
+        )
+        return self._report
+
+    def report(self, wall_clock_s: float) -> SimulationReport:
+        """The last replay's report (a zeroed report before any replay)."""
+        if self._report is not None:
+            return self._report
+        return SimulationReport(
+            completed=0,
+            duration_s=0.0,
+            wall_clock_s=wall_clock_s,
+            events_processed=0,
+            latency=LatencyRecorder().summary(),
+            cells={name: cell.stats for name, cell in self.cells.items()},
+        )

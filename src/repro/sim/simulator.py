@@ -101,7 +101,17 @@ class SimulatorConfig:
 
 
 class MultiCellSimulator:
-    """Replays request traces through a multi-cell edge deployment."""
+    """Replays request traces through a multi-cell edge deployment.
+
+    This is the **serial reference backend** of the :class:`~repro.sim.backend.
+    SimBackend` API: one process, one event heap, bit-identity pinned by every
+    committed result table.  Other backends (``repro.sim.sharded``) implement
+    the same surface — replay, fault injection, the ``on_request_end`` hook,
+    report assembly — with their own execution strategy.
+    """
+
+    #: Registry name of this backend (see :mod:`repro.sim.backend`).
+    backend_name = "serial"
 
     def __init__(
         self,
@@ -469,6 +479,15 @@ class MultiCellSimulator:
         request.status = FETCHING
         cell.inflight[key] = [request]
         spec = self._domain_info[request.domain][2]
+        self._begin_fetch(request, cell, key, spec)
+
+    def _begin_fetch(self, request: Request, cell: Cell, key: str, spec: ModelSpec) -> None:
+        """Start the model fetch for a fresh miss (waiters already registered).
+
+        Extracted from :meth:`_lookup` so backends with a wider notion of
+        "source" (the sharded backend consults a cross-shard cache directory)
+        can override fetch routing without touching the hit/coalesce path.
+        """
         source = self._find_source_cell(cell, key)
         epoch = cell.failure_epoch
         if source is not None:
@@ -673,6 +692,30 @@ class MultiCellSimulator:
     def set_handover_probability(self, probability: float) -> None:
         """Change the mobility model's handover probability mid-run."""
         self.mobility.set_handover_probability(probability)
+
+    def schedule_calls(
+        self,
+        time_s: float,
+        calls: Sequence[tuple],
+        label: str = "",
+    ) -> None:
+        """Schedule a batch of named method calls at simulation time ``time_s``.
+
+        ``calls`` is an ordered sequence of ``(method_name, args)`` pairs
+        applied back-to-back inside **one** engine event.  This is the
+        backend-agnostic fault API: scenario timelines describe faults as
+        data, and each backend decides how to execute them — the serial
+        engine as a single heap event (identical to the historical closure
+        scheduling, so committed tables stay byte-identical), the sharded
+        backend by recording the timeline and broadcasting it to every shard
+        before replay.
+        """
+
+        def apply(sim: Simulation, batch=tuple(calls)) -> None:
+            for method_name, args in batch:
+                getattr(self, method_name)(*args)
+
+        self.engine.schedule_at(time_s, apply, label=label)
 
     # ------------------------------------------------------------------ #
     # Reporting
