@@ -25,10 +25,13 @@ Worker-count note: the pool never exceeds the item count, and chunking is
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+logger = logging.getLogger(__name__)
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -68,6 +71,11 @@ class ParallelRunner:
 
     def __init__(self, jobs: int = 1) -> None:
         self.jobs = resolve_jobs(jobs)
+        #: Latched true the first time a requested pool could not be used and
+        #: the batch ran serially instead (pool creation failed, or the pool
+        #: broke mid-run).  Results are identical either way; the flag exists
+        #: so tests and callers can assert *how* they were produced.
+        self.degraded = False
 
     @property
     def parallel(self) -> bool:
@@ -88,20 +96,30 @@ class ParallelRunner:
         workers = min(self.jobs, len(items))
         try:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=_preferred_context())
-        except (ImportError, OSError, PermissionError):
+        except (ImportError, OSError, PermissionError) as error:
             # Pool *creation* failed (no multiprocessing primitives, e.g. a
             # missing /dev/shm): the pool is an optimization, so degrade to
             # the serial loop — results are identical by construction.
+            self.degraded = True
+            logger.warning(
+                "process pool creation failed (%s: %s); running %d items serially",
+                type(error).__name__, error, len(items),
+            )
             return [function(item) for item in items]
         try:
             with pool:
                 return list(pool.map(function, items, chunksize=1))
-        except BrokenProcessPool:
+        except BrokenProcessPool as error:
             # Workers died without a Python exception (seccomp'd clone, OOM
             # kill): same degradation.  Exceptions raised *by the work
             # function itself* are not caught here — they propagate to the
             # caller exactly as the serial loop's would (fail fast, no silent
             # serial re-run of the whole batch).
+            self.degraded = True
+            logger.warning(
+                "process pool broke mid-run (%s); re-running %d items serially",
+                error, len(items),
+            )
             return [function(item) for item in items]
 
     def starmap(

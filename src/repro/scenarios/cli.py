@@ -74,6 +74,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated cache policies (default lru,lfu,semantic-popularity)",
     )
     common(compare)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="property-test random scenarios through the invariant harness",
+        description=(
+            "Sample random-but-valid scenario specs and drive each through the "
+            "invariant harness (engine audits, determinism, serial-vs-sharded "
+            "differential). A failing spec is shrunk to a minimal example and "
+            "saved to the regression corpus. Requires the `hypothesis` test "
+            "dependency."
+        ),
+    )
+    fuzz.add_argument("--cases", type=int, default=50, help="specs to sample (default 50)")
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="harness seed; generation, workloads and deployments all derive "
+        "from it, so one integer replays the whole run (default 0)",
+    )
+    fuzz.add_argument(
+        "--scale", type=float, default=1.0, help="arrival-rate scale factor (default 1.0)"
+    )
+    fuzz.add_argument(
+        "--backend",
+        choices=("serial", "sharded"),
+        default="sharded",
+        help="'serial' runs the engine + determinism layers only; 'sharded' "
+        "(default) adds the serial-vs-sharded differential layer",
+    )
+    fuzz.add_argument(
+        "--shards",
+        default="2,3",
+        help="comma-separated shard counts for the differential layer "
+        "(clamped per spec to its cell count; default 2,3)",
+    )
+    fuzz.add_argument(
+        "--regressions-dir",
+        default="tests/scenarios/regressions",
+        help="where shrunk failing specs are serialized "
+        "(default tests/scenarios/regressions)",
+    )
     return parser
 
 
@@ -81,6 +123,57 @@ def _print_tables(tables: List[ResultTable]) -> None:
     for table in tables:
         print(table.to_text())
         print()
+
+
+def _run_fuzz(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``fuzz`` subcommand body (lazy-imports the hypothesis harness)."""
+    try:
+        from repro.scenarios import fuzz as fuzz_module
+    except ImportError as error:
+        parser.error(
+            f"the fuzz harness needs the `hypothesis` test dependency ({error}); "
+            "install the [dev] extra to use `repro-scenario fuzz`"
+        )
+    if args.cases < 1:
+        parser.error(f"--cases must be >= 1, got {args.cases}")
+    try:
+        shard_counts = tuple(int(s) for s in args.shards.split(",") if s.strip())
+    except ValueError:
+        parser.error(f"--shards must be comma-separated integers, got {args.shards!r}")
+    if not shard_counts or any(s < 2 for s in shard_counts):
+        parser.error(f"--shards values must be >= 2, got {args.shards!r}")
+    differential = args.backend == "sharded"
+    layers = (
+        "engine + determinism + differential" if differential else "engine + determinism"
+    )
+    print(
+        f"fuzzing {args.cases} scenario specs (seed {args.seed}, scale {args.scale}, "
+        f"layers: {layers})"
+    )
+    outcome = fuzz_module.fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        scale=args.scale,
+        shard_counts=shard_counts,
+        differential=differential,
+        regressions_dir=args.regressions_dir,
+        found_by=f"repro-scenario fuzz --cases {args.cases} --seed {args.seed} "
+        f"--backend {args.backend}",
+    )
+    print(f"hypothesis generation seed: {outcome.hypothesis_seed}")
+    if outcome.ok:
+        print(f"OK: {outcome.cases} cases, {outcome.executed} executions, no violations")
+        return 0
+    print(f"FAILED: {outcome.error}")
+    print(f"shrunk failing spec: {outcome.failure_spec.name}")
+    if outcome.regression_path is not None:
+        print(f"regression saved to {outcome.regression_path}")
+        print(
+            "replay it with: PYTHONPATH=src python -m pytest "
+            "tests/scenarios/test_regressions.py, or re-run this exact command "
+            f"(--seed {outcome.seed} regenerates the same cases)"
+        )
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -102,6 +195,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyError as error:
             parser.error(str(error))
         return 0
+
+    if args.command == "fuzz":
+        return _run_fuzz(parser, args)
 
     validate_shared_arguments(parser, args)
 

@@ -1,0 +1,511 @@
+"""Property-tested search over adversarial workloads.
+
+The curated catalog pins correctness where a human thought to look; this
+module generates the scenarios nobody wrote.  A hypothesis strategy samples
+random-but-valid :class:`~repro.scenarios.spec.ScenarioSpec`s — phase stacks
+× fault timelines × topologies × cache policies/sizes — and
+:func:`check_case` drives each through three invariant layers:
+
+* **engine invariants** — an :class:`~repro.sim.invariants.InvariantChecker`
+  chained through ``on_request_end`` (terminal-event sanity, exact request
+  conservation) plus the post-replay structural audit and the folded
+  fault-timeline end-state check (pin safety, cache accounting, dead cells
+  hold nothing, downlink degradation never compounds);
+* **determinism invariants** — the same spec + seed replayed twice must be
+  byte-identical (compared on the serialized summary + per-phase rows), and
+  ``--scale`` moves the request count exactly as specified without moving
+  the fault timeline;
+* **differential backend invariants** — serial vs sharded at several shard
+  counts: conservation stays exact, headline metrics stay within the
+  divergence taxonomy of ``docs/architecture.md`` (loosened for the small
+  traces fuzz cases use).
+
+Every run is replayable from two integers: the harness seed (workload
+synthesis + deployment, through the usual named SeedTree paths) and the
+hypothesis generation seed derived from it (``SeedTree(seed).child("fuzz")
+.seed("hypothesis")``).  Failing specs are shrunk by hypothesis and
+serialized to the regression corpus (``tests/scenarios/regressions/*.json``),
+where ``tests/scenarios/test_regressions.py`` replays them as ordinary
+tier-1 tests forever after.
+
+This module imports :mod:`hypothesis` (a test dependency) at import time;
+the CLI imports it lazily and reports a friendly error when it is missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck
+from hypothesis import seed as hypothesis_seed
+from hypothesis import given, settings
+
+from repro.caching.policies import available_policies
+from repro.runtime import SeedTree
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import (
+    CACHE_RESIZE,
+    CACHE_WIPE,
+    FAULT_KINDS,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    MOBILITY_SET,
+    FaultEvent,
+    ScenarioSpec,
+    WorkloadPhase,
+)
+from repro.sim.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    audit_fault_state,
+    audit_simulator,
+    expected_fault_state,
+)
+from repro.utils.serialization import to_json
+
+#: Corpus file format tag (bump on incompatible layout changes).
+REGRESSION_FORMAT = "repro-scenario-regression-v1"
+
+#: Shard counts the differential layer exercises (clamped to the cell count).
+DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (2, 3)
+
+#: Divergence bounds for serial-vs-sharded headline metrics are
+#: **variance-calibrated**: per docs/architecture.md, the two backends draw
+#: the deployment layout (user home cells, handover streams) independently,
+#: so their headline metrics differ by the metric's own cross-seed variance —
+#: which for adversarially tiny specs (12 users, a 2-model FIFO cache, one
+#: hot Zipf domain) legitimately spans half the [0, 1] range.  Any flat
+#: tolerance is therefore either vacuous or flaky under adversarial search.
+#: Instead :func:`check_case` replays the spec serially at
+#: ``DIFFERENTIAL_CALIBRATION_SEEDS`` extra layout seeds and requires each
+#: sharded metric to land inside the observed serial envelope widened by a
+#: margin: a fraction of the observed spread (``SPREAD_MARGIN``), plus an
+#: absolute floor, plus — for the hit ratio — the per-user quantum
+#: (one user's stream landing elsewhere moves the ratio by ``~1/num_users``).
+#: Conservation is never a tolerance — it is checked exactly.
+DIFFERENTIAL_CALIBRATION_SEEDS = 2
+SPREAD_MARGIN = 0.75
+HIT_RATIO_FLOOR = 0.1
+HIT_RATIO_USER_QUANTA = 3.0
+MEAN_ABS_FLOOR_MS = 30.0
+MEAN_REL_MARGIN = 0.3
+P95_ABS_FLOOR_MS = 60.0
+P95_REL_MARGIN = 0.3
+
+
+# --------------------------------------------------------------------- #
+# Strategy space
+# --------------------------------------------------------------------- #
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    """Random-but-valid scenario specs, sized for sub-second replays.
+
+    Durations, rates and pool sizes are drawn from small menus so a case
+    stays a few hundred to a few thousand requests (the harness replays each
+    spec four times), while the *structure* — phase stacks, stacked fault
+    timelines including same-time batches, degenerate capacities, every
+    registered eviction policy — ranges over the space the curated catalog
+    never covers.  Fault times are drawn on a half-second grid on purpose:
+    colliding timestamps (fault-vs-fault and fault-vs-arrival ties) are
+    exactly the edge the event engine's ordering contract must survive.
+    """
+    num_cells = draw(st.integers(min_value=2, max_value=5))
+    num_phases = draw(st.integers(min_value=1, max_value=3))
+    phases = []
+    for index in range(num_phases):
+        phases.append(
+            WorkloadPhase(
+                name=f"phase_{index}",
+                duration_s=float(draw(st.integers(min_value=1, max_value=2))),
+                rate_multiplier=draw(st.sampled_from((0.5, 1.0, 2.0))),
+                zipf_exponent=draw(st.sampled_from((None, 0.0, 0.7, 1.2))),
+                domain_shift=draw(st.integers(min_value=0, max_value=3)),
+                user_churn=draw(st.sampled_from((0.0, 0.25, 0.6))),
+            )
+        )
+    total = sum(phase.duration_s for phase in phases)
+    events = []
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        kind = draw(st.sampled_from(FAULT_KINDS))
+        time_s = draw(st.integers(min_value=0, max_value=int(total * 2))) * 0.5
+        cell: Optional[str] = f"cell_{draw(st.integers(0, num_cells - 1))}"
+        factor = 1.0
+        value = None
+        if kind == LINK_DEGRADE:
+            factor = draw(st.sampled_from((0.5, 2.0, 8.0, 16.0)))
+        elif kind == CACHE_RESIZE:
+            # 1e-9 folds to a zero-byte budget: resize-to-zero mid-run.
+            factor = draw(st.sampled_from((1e-9, 0.1, 0.5, 2.0)))
+        elif kind == MOBILITY_SET:
+            value = draw(st.sampled_from((0.0, 0.1, 0.5)))
+        if kind == MOBILITY_SET:
+            cell = None
+        elif kind in (CACHE_WIPE, LINK_DEGRADE, LINK_RESTORE, CACHE_RESIZE):
+            if draw(st.booleans()):
+                cell = None  # all-cell fault
+        events.append(FaultEvent(time_s=time_s, kind=kind, cell=cell, factor=factor, value=value))
+    spec_fields = dict(
+        description="fuzzed scenario",
+        phases=tuple(phases),
+        events=tuple(events),
+        num_cells=num_cells,
+        num_domains=draw(st.integers(min_value=3, max_value=10)),
+        num_users=draw(st.integers(min_value=10, max_value=80)),
+        base_rate=float(draw(st.sampled_from((120, 300, 600)))),
+        zipf_exponent=draw(st.sampled_from((0.0, 0.6, 0.9, 1.3))),
+        cache_policy=draw(st.sampled_from(tuple(available_policies()))),
+        cache_capacity_mb=float(draw(st.sampled_from((2.0, 8.0, 24.0, 48.0)))),
+        handover_probability=draw(st.sampled_from((0.0, 0.05, 0.2))),
+    )
+    # The name embeds a content hash: the workload synthesizer draws its
+    # streams through SeedTree paths that include the spec name, so distinct
+    # fuzzed specs get independent streams while the same spec is always
+    # exactly replayable.
+    digest_source = dict(spec_fields, phases=[asdict(p) for p in phases], events=[asdict(e) for e in events])
+    digest = hashlib.sha1(
+        json.dumps(digest_source, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()[:10]
+    return ScenarioSpec(name=f"fuzz_{digest}", **spec_fields)
+
+
+# --------------------------------------------------------------------- #
+# The invariant harness
+# --------------------------------------------------------------------- #
+def _envelope(values: Sequence[float], margin: float) -> Tuple[float, float]:
+    return min(values) - margin, max(values) + margin
+
+
+def _run_checked(
+    spec: ScenarioSpec,
+    seed: int,
+    scale: float,
+    backend: str,
+    shards: Optional[int] = None,
+) -> Tuple[ScenarioResult, InvariantChecker]:
+    """One replay with the invariant checker chained in front of measurement."""
+    box: Dict[str, InvariantChecker] = {}
+
+    def wrap(collector):
+        box["checker"] = InvariantChecker(inner=collector)
+        return box["checker"]
+
+    result = run_scenario(
+        spec, seed=seed, scale=scale, backend=backend, shards=shards, wrap_hook=wrap
+    )
+    checker = box["checker"]
+    checker.verify_report(result.report, issued=int(result.summary["requests"]))
+    return result, checker
+
+
+def _signature(result: ScenarioResult) -> str:
+    """Byte-comparable serialization of everything a run reports."""
+    return to_json({"summary": result.summary, "phases": result.phases})
+
+
+def _check_phase_consistency(result: ScenarioResult) -> None:
+    """The per-phase windows must partition the run's terminal requests."""
+    phase_completed = sum(int(row["completed"]) for row in result.phases)
+    phase_dropped = sum(int(row["dropped"]) for row in result.phases)
+    if phase_completed != result.report.completed:
+        raise InvariantViolation(
+            f"phase windows hold {phase_completed} completions, the report says "
+            f"{result.report.completed}"
+        )
+    if phase_dropped != result.report.dropped:
+        raise InvariantViolation(
+            f"phase windows hold {phase_dropped} drops, the report says "
+            f"{result.report.dropped}"
+        )
+
+
+def _check_divergence(
+    serial_summaries: Sequence[Dict[str, object]],
+    sharded: Dict[str, object],
+    issued: int,
+    shards: int,
+    num_users: int,
+) -> None:
+    """Variance-calibrated serial-vs-sharded divergence on headline metrics.
+
+    ``serial_summaries`` holds the reference run plus the calibration runs
+    at alternate layout seeds; each sharded metric must fall inside that
+    observed envelope widened by the documented margins.
+    """
+    label = f"shards={shards}"
+
+    def check(key: str, margin: float, unit: str = "") -> None:
+        values = [float(summary[key]) for summary in serial_summaries]
+        spread = max(values) - min(values)
+        lo, hi = _envelope(values, margin + SPREAD_MARGIN * spread)
+        observed = float(sharded[key])
+        if not lo <= observed <= hi:
+            raise InvariantViolation(
+                f"{label}: {key} diverged beyond the calibrated serial envelope "
+                f"({observed:.4f}{unit} sharded vs serial range "
+                f"[{min(values):.4f}, {max(values):.4f}]{unit} "
+                f"over {len(values)} layout seeds, margin {margin:.4f})"
+            )
+
+    check("dropped", margin=max(20.0, 0.05 * issued))
+    check("hit_ratio", margin=max(HIT_RATIO_FLOOR, HIT_RATIO_USER_QUANTA / max(1, num_users)))
+    mean_scale = max(float(summary["mean_ms"]) for summary in serial_summaries)
+    check("mean_ms", margin=max(MEAN_ABS_FLOOR_MS, MEAN_REL_MARGIN * mean_scale), unit="ms")
+    p95_scale = max(float(summary["p95_ms"]) for summary in serial_summaries)
+    check("p95_ms", margin=max(P95_ABS_FLOOR_MS, P95_REL_MARGIN * p95_scale), unit="ms")
+
+
+def check_case(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    scale: float = 1.0,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    differential: bool = True,
+) -> None:
+    """Drive one spec through every invariant layer; raise on any violation.
+
+    Runs the spec serially twice (engine audit + byte-identity), then — with
+    ``differential`` — through the sharded backend at each shard count
+    (clamped to the cell count), checking exact conservation and
+    variance-calibrated divergence against a serial envelope measured across
+    ``DIFFERENTIAL_CALIBRATION_SEEDS + 1`` layout seeds.
+    """
+    serial, _ = _run_checked(spec, seed, scale, backend="serial")
+    issued = int(serial.summary["requests"])
+    if issued != spec.expected_requests(scale):
+        raise InvariantViolation(
+            f"synthesizer issued {issued} requests, the spec implies "
+            f"{spec.expected_requests(scale)} at scale {scale}"
+        )
+    _check_phase_consistency(serial)
+    state = expected_fault_state(spec)
+    audit_simulator(serial.simulator, allow_over_budget=state.shrank_cache)
+    audit_fault_state(serial.simulator, spec)
+    # Determinism: the identical spec + seed must reproduce byte-identically.
+    serial_again, _ = _run_checked(spec, seed, scale, backend="serial")
+    if _signature(serial) != _signature(serial_again):
+        raise InvariantViolation(
+            f"serial replay of {spec.name} is not deterministic (same spec, same "
+            f"seed, different serialized report)"
+        )
+    if not differential:
+        return
+    # Calibration runs: the same spec under alternate layout seeds measures
+    # the metric's own natural variance, which sizes the divergence envelope.
+    serial_summaries = [serial.summary]
+    for offset in range(1, DIFFERENTIAL_CALIBRATION_SEEDS + 1):
+        calibration = run_scenario(spec, seed=seed + offset, scale=scale, backend="serial")
+        serial_summaries.append(calibration.summary)
+    seen = set()
+    for requested in shard_counts:
+        shards = min(int(requested), spec.num_cells)
+        if shards < 2 or shards in seen:
+            continue
+        seen.add(shards)
+        sharded, _ = _run_checked(spec, seed, scale, backend="sharded", shards=shards)
+        _check_phase_consistency(sharded)
+        completed = int(sharded.summary["completed"])
+        dropped = int(sharded.summary["dropped"])
+        if completed + dropped != issued:
+            raise InvariantViolation(
+                f"shards={shards}: conservation broken ({completed} completed + "
+                f"{dropped} dropped != {issued} issued)"
+            )
+        _check_divergence(serial_summaries, sharded.summary, issued, shards, spec.num_users)
+
+
+# --------------------------------------------------------------------- #
+# Regression corpus
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RegressionCase:
+    """One shrunk failing spec, with everything needed to replay it."""
+
+    spec: ScenarioSpec
+    seed: int
+    scale: float
+    shard_counts: Tuple[int, ...]
+    differential: bool
+    error: str
+    found_by: str
+
+    def replay(self) -> None:
+        """Re-run this case through the full harness (raises if still broken)."""
+        check_case(
+            self.spec,
+            seed=self.seed,
+            scale=self.scale,
+            shard_counts=self.shard_counts,
+            differential=self.differential,
+        )
+
+
+def save_regression(
+    directory, spec: ScenarioSpec, *, seed: int, scale: float,
+    shard_counts: Sequence[int], differential: bool, error: str, found_by: str = "",
+) -> Path:
+    """Serialize a shrunk failing spec into the corpus directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{spec.name}.json"
+    payload = {
+        "format": REGRESSION_FORMAT,
+        "spec": spec.to_dict(),
+        "seed": seed,
+        "scale": scale,
+        "shard_counts": list(shard_counts),
+        "differential": differential,
+        "error": error,
+        "found_by": found_by,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_regression(path) -> RegressionCase:
+    """Parse one corpus file back into a replayable case."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != REGRESSION_FORMAT:
+        raise ValueError(
+            f"{path}: unknown regression format {payload.get('format')!r} "
+            f"(expected {REGRESSION_FORMAT})"
+        )
+    return RegressionCase(
+        spec=ScenarioSpec.from_dict(payload["spec"]),
+        seed=int(payload["seed"]),
+        scale=float(payload["scale"]),
+        shard_counts=tuple(int(s) for s in payload.get("shard_counts", DEFAULT_SHARD_COUNTS)),
+        differential=bool(payload.get("differential", True)),
+        error=str(payload.get("error", "")),
+        found_by=str(payload.get("found_by", "")),
+    )
+
+
+def iter_regressions(directory) -> List[Path]:
+    """Corpus files under ``directory``, sorted for stable test ordering."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+# --------------------------------------------------------------------- #
+# The fuzz driver
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """What one fuzz run did and found."""
+
+    cases: int
+    executed: int
+    seed: int
+    hypothesis_seed: int
+    failure_spec: Optional[ScenarioSpec]
+    error: Optional[str]
+    regression_path: Optional[Path]
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def fuzz(
+    cases: int,
+    seed: int = 0,
+    scale: float = 1.0,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    differential: bool = True,
+    regressions_dir=None,
+    found_by: str = "",
+) -> FuzzOutcome:
+    """Sample ``cases`` specs and drive each through :func:`check_case`.
+
+    Generation is seeded from ``SeedTree(seed).child("fuzz").seed("hypothesis")``
+    so the whole run replays from the one ``--seed`` value.  On a failure,
+    hypothesis shrinks the spec to a minimal failing example, which is
+    serialized into ``regressions_dir`` (when given) in the corpus format.
+    The shrunk spec — not the original — is what gets reported and saved:
+    the minimal example re-executes last during shrinking.
+    """
+    generation_seed = SeedTree(seed).child("fuzz").seed("hypothesis")
+    executed = 0
+    last_failure: Dict[str, object] = {}
+
+    @settings(
+        max_examples=cases,
+        database=None,
+        deadline=None,
+        suppress_health_check=list(HealthCheck),
+        print_blob=False,
+    )
+    @hypothesis_seed(generation_seed)
+    @given(spec=scenario_specs())
+    def property_(spec: ScenarioSpec) -> None:
+        nonlocal executed
+        executed += 1
+        try:
+            check_case(
+                spec,
+                seed=seed,
+                scale=scale,
+                shard_counts=shard_counts,
+                differential=differential,
+            )
+        except Exception as error:
+            last_failure["spec"] = spec
+            last_failure["error"] = f"{type(error).__name__}: {error}"
+            raise
+
+    try:
+        property_()
+    except Exception:
+        spec = last_failure["spec"]
+        error = str(last_failure["error"])
+        path = None
+        if regressions_dir is not None:
+            path = save_regression(
+                regressions_dir,
+                spec,
+                seed=seed,
+                scale=scale,
+                shard_counts=shard_counts,
+                differential=differential,
+                error=error,
+                found_by=found_by,
+            )
+        return FuzzOutcome(
+            cases=cases,
+            executed=executed,
+            seed=seed,
+            hypothesis_seed=generation_seed,
+            failure_spec=spec,
+            error=error,
+            regression_path=path,
+        )
+    return FuzzOutcome(
+        cases=cases,
+        executed=executed,
+        seed=seed,
+        hypothesis_seed=generation_seed,
+        failure_spec=None,
+        error=None,
+        regression_path=None,
+    )
+
+
+__all__ = [
+    "DEFAULT_SHARD_COUNTS",
+    "REGRESSION_FORMAT",
+    "FuzzOutcome",
+    "RegressionCase",
+    "check_case",
+    "fuzz",
+    "iter_regressions",
+    "load_regression",
+    "save_regression",
+    "scenario_specs",
+]

@@ -137,6 +137,9 @@ class ScenarioResult:
     report: SimulationReport
     summary: Dict[str, object]
     phases: List[Dict[str, object]]
+    #: The backend the run executed on (post-replay state for audits); not
+    #: carried across process boundaries — the pool worker returns rows only.
+    simulator: Optional[SimBackend] = None
 
 
 def run_scenario(
@@ -145,6 +148,7 @@ def run_scenario(
     scale: float = 1.0,
     backend: Optional[str] = None,
     shards: Optional[int] = None,
+    wrap_hook=None,
 ) -> ScenarioResult:
     """Run one scenario end to end and return its summary + per-phase rows.
 
@@ -155,11 +159,17 @@ def run_scenario(
     that is the real load each cell saw.  The per-phase rows count each
     **request** once, by its final outcome.  Under fault injection the two
     views legitimately disagree by exactly the failed-over work.
+
+    ``wrap_hook`` optionally wraps the phase collector before it is attached
+    (``wrap_hook(collector)`` returns the hook actually installed) — the
+    invariant harness chains its :class:`~repro.sim.invariants.InvariantChecker`
+    through this without disturbing the measurement path.  For non-serial
+    backends the wrapped hook must stay mergeable.
     """
     trace = synthesize_trace(spec, seed=seed, scale=scale)
     simulator = build_simulator(spec, seed=seed, backend=backend, shards=shards)
     collector = PhaseCollector(spec)
-    simulator.on_request_end = collector
+    simulator.on_request_end = collector if wrap_hook is None else wrap_hook(collector)
     schedule_faults(simulator, spec)
     report = simulator.replay(trace)
     summary: Dict[str, object] = dict(
@@ -186,7 +196,9 @@ def run_scenario(
     phase_rows = [
         dict(scenario=spec.name, policy=spec.cache_policy, **row) for row in collector.rows()
     ]
-    return ScenarioResult(spec=spec, report=report, summary=summary, phases=phase_rows)
+    return ScenarioResult(
+        spec=spec, report=report, summary=summary, phases=phase_rows, simulator=simulator
+    )
 
 
 def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[str, object]]]:

@@ -35,6 +35,14 @@ from repro.sim.multicell import (
     default_catalogue,
     order_neighbors,
 )
+from repro.sim.invariants import (
+    FaultEndState,
+    InvariantChecker,
+    InvariantViolation,
+    audit_fault_state,
+    audit_simulator,
+    expected_fault_state,
+)
 from repro.sim.request import (
     CACHE_OUTCOMES,
     CLOUD_FETCH,
@@ -84,4 +92,10 @@ __all__ = [
     "SimulatorConfig",
     "ShardedConfig",
     "ShardedSimulator",
+    "FaultEndState",
+    "InvariantChecker",
+    "InvariantViolation",
+    "audit_simulator",
+    "audit_fault_state",
+    "expected_fault_state",
 ]

@@ -110,6 +110,7 @@ class ShardSimulator(MultiCellSimulator):
         timeline: Sequence[Tuple[float, Sequence[Tuple[str, tuple]], str]],
         max_forward_hops: int,
         on_request_end=None,
+        audit_over_budget: bool = False,
     ) -> None:
         config = config or SimulatorConfig()
         # Requests cannot be meaningfully retained per shard (the facade owns
@@ -140,6 +141,7 @@ class ShardSimulator(MultiCellSimulator):
         self._forward_hops: Dict[int, int] = {}
         self._directory: Dict[str, FrozenSet[str]] = {}
         self._last_sent: Dict[str, Tuple[str, ...]] = {name: () for name in self._owned_order}
+        self._audit_over_budget = audit_over_budget
         for time_s, calls, label in timeline:
             self.schedule_calls(time_s, calls, label=label)
         # Captured once, after the timeline is on the heap: fault events keep
@@ -374,7 +376,15 @@ class ShardSimulator(MultiCellSimulator):
     # Finalization
     # ------------------------------------------------------------------ #
     def finalize(self) -> ShardResult:
-        """Collect this shard's owned-cell results for the merged report."""
+        """Collect this shard's owned-cell results for the merged report.
+
+        Finalization runs the structural engine audit first (cache byte
+        accounting, no leaked pins, nothing stranded, dead cells hold
+        nothing): every shard proves its slice healthy before the facade
+        merges anything, and a violation surfaces as this shard's error
+        rather than a corrupted merged report.
+        """
+        self.audit_invariants(allow_over_budget=self._audit_over_budget)
         owned_cells = [self.cells[name] for name in self._owned_order]
         return ShardResult(
             shard=self.index,

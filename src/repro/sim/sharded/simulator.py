@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.runtime.parallel import available_cpus, _preferred_context
+from repro.sim.invariants import InvariantViolation
 from repro.sim.metrics import LatencyRecorder, SimulationReport
 from repro.sim.multicell import (
     Cell,
@@ -82,12 +83,20 @@ class ShardedConfig:
     driver:
         ``auto`` picks ``process`` on multi-core hosts, ``inline``
         otherwise; both produce identical results.
+    worker_timeout_s:
+        Liveness guard of the process driver: the longest the coordinator
+        waits for any shard's reply to one window step (or finalize) before
+        raising :class:`~repro.exceptions.SimulationError` naming the shard
+        and window.  A worker that dies outright is detected immediately,
+        without waiting out the timeout.  ``None`` disables the guard
+        (blocking receives, the pre-guard behaviour).
     """
 
     num_shards: int = 2
     window_s: Optional[float] = None
     max_forward_hops: int = 4
     driver: str = "auto"
+    worker_timeout_s: Optional[float] = 120.0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -100,6 +109,19 @@ class ShardedConfig:
             )
         if self.driver not in DRIVERS:
             raise ConfigurationError(f"driver must be one of {DRIVERS}, got {self.driver!r}")
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ConfigurationError(
+                f"worker_timeout_s must be positive or None, got {self.worker_timeout_s}"
+            )
+
+
+class _ProcessDriverUnavailable(Exception):
+    """Pool creation failed (sandboxed host); fall back to the inline driver.
+
+    Deliberately narrow: only raised for *setup* failures, never for a worker
+    that died or hung mid-replay — those are real errors the liveness guard
+    must surface, not silently re-run inline.
+    """
 
 
 def _build_shard(payload: Dict[str, object]) -> ShardSimulator:
@@ -171,6 +193,7 @@ class ShardedSimulator:
         self._report: Optional[SimulationReport] = None
         self._serial_delegate: Optional[MultiCellSimulator] = None
         self._replayed = False
+        self._issued: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Fault API (recorded, broadcast to every shard at replay time)
@@ -254,6 +277,8 @@ class ShardedSimulator:
             )
         columns = self._extract_columns(trace)
         sorted_times, user_codes, user_labels, domain_codes, domain_names = columns
+        self._issued = len(sorted_times)
+        over_budget_ok = self._timeline_shrinks_cache()
         cell_names = list(self.cells)
         faults = FaultTimelineView(
             [(t, calls) for t, calls, _ in self._timeline],
@@ -302,6 +327,7 @@ class ShardedSimulator:
                     timeline=self._timeline,
                     max_forward_hops=self.sharded.max_forward_hops,
                     on_request_end=None if hook is None else hook.clone_empty(),
+                    audit_over_budget=over_budget_ok,
                 )
             )
         window = self.window_s()
@@ -311,13 +337,30 @@ class ShardedSimulator:
         if driver == "process":
             try:
                 results = self._drive_process(payloads, window)
-            except (ImportError, OSError, PermissionError):
+            except _ProcessDriverUnavailable:
                 # No usable multiprocessing primitives (sandboxes); the
                 # inline driver produces identical results by construction.
                 results = self._drive_inline(payloads, window)
         else:
             results = self._drive_inline(payloads, window)
         return self._merge(results, time.perf_counter() - started)
+
+    def _timeline_shrinks_cache(self) -> bool:
+        """Whether any scheduled resize lowers a cell's budget (fold order).
+
+        A shrink below live pins legally leaves that cache over-full at
+        quiescence, so the per-shard audit must tolerate it; without a shrink
+        an over-budget cache is an invariant violation.
+        """
+        capacity = {name: cell.cache.capacity_bytes for name, cell in self.cells.items()}
+        for _, calls, _ in sorted(self._timeline, key=lambda item: item[0]):
+            for method, args in calls:
+                if method == "resize_cell_cache":
+                    name, new_capacity = args[0], int(args[1])
+                    if new_capacity < capacity.get(name, 0):
+                        return True
+                    capacity[name] = new_capacity
+        return False
 
     def _replay_serial(self, trace, started: float) -> SimulationReport:
         """``num_shards=1``: delegate to the serial engine, byte-identically."""
@@ -393,10 +436,10 @@ class ShardedSimulator:
         return [shard.finalize() for shard in shards]
 
     def _drive_process(self, payloads: List[Dict[str, object]], window: float):
-        context = _preferred_context()
         parents = []
         processes = []
         try:
+            context = _preferred_context()
             for payload in payloads:
                 parent, child = context.Pipe()
                 process = context.Process(
@@ -406,32 +449,88 @@ class ShardedSimulator:
                 child.close()
                 parents.append(parent)
                 processes.append(process)
+        except (ImportError, OSError, PermissionError) as error:
+            for parent in parents:
+                parent.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5)
+            raise _ProcessDriverUnavailable(str(error)) from error
+        try:
             incoming: List[List[WindowMessage]] = [[] for _ in payloads]
             until = window
+            window_index = 1
             while True:
                 for index, parent in enumerate(parents):
-                    parent.send(("step", until, incoming[index]))
-                outgoing = [self._receive(parent) for parent in parents]
+                    self._send(
+                        parent, processes[index], index, window_index,
+                        ("step", until, incoming[index]),
+                    )
+                outgoing = [
+                    self._receive(parents[index], processes[index], index, window_index)
+                    for index in range(len(parents))
+                ]
                 if all(m.done for m in outgoing) and not any(m.forwards for m in outgoing):
                     break
                 incoming = self._route(outgoing, len(parents))
                 until += window
-            for parent in parents:
-                parent.send(("finalize",))
-            return [self._receive(parent) for parent in parents]
+                window_index += 1
+            for index, parent in enumerate(parents):
+                self._send(parent, processes[index], index, window_index, ("finalize",))
+            return [
+                self._receive(parents[index], processes[index], index, window_index)
+                for index in range(len(parents))
+            ]
         finally:
             for parent in parents:
                 parent.close()
             for process in processes:
-                process.join(timeout=30)
-                if process.is_alive():  # pragma: no cover - hung worker
+                # Short grace: healthy workers exit as soon as their pipe
+                # closes; a hung one is terminated rather than waited out.
+                process.join(timeout=2)
+                if process.is_alive():
                     process.terminate()
+                    process.join(timeout=5)
 
     @staticmethod
-    def _receive(parent):
-        status, value = parent.recv()
+    def _send(parent, process, shard_index: int, window_index: int, message) -> None:
+        try:
+            parent.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise SimulationError(
+                f"shard {shard_index} worker died before window {window_index} "
+                f"(exit code {process.exitcode})"
+            ) from error
+
+    def _receive(self, parent, process, shard_index: int, window_index: int):
+        """One guarded reply: bounded wait, dead-worker detection, error unwrap."""
+        timeout = self.sharded.worker_timeout_s
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+            while not parent.poll(0.05):
+                if not process.is_alive() and not parent.poll(0):
+                    raise SimulationError(
+                        f"shard {shard_index} worker died mid-replay at window "
+                        f"{window_index} (exit code {process.exitcode})"
+                    )
+                if time.monotonic() >= deadline:
+                    raise SimulationError(
+                        f"shard {shard_index} worker unresponsive for {timeout:g}s at "
+                        f"window {window_index}; raise ShardedConfig.worker_timeout_s "
+                        "if one window genuinely takes this long"
+                    )
+        try:
+            status, value = parent.recv()
+        except (EOFError, OSError) as error:
+            raise SimulationError(
+                f"shard {shard_index} worker died mid-replay at window {window_index} "
+                f"(exit code {process.exitcode})"
+            ) from error
         if status != "ok":
-            raise SimulationError(f"shard worker failed: {value}")
+            raise SimulationError(
+                f"shard {shard_index} worker failed at window {window_index}: {value}"
+            )
         return value
 
     @staticmethod
@@ -460,8 +559,20 @@ class ShardedSimulator:
         if hook is not None:
             for result in results:
                 hook.merge(result.hook)
+        completed = sum(result.completed for result in results)
+        dropped = sum(stats.dropped for stats in cells.values())
+        if self._issued is not None and completed + dropped != self._issued:
+            # Merge-time conservation audit: every issued request terminates
+            # exactly once globally (forward chains are hop-capped into a
+            # drop), so this holds exactly — a miss means lost or duplicated
+            # work somewhere in the window/barrier machinery.
+            raise InvariantViolation(
+                f"sharded merge broke request conservation: {self._issued} issued "
+                f"but {completed} completed + {dropped} dropped across "
+                f"{len(results)} shards"
+            )
         self._report = SimulationReport(
-            completed=sum(result.completed for result in results),
+            completed=completed,
             duration_s=max(result.last_completion for result in results),
             wall_clock_s=wall_clock_s,
             events_processed=sum(result.events_processed for result in results),
@@ -470,7 +581,7 @@ class ShardedSimulator:
             total_compute_busy_s=sum(result.compute_busy_s for result in results),
             backhaul_bytes=sum(result.backhaul_bytes for result in results),
             cloud_bytes=sum(result.cloud_bytes for result in results),
-            dropped=sum(stats.dropped for stats in cells.values()),
+            dropped=dropped,
         )
         return self._report
 

@@ -720,6 +720,19 @@ class MultiCellSimulator:
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
+    def audit_invariants(self, allow_over_budget: bool = False) -> None:
+        """Post-replay structural audit (see :func:`repro.sim.invariants.audit_simulator`).
+
+        Raises :class:`~repro.sim.invariants.InvariantViolation` if the run
+        left the engine in an impossible state: drifted cache accounting,
+        leaked pins, stranded fetches or batches, entries on dead cells.
+        ``allow_over_budget`` permits the one legal over-full end state — a
+        cache whose budget shrank below its live pins mid-run.
+        """
+        from repro.sim.invariants import audit_simulator
+
+        audit_simulator(self, allow_over_budget=allow_over_budget)
+
     def report(self, wall_clock_s: float) -> SimulationReport:
         """Build the :class:`SimulationReport` for everything run so far."""
         return SimulationReport(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 import os
 
 import pytest
@@ -75,6 +76,38 @@ class TestParallelRunner:
         main_pid = os.getpid()
         results = ParallelRunner(jobs=2).map(_exit_if_forked, [main_pid] * 3)
         assert results == [main_pid] * 3
+
+    def test_degraded_flag_latches_on_broken_pool(self, caplog):
+        main_pid = os.getpid()
+        runner = ParallelRunner(jobs=2)
+        assert runner.degraded is False
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.parallel"):
+            runner.map(_exit_if_forked, [main_pid] * 3)
+        assert runner.degraded is True
+        assert any("broke mid-run" in record.message for record in caplog.records)
+        # The flag stays latched across a subsequent clean map.
+        runner.map(_square, [1, 2])
+        assert runner.degraded is True
+
+    def test_degraded_flag_set_when_pool_creation_fails(self, caplog, monkeypatch):
+        import repro.runtime.parallel as parallel_module
+
+        def broken_executor(*args, **kwargs):
+            raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", broken_executor)
+        runner = ParallelRunner(jobs=2)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.parallel"):
+            results = runner.map(_square, [2, 3, 4])
+        assert results == [4, 9, 16]
+        assert runner.degraded is True
+        assert any("creation failed" in record.message for record in caplog.records)
+
+    def test_degraded_stays_false_on_clean_runs(self):
+        for jobs in (1, 2):
+            runner = ParallelRunner(jobs=jobs)
+            assert runner.map(_square, range(4)) == [0, 1, 4, 9]
+            assert runner.degraded is False
 
     def test_starmap(self):
         for jobs in (1, 2):

@@ -1,0 +1,46 @@
+"""Auto-replay of the fuzzer's regression corpus as ordinary tier-1 tests.
+
+Every ``tests/scenarios/regressions/*.json`` file is a shrunk scenario spec
+the fuzzer once failed on (or a promoted case that stressed the harness),
+serialized with everything needed to replay it: seed, scale, shard counts,
+and whether the differential layer applies.  Each is driven through the full
+:func:`repro.scenarios.fuzz.check_case` harness here, so a once-found bug —
+or a once-miscalibrated divergence bound — can never return silently.
+
+Promote a new case by running ``repro-scenario fuzz`` (failures land here
+automatically) or by calling
+:func:`repro.scenarios.fuzz.save_regression` on a spec worth pinning.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.fuzz import REGRESSION_FORMAT, iter_regressions, load_regression
+
+CORPUS_DIR = Path(__file__).parent / "regressions"
+CORPUS = iter_regressions(CORPUS_DIR)
+
+
+def test_corpus_is_present():
+    # The committed corpus starts with the calibration cases; an empty corpus
+    # means the checkout is broken, not that there is nothing to check.
+    assert len(CORPUS) >= 2
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[path.stem for path in CORPUS])
+def test_regression_replays_clean(path):
+    case = load_regression(path)
+    assert case.spec.name == path.stem
+    case.replay()
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[path.stem for path in CORPUS])
+def test_regression_file_format(path):
+    import json
+
+    payload = json.loads(path.read_text())
+    assert payload["format"] == REGRESSION_FORMAT
+    assert set(payload) >= {"spec", "seed", "scale", "shard_counts", "differential"}

@@ -1,0 +1,104 @@
+"""Process-driver liveness guard: dead and hung shard workers fail loudly.
+
+The coordinator waits at most ``ShardedConfig.worker_timeout_s`` for any
+shard's window reply and detects outright worker death immediately, raising
+:class:`~repro.exceptions.SimulationError` naming the shard and window —
+never hanging, and never silently re-running the replay inline (inline
+fallback is reserved for pool-*creation* failures).
+
+The tests monkeypatch the module-global ``_shard_worker`` (resolved at spawn
+time, inherited by forked children) with misbehaving variants.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro.sim.sharded.simulator as sharded_module
+from repro.exceptions import SimulationError
+from repro.sim import (
+    BatchingConfig,
+    CellConfig,
+    MobilityConfig,
+    ShardedConfig,
+    ShardedSimulator,
+    SimulatorConfig,
+    default_catalogue,
+)
+from repro.workloads import ArrivalTraceGenerator
+
+DOMAINS = [f"domain_{index}" for index in range(6)]
+
+_real_worker = sharded_module._shard_worker
+
+
+def _dying_worker(pipe, payload):
+    """Shard 1 dies without a reply (as a seccomp kill or OOM would)."""
+    if payload["shard_index"] == 1:
+        os._exit(3)
+    _real_worker(pipe, payload)
+
+
+def _hanging_worker(pipe, payload):
+    """Shard 1 wedges before its first window reply."""
+    if payload["shard_index"] == 1:
+        time.sleep(60)
+    _real_worker(pipe, payload)
+
+
+def make_sharded(worker_timeout_s=120.0):
+    cells = [CellConfig(name=f"cell_{index}") for index in range(4)]
+    config = SimulatorConfig(
+        batching=BatchingConfig(),
+        mobility=MobilityConfig(handover_probability=0.05),
+        retain_requests=False,
+    )
+    return ShardedSimulator(
+        cells,
+        default_catalogue(DOMAINS, seed=0),
+        config=config,
+        seed=0,
+        sharded=ShardedConfig(
+            num_shards=2, driver="process", worker_timeout_s=worker_timeout_s
+        ),
+    )
+
+
+def make_trace(n=800):
+    return ArrivalTraceGenerator(DOMAINS, num_users=40, rate=1000.0, seed=0).generate(n)
+
+
+class TestLivenessGuard:
+    def test_dead_worker_raises_naming_shard_and_window(self, monkeypatch):
+        monkeypatch.setattr(sharded_module, "_shard_worker", _dying_worker)
+        simulator = make_sharded()
+        started = time.monotonic()
+        with pytest.raises(SimulationError, match=r"shard 1 worker died.*window 1"):
+            simulator.replay(make_trace())
+        # Death is detected by liveness polling, not by waiting out the
+        # (deliberately long) timeout.
+        assert time.monotonic() - started < 30.0
+
+    def test_hung_worker_raises_within_timeout(self, monkeypatch):
+        monkeypatch.setattr(sharded_module, "_shard_worker", _hanging_worker)
+        simulator = make_sharded(worker_timeout_s=1.0)
+        started = time.monotonic()
+        with pytest.raises(
+            SimulationError, match=r"shard 1 worker unresponsive for 1s at window 1"
+        ):
+            simulator.replay(make_trace())
+        # Bounded: the 1 s window timeout plus cleanup grace, not the 60 s hang.
+        assert time.monotonic() - started < 20.0
+
+    def test_timeout_validation(self):
+        with pytest.raises(Exception, match="worker_timeout_s"):
+            ShardedConfig(num_shards=2, worker_timeout_s=0.0)
+        assert ShardedConfig(num_shards=2, worker_timeout_s=None).worker_timeout_s is None
+
+    def test_healthy_process_driver_unaffected_by_guard(self):
+        simulator = make_sharded(worker_timeout_s=30.0)
+        report = simulator.replay(make_trace(400))
+        assert report.completed + report.dropped == 400

@@ -1,0 +1,156 @@
+"""Stacked-fault edge cases, replayed on both backends under full audits.
+
+Each scenario here stacks faults the curated catalog never combines — two
+events on one cell in a single timeline batch, faults aimed at already-dead
+cells, flapping failures, a zero-byte resize under live pins — and proves the
+engine invariants hold on the serial and the sharded backend alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching.cache import SemanticModelCache
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import (
+    CACHE_RESIZE,
+    CACHE_WIPE,
+    CELL_FAIL,
+    CELL_RECOVER,
+    LINK_DEGRADE,
+    FaultEvent,
+    ScenarioSpec,
+    WorkloadPhase,
+)
+from repro.sim.invariants import (
+    InvariantChecker,
+    audit_fault_state,
+    audit_simulator,
+    expected_fault_state,
+)
+
+BACKENDS = [("serial", None), ("sharded", 2)]
+
+
+def stacked_spec(events, name):
+    return ScenarioSpec(
+        name=name,
+        description="stacked-fault edge case",
+        phases=(
+            WorkloadPhase(name="before", duration_s=1.0),
+            WorkloadPhase(name="after", duration_s=1.0),
+        ),
+        events=tuple(events),
+        num_cells=3,
+        num_domains=4,
+        num_users=16,
+        base_rate=200.0,
+        cache_capacity_mb=8.0,
+    )
+
+
+def run_audited(spec, backend, shards):
+    """Replay under the invariant hook; audit the serial engine end state."""
+    box = {}
+
+    def wrap(collector):
+        box["checker"] = InvariantChecker(inner=collector)
+        return box["checker"]
+
+    result = run_scenario(spec, seed=0, backend=backend, shards=shards, wrap_hook=wrap)
+    issued = int(result.summary["requests"])
+    box["checker"].verify_report(result.report, issued=issued)
+    if backend == "serial":
+        state = expected_fault_state(spec)
+        audit_simulator(result.simulator, allow_over_budget=state.shrank_cache)
+        audit_fault_state(result.simulator, spec)
+    return result
+
+
+@pytest.mark.parametrize("backend,shards", BACKENDS)
+class TestStackedFaults:
+    def test_wipe_then_resize_same_cell_same_batch(self, backend, shards):
+        # Two events on one cell at the same timestamp: fired in spec order
+        # as one timeline batch (wipe first, then shrink to a quarter).
+        events = [
+            FaultEvent(time_s=1.0, kind=CACHE_WIPE, cell="cell_1"),
+            FaultEvent(time_s=1.0, kind=CACHE_RESIZE, cell="cell_1", factor=0.25),
+        ]
+        spec = stacked_spec(events, "wipe_then_resize")
+        result = run_audited(spec, backend, shards)
+        assert result.report.completed + result.report.dropped == int(
+            result.summary["requests"]
+        )
+        if backend == "serial":
+            cache = result.simulator.cells["cell_1"].cache
+            assert cache.capacity_bytes == int(8.0 * 1024 * 1024 * 0.25)
+
+    def test_degrade_downlink_on_failed_cell_then_recover(self, backend, shards):
+        # The degrade lands while the cell is dead; after recovery the cell
+        # must carry the degraded (not compounded, not lost) downlink.
+        events = [
+            FaultEvent(time_s=0.5, kind=CELL_FAIL, cell="cell_0"),
+            FaultEvent(time_s=1.0, kind=LINK_DEGRADE, cell="cell_0", factor=8.0),
+            FaultEvent(time_s=1.5, kind=CELL_RECOVER, cell="cell_0"),
+        ]
+        spec = stacked_spec(events, "degrade_while_dead")
+        result = run_audited(spec, backend, shards)
+        if backend == "serial":
+            sim = result.simulator
+            assert not sim.cells["cell_0"].failed
+            assert sim._downlink_time["cell_0"] == pytest.approx(
+                sim._downlink_base["cell_0"] * 8.0
+            )
+
+    def test_fail_recover_fail_same_cell(self, backend, shards):
+        events = [
+            FaultEvent(time_s=0.5, kind=CELL_FAIL, cell="cell_2"),
+            FaultEvent(time_s=1.0, kind=CELL_RECOVER, cell="cell_2"),
+            FaultEvent(time_s=1.5, kind=CELL_FAIL, cell="cell_2"),
+        ]
+        spec = stacked_spec(events, "fail_recover_fail")
+        result = run_audited(spec, backend, shards)
+        if backend == "serial":
+            cell = result.simulator.cells["cell_2"]
+            assert cell.failed
+            assert len(cell.cache) == 0
+
+    def test_resize_to_zero_under_load(self, backend, shards):
+        # factor=1e-9 folds to a zero-byte budget: the mid-run equivalent of
+        # the caching-disabled baseline, hit while entries (and possibly
+        # pins) are live.  The replay must conserve requests and end with
+        # every cache budget at zero.
+        events = [
+            FaultEvent(time_s=1.0, kind=CACHE_RESIZE, cell=None, factor=1e-9),
+        ]
+        spec = stacked_spec(events, "resize_to_zero")
+        result = run_audited(spec, backend, shards)
+        state = expected_fault_state(spec)
+        assert state.shrank_cache
+        assert all(capacity == 0 for capacity in state.capacity_bytes.values())
+        if backend == "serial":
+            for cell in result.simulator.cells.values():
+                assert cell.cache.capacity_bytes == 0
+
+
+class TestResizeToZeroUnderPins:
+    def test_pinned_entry_survives_zero_resize(self):
+        cache = SemanticModelCache(capacity_bytes=1024)
+        cache.put_general_model("domain_0", payload=None, size_bytes=600)
+        key = cache.keys()[0]
+        cache.pin(key)
+        evicted = cache.resize(0)
+        # The pin is never broken: the entry stays, the cache runs over-full.
+        assert evicted == []
+        assert cache.keys() == [key]
+        assert cache.used_bytes == 600 and cache.capacity_bytes == 0
+        cache.assert_consistent()
+        # New insertions are rejected while (and after) the budget is zero.
+        cache.put_general_model("domain_1", payload=None, size_bytes=10)
+        assert cache.keys() == [key]
+        assert cache.statistics.rejections >= 1
+        # Releasing the pin leaves the entry resident (nothing triggers a
+        # drain), still consistent, still rejecting insertions.
+        cache.unpin(key)
+        assert cache.keys() == [key]
+        cache.assert_consistent()
