@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     e8_edge_offloading,
     e9_multicell_scale,
     e10_scenario_stress,
+    e11_resilience,
     fig1_workflow,
 )
 from repro.experiments.harness import (

@@ -43,11 +43,12 @@ def add_shared_arguments(
     """The flag set every repro console script shares, as one argument group.
 
     ``repro-experiment`` and ``repro-scenario`` both accept ``--seed``,
-    ``--scale``, ``--jobs``, ``--backend`` and ``--shards`` with identical
-    semantics; defining them here keeps the commands drift-free.  ``--backend``
-    defaults to ``None`` so the ``REPRO_BACKEND`` environment variable is
-    honoured (explicit flag > environment > serial); validation beyond simple
-    types is the caller's job via :func:`validate_shared_arguments`.
+    ``--scale``, ``--jobs``, ``--backend``, ``--shards`` and
+    ``--worker-timeout`` with identical semantics; defining them here keeps
+    the commands drift-free.  ``--backend`` defaults to ``None`` so the
+    ``REPRO_BACKEND`` environment variable is honoured (explicit flag >
+    environment > serial); validation beyond simple types is the caller's job
+    via :func:`validate_shared_arguments`.
     """
     group = parser.add_argument_group("shared options")
     group.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
@@ -67,6 +68,14 @@ def add_shared_arguments(
         help="worker shards for backends that partition one replay "
         "(sharded backend default: 2)",
     )
+    group.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="seconds a sharded-backend worker may stay silent before the "
+        "replay aborts with a diagnosis instead of hanging (default: wait "
+        "forever); ignored by the serial backend",
+    )
     return group
 
 
@@ -80,6 +89,8 @@ def validate_shared_arguments(
         parser.error(f"--scale must be positive, got {args.scale}")
     if args.shards is not None and args.shards < 1:
         parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.worker_timeout is not None and args.worker_timeout <= 0:
+        parser.error(f"--worker-timeout must be positive, got {args.worker_timeout}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         backend=args.backend,
         shards=args.shards,
+        worker_timeout=args.worker_timeout,
     )
     names = available_experiments() if args.name == ALL else [args.name]
     suite_started = time.perf_counter()

@@ -54,6 +54,7 @@ def run(
         table_prefix="e10_scenario",
         backend=resolved,
         shards=config.shards,
+        worker_timeout=config.worker_timeout,
     )
     stress = tables["summary"]
     stress.name = f"e10_scenario_stress{suffix}"

@@ -38,8 +38,10 @@ class ExperimentConfig:
     ``backend`` selects the simulator engine for simulator-driven experiments
     through the :mod:`repro.sim.backend` registry (``None`` honours the
     ``REPRO_BACKEND`` environment variable and defaults to ``serial``);
-    ``shards`` is forwarded to backends that partition one replay across
-    workers.  Non-serial backends publish their tables under suffixed names
+    ``shards`` and ``worker_timeout`` are forwarded to backends that
+    partition one replay across workers (``worker_timeout`` bounds how long
+    the sharded coordinator waits on any one worker's window step).
+    Non-serial backends publish their tables under suffixed names
     (``*_sharded``) so the serial bit-identity reference tables never mix
     with backend-specific goldens.
     """
@@ -53,6 +55,7 @@ class ExperimentConfig:
     jobs: int = 1
     backend: Optional[str] = None
     shards: Optional[int] = None
+    worker_timeout: Optional[float] = None
 
     def scaled(self, value: int, minimum: int = 1) -> int:
         """Scale an integer workload knob, keeping it at least ``minimum``."""

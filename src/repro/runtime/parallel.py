@@ -71,10 +71,13 @@ class ParallelRunner:
 
     def __init__(self, jobs: int = 1) -> None:
         self.jobs = resolve_jobs(jobs)
-        #: Latched true the first time a requested pool could not be used and
-        #: the batch ran serially instead (pool creation failed, or the pool
-        #: broke mid-run).  Results are identical either way; the flag exists
-        #: so tests and callers can assert *how* they were produced.
+        #: True when the *most recent* :meth:`map` wanted a pool and could
+        #: not use one (pool creation failed, or the pool broke mid-run) and
+        #: the batch ran serially instead.  Reset at the start of every map:
+        #: a transient sandbox failure on one batch must not misreport the
+        #: next batch as degraded.  Results are identical either way; the
+        #: flag exists so tests and callers can assert *how* they were
+        #: produced.
         self.degraded = False
 
     @property
@@ -91,6 +94,7 @@ class ParallelRunner:
         matching the serial loop's fail-fast behaviour.
         """
         items = list(items)
+        self.degraded = False
         if self.jobs <= 1 or len(items) <= 1:
             return [function(item) for item in items]
         workers = min(self.jobs, len(items))

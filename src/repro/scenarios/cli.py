@@ -221,6 +221,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             policies=policies,
             backend=args.backend,
             shards=args.shards,
+            worker_timeout=args.worker_timeout,
         )
         shown = [tables["summary"]] if args.no_phases else list(tables.values())
         _print_tables(shown)
@@ -246,16 +247,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         table_prefix=f"compare_{spec.name}",
         backend=args.backend,
         shards=args.shards,
+        worker_timeout=args.worker_timeout,
     )
     pivot = ResultTable(
         name=f"{spec.name}_policy_comparison",
         description=f"Headline metrics of {spec.name!r} per cache policy.",
     )
     for row in tables["summary"].rows:
+        # Every terminal kind that is *not* a completion counts as incomplete;
+        # resilience-bearing specs report the ratio themselves, plain specs
+        # derive it from the drop count so the pivot is always populated.
+        incomplete = (
+            row["dropped"] + row.get("shed", 0) + row.get("deadline_exceeded", 0)
+        )
+        terminal = row["completed"] + incomplete
         pivot.add_row(
             policy=row["policy"],
             completed=row["completed"],
             dropped=row["dropped"],
+            incomplete_ratio=row.get(
+                "incomplete_ratio", incomplete / terminal if terminal else 0.0
+            ),
             p50_ms=row["p50_ms"],
             p95_ms=row["p95_ms"],
             hit_ratio=row["hit_ratio"],

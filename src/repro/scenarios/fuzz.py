@@ -3,8 +3,10 @@
 The curated catalog pins correctness where a human thought to look; this
 module generates the scenarios nobody wrote.  A hypothesis strategy samples
 random-but-valid :class:`~repro.scenarios.spec.ScenarioSpec`s — phase stacks
-× fault timelines × topologies × cache policies/sizes — and
-:func:`check_case` drives each through three invariant layers:
+× fault timelines × topologies × cache policies/sizes × resilience policies
+(deadlines, retries, hedging, breakers, shedding; ``None`` half the time so
+the legacy path stays covered) — and :func:`check_case` drives each through
+three invariant layers:
 
 * **engine invariants** — an :class:`~repro.sim.invariants.InvariantChecker`
   chained through ``on_request_end`` (terminal-event sanity, exact request
@@ -66,6 +68,7 @@ from repro.sim.invariants import (
     audit_simulator,
     expected_fault_state,
 )
+from repro.sim.resilience import ResiliencePolicy
 from repro.utils.serialization import to_json
 
 #: Corpus file format tag (bump on incompatible layout changes).
@@ -101,6 +104,33 @@ P95_REL_MARGIN = 0.3
 # --------------------------------------------------------------------- #
 # Strategy space
 # --------------------------------------------------------------------- #
+@st.composite
+def resilience_policies(draw) -> Optional[ResiliencePolicy]:
+    """Random resilience policies over small menus; ``None`` half the time.
+
+    The menus deliberately include the degenerate corners: a deadline shorter
+    than most latencies (mass ``DEADLINE_EXCEEDED``), a hedge delay of 0.1s
+    (twins in flight for nearly every slow request), a shed depth of 64
+    (admission rejection under any burst), zero-jitter backoff (retry storms
+    landing on the same tick).  ``None`` keeps half the corpus exercising the
+    legacy byte-identity path under the same adversarial workloads.
+    """
+    if draw(st.booleans()):
+        return None
+    policy = ResiliencePolicy(
+        deadline_s=draw(st.sampled_from((None, 0.5, 2.0))),
+        max_retries=draw(st.sampled_from((0, 1, 3))),
+        backoff_base_s=draw(st.sampled_from((0.05, 0.2))),
+        backoff_jitter=draw(st.sampled_from((0.0, 0.5))),
+        hedge_delay_s=draw(st.sampled_from((None, 0.1, 0.5))),
+        breaker_window=draw(st.sampled_from((0, 20))),
+        breaker_min_volume=5,
+        breaker_open_s=0.5,
+        shed_queue_depth=draw(st.sampled_from((None, 64))),
+    )
+    return policy if policy.active else None
+
+
 @st.composite
 def scenario_specs(draw) -> ScenarioSpec:
     """Random-but-valid scenario specs, sized for sub-second replays.
@@ -161,12 +191,20 @@ def scenario_specs(draw) -> ScenarioSpec:
         cache_policy=draw(st.sampled_from(tuple(available_policies()))),
         cache_capacity_mb=float(draw(st.sampled_from((2.0, 8.0, 24.0, 48.0)))),
         handover_probability=draw(st.sampled_from((0.0, 0.05, 0.2))),
+        resilience=draw(resilience_policies()),
     )
     # The name embeds a content hash: the workload synthesizer draws its
     # streams through SeedTree paths that include the spec name, so distinct
     # fuzzed specs get independent streams while the same spec is always
-    # exactly replayable.
-    digest_source = dict(spec_fields, phases=[asdict(p) for p in phases], events=[asdict(e) for e in events])
+    # exactly replayable.  The resilience policy is part of the hash even
+    # though it is outside every seed path: two cases differing only in
+    # policy are distinct corpus entries.
+    digest_source = dict(
+        spec_fields,
+        phases=[asdict(p) for p in phases],
+        events=[asdict(e) for e in events],
+        resilience=None if spec_fields["resilience"] is None else spec_fields["resilience"].to_dict(),
+    )
     digest = hashlib.sha1(
         json.dumps(digest_source, sort_keys=True, default=str).encode("utf-8")
     ).hexdigest()[:10]
@@ -208,19 +246,29 @@ def _signature(result: ScenarioResult) -> str:
 
 
 def _check_phase_consistency(result: ScenarioResult) -> None:
-    """The per-phase windows must partition the run's terminal requests."""
-    phase_completed = sum(int(row["completed"]) for row in result.phases)
-    phase_dropped = sum(int(row["dropped"]) for row in result.phases)
-    if phase_completed != result.report.completed:
-        raise InvariantViolation(
-            f"phase windows hold {phase_completed} completions, the report says "
-            f"{result.report.completed}"
-        )
-    if phase_dropped != result.report.dropped:
-        raise InvariantViolation(
-            f"phase windows hold {phase_dropped} drops, the report says "
-            f"{result.report.dropped}"
-        )
+    """The per-phase windows must partition the run's terminal requests.
+
+    The resilience terminals (``shed``, ``deadline_exceeded``) are included
+    via ``row.get``/``getattr`` defaults: policy-free rows omit the columns
+    and policy-free reports hold zeros, so the check degrades to the
+    original two-way partition.
+    """
+    for kind in ("completed", "dropped", "shed", "deadline_exceeded"):
+        phase_total = sum(int(row.get(kind, 0)) for row in result.phases)
+        report_total = int(getattr(result.report, kind, 0))
+        if phase_total != report_total:
+            raise InvariantViolation(
+                f"phase windows hold {phase_total} {kind} requests, the report "
+                f"says {report_total}"
+            )
+
+
+def _incomplete(summary: Dict[str, object]) -> float:
+    return (
+        float(summary.get("dropped", 0))
+        + float(summary.get("shed", 0))
+        + float(summary.get("deadline_exceeded", 0))
+    )
 
 
 def _check_divergence(
@@ -229,6 +277,7 @@ def _check_divergence(
     issued: int,
     shards: int,
     num_users: int,
+    policy=None,
 ) -> None:
     """Variance-calibrated serial-vs-sharded divergence on headline metrics.
 
@@ -238,11 +287,12 @@ def _check_divergence(
     """
     label = f"shards={shards}"
 
-    def check(key: str, margin: float, unit: str = "") -> None:
-        values = [float(summary[key]) for summary in serial_summaries]
+    def check(key: str, margin: float, unit: str = "", value=None) -> None:
+        extract = (lambda s: float(s[key])) if value is None else value
+        values = [extract(summary) for summary in serial_summaries]
         spread = max(values) - min(values)
         lo, hi = _envelope(values, margin + SPREAD_MARGIN * spread)
-        observed = float(sharded[key])
+        observed = extract(sharded)
         if not lo <= observed <= hi:
             raise InvariantViolation(
                 f"{label}: {key} diverged beyond the calibrated serial envelope "
@@ -251,7 +301,32 @@ def _check_divergence(
                 f"over {len(values)} layout seeds, margin {margin:.4f})"
             )
 
-    check("dropped", margin=max(20.0, 0.05 * issued))
+    # Hedging is shard-local (a twin only targets cells its shard owns), so
+    # the sharded backend structurally hedges less, and every suppressed twin
+    # is one admission serial made and sharded didn't — moving failure counts
+    # by up to the hedge volume (docs/resilience.md, divergence notes).
+    hedge_spread = max(
+        (float(summary.get("hedges", 0)) for summary in serial_summaries), default=0.0
+    )
+    failure_margin = max(20.0, 0.05 * issued) + hedge_spread
+    if policy is not None and policy.breaker_window > 0:
+        # Per-shard breaker views legitimately *reclassify* failures between
+        # kinds: a shard can forward a request toward a remote cell its local
+        # breaker view still believes closed, ping-ponging into a hop-capped
+        # drop that the serial engine (one consistent view) sheds or serves
+        # instead.  The combined incomplete mass is the comparable quantity;
+        # per-kind counts are not — and neither is any metric *conditioned on
+        # the served population* (hit ratio, latency percentiles): breakers
+        # gate which requests reach a cache lookup at all, and the two
+        # backends gate structurally different subsets.  Conservation (exact)
+        # plus the incomplete envelope is what cross-backend equivalence
+        # means under a breaker policy.
+        check("incomplete", margin=failure_margin, value=_incomplete)
+        return
+    check("dropped", margin=failure_margin)
+    for key in ("shed", "deadline_exceeded"):
+        if key in sharded and all(key in summary for summary in serial_summaries):
+            check(key, margin=failure_margin)
     check("hit_ratio", margin=max(HIT_RATIO_FLOOR, HIT_RATIO_USER_QUANTA / max(1, num_users)))
     mean_scale = max(float(summary["mean_ms"]) for summary in serial_summaries)
     check("mean_ms", margin=max(MEAN_ABS_FLOOR_MS, MEAN_REL_MARGIN * mean_scale), unit="ms")
@@ -310,12 +385,22 @@ def check_case(
         _check_phase_consistency(sharded)
         completed = int(sharded.summary["completed"])
         dropped = int(sharded.summary["dropped"])
-        if completed + dropped != issued:
+        shed = int(sharded.summary.get("shed", 0))
+        deadline_exceeded = int(sharded.summary.get("deadline_exceeded", 0))
+        if completed + dropped + shed + deadline_exceeded != issued:
             raise InvariantViolation(
                 f"shards={shards}: conservation broken ({completed} completed + "
-                f"{dropped} dropped != {issued} issued)"
+                f"{dropped} dropped + {shed} shed + {deadline_exceeded} "
+                f"deadline_exceeded != {issued} issued)"
             )
-        _check_divergence(serial_summaries, sharded.summary, issued, shards, spec.num_users)
+        _check_divergence(
+            serial_summaries,
+            sharded.summary,
+            issued,
+            shards,
+            spec.num_users,
+            policy=spec.resilience,
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -506,6 +591,7 @@ __all__ = [
     "fuzz",
     "iter_regressions",
     "load_regression",
+    "resilience_policies",
     "save_regression",
     "scenario_specs",
 ]

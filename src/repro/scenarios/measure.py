@@ -23,9 +23,12 @@ from repro.sim.metrics import LatencyRecorder
 from repro.sim.request import (
     CLOUD_FETCH,
     COALESCED,
+    COMPLETED,
+    DEADLINE_EXCEEDED,
     DROPPED,
     LOCAL_HIT,
     NEIGHBOR_FETCH,
+    SHED,
     Request,
 )
 
@@ -39,6 +42,8 @@ class _PhaseWindow:
         "end_s",
         "completed",
         "dropped",
+        "shed",
+        "deadline_exceeded",
         "handovers",
         "outcomes",
         "latency",
@@ -50,6 +55,8 @@ class _PhaseWindow:
         self.end_s = end_s
         self.completed = 0
         self.dropped = 0
+        self.shed = 0
+        self.deadline_exceeded = 0
         self.handovers = 0
         self.outcomes: Dict[str, int] = {
             LOCAL_HIT: 0,
@@ -93,6 +100,8 @@ class PhaseCollector:
         for window, theirs in zip(self.windows, other.windows):
             window.completed += theirs.completed
             window.dropped += theirs.dropped
+            window.shed += theirs.shed
+            window.deadline_exceeded += theirs.deadline_exceeded
             window.handovers += theirs.handovers
             for key, count in theirs.outcomes.items():
                 window.outcomes[key] += count
@@ -104,8 +113,17 @@ class PhaseCollector:
         # construction of the synthesized trace.
         index = bisect_right(self._starts, request.arrival_time) - 1
         window = self.windows[index]
-        if request.status == DROPPED:
-            window.dropped += 1
+        status = request.status
+        if status != COMPLETED:
+            # Non-completed terminals carry no completion time — they must
+            # never reach the latency recorder (a DROPPED/SHED request would
+            # otherwise record a negative "latency" from the UNSET sentinel).
+            if status == DROPPED:
+                window.dropped += 1
+            elif status == SHED:
+                window.shed += 1
+            elif status == DEADLINE_EXCEEDED:
+                window.deadline_exceeded += 1
             return
         window.completed += 1
         if request.handover and request.cell:
@@ -124,22 +142,26 @@ class PhaseCollector:
             outcomes = window.outcomes
             lookups = sum(outcomes.values())
             summary = window.latency.summary()
-            rows.append(
-                dict(
-                    phase=window.name,
-                    start_s=window.start_s,
-                    end_s=window.end_s,
-                    completed=window.completed,
-                    dropped=window.dropped,
-                    hit_ratio=(outcomes[LOCAL_HIT] / lookups) if lookups else 0.0,
-                    neighbor_fetches=outcomes[NEIGHBOR_FETCH],
-                    cloud_fetches=outcomes[CLOUD_FETCH],
-                    coalesced=outcomes[COALESCED],
-                    handovers=window.handovers,
-                    mean_ms=summary["mean_s"] * 1000.0,
-                    p50_ms=summary["p50_s"] * 1000.0,
-                    p95_ms=summary["p95_s"] * 1000.0,
-                    p99_ms=summary["p99_s"] * 1000.0,
-                )
+            row = dict(
+                phase=window.name,
+                start_s=window.start_s,
+                end_s=window.end_s,
+                completed=window.completed,
+                dropped=window.dropped,
+                hit_ratio=(outcomes[LOCAL_HIT] / lookups) if lookups else 0.0,
+                neighbor_fetches=outcomes[NEIGHBOR_FETCH],
+                cloud_fetches=outcomes[CLOUD_FETCH],
+                coalesced=outcomes[COALESCED],
+                handovers=window.handovers,
+                mean_ms=summary["mean_s"] * 1000.0,
+                p50_ms=summary["p50_s"] * 1000.0,
+                p95_ms=summary["p95_s"] * 1000.0,
+                p99_ms=summary["p99_s"] * 1000.0,
             )
+            if self._spec.resilience is not None:
+                # Only policy-bearing rows grow the new columns — committed
+                # pre-resilience phase tables regenerate byte-identically.
+                row["shed"] = window.shed
+                row["deadline_exceeded"] = window.deadline_exceeded
+            rows.append(row)
         return rows

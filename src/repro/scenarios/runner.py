@@ -43,18 +43,21 @@ def build_simulator(
     seed: int,
     backend: Optional[str] = None,
     shards: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
 ) -> SimBackend:
     """A fresh deployment shaped by ``spec`` (same seed ⇒ same deployment).
 
     The model catalogue and mobility streams derive from seed-tree paths that
     do **not** include the cache policy, so two specs differing only in policy
     replay the identical trace through the identical deployment — policy
-    comparisons are paired, not merely seeded alike.
+    comparisons are paired, not merely seeded alike.  The resilience policy
+    likewise stays out of every seed path (its jitter seed is a *separate*
+    tree leaf), so runs differing only in resilience are paired too.
 
     ``backend`` selects the execution engine through the
     :mod:`repro.sim.backend` registry (``None`` honours ``REPRO_BACKEND``
-    and defaults to serial); ``shards`` is forwarded to backends that
-    partition work.
+    and defaults to serial); ``shards`` and ``worker_timeout`` are forwarded
+    to backends that partition work.
     """
     tree = SeedTree(seed).child("scenario", spec.name)
     capacity_bytes = int(spec.cache_capacity_mb * 1024 * 1024)
@@ -72,9 +75,18 @@ def build_simulator(
         mobility=MobilityConfig(handover_probability=spec.handover_probability),
         retain_requests=False,
     )
-    return create_backend(
-        backend, cells, catalogue, config=config, seed=tree.seed("mobility"), shards=shards
+    simulator = create_backend(
+        backend,
+        cells,
+        catalogue,
+        config=config,
+        seed=tree.seed("mobility"),
+        shards=shards,
+        worker_timeout=worker_timeout,
     )
+    if spec.resilience is not None:
+        simulator.configure_resilience(spec.resilience, seed=tree.seed("resilience"))
+    return simulator
 
 
 def fault_calls(spec: ScenarioSpec, event: FaultEvent) -> List[Tuple[str, tuple]]:
@@ -149,6 +161,7 @@ def run_scenario(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     wrap_hook=None,
+    worker_timeout: Optional[float] = None,
 ) -> ScenarioResult:
     """Run one scenario end to end and return its summary + per-phase rows.
 
@@ -167,7 +180,9 @@ def run_scenario(
     backends the wrapped hook must stay mergeable.
     """
     trace = synthesize_trace(spec, seed=seed, scale=scale)
-    simulator = build_simulator(spec, seed=seed, backend=backend, shards=shards)
+    simulator = build_simulator(
+        spec, seed=seed, backend=backend, shards=shards, worker_timeout=worker_timeout
+    )
     collector = PhaseCollector(spec)
     simulator.on_request_end = collector if wrap_hook is None else wrap_hook(collector)
     schedule_faults(simulator, spec)
@@ -193,6 +208,22 @@ def run_scenario(
         backhaul_mb=report.backhaul_bytes / 1024**2,
         cloud_mb=report.cloud_bytes / 1024**2,
     )
+    if spec.resilience is not None:
+        # Resilience columns appear only on policy-bearing rows, so every
+        # pre-resilience committed table regenerates byte-identically.
+        stats = report.cells.values()
+        summary["shed"] = report.shed
+        summary["deadline_exceeded"] = report.deadline_exceeded
+        summary["retries"] = sum(cell.retries for cell in stats)
+        summary["hedges"] = sum(cell.hedges for cell in stats)
+        summary["hedge_wins"] = sum(cell.hedge_wins for cell in stats)
+        summary["breaker_transitions"] = sum(cell.breaker_transitions for cell in stats)
+        terminal = report.completed + report.dropped + report.shed + report.deadline_exceeded
+        summary["incomplete_ratio"] = (
+            (report.dropped + report.shed + report.deadline_exceeded) / terminal
+            if terminal
+            else 0.0
+        )
     phase_rows = [
         dict(scenario=spec.name, policy=spec.cache_policy, **row) for row in collector.rows()
     ]
@@ -208,12 +239,14 @@ def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[s
     if policy:
         spec = spec.with_policy(str(policy))
     shards = payload.get("shards")
+    worker_timeout = payload.get("worker_timeout")
     result = run_scenario(
         spec,
         seed=int(payload["seed"]),
         scale=float(payload["scale"]),
         backend=payload.get("backend"),
         shards=None if shards is None else int(shards),
+        worker_timeout=None if worker_timeout is None else float(worker_timeout),
     )
     return result.summary, result.phases
 
@@ -227,6 +260,7 @@ def run_catalog(
     table_prefix: str = "scenario",
     backend: Optional[str] = None,
     shards: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
 ) -> Dict[str, ResultTable]:
     """Run every ``(scenario, policy)`` pair and collect two result tables.
 
@@ -250,6 +284,7 @@ def run_catalog(
             "policy": policy,
             "backend": resolved,
             "shards": shards,
+            "worker_timeout": worker_timeout,
         }
         for spec in specs
         for policy in (policies if policies is not None else [None])

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.sim.resilience import ResiliencePolicy
 
 #: Fault-event kinds understood by :func:`repro.scenarios.runner.apply_fault`.
 CELL_FAIL = "cell_fail"
@@ -157,6 +158,12 @@ class ScenarioSpec:
     cache_policy: str = "lru"
     cache_capacity_mb: float = 48.0
     handover_probability: float = 0.02
+    #: Optional request-level resilience policy (deadlines, retries, hedging,
+    #: breakers, shedding — :mod:`repro.sim.resilience`).  ``None`` (the
+    #: default) keeps the pre-resilience behaviour byte-for-byte; it is also
+    #: omitted from ``to_dict`` so existing serialized specs round-trip
+    #: unchanged.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -165,6 +172,10 @@ class ScenarioSpec:
             raise ConfigurationError("a scenario needs at least one phase")
         object.__setattr__(self, "phases", tuple(self.phases))
         object.__setattr__(self, "events", tuple(self.events))
+        if self.resilience is not None and not isinstance(self.resilience, ResiliencePolicy):
+            object.__setattr__(
+                self, "resilience", ResiliencePolicy.from_dict(self.resilience)
+            )
         names = [phase.name for phase in self.phases]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"phase names must be unique, got {names}")
@@ -228,12 +239,23 @@ class ScenarioSpec:
         """A copy of this spec running a different cache eviction policy."""
         return replace(self, cache_policy=policy)
 
+    def with_resilience(self, policy: Optional[ResiliencePolicy]) -> "ScenarioSpec":
+        """A copy of this spec running a different resilience policy."""
+        return replace(self, resilience=policy)
+
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation (tuples become lists)."""
-        return asdict(self)
+        """Plain-JSON representation (tuples become lists).
+
+        The ``resilience`` key is present only when a policy is set, so
+        specs predating the resilience layer serialize byte-identically.
+        """
+        payload = asdict(self)
+        if payload.get("resilience") is None:
+            payload.pop("resilience", None)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
@@ -247,6 +269,9 @@ class ScenarioSpec:
             event if isinstance(event, FaultEvent) else FaultEvent(**event)
             for event in payload.get("events", ())
         )
+        resilience = payload.get("resilience")
+        if resilience is not None and not isinstance(resilience, ResiliencePolicy):
+            payload["resilience"] = ResiliencePolicy.from_dict(resilience)
         return cls(**payload)
 
     def to_json(self) -> str:

@@ -47,10 +47,14 @@ from repro.sim.request import (
     CACHE_OUTCOMES,
     CLOUD_FETCH,
     COALESCED,
+    DEADLINE_EXCEEDED,
     LOCAL_HIT,
     NEIGHBOR_FETCH,
+    SHED,
+    TERMINAL_STATUSES,
     Request,
 )
+from repro.sim.resilience import CircuitBreaker, ResiliencePolicy, jitter_fraction
 from repro.sim.sharded import ShardedConfig, ShardedSimulator
 from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
 
@@ -88,6 +92,12 @@ __all__ = [
     "NEIGHBOR_FETCH",
     "CLOUD_FETCH",
     "COALESCED",
+    "SHED",
+    "DEADLINE_EXCEEDED",
+    "TERMINAL_STATUSES",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "jitter_fraction",
     "MultiCellSimulator",
     "SimulatorConfig",
     "ShardedConfig",

@@ -101,6 +101,17 @@ class SimBackend(Protocol):
 
     def alive_cells(self) -> list: ...
 
+    # Resilience -------------------------------------------------------- #
+    def configure_resilience(self, policy, seed: int = 0) -> None:
+        """Install a request-level :class:`~repro.sim.resilience.ResiliencePolicy`.
+
+        Must be called before :meth:`replay`; ``None`` (or an all-off policy)
+        restores the exact pre-resilience behaviour.  Every backend executes
+        the same pure-data policy — the sharded backend ships it to each
+        shard so both engines make identical decisions.
+        """
+        ...
+
 
 #: A backend factory: ``(cells, catalogue, config, seed, **options) -> SimBackend``.
 BackendFactory = Callable[..., SimBackend]
@@ -156,9 +167,11 @@ def create_backend(
 def _serial_factory(cells, catalogue, config=None, seed=None, **options) -> SimBackend:
     from repro.sim.simulator import MultiCellSimulator
 
-    # The serial engine has no backend-specific knobs; `shards` is accepted
-    # (and must be 1-or-unset) so callers can pass a uniform option set.
+    # The serial engine has no backend-specific knobs; `shards` and
+    # `worker_timeout` are accepted (and ignored / must be 1-or-unset) so
+    # callers can pass a uniform option set whatever backend is selected.
     shards = options.pop("shards", None)
+    options.pop("worker_timeout", None)
     if options:
         raise ConfigurationError(f"serial backend got unknown options: {sorted(options)}")
     if shards not in (None, 1):
@@ -171,12 +184,18 @@ def _sharded_factory(cells, catalogue, config=None, seed=None, **options) -> Sim
 
     shards = options.pop("shards", None)
     sharded_config = options.pop("sharded_config", None)
+    worker_timeout = options.pop("worker_timeout", None)
     if options:
         raise ConfigurationError(f"sharded backend got unknown options: {sorted(options)}")
     if sharded_config is None:
-        sharded_config = ShardedConfig() if shards is None else ShardedConfig(num_shards=int(shards))
-    elif shards is not None:
-        raise ConfigurationError("pass either shards or sharded_config, not both")
+        kwargs = {} if shards is None else {"num_shards": int(shards)}
+        if worker_timeout is not None:
+            kwargs["worker_timeout_s"] = float(worker_timeout)
+        sharded_config = ShardedConfig(**kwargs)
+    elif shards is not None or worker_timeout is not None:
+        raise ConfigurationError(
+            "pass either sharded_config or shards/worker_timeout, not both"
+        )
     return ShardedSimulator(cells, catalogue, config=config, seed=seed, sharded=sharded_config)
 
 

@@ -35,7 +35,15 @@ from dataclasses import dataclass, fields
 from typing import Dict, Optional, Set
 
 from repro.exceptions import CacheError, SimulationError
-from repro.sim.request import CACHE_OUTCOMES, COMPLETED, DROPPED, UNSET, Request
+from repro.sim.request import (
+    CACHE_OUTCOMES,
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    DROPPED,
+    SHED,
+    UNSET,
+    Request,
+)
 
 
 class InvariantViolation(SimulationError):
@@ -58,6 +66,8 @@ class InvariantChecker:
         self.inner = inner
         self.completed = 0
         self.dropped = 0
+        self.shed = 0
+        self.deadline_exceeded = 0
         self._seen: Set[int] = set()
 
     # ------------------------------------------------------------------ #
@@ -88,6 +98,16 @@ class InvariantChecker:
                     f"({request.completion_time})"
                 )
             self.dropped += 1
+        elif status == SHED or status == DEADLINE_EXCEEDED:
+            if request.completion_time != UNSET:
+                raise InvariantViolation(
+                    f"{status} request {request.request_id} carries a completion "
+                    f"time ({request.completion_time})"
+                )
+            if status == SHED:
+                self.shed += 1
+            else:
+                self.deadline_exceeded += 1
         else:
             raise InvariantViolation(
                 f"terminal hook saw request {request.request_id} in non-terminal "
@@ -103,8 +123,8 @@ class InvariantChecker:
 
     @property
     def terminal(self) -> int:
-        """Terminal events observed (completions plus drops)."""
-        return self.completed + self.dropped
+        """Terminal events observed (completions, drops, sheds, deadline expiries)."""
+        return self.completed + self.dropped + self.shed + self.deadline_exceeded
 
     # ------------------------------------------------------------------ #
     # Mergeable-hook protocol (sharded backend)
@@ -125,6 +145,8 @@ class InvariantChecker:
         self._seen |= other._seen
         self.completed += other.completed
         self.dropped += other.dropped
+        self.shed += other.shed
+        self.deadline_exceeded += other.deadline_exceeded
         if self.inner is not None and other.inner is not None:
             self.inner.merge(other.inner)
 
@@ -134,14 +156,17 @@ class InvariantChecker:
     def verify_report(self, report, issued: int) -> None:
         """Check request conservation against the merged report.
 
-        ``completed + dropped == issued`` must hold **exactly** on every
-        backend — the sharded engine terminates each forward chain exactly
-        once, so conservation is not a tolerance check.
+        ``completed + dropped + shed + deadline_exceeded == issued`` must
+        hold **exactly** on every backend — the sharded engine terminates
+        each forward chain exactly once, and hedged duplicates are de-counted
+        to one terminal per logical request, so conservation is not a
+        tolerance check.
         """
         if self.terminal != issued:
             raise InvariantViolation(
                 f"request conservation broken: {issued} issued but "
-                f"{self.completed} completed + {self.dropped} dropped "
+                f"{self.completed} completed + {self.dropped} dropped + "
+                f"{self.shed} shed + {self.deadline_exceeded} deadline_exceeded "
                 f"= {self.terminal} terminal events"
             )
         if report.completed != self.completed:
@@ -166,6 +191,22 @@ class InvariantChecker:
                 f"per-cell dropped counters sum to {cells_dropped}, "
                 f"report says {report.dropped}"
             )
+        for kind, hook_count in (
+            ("shed", self.shed),
+            ("deadline_exceeded", self.deadline_exceeded),
+        ):
+            report_count = getattr(report, kind, 0)
+            if report_count != hook_count:
+                raise InvariantViolation(
+                    f"report says {report_count} {kind} but the terminal hook "
+                    f"saw {hook_count}"
+                )
+            cells_count = sum(getattr(stats, kind, 0) for stats in report.cells.values())
+            if cells_count != report_count:
+                raise InvariantViolation(
+                    f"per-cell {kind} counters sum to {cells_count}, "
+                    f"report says {report_count}"
+                )
 
 
 def audit_simulator(sim, allow_over_budget: bool = False) -> None:
@@ -247,6 +288,17 @@ def audit_simulator(sim, allow_over_budget: bool = False) -> None:
             f"latency recorder holds {len(sim.latency)} samples for "
             f"{sim._completed_total} completions"
         )
+    if getattr(sim, "_resilience", None) is not None:
+        stuck = {name: count for name, count in sim._outstanding.items() if count != 0}
+        if stuck:
+            raise InvariantViolation(
+                f"outstanding-queue counters non-zero after quiescence: {stuck}"
+            )
+        if sim._hedge_pairs:
+            raise InvariantViolation(
+                f"{len(sim._hedge_pairs)} hedge pairs unresolved after quiescence "
+                f"(e.g. {sorted(sim._hedge_pairs)[:3]})"
+            )
 
 
 @dataclass(frozen=True)

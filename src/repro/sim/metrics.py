@@ -133,6 +133,14 @@ class CellStats:
     failovers: int = 0
     #: Requests this cell had to drop because no alive cell was reachable.
     dropped: int = 0
+    #: Resilience counters; all stay 0 unless a :class:`ResiliencePolicy`
+    #: is configured on the simulator.
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    breaker_transitions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -170,6 +178,10 @@ class SimulationReport:
     #: Requests dropped because no alive cell could serve them (fault
     #: injection only; always 0 in a healthy deployment).
     dropped: int = 0
+    #: Requests rejected by load shedding / expired deadlines; non-zero only
+    #: under a resilience policy.
+    shed: int = 0
+    deadline_exceeded: int = 0
 
     @property
     def requests_per_sec(self) -> float:

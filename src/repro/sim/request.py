@@ -23,6 +23,21 @@ COMPLETED = "completed"
 #: failed and no alive cell was reachable (only possible under fault
 #: injection, never in a healthy deployment).
 DROPPED = "dropped"
+#: Terminal state under a resilience policy: the serving cell's outstanding
+#: queue was at ``shed_queue_depth`` so the request was rejected at admission.
+SHED = "shed"
+#: Terminal state under a resilience policy: the request's ``deadline_s``
+#: budget expired before it could be batched.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+
+#: Statuses a request can end the run in.
+TERMINAL_STATUSES = (COMPLETED, DROPPED, SHED, DEADLINE_EXCEEDED)
+
+#: Transient status of a request object abandoned by the sharded backend
+#: because its lifecycle continued on another shard (as a new request id).
+#: Never a terminal status — the cross-shard continuation terminates instead —
+#: but resilience timers (hedging) check it so they never act on a husk.
+FORWARDED = "forwarded"
 
 #: Cache-lookup outcomes.
 LOCAL_HIT = "hit"
@@ -76,6 +91,13 @@ class Request:
     compute_start_time: float = UNSET
     compute_done_time: float = UNSET
     completion_time: float = UNSET
+    #: Retry attempts consumed so far (resilience policies only).
+    attempts: int = 0
+    #: Whether this physical request is the hedged duplicate of another.
+    is_hedge: bool = False
+    #: Cell whose outstanding-queue counter this request currently occupies
+    #: ("" when not admitted); maintained only under a resilience policy.
+    admitted_cell: str = ""
 
     @property
     def completed(self) -> bool:

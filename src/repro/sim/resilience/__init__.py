@@ -1,0 +1,37 @@
+"""Request-level resilience for the multi-cell simulator.
+
+Production edge systems survive faults through request-level mechanisms the
+bare simulator lacks: per-request **deadlines**, bounded **retries** with
+exponential backoff, **hedged** duplicate sends, per-cell **circuit
+breakers**, and queue-depth **load shedding**.  This package models all five
+as one pure-data :class:`ResiliencePolicy` threaded through the request
+lifecycle of every backend (see ``docs/resilience.md``):
+
+* the policy is plain JSON (a ``resilience`` block on a
+  :class:`~repro.scenarios.spec.ScenarioSpec`); **no policy means today's
+  behaviour byte-for-byte** — every resilience hook in the simulator is
+  gated on the policy's presence;
+* every decision is deterministic: backoff jitter is a hash of the request's
+  identity (:func:`jitter_fraction`), never an RNG draw, so resilience
+  consumes **no randomness** and fault-free streams stay untouched;
+* both backends execute identical policy data — the serial engine inline,
+  the sharded backend by shipping the policy (and its SeedTree-derived seed)
+  to every shard.
+"""
+
+from repro.sim.resilience.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.sim.resilience.policy import ResiliencePolicy, jitter_fraction
+
+__all__ = [
+    "ResiliencePolicy",
+    "jitter_fraction",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]

@@ -1,0 +1,87 @@
+"""Per-cell circuit breaker: closed / open / half-open.
+
+The breaker watches a sliding window of request outcomes for one cell.
+While **closed** it admits everything and trips open when the window holds
+enough volume and the failure fraction crosses the policy threshold.  While
+**open** it rejects all routing (the cell is treated like a failed one for
+placement, though faults themselves are unaffected) until ``breaker_open_s``
+elapses.  It then goes **half-open** and admits a bounded number of probe
+requests; the first recorded probe outcome decides — success closes the
+breaker, failure re-opens it for another full interval.
+
+All transitions are driven by simulation time passed in by the caller, so
+the breaker is deterministic and identical across backends.  ``transitions``
+counts every state change and feeds the ``breaker_transitions`` counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.sim.resilience.policy import ResiliencePolicy
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    __slots__ = ("_policy", "_state", "_window", "_open_until", "_probes_left", "transitions")
+
+    def __init__(self, policy: ResiliencePolicy) -> None:
+        if policy.breaker_window <= 0:
+            raise ValueError("CircuitBreaker requires breaker_window > 0")
+        self._policy = policy
+        self._state = BREAKER_CLOSED
+        self._window: Deque[bool] = deque(maxlen=policy.breaker_window)
+        self._open_until = 0.0
+        self._probes_left = 0
+        self.transitions = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allows(self, now: float) -> bool:
+        """Whether a request may route to this cell; consumes a probe slot
+        when half-open."""
+
+        if self._state == BREAKER_OPEN:
+            if now < self._open_until:
+                return False
+            self._state = BREAKER_HALF_OPEN
+            self._probes_left = self._policy.breaker_half_open_probes
+            self.transitions += 1
+        if self._state == BREAKER_HALF_OPEN:
+            if self._probes_left <= 0:
+                return False
+            self._probes_left -= 1
+            return True
+        return True
+
+    def record(self, ok: bool, now: float) -> None:
+        """Feed one request outcome on this cell into the window."""
+
+        if self._state == BREAKER_OPEN:
+            # Outcomes of requests admitted before the trip are stale news.
+            return
+        if self._state == BREAKER_HALF_OPEN:
+            if ok:
+                self._state = BREAKER_CLOSED
+                self._window.clear()
+            else:
+                self._state = BREAKER_OPEN
+                self._open_until = now + self._policy.breaker_open_s
+                self._window.clear()
+            self.transitions += 1
+            return
+        self._window.append(ok)
+        if len(self._window) < self._policy.breaker_min_volume:
+            return
+        failures = sum(1 for outcome in self._window if not outcome)
+        if failures / len(self._window) >= self._policy.breaker_failure_threshold:
+            self._state = BREAKER_OPEN
+            self._open_until = now + self._policy.breaker_open_s
+            self._window.clear()
+            self.transitions += 1

@@ -1,0 +1,145 @@
+"""Pure-data resilience policy and deterministic jitter.
+
+A :class:`ResiliencePolicy` is a frozen bag of knobs with no behaviour of
+its own — the simulator interprets it.  Keeping the policy pure data means
+it round-trips through JSON (scenario specs, shard payloads, regression
+corpus files) and both backends execute byte-identical decisions from the
+same dict.
+
+Backoff jitter is the one place resilience needs "randomness".  Drawing it
+from the simulator's RNG streams would perturb every downstream draw and
+break the no-policy byte-identity contract, so :func:`jitter_fraction`
+derives it from a keyed blake2b hash of the request's identity instead:
+stable across runs, backends, and shard layouts, and zero RNG consumption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping, Optional
+
+
+def jitter_fraction(seed: int, user_id: str, arrival_time: float, attempt: int) -> float:
+    """Deterministic jitter in ``[0, 1)`` keyed by request identity.
+
+    The tuple (seed, user, arrival, attempt) uniquely identifies one retry
+    decision; hashing it gives every retry an independent-looking jitter
+    without consuming any RNG stream.
+    """
+
+    payload = struct.pack("<Qdq", seed & 0xFFFFFFFFFFFFFFFF, arrival_time, attempt)
+    digest = hashlib.blake2b(payload + user_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Request-level resilience knobs; every mechanism is off by default.
+
+    deadline_s: wall-clock budget per logical request measured from its
+        arrival; expired requests terminate as ``DEADLINE_EXCEEDED``.
+    max_retries: extra attempts granted after a routing failure (a dropped
+        request with attempts left re-homes to the next-nearest alive cell
+        after backoff instead of terminating).
+    backoff_base_s / backoff_multiplier / backoff_jitter: retry delay is
+        ``base * multiplier**attempt * (1 + jitter * u)`` with ``u`` from
+        :func:`jitter_fraction`.
+    hedge_delay_s: when set, a duplicate of each request is sent to the
+        next-best cell after this delay unless the original already
+        finished; first completion wins, the loser is de-counted.
+    breaker_window: sliding window length of per-cell outcomes driving the
+        circuit breaker; 0 disables breakers entirely.
+    breaker_failure_threshold / breaker_min_volume: the breaker opens when
+        the window holds at least ``min_volume`` outcomes and the failure
+        fraction reaches the threshold.
+    breaker_open_s: how long an open breaker rejects traffic before
+        admitting half-open probes.
+    breaker_half_open_probes: number of trial requests admitted while
+        half-open; the first recorded outcome decides reopen vs close.
+    shed_queue_depth: per-cell cap on outstanding admitted requests; an
+        arrival beyond the cap terminates immediately as ``SHED``.
+    """
+
+    deadline_s: Optional[float] = None
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.0
+    hedge_delay_s: Optional[float] = None
+    breaker_window: int = 0
+    breaker_failure_threshold: float = 0.5
+    breaker_min_volume: int = 10
+    breaker_open_s: float = 1.0
+    breaker_half_open_probes: int = 3
+    shed_queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.backoff_jitter < 0:
+            raise ValueError(f"backoff_jitter must be >= 0, got {self.backoff_jitter}")
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise ValueError(f"hedge_delay_s must be positive, got {self.hedge_delay_s}")
+        if self.breaker_window < 0:
+            raise ValueError(f"breaker_window must be >= 0, got {self.breaker_window}")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ValueError(
+                "breaker_failure_threshold must be in (0, 1], got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.breaker_min_volume < 1:
+            raise ValueError(
+                f"breaker_min_volume must be >= 1, got {self.breaker_min_volume}"
+            )
+        if self.breaker_open_s <= 0:
+            raise ValueError(f"breaker_open_s must be positive, got {self.breaker_open_s}")
+        if self.breaker_half_open_probes < 1:
+            raise ValueError(
+                f"breaker_half_open_probes must be >= 1, got {self.breaker_half_open_probes}"
+            )
+        if self.shed_queue_depth is not None and self.shed_queue_depth < 1:
+            raise ValueError(
+                f"shed_queue_depth must be >= 1, got {self.shed_queue_depth}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when at least one mechanism is enabled."""
+
+        return (
+            self.deadline_s is not None
+            or self.max_retries > 0
+            or self.hedge_delay_s is not None
+            or self.breaker_window > 0
+            or self.shed_queue_depth is not None
+        )
+
+    def backoff_s(self, attempt: int, seed: int, user_id: str, arrival_time: float) -> float:
+        """Delay before retry ``attempt`` (0-based) of the given request."""
+
+        base = self.backoff_base_s * self.backoff_multiplier**attempt
+        if self.backoff_jitter <= 0.0:
+            return base
+        u = jitter_fraction(seed, user_id, arrival_time, attempt)
+        return base * (1.0 + self.backoff_jitter * u)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResiliencePolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown resilience policy fields: {sorted(unknown)}")
+        return cls(**dict(payload))

@@ -38,7 +38,7 @@ import numpy as np
 from repro.sim.engine import Simulation
 from repro.sim.metrics import CellStats, LatencyRecorder
 from repro.sim.multicell import CLOUD, CellConfig, ModelSpec
-from repro.sim.request import CLOUD_FETCH, DROPPED, NEIGHBOR_FETCH, Request
+from repro.sim.request import CLOUD_FETCH, DROPPED, FORWARDED, NEIGHBOR_FETCH, Request
 from repro.sim.sharded.partition import FAILOVER_HANDOVER
 from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
 
@@ -111,6 +111,8 @@ class ShardSimulator(MultiCellSimulator):
         max_forward_hops: int,
         on_request_end=None,
         audit_over_budget: bool = False,
+        resilience=None,
+        resilience_seed: int = 0,
     ) -> None:
         config = config or SimulatorConfig()
         # Requests cannot be meaningfully retained per shard (the facade owns
@@ -142,6 +144,10 @@ class ShardSimulator(MultiCellSimulator):
         self._directory: Dict[str, FrozenSet[str]] = {}
         self._last_sent: Dict[str, Tuple[str, ...]] = {name: () for name in self._owned_order}
         self._audit_over_budget = audit_over_budget
+        # The policy travels as pure data in the shard payload; every shard
+        # seeds the identical jitter hash, so retry timing matches the serial
+        # engine's exactly for the same (user, arrival, attempt).
+        self.configure_resilience(resilience, seed=resilience_seed)
         for time_s, calls, label in timeline:
             self.schedule_calls(time_s, calls, label=label)
         # Captured once, after the timeline is on the heap: fault events keep
@@ -209,12 +215,36 @@ class ShardSimulator(MultiCellSimulator):
             self.config.num_tokens,
         )
         request.cell = cell.name
+        if self._resilience is not None:
+            self._stream_item_resilient(request, cell, self._plan_flags[index])
+            return
         if cell.failed:
             # Planned onto a cell that is down anyway (no alive candidate
             # existed at planning time, or it died within a handover window).
             self._failover(request, cell)
             return
         flag = self._plan_flags[index]
+        if flag:
+            request.handover = True
+            cell.stats.handovers_in += 1
+            if flag == FAILOVER_HANDOVER:
+                cell.stats.failovers += 1
+            delay = self.config.mobility.handover_delay_s
+            if delay > 0:
+                self.engine.post(delay, lambda sim, r=request, c=cell: self._lookup(r, c))
+                return
+        self._lookup(request, cell)
+
+    def _stream_item_resilient(self, request: Request, cell, flag) -> None:
+        """Planned arrival under a policy: hedge timer, breaker-aware routing."""
+        policy = self._resilience
+        if policy.hedge_delay_s is not None:
+            self.engine.post(
+                policy.hedge_delay_s, lambda sim, r=request: self._maybe_hedge(r)
+            )
+        if cell.failed or self._breaker_open(cell):
+            self._failover(request, cell)
+            return
         if flag:
             request.handover = True
             cell.stats.handovers_in += 1
@@ -242,7 +272,13 @@ class ShardSimulator(MultiCellSimulator):
         request.handover = True
         request.cell = cell.name
         self._forward_hops[request.request_id] = forward.hops
-        if cell.failed:
+        policy = self._resilience
+        if policy is not None and policy.hedge_delay_s is not None:
+            # The continuation gets its own hedge window, like a fresh arrival.
+            self.engine.post(
+                policy.hedge_delay_s, lambda sim, r=request: self._maybe_hedge(r)
+            )
+        if cell.failed or (policy is not None and self._breaker_open(cell)):
             self._failover(request, cell)
             return
         cell.stats.handovers_in += 1
@@ -266,6 +302,9 @@ class ShardSimulator(MultiCellSimulator):
         :class:`Forward` delivered at the next barrier, unless its hop budget
         is spent.
         """
+        if self._resilience is not None:
+            self._failover_resilient(request, from_cell)
+            return
         fallback = None
         for neighbor in from_cell.neighbor_order:
             if not neighbor.failed:
@@ -300,6 +339,68 @@ class ShardSimulator(MultiCellSimulator):
                 hops=hops + 1,
             )
         )
+
+    def _failover_resilient(self, request: Request, from_cell) -> None:
+        """Shard failover under a policy: breaker-aware, retry-aware, hedge-safe.
+
+        Hedge twins are pinned to their shard — a twin may only re-home to an
+        *owned* cell, never forward, because its primary is still live here
+        and a cross-shard continuation could terminate the logical request
+        twice.  When a primary with a live twin forwards, the local pair is
+        resolved by fiat (the remote continuation owns the terminal) so the
+        twin's eventual outcome is suppressed.  The forward-hop budget is
+        per-attempt: a retry after backoff starts a fresh chain, bounded by
+        ``max_retries`` overall.
+        """
+        owned = self._owned
+        is_hedge = request.is_hedge
+        fallback = None
+        for neighbor in from_cell.neighbor_order:
+            if is_hedge and neighbor.name not in owned:
+                continue
+            if not neighbor.failed and not self._breaker_open(neighbor):
+                fallback = neighbor
+                break
+        hops = self._forward_hops.pop(request.request_id, 0)
+        if fallback is None or hops >= self._max_forward_hops:
+            self._drop_or_retry(request, from_cell)
+            return
+        if fallback.name in owned:
+            self._forward_hops[request.request_id] = hops
+            request.handover = True
+            request.cell = fallback.name
+            fallback.stats.handovers_in += 1
+            fallback.stats.failovers += 1
+            # No mobility.place here: the shard's mobility model is never
+            # consulted — the pre-pass plan already fixed every serving cell.
+            delay = self.config.mobility.handover_delay_s
+            if delay > 0:
+                self.engine.post(delay, lambda sim, r=request, c=fallback: self._lookup(r, c))
+            else:
+                self._lookup(request, fallback)
+            return
+        self._unadmit(request)
+        request.status = FORWARDED
+        pair = self._hedge_pairs.get(request.request_id)
+        if pair is not None:
+            pair[0] = True
+            pair[1] -= 1
+            if pair[1] <= 0:
+                del self._hedge_pairs[request.request_id]
+        self._forwards.append(
+            Forward(
+                cell=fallback.name,
+                user_id=request.user_id,
+                domain=request.domain,
+                arrival_time=request.arrival_time,
+                hops=hops + 1,
+            )
+        )
+
+    def _hedge_candidates(self, cell) -> Sequence:
+        """Hedge targets must be owned: the twin's pair state lives here."""
+        owned = self._owned
+        return [neighbor for neighbor in cell.neighbor_order if neighbor.name in owned]
 
     def _begin_fetch(self, request: Request, cell, key: str, spec: ModelSpec) -> None:
         """Cooperative-source search across owned caches *and* the directory.

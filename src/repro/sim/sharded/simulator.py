@@ -54,6 +54,7 @@ from repro.sim.sharded.partition import (
     partition_cells,
     plan_mobility,
 )
+from repro.sim.resilience import ResiliencePolicy
 from repro.sim.sharded.shard import ShardSimulator, WindowMessage
 from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
 from repro.utils.rng import SeedLike
@@ -194,6 +195,30 @@ class ShardedSimulator:
         self._serial_delegate: Optional[MultiCellSimulator] = None
         self._replayed = False
         self._issued: Optional[int] = None
+        self._resilience: Optional[ResiliencePolicy] = None
+        self._resilience_seed = 0
+
+    # ------------------------------------------------------------------ #
+    # Resilience
+    # ------------------------------------------------------------------ #
+    def configure_resilience(self, policy, seed: int = 0) -> None:
+        """Install a :class:`~repro.sim.resilience.ResiliencePolicy` (or None).
+
+        The policy is pure data: it is recorded here and shipped verbatim to
+        every shard at replay time, so each shard applies the exact decision
+        rules the serial engine would — the deterministic jitter hash keys on
+        (seed, user, arrival, attempt), none of which depend on sharding.
+        """
+        if self._replayed:
+            raise SimulationError(
+                "the sharded backend needs its resilience policy before replay()"
+            )
+        if policy is not None and not isinstance(policy, ResiliencePolicy):
+            policy = ResiliencePolicy.from_dict(dict(policy))
+        if policy is not None and not policy.active:
+            policy = None
+        self._resilience = policy
+        self._resilience_seed = int(seed)
 
     # ------------------------------------------------------------------ #
     # Fault API (recorded, broadcast to every shard at replay time)
@@ -328,6 +353,8 @@ class ShardedSimulator:
                     max_forward_hops=self.sharded.max_forward_hops,
                     on_request_end=None if hook is None else hook.clone_empty(),
                     audit_over_budget=over_budget_ok,
+                    resilience=self._resilience,
+                    resilience_seed=self._resilience_seed,
                 )
             )
         window = self.window_s()
@@ -369,6 +396,8 @@ class ShardedSimulator:
             self._cell_configs, self.catalogue, config=self.config, seed=self._seed
         )
         delegate.on_request_end = self.on_request_end
+        if self._resilience is not None:
+            delegate.configure_resilience(self._resilience, seed=self._resilience_seed)
         for time_s, calls, label in self._timeline:
             delegate.schedule_calls(time_s, calls, label=label)
         report = delegate.replay(trace)
@@ -561,15 +590,21 @@ class ShardedSimulator:
                 hook.merge(result.hook)
         completed = sum(result.completed for result in results)
         dropped = sum(stats.dropped for stats in cells.values())
-        if self._issued is not None and completed + dropped != self._issued:
+        shed = sum(getattr(stats, "shed", 0) for stats in cells.values())
+        deadline_exceeded = sum(
+            getattr(stats, "deadline_exceeded", 0) for stats in cells.values()
+        )
+        terminal = completed + dropped + shed + deadline_exceeded
+        if self._issued is not None and terminal != self._issued:
             # Merge-time conservation audit: every issued request terminates
             # exactly once globally (forward chains are hop-capped into a
-            # drop), so this holds exactly — a miss means lost or duplicated
-            # work somewhere in the window/barrier machinery.
+            # drop; hedged twins share one logical terminal), so this holds
+            # exactly — a miss means lost or duplicated work somewhere in the
+            # window/barrier machinery.
             raise InvariantViolation(
                 f"sharded merge broke request conservation: {self._issued} issued "
-                f"but {completed} completed + {dropped} dropped across "
-                f"{len(results)} shards"
+                f"but {completed} completed + {dropped} dropped + {shed} shed + "
+                f"{deadline_exceeded} deadline_exceeded across {len(results)} shards"
             )
         self._report = SimulationReport(
             completed=completed,
@@ -582,6 +617,8 @@ class ShardedSimulator:
             backhaul_bytes=sum(result.backhaul_bytes for result in results),
             cloud_bytes=sum(result.cloud_bytes for result in results),
             dropped=dropped,
+            shed=shed,
+            deadline_exceeded=deadline_exceeded,
         )
         return self._report
 

@@ -57,13 +57,18 @@ from repro.sim.request import (
     CLOUD_FETCH,
     COALESCED,
     COMPLETED,
+    DEADLINE_EXCEEDED,
     DROPPED,
     FETCHING,
+    FORWARDED,
     LOCAL_HIT,
     NEIGHBOR_FETCH,
     QUEUED,
+    SHED,
+    TERMINAL_STATUSES,
     Request,
 )
+from repro.sim.resilience import CircuitBreaker, ResiliencePolicy
 from repro.utils.rng import SeedLike
 from repro.workloads.traces import RequestTrace
 
@@ -172,6 +177,250 @@ class MultiCellSimulator:
         #: (completion or drop).  Scenario measurement windows hang off this;
         #: ``None`` (the default) costs one predicate per completion.
         self.on_request_end: Optional[Callable[[Request], None]] = None
+        # Resilience state (see configure_resilience).  ``None`` policy means
+        # every resilience hook below is a single dead predicate — the
+        # no-policy replay stays byte-identical to the pre-resilience engine.
+        self._resilience: Optional[ResiliencePolicy] = None
+        self._resilience_seed = 0
+        #: Outstanding admitted requests per cell (load-shedding accounting).
+        self._outstanding: Dict[str, int] = {}
+        #: Per-cell circuit breakers, created lazily when the policy uses them.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: Hedge pair state per logical request id: ``[resolved, pending]``.
+        self._hedge_pairs: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------ #
+    # Resilience
+    # ------------------------------------------------------------------ #
+    def configure_resilience(
+        self, policy: Optional[ResiliencePolicy | dict], seed: int = 0
+    ) -> None:
+        """Install (or clear) the request-level resilience policy.
+
+        ``policy`` may be a :class:`~repro.sim.resilience.ResiliencePolicy`,
+        an equivalent dict, or ``None``; a policy with every mechanism off is
+        normalized to ``None`` so the hot path keeps its single dead
+        predicate.  ``seed`` keys the deterministic backoff jitter — both
+        backends must pass the same value (the scenario runner derives it
+        from the spec's SeedTree) for identical retry timing.  Call before
+        :meth:`replay`; the policy applies to every subsequently processed
+        request.
+        """
+        if policy is not None and not isinstance(policy, ResiliencePolicy):
+            policy = ResiliencePolicy.from_dict(policy)
+        if policy is not None and not policy.active:
+            policy = None
+        self._resilience = policy
+        self._resilience_seed = int(seed)
+        self._outstanding = {name: 0 for name in self.cells}
+        self._breakers = {}
+        self._hedge_pairs = {}
+
+    def _breaker(self, cell: Cell) -> CircuitBreaker:
+        breaker = self._breakers.get(cell.name)
+        if breaker is None:
+            breaker = CircuitBreaker(self._resilience)
+            self._breakers[cell.name] = breaker
+        return breaker
+
+    def _breaker_open(self, cell: Cell) -> bool:
+        """Whether routing to ``cell`` is currently rejected by its breaker.
+
+        A half-open breaker admits a bounded number of probes; the probe slot
+        is consumed here, so callers must only ask about cells they will
+        actually route to when admitted.
+        """
+        if self._resilience.breaker_window <= 0:
+            return False
+        breaker = self._breaker(cell)
+        allowed = breaker.allows(self.engine.now)
+        cell.stats.breaker_transitions = breaker.transitions
+        return not allowed
+
+    def _breaker_record(self, cell: Cell, ok: bool) -> None:
+        policy = self._resilience
+        if policy is None or policy.breaker_window <= 0:
+            return
+        breaker = self._breaker(cell)
+        breaker.record(ok, self.engine.now)
+        cell.stats.breaker_transitions = breaker.transitions
+
+    def _admit(self, request: Request, cell: Cell) -> bool:
+        """Move ``request`` onto ``cell``'s outstanding queue, shedding at the cap.
+
+        Re-homed requests (failover, retry) release their previous cell's
+        slot first, so the counters track where work actually sits.
+        """
+        outstanding = self._outstanding
+        prev = request.admitted_cell
+        if prev == cell.name:
+            return True
+        if prev:
+            outstanding[prev] -= 1
+            request.admitted_cell = ""
+        depth = self._resilience.shed_queue_depth
+        if depth is not None and outstanding[cell.name] >= depth:
+            self._finish_failure(request, cell, SHED)
+            return False
+        outstanding[cell.name] += 1
+        request.admitted_cell = cell.name
+        return True
+
+    def _unadmit(self, request: Request) -> None:
+        prev = request.admitted_cell
+        if prev:
+            self._outstanding[prev] -= 1
+            request.admitted_cell = ""
+
+    def _finish_failure(self, request: Request, cell: Cell, status: str) -> None:
+        """Terminate one physical request attempt with a failure status.
+
+        Hedge-aware: while the request's twin is still in flight the logical
+        request may yet succeed, so this half is suppressed (no terminal
+        event, no counters) — only the last unresolved half emits the
+        failure.  Exactly one terminal per logical request id, always.
+
+        Shedding does **not** feed the circuit breaker: a full admission
+        queue is back-pressure the policy itself created, not evidence the
+        cell is unhealthy — counting it would let overload trip breakers,
+        re-home the whole load onto the next cell, and cascade every
+        breaker open in turn.
+        """
+        if status != SHED:
+            self._breaker_record(cell, False)
+        pair = self._hedge_pairs.get(request.request_id)
+        if pair is not None:
+            pair[1] -= 1
+            if pair[0] or pair[1] > 0:
+                self._unadmit(request)
+                if pair[1] <= 0:
+                    del self._hedge_pairs[request.request_id]
+                return
+            pair[0] = True
+            del self._hedge_pairs[request.request_id]
+        self._unadmit(request)
+        request.status = status
+        if status == DROPPED:
+            cell.stats.dropped += 1
+        elif status == SHED:
+            cell.stats.shed += 1
+        else:
+            cell.stats.deadline_exceeded += 1
+        hook = self.on_request_end
+        if hook is not None:
+            hook(request)
+
+    def _drop_or_retry(self, request: Request, from_cell: Cell) -> None:
+        """No route was found for ``request``: drop it, or schedule a retry.
+
+        Retries re-fire after exponential backoff with hash-derived jitter
+        (zero RNG consumption; see :func:`repro.sim.resilience.jitter_fraction`)
+        and re-home via the normal failover scan.  Hedge twins never retry —
+        their primary carries the retry budget.
+        """
+        policy = self._resilience
+        if request.is_hedge or request.attempts >= policy.max_retries:
+            self._finish_failure(request, from_cell, DROPPED)
+            return
+        attempt = request.attempts
+        request.attempts = attempt + 1
+        from_cell.stats.retries += 1
+        self._unadmit(request)
+        delay = policy.backoff_s(
+            attempt, self._resilience_seed, request.user_id, request.arrival_time
+        )
+        self.engine.post(delay, lambda sim, r=request: self._retry(r))
+
+    def _retry(self, request: Request) -> None:
+        policy = self._resilience
+        cell = self.cells[request.cell]
+        if (
+            policy.deadline_s is not None
+            and self.engine.now - request.arrival_time >= policy.deadline_s
+        ):
+            self._finish_failure(request, cell, DEADLINE_EXCEEDED)
+            return
+        # The cell that refused us may have recovered during the backoff;
+        # otherwise scan for the next-nearest alive, breaker-closed cell.
+        if not cell.failed and not self._breaker_open(cell):
+            self._lookup(request, cell)
+            return
+        self._failover(request, cell)
+
+    def _hedge_candidates(self, cell: Cell) -> Sequence[Cell]:
+        """Cells eligible as hedge targets, nearest first (overridable)."""
+        return cell.neighbor_order
+
+    def _maybe_hedge(self, request: Request) -> None:
+        """Hedge timer: launch a duplicate if the request is still unfinished."""
+        status = request.status
+        if status in TERMINAL_STATUSES or status == FORWARDED:
+            return
+        if request.request_id in self._hedge_pairs:
+            return
+        cell = self.cells.get(request.cell)
+        if cell is None:
+            return
+        target: Optional[Cell] = None
+        for neighbor in self._hedge_candidates(cell):
+            if (
+                neighbor.name != request.cell
+                and not neighbor.failed
+                and not self._breaker_open(neighbor)
+            ):
+                target = neighbor
+                break
+        if target is None:
+            return
+        twin = Request(
+            request.request_id,
+            request.user_id,
+            request.domain,
+            request.model_key,
+            request.arrival_time,
+            request.num_tokens,
+        )
+        twin.is_hedge = True
+        twin.cell = target.name
+        self._hedge_pairs[request.request_id] = [False, 2]
+        target.stats.hedges += 1
+        self._lookup(twin, target)
+
+    def _complete_resilient(self, cell: Cell, requests: List[Request]) -> None:
+        """Completion under a policy: first hedge half wins, losers de-count."""
+        now = self.engine.now
+        record = self.latency.record
+        hook = self.on_request_end
+        pairs = self._hedge_pairs
+        completed_count = 0
+        for request in requests:
+            self._breaker_record(cell, True)
+            pair = pairs.get(request.request_id)
+            if pair is not None:
+                pair[1] -= 1
+                if pair[0]:
+                    # The twin already won: this physical finish is the
+                    # cancelled loser — de-count it entirely.
+                    self._unadmit(request)
+                    if pair[1] <= 0:
+                        del pairs[request.request_id]
+                    continue
+                pair[0] = True
+                if pair[1] <= 0:
+                    del pairs[request.request_id]
+                if request.is_hedge:
+                    cell.stats.hedge_wins += 1
+            self._unadmit(request)
+            request.completion_time = now
+            request.status = COMPLETED
+            record(now - request.arrival_time)
+            if hook is not None:
+                hook(request)
+            completed_count += 1
+        if completed_count:
+            cell.stats.completed += completed_count
+            self._completed_total += completed_count
+            self._last_completion = now
 
     # ------------------------------------------------------------------ #
     # Trace replay
@@ -406,9 +655,31 @@ class MultiCellSimulator:
         cell_name, moved = self.mobility.resolve(request.user_id)
         cell = self.cells[cell_name]
         request.cell = cell_name
+        if self._resilience is not None:
+            self._on_arrival_resilient(request, cell, moved)
+            return
         if cell.failed:
             # The serving cell is down: hand the user over to the nearest
             # alive neighbour (this also re-homes the user for later arrivals).
+            self._failover(request, cell)
+            return
+        if moved is not None:
+            request.handover = True
+            cell.stats.handovers_in += 1
+            delay = self.config.mobility.handover_delay_s
+            if delay > 0:
+                self.engine.post(delay, lambda sim, r=request, c=cell: self._lookup(r, c))
+                return
+        self._lookup(request, cell)
+
+    def _on_arrival_resilient(self, request: Request, cell: Cell, moved) -> None:
+        """Arrival under a policy: hedge timer, breaker-aware routing."""
+        policy = self._resilience
+        if policy.hedge_delay_s is not None:
+            self.engine.post(
+                policy.hedge_delay_s, lambda sim, r=request: self._maybe_hedge(r)
+            )
+        if cell.failed or self._breaker_open(cell):
             self._failover(request, cell)
             return
         if moved is not None:
@@ -428,7 +699,15 @@ class MultiCellSimulator:
         every one of them is down too the request is dropped — the only way a
         request ever terminates unserved.  A failure handover charges the same
         control-plane delay as a mobility handover.
+
+        Under a resilience policy the scan additionally skips breaker-open
+        cells, a dead end becomes a retry decision instead of an immediate
+        drop, and hedge twins never re-home the user's mobility placement
+        (the primary owns it).
         """
+        if self._resilience is not None:
+            self._failover_resilient(request, from_cell)
+            return
         fallback: Optional[Cell] = None
         for neighbor in from_cell.neighbor_order:
             if not neighbor.failed:
@@ -452,6 +731,27 @@ class MultiCellSimulator:
         else:
             self._lookup(request, fallback)
 
+    def _failover_resilient(self, request: Request, from_cell: Cell) -> None:
+        fallback: Optional[Cell] = None
+        for neighbor in from_cell.neighbor_order:
+            if not neighbor.failed and not self._breaker_open(neighbor):
+                fallback = neighbor
+                break
+        if fallback is None:
+            self._drop_or_retry(request, from_cell)
+            return
+        request.handover = True
+        request.cell = fallback.name
+        fallback.stats.handovers_in += 1
+        fallback.stats.failovers += 1
+        if not request.is_hedge:
+            self.mobility.place(request.user_id, fallback.name)
+        delay = self.config.mobility.handover_delay_s
+        if delay > 0:
+            self.engine.post(delay, lambda sim, r=request, c=fallback: self._lookup(r, c))
+        else:
+            self._lookup(request, fallback)
+
     def _lookup(self, request: Request, cell: Cell) -> None:
         if cell.failed:
             # The cell went down while this request was in a handover delay
@@ -459,6 +759,8 @@ class MultiCellSimulator:
             # answers or every candidate is gone.
             self._failover(request, cell)
             return
+        if self._resilience is not None and not self._admit(request, cell):
+            return  # shed at admission; _admit emitted the terminal
         now = self.engine.now
         request.lookup_time = now
         key = request.model_key
@@ -560,6 +862,16 @@ class MultiCellSimulator:
 
     def _enqueue(self, request: Request, cell: Cell) -> None:
         now = self.engine.now
+        policy = self._resilience
+        if (
+            policy is not None
+            and policy.deadline_s is not None
+            and now - request.arrival_time >= policy.deadline_s
+        ):
+            # Budget spent before batching: finish now instead of occupying
+            # a batch slot with work nobody is waiting for.
+            self._finish_failure(request, cell, DEADLINE_EXCEEDED)
+            return
         request.status = QUEUED
         request.enqueue_time = now
         flops = self._domain_info[request.domain][1]
@@ -597,6 +909,9 @@ class MultiCellSimulator:
         )
 
     def _complete(self, cell: Cell, requests: List[Request]) -> None:
+        if self._resilience is not None:
+            self._complete_resilient(cell, requests)
+            return
         now = self.engine.now
         record = self.latency.record
         hook = self.on_request_end
@@ -746,4 +1061,8 @@ class MultiCellSimulator:
             backhaul_bytes=self.backhaul_bytes,
             cloud_bytes=self.cloud_bytes,
             dropped=sum(cell.stats.dropped for cell in self.cells.values()),
+            shed=sum(cell.stats.shed for cell in self.cells.values()),
+            deadline_exceeded=sum(
+                cell.stats.deadline_exceeded for cell in self.cells.values()
+            ),
         )

@@ -24,7 +24,9 @@ FAST = ExperimentConfig(scale=0.25, sentences_per_domain=60, train_epochs=8, see
 class TestHarness:
     def test_all_experiments_registered(self):
         names = available_experiments()
-        assert {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "fig1"} <= set(names)
+        assert {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "fig1"
+        } <= set(names)
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -109,6 +111,40 @@ class TestCheapExperiments:
         per_cell = tables["per_cell"]
         assert {row["cell"] for row in per_cell.rows} == {"cell_0", "cell_1", "cell_2", "cell_3"}
         assert all(0.0 <= row["hit_ratio"] <= 1.0 for row in per_cell.rows)
+
+    def test_e11_resilience_story(self):
+        tables = run_experiment("e11", ExperimentConfig(scale=0.02, seed=0))
+        summary = tables["resilience"]
+        modes = {"none", "deadline", "retry", "retry_hedge", "full"}
+        assert {row["mode"] for row in summary.rows} == modes
+        scenarios = {row["scenario"] for row in summary.rows}
+        assert "total_blackout" in scenarios
+        assert len(summary.rows) == len(modes) * len(scenarios)
+        by_key = {(row["scenario"], row["mode"]): row for row in summary.rows}
+        for row in summary.rows:
+            terminal = (
+                row["completed"] + row["dropped"] + row["shed"] + row["deadline_exceeded"]
+            )
+            assert terminal == row["requests"]
+        # Paired replays: the trace never changes across modes.
+        for scenario in scenarios:
+            assert len({by_key[(scenario, mode)]["requests"] for mode in modes}) == 1
+        # The blackout story survives even at 2% scale: the baseline drops,
+        # retries convert drops into completions.
+        baseline = by_key[("total_blackout", "none")]
+        retried = by_key[("total_blackout", "retry")]
+        assert baseline["dropped"] > 0
+        assert retried["dropped"] < baseline["dropped"]
+        assert retried["completed"] > baseline["completed"]
+        assert retried["retries"] > 0
+        # Phase rows partition every summary row's terminals.
+        for row in summary.rows:
+            phase_rows = [
+                r for r in tables["phases"].rows
+                if r["scenario"] == row["scenario"] and r["mode"] == row["mode"]
+            ]
+            for kind in ("completed", "dropped", "shed", "deadline_exceeded"):
+                assert sum(r.get(kind, 0) for r in phase_rows) == row[kind]
 
     def test_e5_gradient_sync_cheaper_than_full_model(self):
         table = run_experiment("e5", FAST)

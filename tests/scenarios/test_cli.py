@@ -66,6 +66,19 @@ def test_compare_pivots_policies(capsys):
     out = capsys.readouterr().out
     assert "policy_comparison" in out
     assert "lru" in out and "lfu" in out
+    # The pivot always reports the incomplete fraction, even for plain specs
+    # whose summaries predate the resilience terminals.
+    assert "incomplete_ratio" in out
+
+
+def test_run_accepts_worker_timeout(capsys):
+    assert main(
+        [
+            "run", "steady_state", "--scale", "0.02", "--no-phases",
+            "--backend", "sharded", "--shards", "2", "--worker-timeout", "60",
+        ]
+    ) == 0
+    assert "scenario_summary" in capsys.readouterr().out
 
 
 def test_invalid_jobs_and_scale_rejected():
@@ -73,3 +86,5 @@ def test_invalid_jobs_and_scale_rejected():
         main(["run", "steady_state", "--jobs", "-1"])
     with pytest.raises(SystemExit):
         main(["run", "steady_state", "--scale", "0"])
+    with pytest.raises(SystemExit):
+        main(["run", "steady_state", "--worker-timeout", "0"])

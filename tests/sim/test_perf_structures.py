@@ -263,3 +263,46 @@ class TestLatencyReservoir:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             LatencyRecorder(reservoir_size=0)
+
+    def test_absorb_two_empty_recorders(self):
+        recorder = LatencyRecorder(reservoir_size=16)
+        recorder.absorb(LatencyRecorder(reservoir_size=16))
+        assert len(recorder) == 0
+        assert recorder.summary() == {
+            "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0
+        }
+
+    def test_absorb_empty_other_is_identity(self):
+        recorder = LatencyRecorder(reservoir_size=16)
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        before = recorder.summary()
+        recorder.absorb(LatencyRecorder(reservoir_size=16))
+        assert len(recorder) == 3 and recorder.exact
+        assert recorder.summary() == before
+
+    def test_absorb_into_empty_copies_other(self):
+        other = LatencyRecorder(reservoir_size=16)
+        values = [0.5, 4.0, 2.5, 1.0]
+        for value in values:
+            other.record(value)
+        recorder = LatencyRecorder(reservoir_size=16)
+        recorder.absorb(other)
+        assert len(recorder) == len(values) and recorder.exact
+        assert recorder.summary() == other.summary()
+        # The absorbed samples are a copy, not a view: mutating the source
+        # afterwards must not leak into the merged distribution.
+        other.record(1000.0)
+        assert recorder.summary()["max_s"] == 4.0
+
+    def test_absorb_merged_percentiles_exact_while_union_fits(self):
+        left, right = LatencyRecorder(reservoir_size=64), LatencyRecorder(reservoir_size=64)
+        values = np.random.default_rng(5).exponential(size=40)
+        for value in values[:17]:
+            left.record(float(value))
+        for value in values[17:]:
+            right.record(float(value))
+        left.absorb(right)
+        assert left.exact and len(left) == 40
+        assert left.summary()["p95_s"] == pytest.approx(float(np.percentile(values, 95)))
+        assert left.summary()["mean_s"] == pytest.approx(float(values.mean()))

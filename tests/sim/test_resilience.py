@@ -1,0 +1,378 @@
+"""The resilience layer: policy data model, breaker state machine, simulator
+behaviours (deadlines, retries, hedging, shedding) and cross-backend parity.
+
+The behavioural tests drive small scenario replays rather than poking
+internal hooks: every assertion is phrased over the terminal-outcome counters
+(completed / dropped / shed / deadline_exceeded) and the activity counters
+(retries / hedges / hedge_wins / breaker_transitions), which is exactly the
+surface the committed E11 tables and the fuzzer's invariants check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import FaultEvent, ScenarioSpec, WorkloadPhase
+from repro.sim import (
+    BatchingConfig,
+    CellConfig,
+    CircuitBreaker,
+    MobilityConfig,
+    MultiCellSimulator,
+    ResiliencePolicy,
+    SimulatorConfig,
+    default_catalogue,
+    jitter_fraction,
+)
+from repro.sim.resilience.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+)
+from repro.workloads import ArrivalTraceGenerator
+
+DOMAINS = [f"domain_{index}" for index in range(4)]
+
+#: Every resilience-specific summary key the scenario runner emits.
+RESILIENCE_KEYS = (
+    "shed",
+    "deadline_exceeded",
+    "retries",
+    "hedges",
+    "hedge_wins",
+    "breaker_transitions",
+    "incomplete_ratio",
+)
+
+
+def make_simulator(num_cells=2, seed=0):
+    cells = [CellConfig(name=f"cell_{index}") for index in range(num_cells)]
+    config = SimulatorConfig(
+        batching=BatchingConfig(), mobility=MobilityConfig(handover_probability=0.0)
+    )
+    return MultiCellSimulator(
+        cells, default_catalogue(DOMAINS, seed=seed), config=config, seed=seed
+    )
+
+
+def blackout_spec(policy=None, num_cells=4):
+    """All cells dark for the middle third — the mass-drop regime."""
+    return ScenarioSpec(
+        name="blackout_test",
+        description="every cell fails mid-run and recovers one phase later",
+        phases=(
+            WorkloadPhase("healthy", 4.0),
+            WorkloadPhase("blackout", 4.0),
+            WorkloadPhase("recovered", 4.0),
+        ),
+        events=tuple(
+            FaultEvent(4.0, "cell_fail", cell=f"cell_{index}")
+            for index in range(num_cells)
+        )
+        + tuple(
+            FaultEvent(8.0, "cell_recover", cell=f"cell_{index}")
+            for index in range(num_cells)
+        ),
+        num_cells=num_cells,
+        resilience=policy,
+    )
+
+
+def steady_spec(policy=None):
+    return ScenarioSpec(
+        name="steady_test",
+        description="healthy single-phase control",
+        phases=(WorkloadPhase("steady", 4.0),),
+        resilience=policy,
+    )
+
+
+def conserved(summary):
+    return (
+        summary["completed"]
+        + summary["dropped"]
+        + summary.get("shed", 0)
+        + summary.get("deadline_exceeded", 0)
+    )
+
+
+class TestResiliencePolicy:
+    def test_defaults_are_inactive(self):
+        assert not ResiliencePolicy().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 1.0},
+            {"max_retries": 1},
+            {"hedge_delay_s": 0.2},
+            {"breaker_window": 10},
+            {"shed_queue_depth": 8},
+        ],
+    )
+    def test_each_mechanism_activates(self, kwargs):
+        assert ResiliencePolicy(**kwargs).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 0.0},
+            {"deadline_s": -1.0},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_multiplier": 0.5},
+            {"backoff_jitter": -0.1},
+            {"hedge_delay_s": 0.0},
+            {"breaker_window": -1},
+            {"breaker_failure_threshold": 0.0},
+            {"breaker_failure_threshold": 1.5},
+            {"breaker_min_volume": 0},
+            {"breaker_open_s": 0.0},
+            {"breaker_half_open_probes": 0},
+            {"shed_queue_depth": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+    def test_round_trips_through_dict(self):
+        policy = ResiliencePolicy(
+            deadline_s=2.0,
+            max_retries=3,
+            backoff_jitter=0.25,
+            hedge_delay_s=0.5,
+            breaker_window=20,
+            shed_queue_depth=64,
+        )
+        assert ResiliencePolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ResiliencePolicy.from_dict({"max_retries": 1, "typo_knob": 5})
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = ResiliencePolicy(max_retries=4, backoff_base_s=0.1, backoff_multiplier=2.0)
+        delays = [policy.backoff_s(a, 0, "user_0", 1.0) for a in range(4)]
+        assert delays == [pytest.approx(0.1 * 2.0**a) for a in range(4)]
+
+    def test_jittered_backoff_stays_within_band(self):
+        policy = ResiliencePolicy(
+            max_retries=4, backoff_base_s=0.1, backoff_multiplier=2.0, backoff_jitter=0.5
+        )
+        for attempt in range(4):
+            base = 0.1 * 2.0**attempt
+            delay = policy.backoff_s(attempt, 7, "user_3", 2.5)
+            assert base <= delay < base * 1.5
+
+
+class TestJitterFraction:
+    def test_deterministic_and_bounded(self):
+        first = jitter_fraction(0, "user_0", 1.25, 0)
+        assert 0.0 <= first < 1.0
+        assert jitter_fraction(0, "user_0", 1.25, 0) == first
+
+    def test_varies_with_every_key_component(self):
+        base = jitter_fraction(0, "user_0", 1.25, 0)
+        assert jitter_fraction(1, "user_0", 1.25, 0) != base
+        assert jitter_fraction(0, "user_1", 1.25, 0) != base
+        assert jitter_fraction(0, "user_0", 1.50, 0) != base
+        assert jitter_fraction(0, "user_0", 1.25, 1) != base
+
+
+class TestCircuitBreaker:
+    POLICY = ResiliencePolicy(
+        breaker_window=10,
+        breaker_failure_threshold=0.5,
+        breaker_min_volume=4,
+        breaker_open_s=1.0,
+        breaker_half_open_probes=2,
+    )
+
+    def test_requires_breaker_window(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(ResiliencePolicy())
+
+    def trip(self, breaker, now=0.0):
+        for _ in range(4):
+            breaker.record(False, now)
+
+    def test_trips_open_at_threshold_volume(self):
+        breaker = CircuitBreaker(self.POLICY)
+        breaker.record(False, 0.0)
+        breaker.record(False, 0.0)
+        breaker.record(False, 0.0)
+        assert breaker.state == BREAKER_CLOSED  # below min volume
+        breaker.record(False, 0.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.transitions == 1
+        assert not breaker.allows(0.5)
+
+    def test_half_open_admits_bounded_probes(self):
+        breaker = CircuitBreaker(self.POLICY)
+        self.trip(breaker)
+        assert breaker.allows(1.0)  # open interval elapsed -> half-open probe 1
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allows(1.0)  # probe 2
+        assert not breaker.allows(1.0)  # probe budget exhausted
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(self.POLICY)
+        self.trip(breaker)
+        assert breaker.allows(1.0)
+        breaker.record(True, 1.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allows(1.0)
+
+    def test_probe_failure_reopens_for_full_interval(self):
+        breaker = CircuitBreaker(self.POLICY)
+        self.trip(breaker)
+        assert breaker.allows(1.0)
+        breaker.record(False, 1.0)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allows(1.5)
+        assert breaker.allows(2.0)  # 1.0 + breaker_open_s
+
+    def test_outcomes_while_open_are_ignored(self):
+        breaker = CircuitBreaker(self.POLICY)
+        self.trip(breaker)
+        breaker.record(True, 0.1)  # stale completion of a pre-trip request
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allows(0.5)
+
+    def test_mixed_window_below_threshold_stays_closed(self):
+        breaker = CircuitBreaker(self.POLICY)
+        for index in range(10):
+            breaker.record(index % 3 == 0, 0.0)  # 70% failures... trips
+        # Sanity inverse: a mostly-successful window never trips.
+        healthy = CircuitBreaker(self.POLICY)
+        for index in range(20):
+            healthy.record(index % 4 != 0, 0.0)  # 25% failures < 50% threshold
+        assert healthy.state == BREAKER_CLOSED
+
+
+class TestSerialBehaviours:
+    def test_inactive_policy_normalizes_to_none(self):
+        simulator = make_simulator()
+        simulator.configure_resilience(ResiliencePolicy())
+        assert simulator._resilience is None
+
+    def test_policy_accepts_dict_payload(self):
+        simulator = make_simulator()
+        simulator.configure_resilience({"max_retries": 2})
+        assert simulator._resilience == ResiliencePolicy(max_retries=2)
+
+    def test_no_policy_summary_has_no_resilience_keys(self):
+        summary = run_scenario(steady_spec(), seed=0, scale=0.01).summary
+        for key in RESILIENCE_KEYS:
+            assert key not in summary
+
+    def test_policy_summary_reports_all_resilience_keys(self):
+        summary = run_scenario(
+            steady_spec(ResiliencePolicy(deadline_s=30.0)), seed=0, scale=0.01
+        ).summary
+        for key in RESILIENCE_KEYS:
+            assert key in summary
+
+    def test_deadline_converts_slow_requests(self):
+        spec = steady_spec(ResiliencePolicy(deadline_s=0.05))
+        result = run_scenario(spec, seed=0, scale=0.02)
+        summary = result.summary
+        assert summary["deadline_exceeded"] > 0
+        assert conserved(summary) == summary["requests"]
+        assert 0.0 < summary["incomplete_ratio"] <= 1.0
+
+    def test_retry_recovers_blackout_drops(self):
+        baseline = run_scenario(blackout_spec(), seed=0, scale=0.02).summary
+        assert baseline["dropped"] > 0
+        policy = ResiliencePolicy(
+            max_retries=6, backoff_base_s=0.5, backoff_multiplier=2.0, backoff_jitter=0.25
+        )
+        retried = run_scenario(blackout_spec(policy), seed=0, scale=0.02).summary
+        assert retried["requests"] == baseline["requests"]  # paired replay
+        assert retried["retries"] > 0
+        assert retried["dropped"] < baseline["dropped"]
+        assert retried["completed"] > baseline["completed"]
+        assert conserved(retried) == retried["requests"]
+
+    def test_hedging_launches_twins_and_decounts_losers(self):
+        policy = ResiliencePolicy(hedge_delay_s=0.05)
+        summary = run_scenario(steady_spec(policy), seed=0, scale=0.02).summary
+        assert summary["hedges"] > 0
+        assert 0 <= summary["hedge_wins"] <= summary["hedges"]
+        # Hedge twins must never inflate the terminal count: conservation is
+        # over logical requests, with the losing half de-counted.
+        assert conserved(summary) == summary["requests"]
+
+    def test_shedding_caps_admission(self):
+        policy = ResiliencePolicy(shed_queue_depth=2)
+        summary = run_scenario(steady_spec(policy), seed=0, scale=0.05).summary
+        assert summary["shed"] > 0
+        assert conserved(summary) == summary["requests"]
+
+    def test_non_completed_terminals_never_enter_latency_recorder(self):
+        simulator = make_simulator()
+        simulator.configure_resilience(ResiliencePolicy(deadline_s=0.02, shed_queue_depth=4))
+        trace = ArrivalTraceGenerator(DOMAINS, num_users=30, rate=800.0, seed=3).generate(600)
+        report = simulator.replay(trace)
+        assert report.shed + report.deadline_exceeded > 0
+        assert len(simulator.latency) == report.completed
+
+    def test_policy_runs_are_deterministic(self):
+        policy = ResiliencePolicy(
+            deadline_s=2.0, max_retries=3, backoff_jitter=0.25, hedge_delay_s=0.25
+        )
+        first = run_scenario(blackout_spec(policy), seed=0, scale=0.02).summary
+        second = run_scenario(blackout_spec(policy), seed=0, scale=0.02).summary
+        assert first == second
+
+    def test_breaker_policy_counts_transitions(self):
+        policy = ResiliencePolicy(
+            deadline_s=0.05,
+            breaker_window=10,
+            breaker_failure_threshold=0.5,
+            breaker_min_volume=4,
+            breaker_open_s=0.5,
+        )
+        summary = run_scenario(steady_spec(policy), seed=0, scale=0.02).summary
+        assert summary["breaker_transitions"] > 0
+        assert conserved(summary) == summary["requests"]
+
+
+class TestShardedParity:
+    FULL = ResiliencePolicy(
+        deadline_s=2.0,
+        max_retries=3,
+        backoff_base_s=0.5,
+        backoff_multiplier=2.0,
+        backoff_jitter=0.25,
+        hedge_delay_s=0.25,
+        breaker_window=50,
+        breaker_failure_threshold=0.5,
+        breaker_min_volume=20,
+        breaker_open_s=1.0,
+        breaker_half_open_probes=5,
+        shed_queue_depth=256,
+    )
+
+    def test_single_shard_matches_serial_exactly(self):
+        spec = blackout_spec(self.FULL)
+        serial = run_scenario(spec, seed=0, scale=0.02).summary
+        sharded = run_scenario(spec, seed=0, scale=0.02, backend="sharded", shards=1).summary
+        assert serial == sharded
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_merged_counters_conserve_exactly(self, shards):
+        spec = blackout_spec(self.FULL)
+        summary = run_scenario(
+            spec, seed=0, scale=0.02, backend="sharded", shards=shards
+        ).summary
+        # The merge must account for every issued request across shard
+        # reports: the four terminal kinds partition the trace exactly, and
+        # the activity counters are non-negative sums.
+        assert conserved(summary) == summary["requests"]
+        assert summary["requests"] == spec.expected_requests(0.02)
+        for key in ("retries", "hedges", "hedge_wins", "breaker_transitions"):
+            assert summary[key] >= 0
+        assert summary["hedge_wins"] <= summary["hedges"]
