@@ -28,6 +28,7 @@ ENGINE_EVENTS = 60_000
 E9_REQUESTS = 50_000
 TRACE_REQUESTS = 400_000
 SUITE_REQUESTS_PER_ROW = 12_500
+COHORT_OPERATIONS = 200_000
 
 
 def _best_of(function: Callable[[], Dict[str, float]], repeats: int) -> Dict[str, float]:
@@ -288,6 +289,125 @@ def bench_e9_replay(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
     return _best_of(round_, repeats)
 
 
+def bench_e9_replay_vectorized(scale: float = 1.0, repeats: int = 2) -> Dict[str, float]:
+    """The E9 replay through the vectorized cohort kernel, vs serial in-process.
+
+    Same workload as :func:`bench_e9_replay` but with ``retain_requests=False``
+    for *both* engines — the fault-free, no-observer hot path the kernel
+    targets.  The serial engine is measured in the same process and round
+    structure, so ``speedup_vs_serial`` is a like-for-like ratio on this host
+    rather than a cross-file comparison.  Revisions without the vectorized
+    backend fall back to the serial engine (speedup ~1.0), keeping the row
+    well-defined against older checkouts.
+    """
+    from repro.sim.batching import BatchingConfig
+    from repro.sim.multicell import CellConfig, default_catalogue
+    from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+    from repro.workloads.generator import ArrivalTraceGenerator
+
+    try:
+        from repro.sim.vectorized import VectorizedSimulator
+    except ImportError:  # pre-vectorized revisions: serial reference
+        VectorizedSimulator = None
+
+    num_requests = max(int(E9_REQUESTS * scale), 1000)
+    domains = [f"domain_{index}" for index in range(12)]
+    generator = ArrivalTraceGenerator(
+        domains,
+        num_users=500,
+        zipf_exponent=0.9,
+        profile="poisson",
+        rate=5000.0,
+        period_s=max(num_requests / 5000.0, 1.0),
+        seed=0,
+    )
+    trace = generator.generate(num_requests)
+    config = SimulatorConfig(
+        batching=BatchingConfig(max_batch_size=8, max_wait_s=0.005, amortization=0.4),
+        retain_requests=False,
+    )
+
+    def replay_round(build) -> Dict[str, float]:
+        cells = [CellConfig(name=f"cell_{index}") for index in range(4)]
+        catalogue = default_catalogue(domains, seed=0)
+        simulator = build(cells, catalogue)
+        started = time.perf_counter()
+        report = simulator.replay(trace)
+        wall = time.perf_counter() - started
+        return {
+            "wall_s": wall,
+            "completed": float(report.completed),
+            "events": float(report.events_processed),
+            "events_per_sec": report.events_processed / wall,
+            "hit_ratio": report.hit_ratio,
+        }
+
+    def serial_build(cells, catalogue):
+        return MultiCellSimulator(cells, catalogue, config=config, seed=0)
+
+    def vectorized_build(cells, catalogue):
+        if VectorizedSimulator is None:
+            return serial_build(cells, catalogue)
+        return VectorizedSimulator(cells, catalogue, config=config, seed=0, cross_check=False)
+
+    serial = _best_of(lambda: replay_round(serial_build), repeats)
+    vectorized = _best_of(lambda: replay_round(vectorized_build), repeats)
+    assert vectorized["completed"] == serial["completed"]
+    assert vectorized["events"] == serial["events"]
+    return {
+        **vectorized,
+        "requests": float(num_requests),
+        "serial_wall_s": serial["wall_s"],
+        "serial_events_per_sec": serial["events_per_sec"],
+        "speedup_vs_serial": serial["wall_s"] / vectorized["wall_s"],
+    }
+
+
+def bench_cohort_kernel(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
+    """Cohort-kernel primitives in isolation, per element of columnar input.
+
+    Times the two numpy stages every vectorized replay pays once per trace:
+    the arrival pre-pass feed (first-occurrence scatter-min over the user
+    column plus ``searchsorted`` cohort splits) and the batch latency append
+    (``LatencyRecorder.record_many`` in completion-fan-out-sized chunks;
+    falls back to scalar ``record`` on revisions without the batch path).
+    """
+    from repro.sim.metrics import LatencyRecorder
+
+    operations = max(int(COHORT_OPERATIONS * scale), 10_000)
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, 500, size=operations)
+    timestamps = np.sort(rng.random(operations) * 100.0)
+    latencies = rng.random(operations) * 0.25
+    boundaries = np.arange(0.0, 100.0, 0.5)
+    chunk = 4096
+
+    def round_() -> Dict[str, float]:
+        recorder = LatencyRecorder(reservoir_size=operations)
+        record_many = getattr(recorder, "record_many", None)
+        started = time.perf_counter()
+        first_occurrence = np.full(500, operations, dtype=np.int64)
+        np.minimum.at(first_occurrence, users, np.arange(operations))
+        splits = np.searchsorted(timestamps, boundaries, side="left")
+        for start in range(0, operations, chunk):
+            block = latencies[start : start + chunk]
+            if record_many is not None:
+                record_many(block)
+            else:
+                for value in block.tolist():
+                    recorder.record(value)
+        wall = time.perf_counter() - started
+        assert len(recorder) == operations and splits[-1] <= operations
+        assert int(first_occurrence.min()) >= 0
+        return {
+            "wall_s": wall,
+            "operations": float(operations),
+            "ops_per_sec": operations / wall,
+        }
+
+    return _best_of(round_, repeats)
+
+
 def bench_trace_generation(scale: float = 1.0, repeats: int = 3) -> Dict[str, float]:
     """Arrival-trace generation throughput plus the columnar summary helpers.
 
@@ -418,6 +538,8 @@ def run_all(scale: float = 1.0, repeats: int = 3) -> Dict[str, object]:
         "cache": bench_cache(scale, repeats),
         "sim_engine": bench_engine(scale, repeats),
         "e9_replay": bench_e9_replay(scale, max(repeats - 1, 1)),
+        "e9_replay_vectorized": bench_e9_replay_vectorized(scale, repeats),
+        "cohort_kernel": bench_cohort_kernel(scale, repeats),
         "trace_generation": bench_trace_generation(scale, repeats),
         "suite_parallel": bench_suite_parallel(scale, max(repeats - 2, 1)),
     }

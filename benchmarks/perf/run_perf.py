@@ -74,6 +74,15 @@ def _speedups(baseline: dict, current: dict) -> dict:
         speedups["codec_training_steps_per_sec"] = ratio(
             baseline["codec_training"]["steps_per_sec"], current["codec_training"]["steps_per_sec"]
         )
+    if "e9_replay_vectorized" in baseline and "e9_replay_vectorized" in current:
+        speedups["e9_replay_vectorized_events_per_sec"] = ratio(
+            baseline["e9_replay_vectorized"]["events_per_sec"],
+            current["e9_replay_vectorized"]["events_per_sec"],
+        )
+    if "cohort_kernel" in baseline and "cohort_kernel" in current:
+        speedups["cohort_kernel_ops_per_sec"] = ratio(
+            baseline["cohort_kernel"]["ops_per_sec"], current["cohort_kernel"]["ops_per_sec"]
+        )
     return speedups
 
 
@@ -123,7 +132,8 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"results written to {args.output}")
     sections = ("tensor_inference", "tensor_training", "codec_training", "sim_engine",
-                "e9_replay", "trace_generation", "suite_parallel")
+                "e9_replay", "e9_replay_vectorized", "cohort_kernel", "trace_generation",
+                "suite_parallel")
     for section in sections:
         metrics = current[section]
         rate_key = next(key for key in metrics if key.endswith("_per_sec"))
@@ -167,6 +177,8 @@ def main(argv: list[str] | None = None) -> int:
         for optional, key in (
             ("trace_generation", "trace_generation_requests_per_sec"),
             ("codec_training", "codec_training_steps_per_sec"),
+            ("e9_replay_vectorized", "e9_replay_vectorized_events_per_sec"),
+            ("cohort_kernel", "cohort_kernel_ops_per_sec"),
         ):
             if key in payload["speedups_vs_baseline"]:
                 gated[optional] = key

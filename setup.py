@@ -13,7 +13,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-semantic-edge",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of semantic-model caching and edge offloading for "
         "semantic communication (ICDCS'23), grown into a multi-cell "

@@ -80,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="property-test random scenarios through the invariant harness",
         description=(
             "Sample random-but-valid scenario specs and drive each through the "
-            "invariant harness (engine audits, determinism, serial-vs-sharded "
+            "invariant harness (engine audits, determinism, three-way backend "
             "differential). A failing spec is shrunk to a minimal example and "
             "saved to the regression corpus. Requires the `hypothesis` test "
             "dependency."
@@ -99,10 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--backend",
-        choices=("serial", "sharded"),
+        choices=("serial", "sharded", "vectorized"),
         default="sharded",
         help="'serial' runs the engine + determinism layers only; 'sharded' "
-        "(default) adds the serial-vs-sharded differential layer",
+        "(default) or 'vectorized' adds the three-way differential layer "
+        "(serial-vs-sharded divergence envelope + serial-vs-vectorized "
+        "byte-identity)",
     )
     fuzz.add_argument(
         "--shards",
@@ -142,7 +144,7 @@ def _run_fuzz(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error(f"--shards must be comma-separated integers, got {args.shards!r}")
     if not shard_counts or any(s < 2 for s in shard_counts):
         parser.error(f"--shards values must be >= 2, got {args.shards!r}")
-    differential = args.backend == "sharded"
+    differential = args.backend in ("sharded", "vectorized")
     layers = (
         "engine + determinism + differential" if differential else "engine + determinism"
     )

@@ -20,7 +20,10 @@ three invariant layers:
 * **differential backend invariants** — serial vs sharded at several shard
   counts: conservation stays exact, headline metrics stay within the
   divergence taxonomy of ``docs/architecture.md`` (loosened for the small
-  traces fuzz cases use).
+  traces fuzz cases use); plus serial vs vectorized, where the contract is
+  strict **byte-identity** — the numpy cohort kernel (or its silent serial
+  fallback for ineligible shapes) must serialize to exactly the serial
+  engine's summary and per-phase rows.
 
 Every run is replayable from two integers: the harness seed (workload
 synthesis + deployment, through the usual named SeedTree paths) and the
@@ -224,6 +227,7 @@ def _run_checked(
     scale: float,
     backend: str,
     shards: Optional[int] = None,
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> Tuple[ScenarioResult, InvariantChecker]:
     """One replay with the invariant checker chained in front of measurement."""
     box: Dict[str, InvariantChecker] = {}
@@ -233,7 +237,13 @@ def _run_checked(
         return box["checker"]
 
     result = run_scenario(
-        spec, seed=seed, scale=scale, backend=backend, shards=shards, wrap_hook=wrap
+        spec,
+        seed=seed,
+        scale=scale,
+        backend=backend,
+        shards=shards,
+        wrap_hook=wrap,
+        backend_options=backend_options,
     )
     checker = box["checker"]
     checker.verify_report(result.report, issued=int(result.summary["requests"]))
@@ -369,6 +379,23 @@ def check_case(
         )
     if not differential:
         return
+    # Vectorized leg: unlike sharded, the vectorized backend promises strict
+    # byte-identity — eligible shapes run the numpy cohort kernel, ineligible
+    # ones silently take the serial path — so the check is exact signature
+    # equality, not a calibrated envelope.  ``cross_check=False`` disables the
+    # backend's own serial validation so the compared result genuinely comes
+    # from the kernel.
+    vectorized, _ = _run_checked(
+        spec, seed, scale, backend="vectorized", backend_options={"cross_check": False}
+    )
+    _check_phase_consistency(vectorized)
+    if _signature(vectorized) != _signature(serial):
+        raise InvariantViolation(
+            f"vectorized replay of {spec.name} is not byte-identical to the "
+            f"serial engine (same spec, same seed, different serialized report)"
+        )
+    audit_simulator(vectorized.simulator, allow_over_budget=state.shrank_cache)
+    audit_fault_state(vectorized.simulator, spec)
     # Calibration runs: the same spec under alternate layout seeds measures
     # the metric's own natural variance, which sizes the divergence envelope.
     serial_summaries = [serial.summary]

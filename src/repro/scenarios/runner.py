@@ -44,6 +44,7 @@ def build_simulator(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     worker_timeout: Optional[float] = None,
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> SimBackend:
     """A fresh deployment shaped by ``spec`` (same seed ⇒ same deployment).
 
@@ -57,7 +58,8 @@ def build_simulator(
     ``backend`` selects the execution engine through the
     :mod:`repro.sim.backend` registry (``None`` honours ``REPRO_BACKEND``
     and defaults to serial); ``shards`` and ``worker_timeout`` are forwarded
-    to backends that partition work.
+    to backends that partition work, and ``backend_options`` carries any
+    further backend-specific knobs (e.g. ``cross_check`` for vectorized).
     """
     tree = SeedTree(seed).child("scenario", spec.name)
     capacity_bytes = int(spec.cache_capacity_mb * 1024 * 1024)
@@ -83,6 +85,7 @@ def build_simulator(
         seed=tree.seed("mobility"),
         shards=shards,
         worker_timeout=worker_timeout,
+        **(backend_options or {}),
     )
     if spec.resilience is not None:
         simulator.configure_resilience(spec.resilience, seed=tree.seed("resilience"))
@@ -162,6 +165,7 @@ def run_scenario(
     shards: Optional[int] = None,
     wrap_hook=None,
     worker_timeout: Optional[float] = None,
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> ScenarioResult:
     """Run one scenario end to end and return its summary + per-phase rows.
 
@@ -181,7 +185,12 @@ def run_scenario(
     """
     trace = synthesize_trace(spec, seed=seed, scale=scale)
     simulator = build_simulator(
-        spec, seed=seed, backend=backend, shards=shards, worker_timeout=worker_timeout
+        spec,
+        seed=seed,
+        backend=backend,
+        shards=shards,
+        worker_timeout=worker_timeout,
+        backend_options=backend_options,
     )
     collector = PhaseCollector(spec)
     simulator.on_request_end = collector if wrap_hook is None else wrap_hook(collector)
@@ -247,6 +256,7 @@ def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[s
         backend=payload.get("backend"),
         shards=None if shards is None else int(shards),
         worker_timeout=None if worker_timeout is None else float(worker_timeout),
+        backend_options=payload.get("backend_options"),
     )
     return result.summary, result.phases
 
@@ -261,6 +271,7 @@ def run_catalog(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     worker_timeout: Optional[float] = None,
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> Dict[str, ResultTable]:
     """Run every ``(scenario, policy)`` pair and collect two result tables.
 
@@ -271,10 +282,11 @@ def run_catalog(
 
     ``backend``/``shards`` select the simulator backend per row.  Backends
     that parallelize internally (sharded) run the rows sequentially — their
-    own workers are the parallelism, and worker pools must not nest.
+    own workers are the parallelism, and worker pools must not nest.  The
+    single-process backends (serial, vectorized) fan rows across the pool.
     """
     resolved = resolve_backend_name(backend)
-    if resolved != "serial":
+    if resolved not in ("serial", "vectorized"):
         jobs = 1
     payloads: List[Dict[str, object]] = [
         {
@@ -285,6 +297,7 @@ def run_catalog(
             "backend": resolved,
             "shards": shards,
             "worker_timeout": worker_timeout,
+            "backend_options": backend_options,
         }
         for spec in specs
         for policy in (policies if policies is not None else [None])

@@ -31,6 +31,14 @@ Two backends ship today:
     pinned by its own golden tables; statistically equivalent to serial, not
     byte-identical.
 
+``vectorized``
+    :class:`~repro.sim.vectorized.VectorizedSimulator` — the serial
+    semantics replayed through a numpy cohort kernel (see
+    :mod:`repro.sim.vectorized`).  Bit-identical to serial: every fresh
+    (deployment, config, trace, timeline) signature is cross-checked against
+    the serial engine, and ineligible shapes (resilience policies, cell
+    outage timelines, object traces) silently take the serial path.
+
 Backend selection is spelled identically everywhere: a ``--backend`` CLI
 flag on both entry points, overridable by the ``REPRO_BACKEND`` environment
 variable (explicit flags beat the environment).
@@ -199,5 +207,25 @@ def _sharded_factory(cells, catalogue, config=None, seed=None, **options) -> Sim
     return ShardedSimulator(cells, catalogue, config=config, seed=seed, sharded=sharded_config)
 
 
+def _vectorized_factory(cells, catalogue, config=None, seed=None, **options) -> SimBackend:
+    from repro.sim.vectorized import VectorizedSimulator
+
+    # Accept the uniform option set (see _serial_factory) plus the kernel's
+    # own `cross_check` knob: True (default) validates every fresh signature
+    # against the serial engine; False trusts the kernel (differential tests
+    # use this so the compared result genuinely comes from the kernel).
+    shards = options.pop("shards", None)
+    options.pop("worker_timeout", None)
+    cross_check = options.pop("cross_check", True)
+    if options:
+        raise ConfigurationError(f"vectorized backend got unknown options: {sorted(options)}")
+    if shards not in (None, 1):
+        raise ConfigurationError(f"vectorized backend is single-process; got shards={shards}")
+    return VectorizedSimulator(
+        cells, catalogue, config=config, seed=seed, cross_check=cross_check
+    )
+
+
 register_backend("serial", _serial_factory)
 register_backend("sharded", _sharded_factory)
+register_backend("vectorized", _vectorized_factory)

@@ -54,6 +54,35 @@ class LatencyRecorder:
     def __len__(self) -> int:
         return self._count
 
+    def record_many(self, latencies_s: np.ndarray) -> None:
+        """Record a batch of latencies, bit-identical to repeated :meth:`record`.
+
+        The region that fits in the reservoir is appended with one slice
+        assignment; the running sum is folded left-to-right with
+        ``np.add.accumulate`` (the same sequential order as scalar ``+=``, so
+        the float result is the same bits).  Any overflow tail falls back to
+        scalar :meth:`record` calls, preserving the reservoir's replacement
+        draw order exactly.
+        """
+        values = np.ascontiguousarray(latencies_s, dtype=np.float64)
+        count = len(values)
+        if count == 0:
+            return
+        start = self._count
+        fit = min(count, self._capacity - start) if start < self._capacity else 0
+        if fit:
+            head = values[:fit]
+            self._samples[start : start + fit] = head
+            self._count = start + fit
+            self._sum = float(
+                np.add.accumulate(np.concatenate(([self._sum], head)))[-1]
+            )
+            peak = float(head.max())
+            if peak > self._max:
+                self._max = peak
+        for latency in values[fit:].tolist():
+            self.record(latency)
+
     def absorb(self, other: "LatencyRecorder") -> None:
         """Merge another recorder's distribution into this one, deterministically.
 

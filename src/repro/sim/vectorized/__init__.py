@@ -1,0 +1,9 @@
+"""Vectorized event-kernel backend: numpy cohort replay of the sim hot path.
+
+See :mod:`repro.sim.vectorized.simulator` for the engine and its determinism
+contract.  Registered in :mod:`repro.sim.backend` as ``"vectorized"``.
+"""
+
+from repro.sim.vectorized.simulator import VectorizedSimulator
+
+__all__ = ["VectorizedSimulator"]

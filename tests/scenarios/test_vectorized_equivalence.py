@@ -1,0 +1,89 @@
+"""Serial-vs-vectorized equivalence across the whole scenario catalog.
+
+The vectorized backend's contract is much stronger than sharded's: it
+replays the *identical* event semantics through a numpy cohort kernel, so
+every scenario — eligible shapes through the kernel, ineligible ones through
+the silent serial fallback — must reproduce the serial engine's summary and
+per-phase rows **exactly**, not within tolerances.  The suite runs the
+kernel with ``cross_check=False`` so equality is checked against the
+kernel's own output rather than the backend's internal serial validation.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.scenarios import get_scenario, run_scenario, scenario_names
+from repro.sim.backend import SimBackend, create_backend
+from repro.sim.multicell import CellConfig, default_catalogue
+from repro.sim.vectorized import VectorizedSimulator
+
+#: Keeps the full-catalog sweep fast; matches the CI smoke invocation.
+SCALE = 0.05
+SEED = 0
+
+
+@functools.lru_cache(maxsize=None)
+def serial_result(name):
+    return run_scenario(get_scenario(name), seed=SEED, scale=SCALE, backend="serial")
+
+
+@functools.lru_cache(maxsize=None)
+def vectorized_result(name):
+    return run_scenario(
+        get_scenario(name),
+        seed=SEED,
+        scale=SCALE,
+        backend="vectorized",
+        backend_options={"cross_check": False},
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestCatalogByteIdentity:
+    def test_summary_is_byte_identical(self, name):
+        assert vectorized_result(name).summary == serial_result(name).summary
+
+    def test_phase_rows_are_byte_identical(self, name):
+        assert vectorized_result(name).phases == serial_result(name).phases
+
+    def test_end_state_matches_serial(self, name):
+        serial = serial_result(name).simulator
+        vectorized = vectorized_result(name).simulator
+        assert vectorized.engine.now == serial.engine.now
+        assert vectorized.engine._sequence == serial.engine._sequence
+        assert vectorized.engine.events_processed == serial.engine.events_processed
+        for cell_name, cell in serial.cells.items():
+            other = vectorized.cells[cell_name]
+            assert other.stats == cell.stats, cell_name
+            assert other.cache.statistics == cell.cache.statistics, cell_name
+            assert list(other.cache._entries) == list(cell.cache._entries), cell_name
+        vectorized.audit_invariants()
+
+
+def test_vectorized_satisfies_backend_protocol():
+    backend = create_backend(
+        "vectorized",
+        [CellConfig(name="cell_0"), CellConfig(name="cell_1")],
+        default_catalogue(["domain_0"], seed=0),
+        seed=0,
+    )
+    assert isinstance(backend, SimBackend)
+    assert isinstance(backend, VectorizedSimulator)
+    assert backend.backend_name == "vectorized"
+
+
+def test_factory_rejects_unknown_options_and_shards():
+    cells = [CellConfig(name="cell_0")]
+    catalogue = default_catalogue(["domain_0"], seed=0)
+    with pytest.raises(Exception):
+        create_backend("vectorized", cells, catalogue, seed=0, bogus=1)
+    with pytest.raises(Exception):
+        create_backend("vectorized", cells, catalogue, seed=0, shards=4)
+    # The uniform option set is accepted (shards=1 means "no partitioning").
+    backend = create_backend(
+        "vectorized", cells, catalogue, seed=0, shards=1, worker_timeout=5.0
+    )
+    assert backend.backend_name == "vectorized"

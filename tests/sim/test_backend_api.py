@@ -48,8 +48,8 @@ def make_backend(name, shards=None, num_cells=4, seed=0):
 
 
 class TestRegistry:
-    def test_both_builtin_backends_registered(self):
-        assert available_backends() == ["serial", "sharded"]
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ["serial", "sharded", "vectorized"]
 
     def test_unknown_backend_is_a_configuration_error(self):
         with pytest.raises(ConfigurationError, match="unknown simulator backend"):

@@ -1,0 +1,287 @@
+"""Cohort-boundary contract of the vectorized event kernel.
+
+Every test replays the same hand-built trace through the serial reference
+engine and through :class:`~repro.sim.vectorized.VectorizedSimulator` with
+``cross_check=False`` (so the compared output genuinely comes from the numpy
+kernel), then asserts equality event-for-event: report fields, engine
+counters, cache contents and statistics, the latency reservoir's internal
+state, and — when requests are retained — every per-request stamp.  The
+cases target exactly the places where cohort batching could diverge from
+the serial heap: same-timestamp arrivals spanning multiple cells, fault
+barriers landing mid-cohort, zero-length cohorts around phase edges, and
+``retain_requests=False`` replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.batching import BatchingConfig
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.multicell import CellConfig, MobilityConfig, default_catalogue
+from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
+from repro.sim.vectorized import VectorizedSimulator
+from repro.workloads.traces import RequestTrace
+
+DOMAINS = [f"domain_{index}" for index in range(6)]
+
+REQUEST_STAMPS = (
+    "request_id",
+    "user_id",
+    "domain",
+    "model_key",
+    "arrival_time",
+    "num_tokens",
+    "cell",
+    "status",
+    "cache_outcome",
+    "handover",
+    "lookup_time",
+    "fetch_done_time",
+    "enqueue_time",
+    "compute_start_time",
+    "compute_done_time",
+    "completion_time",
+)
+
+
+def build(cls, retain=False, handover_probability=0.1, capacity_mb=96, **kwargs):
+    cells = [
+        CellConfig(name=f"cell_{index}", cache_capacity_bytes=capacity_mb * 1024 * 1024)
+        for index in range(3)
+    ]
+    catalogue = default_catalogue(DOMAINS, seed=3)
+    config = SimulatorConfig(
+        batching=BatchingConfig(max_batch_size=4, max_wait_s=0.01, amortization=0.4),
+        mobility=MobilityConfig(handover_probability=handover_probability),
+        retain_requests=retain,
+    )
+    return cls(cells, catalogue, config=config, seed=11, **kwargs)
+
+
+def cohort_trace(num_cohorts=40, cohort_size=15, spacing_s=0.05):
+    """Arrivals in exact same-timestamp cohorts, users spread over every cell."""
+    n = num_cohorts * cohort_size
+    timestamps = np.repeat(np.arange(num_cohorts, dtype=np.float64) * spacing_s, cohort_size)
+    users = (np.arange(n, dtype=np.int64) * 7) % 30
+    domains = (np.arange(n, dtype=np.int64) * 5) % len(DOMAINS)
+    return RequestTrace.from_columns(timestamps, users, domains, DOMAINS)
+
+
+def assert_equivalent(serial, vectorized, serial_report, vectorized_report, retain):
+    """Full-state equality between a serial run and a vectorized run."""
+    assert vectorized.fallback_reason is None
+    for field in (
+        "completed",
+        "duration_s",
+        "events_processed",
+        "latency",
+        "total_compute_busy_s",
+        "backhaul_bytes",
+        "cloud_bytes",
+        "dropped",
+        "cells",
+    ):
+        assert getattr(vectorized_report, field) == getattr(serial_report, field), field
+    assert vectorized.engine.now == serial.engine.now
+    assert vectorized.engine._sequence == serial.engine._sequence
+    assert vectorized.engine.events_processed == serial.engine.events_processed
+    assert np.array_equal(vectorized.latency._values(), serial.latency._values())
+    assert vectorized.latency._sum == serial.latency._sum
+    assert vectorized.latency._max == serial.latency._max
+    assert vectorized.mobility._user_cell == serial.mobility._user_cell
+    assert (
+        vectorized.mobility.rng.bit_generator.state
+        == serial.mobility.rng.bit_generator.state
+    )
+    for name, cell in serial.cells.items():
+        other = vectorized.cells[name]
+        assert other.cache.statistics == cell.cache.statistics, name
+        assert list(other.cache._entries) == list(cell.cache._entries), name
+        assert other.cache.clock == cell.cache.clock, name
+        assert other.batcher.generation == cell.batcher.generation, name
+        assert other.server.compute.busy_time == cell.server.compute.busy_time, name
+        assert other.server.compute.completed_tasks == cell.server.compute.completed_tasks
+    if retain:
+        assert len(vectorized.requests) == len(serial.requests)
+        for left, right in zip(serial.requests, vectorized.requests):
+            for stamp in REQUEST_STAMPS:
+                assert getattr(right, stamp) == getattr(left, stamp), stamp
+    vectorized.audit_invariants()
+
+
+def run_pair(trace, retain=False, schedule=(), **build_kwargs):
+    serial = build(MultiCellSimulator, retain=retain, **build_kwargs)
+    vectorized = build(
+        VectorizedSimulator, retain=retain, cross_check=False, **build_kwargs
+    )
+    for time_s, calls, label in schedule:
+        serial.schedule_calls(time_s, calls, label=label)
+        vectorized.schedule_calls(time_s, calls, label=label)
+    serial_report = serial.replay(trace)
+    vectorized_report = vectorized.replay(trace)
+    assert_equivalent(serial, vectorized, serial_report, vectorized_report, retain)
+    return serial_report, vectorized_report
+
+
+@pytest.mark.parametrize("retain", [False, True])
+def test_same_timestamp_cohorts_span_cells(retain):
+    """Dense same-timestamp cohorts hitting all three cells stay bit-identical."""
+    run_pair(cohort_trace(), retain=retain)
+
+
+@pytest.mark.parametrize("retain", [False, True])
+def test_fault_barriers_mid_cohort(retain):
+    """Timeline barriers landing exactly on cohort timestamps stay ordered.
+
+    Each scheduled batch ties with a whole arrival cohort at the same
+    simulated time; pre-run timeline events hold earlier sequence numbers, so
+    the barrier must fire before any tied arrival — in both engines.
+    """
+    schedule = [
+        (0.25, [("wipe_cell_cache", ("cell_1",))], "wipe"),
+        (0.50, [("resize_cell_cache", ("cell_0", 16 * 1024 * 1024))], "resize"),
+        (0.75, [("degrade_downlink", ("cell_2", 8.0))], "degrade"),
+        (1.00, [("set_handover_probability", (0.5,))], "mobility"),
+        (1.25, [("restore_downlink", ("cell_2",))], "restore"),
+        (1.50, [("set_handover_probability", (0.0,))], "mobility-off"),
+    ]
+    run_pair(cohort_trace(), retain=retain, schedule=schedule)
+
+
+def test_zero_length_cohorts_around_edges():
+    """Barriers with no tied arrivals: before the first, in gaps, after the last."""
+    timestamps = np.array([0.5, 0.5, 0.5, 2.0, 2.0, 4.0], dtype=np.float64)
+    users = np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)
+    domains = np.array([0, 1, 2, 3, 4, 5], dtype=np.int64)
+    trace = RequestTrace.from_columns(timestamps, users, domains, DOMAINS)
+    schedule = [
+        (0.1, [("wipe_cell_cache", ("cell_0",))], "before-first"),
+        (1.0, [("set_handover_probability", (0.9,))], "gap"),
+        (3.0, [("degrade_downlink", ("cell_1", 4.0))], "gap-2"),
+        (10.0, [("restore_downlink", ("cell_1",))], "after-last"),
+    ]
+    run_pair(trace, schedule=schedule)
+
+
+def test_stacked_same_time_barriers():
+    """Several fault batches at one timestamp fire in scheduling order."""
+    schedule = [
+        (0.5, [("wipe_cell_cache", ("cell_0",))], "first"),
+        (0.5, [("resize_cell_cache", ("cell_0", 8 * 1024 * 1024))], "second"),
+        (0.5, [("set_handover_probability", (0.3,))], "third"),
+    ]
+    run_pair(cohort_trace(), schedule=schedule)
+
+
+@pytest.mark.parametrize("probability", [0.0, 0.35, 1.0])
+def test_handover_probability_extremes(probability):
+    """The mobility pre-pass covers never/sometimes/always handover streams."""
+    run_pair(cohort_trace(), handover_probability=probability)
+
+
+def test_single_cell_deployment():
+    """num_cells == 1 exercises the degenerate mobility draw path."""
+    cells = [CellConfig(name="cell_0", cache_capacity_bytes=64 * 1024 * 1024)]
+    catalogue = default_catalogue(DOMAINS, seed=3)
+    config = SimulatorConfig(
+        batching=BatchingConfig(max_batch_size=4, max_wait_s=0.01, amortization=0.4),
+        mobility=MobilityConfig(handover_probability=0.2),
+        retain_requests=False,
+    )
+    trace = cohort_trace()
+    serial = MultiCellSimulator([cells[0]], catalogue, config=config, seed=11)
+    vectorized = VectorizedSimulator(
+        [cells[0]], catalogue, config=config, seed=11, cross_check=False
+    )
+    serial_report = serial.replay(trace)
+    vectorized_report = vectorized.replay(trace)
+    assert_equivalent(serial, vectorized, serial_report, vectorized_report, retain=False)
+
+
+def test_unsupported_timeline_falls_back_to_serial():
+    """A fail_cell timeline is not vectorizable: silent, bit-identical fallback."""
+    schedule = [
+        (0.5, [("fail_cell", ("cell_1",))], "outage"),
+        (1.5, [("recover_cell", ("cell_1",))], "recovery"),
+    ]
+    serial = build(MultiCellSimulator)
+    vectorized = build(VectorizedSimulator, cross_check=False)
+    for time_s, calls, label in schedule:
+        serial.schedule_calls(time_s, calls, label=label)
+        vectorized.schedule_calls(time_s, calls, label=label)
+    trace = cohort_trace()
+    serial_report = serial.replay(trace)
+    vectorized_report = vectorized.replay(trace)
+    assert vectorized.fallback_reason is not None
+    assert "fail_cell" in vectorized.fallback_reason
+    for field in ("completed", "events_processed", "latency", "cells", "dropped"):
+        assert getattr(vectorized_report, field) == getattr(serial_report, field), field
+
+
+def test_divergence_triggers_silent_serial_fallback(monkeypatch):
+    """cross_check=True quarantines a signature whose kernel run diverges."""
+    VectorizedSimulator._validated.clear()
+
+    def broken(self, sim, trace, hook, timeline):
+        raise RuntimeError("injected kernel fault")
+
+    monkeypatch.setattr(VectorizedSimulator, "_replay_fast", broken)
+    serial_report = build(MultiCellSimulator).replay(cohort_trace())
+    vectorized = build(VectorizedSimulator)
+    vectorized_report = vectorized.replay(cohort_trace())
+    for field in ("completed", "events_processed", "latency", "cells"):
+        assert getattr(vectorized_report, field) == getattr(serial_report, field), field
+    assert all(verdict is False for verdict in VectorizedSimulator._validated.values())
+    VectorizedSimulator._validated.clear()
+
+
+def test_cross_check_validates_then_reuses_kernel():
+    """First replay of a fresh signature cross-checks; the verdict is cached."""
+    VectorizedSimulator._validated.clear()
+    serial_report = build(MultiCellSimulator).replay(cohort_trace())
+    first = build(VectorizedSimulator).replay(cohort_trace())
+    assert dict(VectorizedSimulator._validated) and all(
+        VectorizedSimulator._validated.values()
+    )
+    second = build(VectorizedSimulator).replay(cohort_trace())
+    for report in (first, second):
+        for field in ("completed", "events_processed", "latency", "cells"):
+            assert getattr(report, field) == getattr(serial_report, field), field
+    VectorizedSimulator._validated.clear()
+
+
+def test_record_many_is_bit_identical_to_scalar_records():
+    """Batch recording folds exactly like scalar ``+=`` — including overflow."""
+    values = np.random.default_rng(5).random(700) * 3.0
+    scalar = LatencyRecorder(reservoir_size=256, seed=9)
+    batched = LatencyRecorder(reservoir_size=256, seed=9)
+    for value in values:
+        scalar.record(float(value))
+    batched.record_many(values[:100])
+    batched.record_many(values[100:100])  # empty batch is a no-op
+    batched.record_many(values[100:])
+    assert batched._count == scalar._count
+    assert batched._sum == scalar._sum
+    assert batched._max == scalar._max
+    assert np.array_equal(batched._values(), scalar._values())
+
+
+def test_block_rng_draws_match_scalar_draws():
+    """``Generator.random(n)`` consumes the stream exactly like n scalar draws.
+
+    The mobility pre-pass rewinds the bit-generator state and re-draws a
+    block of the exact consumed length; this pins the numpy contract it
+    relies on.
+    """
+    block_rng = np.random.default_rng(42)
+    scalar_rng = np.random.default_rng(42)
+    block = block_rng.random(257)
+    scalars = np.array([scalar_rng.random() for _ in range(257)])
+    assert np.array_equal(block, scalars)
+    assert block_rng.bit_generator.state == scalar_rng.bit_generator.state
+    state = block_rng.bit_generator.state
+    first = block_rng.random(100)
+    block_rng.bit_generator.state = state
+    assert np.array_equal(block_rng.random(100), first)
