@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     e9_multicell_scale,
     e10_scenario_stress,
     e11_resilience,
+    e12_placement,
     fig1_workflow,
 )
 from repro.experiments.harness import (

@@ -27,6 +27,7 @@ from repro.experiments.harness import (
     tables_of,
 )
 from repro.sim.backend import BACKEND_ENV, available_backends
+from repro.sim.placement import PLACEMENT_POLICY_NAMES, PlacementSpec
 
 #: Pseudo-name running every registered experiment in registry order.
 ALL = "all"
@@ -76,7 +77,30 @@ def add_shared_arguments(
         "replay aborts with a diagnosis instead of hanging (default: wait "
         "forever); ignored by the serial backend",
     )
+    group.add_argument(
+        "--placement",
+        choices=PLACEMENT_POLICY_NAMES,
+        default=None,
+        help="global request-placement policy applied to every replay "
+        "(default: none; see docs/scheduling.md)",
+    )
+    group.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="pre-load each cell's cache from the offline cache-placement "
+        "optimizer before the replay (implies --placement naive when no "
+        "policy is given)",
+    )
     return group
+
+
+def placement_from_args(args: argparse.Namespace) -> Optional[dict]:
+    """The shared ``--placement``/``--prewarm`` flags as a PlacementSpec payload."""
+    if args.placement is None and not args.prewarm:
+        return None
+    return PlacementSpec(
+        policy=args.placement or "naive", prewarm=bool(args.prewarm)
+    ).to_dict()
 
 
 def validate_shared_arguments(
@@ -142,6 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         shards=args.shards,
         worker_timeout=args.worker_timeout,
+        placement=args.placement,
+        prewarm=args.prewarm,
     )
     names = available_experiments() if args.name == ALL else [args.name]
     suite_started = time.perf_counter()

@@ -56,6 +56,12 @@ class ExperimentConfig:
     backend: Optional[str] = None
     shards: Optional[int] = None
     worker_timeout: Optional[float] = None
+    #: Global request-placement policy name (``--placement``); experiments
+    #: that replay scenarios honour it (e12 restricts its mode matrix to the
+    #: named policy), others ignore it.
+    placement: Optional[str] = None
+    #: Offline cache-placement prewarm (``--prewarm``), same audience.
+    prewarm: bool = False
 
     def scaled(self, value: int, minimum: int = 1) -> int:
         """Scale an integer workload knob, keeping it at least ``minimum``."""

@@ -20,7 +20,11 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
-from repro.experiments.cli import add_shared_arguments, validate_shared_arguments
+from repro.experiments.cli import (
+    add_shared_arguments,
+    placement_from_args,
+    validate_shared_arguments,
+)
 from repro.experiments.harness import save_output
 from repro.metrics.reporting import ResultTable
 from repro.scenarios.catalog import catalog, get_scenario, scenario_names
@@ -224,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             shards=args.shards,
             worker_timeout=args.worker_timeout,
+            placement=placement_from_args(args),
         )
         shown = [tables["summary"]] if args.no_phases else list(tables.values())
         _print_tables(shown)
@@ -250,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         shards=args.shards,
         worker_timeout=args.worker_timeout,
+        placement=placement_from_args(args),
     )
     pivot = ResultTable(
         name=f"{spec.name}_policy_comparison",

@@ -102,6 +102,34 @@ MEAN_ABS_FLOOR_MS = 30.0
 MEAN_REL_MARGIN = 0.3
 P95_ABS_FLOOR_MS = 60.0
 P95_REL_MARGIN = 0.3
+#: Latency margin for fetch-wait-bound specs.  Cross-shard neighbor fetches
+#: do not exist — a shard whose only model replica lives across the partition
+#: re-fetches from the cloud instead — so when the serial run leans on
+#: neighbor fetches while a large share of requests coalesce onto in-flight
+#: fetch waits, the sharded latency legitimately rises toward the cloud-wait
+#: ceiling no matter the layout (triaged from the seed-1 nightly blowout,
+#: promoted as ``corpus_crossshard_fetch_wait``: serial never exceeded 224ms
+#: over 16 layout seeds while every sharded layout sat near 650ms, with the
+#: serial run's 87 neighbor fetches collapsing to 2).  The envelope widens by
+#: the observed coalesced share of the serial tail scale, and only in that
+#: regime — specs that do not coalesce, or never neighbor-fetch, get nothing.
+FETCH_WAIT_MARGIN = 1.0
+#: Incomplete-mass margin for breaker-active policies whose breakers tripped.
+#: Per-shard breaker views do not merely *reclassify* failures between kinds —
+#: trip timing depends on which outcomes a view has seen, and an open breaker
+#: gates admission itself, so the two backends gate different request
+#: *volumes*, not just different labels.  The shift is bounded by the mass the
+#: breakers actually gated, for which the serial incomplete scale is the
+#: observable proxy (when breakers trip under a tight deadline, incompletes
+#: are breaker-driven).  Triaged from the second seed-1 find: serial's single
+#: global view gated 386–444 of 600 requests across layout seeds (transitions
+#: swinging 3–12 — trip timing dominates), while 2-shard local views admitted
+#: ~100 more through to completion (283 incomplete); promoted as
+#: ``corpus_shardlocal_breaker_gate_g``, where the same spec diverges in the
+#: *other* direction (sharded gates 526 vs serial 337–401) — the sign is
+#: view-dependent, which is exactly the point.  Specs whose breakers never
+#: trip on either backend get nothing.
+BREAKER_GATE_MARGIN = 0.25
 
 
 # --------------------------------------------------------------------- #
@@ -330,18 +358,47 @@ def _check_divergence(
         # gate which requests reach a cache lookup at all, and the two
         # backends gate structurally different subsets.  Conservation (exact)
         # plus the incomplete envelope is what cross-backend equivalence
-        # means under a breaker policy.
-        check("incomplete", margin=failure_margin, value=_incomplete)
+        # means under a breaker policy.  And when the breakers actually
+        # tripped, the gated *volume* itself is view-dependent (see
+        # BREAKER_GATE_MARGIN), so the envelope widens by a fraction of the
+        # serial incomplete scale.
+        tripped = any(
+            float(summary.get("breaker_transitions", 0)) > 0
+            for summary in [*serial_summaries, sharded]
+        )
+        breaker_gate = (
+            BREAKER_GATE_MARGIN * max(_incomplete(s) for s in serial_summaries)
+            if tripped
+            else 0.0
+        )
+        check("incomplete", margin=failure_margin + breaker_gate, value=_incomplete)
         return
     check("dropped", margin=failure_margin)
     for key in ("shed", "deadline_exceeded"):
         if key in sharded and all(key in summary for summary in serial_summaries):
             check(key, margin=failure_margin)
     check("hit_ratio", margin=max(HIT_RATIO_FLOOR, HIT_RATIO_USER_QUANTA / max(1, num_users)))
-    mean_scale = max(float(summary["mean_ms"]) for summary in serial_summaries)
-    check("mean_ms", margin=max(MEAN_ABS_FLOOR_MS, MEAN_REL_MARGIN * mean_scale), unit="ms")
+    # Fetch-wait widening (see FETCH_WAIT_MARGIN): only when the serial runs
+    # both rely on neighbor fetches and coalesce a real share of requests
+    # onto fetch waits does the cross-shard fetch gap move the latency needle.
     p95_scale = max(float(summary["p95_ms"]) for summary in serial_summaries)
-    check("p95_ms", margin=max(P95_ABS_FLOOR_MS, P95_REL_MARGIN * p95_scale), unit="ms")
+    fetch_wait_ms = 0.0
+    if any(float(summary.get("neighbor_fetches", 0)) > 0 for summary in serial_summaries):
+        coalesced_share = max(
+            float(summary.get("coalesced", 0)) for summary in serial_summaries
+        ) / max(1, issued)
+        fetch_wait_ms = FETCH_WAIT_MARGIN * coalesced_share * p95_scale
+    mean_scale = max(float(summary["mean_ms"]) for summary in serial_summaries)
+    check(
+        "mean_ms",
+        margin=max(MEAN_ABS_FLOOR_MS, MEAN_REL_MARGIN * mean_scale) + fetch_wait_ms,
+        unit="ms",
+    )
+    check(
+        "p95_ms",
+        margin=max(P95_ABS_FLOOR_MS, P95_REL_MARGIN * p95_scale) + fetch_wait_ms,
+        unit="ms",
+    )
 
 
 def check_case(

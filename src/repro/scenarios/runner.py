@@ -89,6 +89,11 @@ def build_simulator(
     )
     if spec.resilience is not None:
         simulator.configure_resilience(spec.resilience, seed=tree.seed("resilience"))
+    if spec.placement is not None:
+        # Placement is RNG-free by contract, so no seed-tree leaf: runs
+        # differing only in placement replay the identical trace through the
+        # identical deployment and mobility streams.
+        simulator.configure_placement(spec.placement)
     return simulator
 
 
@@ -233,6 +238,14 @@ def run_scenario(
             if terminal
             else 0.0
         )
+    if spec.placement is not None:
+        # Placement columns appear only on placed rows, so every pre-placement
+        # committed table regenerates byte-identically.
+        info = simulator.placement_summary() or {}
+        summary["placement"] = spec.placement.policy
+        summary["placed_remote"] = int(info.get("forwards", 0))
+        summary["placement_solves"] = int(info.get("solves", 0))
+        summary["prewarmed_models"] = int(info.get("prewarmed_models", 0))
     phase_rows = [
         dict(scenario=spec.name, policy=spec.cache_policy, **row) for row in collector.rows()
     ]
@@ -247,6 +260,9 @@ def _run_row(payload: Dict[str, object]) -> Tuple[Dict[str, object], List[Dict[s
     policy = payload.get("policy")
     if policy:
         spec = spec.with_policy(str(policy))
+    placement = payload.get("placement")
+    if placement is not None:
+        spec = spec.with_placement(placement)
     shards = payload.get("shards")
     worker_timeout = payload.get("worker_timeout")
     result = run_scenario(
@@ -272,11 +288,14 @@ def run_catalog(
     shards: Optional[int] = None,
     worker_timeout: Optional[float] = None,
     backend_options: Optional[Dict[str, object]] = None,
+    placement: Optional[Dict[str, object]] = None,
 ) -> Dict[str, ResultTable]:
     """Run every ``(scenario, policy)`` pair and collect two result tables.
 
     ``policies=None`` runs each spec under its own configured policy; a list
     runs every spec under every named policy (the E10 comparison shape).
+    ``placement`` (a :class:`~repro.sim.placement.PlacementSpec` payload)
+    overrides every row's placement policy, the CLI ``--placement`` path.
     Rows fan across the process pool and merge in submission order, so the
     returned tables are byte-identical for every ``jobs`` value.
 
@@ -298,6 +317,7 @@ def run_catalog(
             "shards": shards,
             "worker_timeout": worker_timeout,
             "backend_options": backend_options,
+            "placement": placement,
         }
         for spec in specs
         for policy in (policies if policies is not None else [None])

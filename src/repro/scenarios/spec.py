@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.sim.placement import PlacementSpec
 from repro.sim.resilience import ResiliencePolicy
 
 #: Fault-event kinds understood by :func:`repro.scenarios.runner.apply_fault`.
@@ -164,6 +165,12 @@ class ScenarioSpec:
     #: omitted from ``to_dict`` so existing serialized specs round-trip
     #: unchanged.
     resilience: Optional[ResiliencePolicy] = None
+    #: Optional global request-placement policy (naive/shortest-queue/
+    #: max-flow routing plus the offline cache-placement prewarm —
+    #: :mod:`repro.sim.placement`).  ``None`` (the default) keeps the
+    #: unplaced behaviour byte-for-byte and is omitted from ``to_dict``.
+    #: Mutually exclusive with ``resilience``.
+    placement: Optional[PlacementSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -175,6 +182,14 @@ class ScenarioSpec:
         if self.resilience is not None and not isinstance(self.resilience, ResiliencePolicy):
             object.__setattr__(
                 self, "resilience", ResiliencePolicy.from_dict(self.resilience)
+            )
+        if self.placement is not None and not isinstance(self.placement, PlacementSpec):
+            object.__setattr__(
+                self, "placement", PlacementSpec.from_dict(self.placement)
+            )
+        if self.placement is not None and self.resilience is not None:
+            raise ConfigurationError(
+                "resilience and placement policies are mutually exclusive on one spec"
             )
         names = [phase.name for phase in self.phases]
         if len(set(names)) != len(names):
@@ -243,6 +258,10 @@ class ScenarioSpec:
         """A copy of this spec running a different resilience policy."""
         return replace(self, resilience=policy)
 
+    def with_placement(self, placement: Optional[PlacementSpec | dict]) -> "ScenarioSpec":
+        """A copy of this spec running a different placement policy."""
+        return replace(self, placement=placement)
+
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
@@ -255,6 +274,8 @@ class ScenarioSpec:
         payload = asdict(self)
         if payload.get("resilience") is None:
             payload.pop("resilience", None)
+        if payload.get("placement") is None:
+            payload.pop("placement", None)
         return payload
 
     @classmethod
@@ -272,6 +293,9 @@ class ScenarioSpec:
         resilience = payload.get("resilience")
         if resilience is not None and not isinstance(resilience, ResiliencePolicy):
             payload["resilience"] = ResiliencePolicy.from_dict(resilience)
+        placement = payload.get("placement")
+        if placement is not None and not isinstance(placement, PlacementSpec):
+            payload["placement"] = PlacementSpec.from_dict(placement)
         return cls(**payload)
 
     def to_json(self) -> str:

@@ -120,6 +120,22 @@ class SimBackend(Protocol):
         """
         ...
 
+    # Placement --------------------------------------------------------- #
+    def configure_placement(self, spec) -> None:
+        """Install a global :class:`~repro.sim.placement.PlacementSpec`.
+
+        Must be called before :meth:`replay`; ``None`` restores the exact
+        unplaced behaviour.  The serial engine executes placement natively;
+        the sharded and vectorized backends fall back to the serial path with
+        a recorded ``fallback_reason`` (global routing contradicts their
+        shard-local / cohort-batched structure).
+        """
+        ...
+
+    def placement_summary(self) -> Optional[dict]:
+        """Placement counters of the last replay (``None`` when unplaced)."""
+        ...
+
 
 #: A backend factory: ``(cells, catalogue, config, seed, **options) -> SimBackend``.
 BackendFactory = Callable[..., SimBackend]

@@ -1,0 +1,63 @@
+"""Flow-network global scheduling and offline cache placement.
+
+The paper's caching question asked at cluster scale: treat the multi-cell
+deployment as a flow network — cells as capacitated nodes, backhaul links
+with bandwidths, per-domain demand — and place both *requests* (online, per
+arrival) and *semantic models* (offline, before the replay) globally.
+
+Public surface:
+
+* :class:`~repro.sim.placement.spec.PlacementSpec` — pure-data policy
+  description carried by scenario specs and CLIs.
+* :data:`~repro.sim.placement.policies.placement_registry` — the ``naive`` /
+  ``shortest-queue`` / ``max-flow`` request-placement policy family.
+* :class:`~repro.sim.placement.runtime.PlacementRuntime` — the live state
+  ``MultiCellSimulator.configure_placement`` installs.
+* :mod:`~repro.sim.placement.optimizer` — the offline cache-placement
+  optimizer (min-cost flow over the demand matrix) behind
+  ``PlacementSpec(prewarm=True)``.
+
+See ``docs/scheduling.md`` for the model, the policy semantics and the
+determinism contract.
+"""
+
+from repro.sim.placement.network import (
+    concentrate_demand,
+    solve_cache_placement,
+    solve_routing,
+)
+from repro.sim.placement.optimizer import (
+    apply_prewarm,
+    plan_cache_placement,
+    trace_domain_counts,
+    uniform_demand_matrix,
+)
+from repro.sim.placement.policies import (
+    MaxFlowPlacement,
+    NaivePlacement,
+    PlacementPolicy,
+    ShortestQueuePlacement,
+    make_policy,
+    placement_registry,
+)
+from repro.sim.placement.runtime import PlacementRuntime
+from repro.sim.placement.spec import PLACEMENT_POLICY_NAMES, PlacementSpec
+
+__all__ = [
+    "PLACEMENT_POLICY_NAMES",
+    "PlacementPolicy",
+    "PlacementRuntime",
+    "PlacementSpec",
+    "MaxFlowPlacement",
+    "NaivePlacement",
+    "ShortestQueuePlacement",
+    "apply_prewarm",
+    "concentrate_demand",
+    "make_policy",
+    "placement_registry",
+    "plan_cache_placement",
+    "solve_cache_placement",
+    "solve_routing",
+    "trace_domain_counts",
+    "uniform_demand_matrix",
+]

@@ -1,0 +1,227 @@
+"""Flow-network model of the multi-cell deployment.
+
+The deployment is modelled as a bipartite flow network:
+
+* **Demand nodes** — one per ``(origin cell, domain)`` pair, fed from a
+  virtual source with capacity equal to the expected request count for the
+  window being solved.
+* **Cell nodes** — one per edge cell, drained into a virtual sink with
+  capacity equal to the cell's remaining serve slots for the window
+  (FLOPs-derived throughput minus outstanding queue depth).
+* **Routing arcs** — demand node → cell node, weighted by the integer
+  microsecond cost of serving that domain there (backhaul forwarding time
+  plus an expected miss penalty when the cell is not planned/observed to hold
+  the domain's semantic model).
+
+:func:`solve_routing` runs networkx's ``max_flow_min_cost`` over this graph
+and extracts, per ``(origin, domain)``, a weighted target list realized at
+dispatch time by a deterministic largest-remainder rotation.  Demand the
+network cannot place (every cell saturated) stays at its origin.
+
+:func:`solve_cache_placement` reuses the same machinery for the *offline*
+question — which semantic models should live at which cells — as a min-cost
+flow in kilobyte units: source → ``(domain, cell)`` arcs sized to the model,
+``(domain, cell)`` → cell arcs carrying a negative per-KB value proportional
+to demand density, cell → sink arcs sized to the cache.  Only fully-placed
+models count (a partially transferred model serves nothing).
+
+Everything here is pure and deterministic: graphs are built in sorted order,
+capacities and weights are integers, and the solver (network simplex) is
+exact — identical inputs produce identical plans on every platform.
+
+networkx is an install-time dependency of the package; the import is still
+gated so environments that strip optional extras fail with a clear
+:class:`~repro.exceptions.ConfigurationError` only when a flow solve is
+actually requested (the ``naive`` and ``shortest-queue`` policies never
+need it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+try:  # gated: only the flow-solving policies need it
+    import networkx as _networkx
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _networkx = None
+
+#: Virtual source/sink node labels (tuples never collide with cell names).
+SOURCE = ("source",)
+SINK = ("sink",)
+
+#: Kilobyte unit for the cache-placement solve.
+_KB = 1024
+
+#: Integer scale applied to demand density when building cache-value weights.
+_DENSITY_SCALE = 1000
+
+
+def require_networkx():
+    """Return the networkx module or raise a configuration error."""
+    if _networkx is None:
+        raise ConfigurationError(
+            "the max-flow placement policies need networkx, which is not "
+            "installed; use the 'naive' or 'shortest-queue' policy instead"
+        )
+    return _networkx
+
+
+#: ``plan[(origin, domain)]`` — ordered ``(target cell, weight)`` shares.
+RoutingPlan = Dict[Tuple[str, str], List[Tuple[str, int]]]
+
+
+def solve_routing(
+    demand: Mapping[Tuple[str, str], int],
+    capacities: Mapping[str, int],
+    route_cost_us: Callable[[str, str, str], int],
+) -> RoutingPlan:
+    """Min-cost-flow routing of windowed demand onto capacitated cells.
+
+    Parameters
+    ----------
+    demand:
+        Expected request count per ``(origin cell, domain)`` for the window.
+    capacities:
+        Serve slots per cell for the window; non-positive cells are excluded.
+    route_cost_us:
+        ``(origin, domain, target) -> int`` microsecond cost of placing one
+        such request on ``target``.
+
+    Returns
+    -------
+    Plan mapping each demanded ``(origin, domain)`` to ordered
+    ``(target, weight)`` shares: the origin first (local leftover), then
+    remote targets by increasing cost.  Pairs whose demand the network kept
+    entirely local are omitted (dispatch treats a missing entry as "serve at
+    origin").
+    """
+    nx = require_networkx()
+    cells = sorted(name for name, slots in capacities.items() if slots > 0)
+    pairs = sorted((pair, count) for pair, count in demand.items() if count > 0)
+    if not cells or not pairs:
+        return {}
+    graph = nx.DiGraph()
+    for cell in cells:
+        graph.add_edge(("cell", cell), SINK, capacity=int(capacities[cell]), weight=0)
+    costs: Dict[Tuple[str, str, str], int] = {}
+    for (origin, domain), count in pairs:
+        node = ("demand", origin, domain)
+        graph.add_edge(SOURCE, node, capacity=int(count), weight=0)
+        for cell in cells:
+            cost = int(route_cost_us(origin, domain, cell))
+            costs[(origin, domain, cell)] = cost
+            graph.add_edge(node, ("cell", cell), capacity=int(count), weight=cost)
+    flow = nx.max_flow_min_cost(graph, SOURCE, SINK)
+    plan: RoutingPlan = {}
+    for (origin, domain), count in pairs:
+        node_flow = flow.get(("demand", origin, domain), {})
+        local = 0
+        remote: List[Tuple[str, int]] = []
+        for target_node, amount in node_flow.items():
+            amount = int(amount)
+            if amount <= 0:
+                continue
+            target = target_node[1]
+            if target == origin:
+                local += amount
+            else:
+                remote.append((target, amount))
+        if not remote:
+            continue  # dispatch default: everything stays at the origin
+        local += count - (local + sum(weight for _, weight in remote))
+        remote.sort(key=lambda share: (costs[(origin, domain, share[0])], share[0]))
+        shares = ([(origin, local)] if local > 0 else []) + remote
+        plan[(origin, domain)] = shares
+    return plan
+
+
+def solve_cache_placement(
+    demand_matrix: Mapping[Tuple[str, str], float],
+    sizes_bytes: Mapping[str, int],
+    capacities_bytes: Mapping[str, int],
+) -> Dict[str, List[str]]:
+    """Offline cache placement as min-cost flow over the demand matrix.
+
+    Parameters
+    ----------
+    demand_matrix:
+        Expected request count per ``(cell, domain)``.
+    sizes_bytes:
+        Model footprint per domain.
+    capacities_bytes:
+        Cache capacity per cell.
+
+    Returns
+    -------
+    ``{cell: [domains]}`` — the models to pre-load per cell, hottest first.
+    Only fully-placed models are returned; a model the flow could only
+    partially fit is dropped (a partial copy serves no requests).
+    """
+    nx = require_networkx()
+    graph = nx.DiGraph()
+    size_kb = {
+        domain: max(1, math.ceil(size / _KB)) for domain, size in sizes_bytes.items()
+    }
+    usable = False
+    for cell in sorted(capacities_bytes):
+        cap_kb = int(capacities_bytes[cell] // _KB)
+        if cap_kb > 0:
+            graph.add_edge(("cell", cell), SINK, capacity=cap_kb, weight=0)
+            usable = True
+    if not usable:
+        return {cell: [] for cell in capacities_bytes}
+    for (cell, domain), count in sorted(demand_matrix.items()):
+        if count <= 0 or domain not in size_kb:
+            continue
+        value = int(round(_DENSITY_SCALE * count / size_kb[domain]))
+        if value <= 0:
+            continue
+        node = ("copy", domain, cell)
+        graph.add_edge(SOURCE, node, capacity=size_kb[domain], weight=0)
+        graph.add_edge(node, ("cell", cell), capacity=size_kb[domain], weight=-value)
+    if SOURCE not in graph:
+        return {cell: [] for cell in capacities_bytes}
+    flow = nx.max_flow_min_cost(graph, SOURCE, SINK)
+    placed: Dict[str, List[str]] = {cell: [] for cell in capacities_bytes}
+    ranked = sorted(demand_matrix.items(), key=lambda item: (-item[1], item[0]))
+    for (cell, domain), _count in ranked:
+        amount = flow.get(("copy", domain, cell), {}).get(("cell", cell), 0)
+        if domain in size_kb and int(amount) == size_kb[domain]:
+            placed[cell].append(domain)
+    return placed
+
+
+def concentrate_demand(
+    domain_counts: Mapping[str, float], cells: Sequence[str]
+) -> Dict[Tuple[str, str], float]:
+    """Shape aggregate domain counts into a cell-specializing demand matrix.
+
+    Uniformly split demand gives every cell an identical cache plan — no
+    cell specializes and remote placement buys nothing.  This helper breaks
+    the symmetry deterministically: domains are ranked by popularity and
+    assigned ``max(1, round(share x num_cells))`` anchor cells each, rotating
+    a cursor so consecutive domains land on different cells; each domain's
+    demand is split equally across its anchors.  The resulting matrix feeds
+    :func:`solve_cache_placement` to produce the per-cell specialization the
+    ``max-flow`` router steers towards.
+    """
+    names = list(cells)
+    total = float(sum(domain_counts.values()))
+    if not names or total <= 0:
+        return {}
+    ranked = sorted(domain_counts.items(), key=lambda item: (-item[1], item[0]))
+    matrix: Dict[Tuple[str, str], float] = {}
+    cursor = 0
+    for domain, count in ranked:
+        if count <= 0:
+            continue
+        homes = max(1, min(len(names), int(round(len(names) * count / total))))
+        share = count / homes
+        for step in range(homes):
+            cell = names[(cursor + step) % len(names)]
+            matrix[(cell, domain)] = matrix.get((cell, domain), 0.0) + share
+        cursor = (cursor + homes) % len(names)
+    return matrix

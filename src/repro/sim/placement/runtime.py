@@ -1,0 +1,96 @@
+"""Simulator-facing placement surface.
+
+A :class:`PlacementRuntime` is what ``MultiCellSimulator.configure_placement``
+installs: it binds a :class:`~repro.sim.placement.spec.PlacementSpec` to its
+policy implementation, owns the per-cell outstanding-request counters the
+policies consult, applies the offline prewarm plan at replay start, and
+accumulates the counters the scenario runner surfaces as the placement
+summary columns.
+
+The runtime is engine-agnostic on purpose: the serial engine calls
+``prepare``/``route``/``admit``/``release`` directly, the sharded and
+vectorized backends reach the same code by delegating their replay to the
+serial engine (recording a ``fallback_reason``, the PR 9 contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.placement.optimizer import apply_prewarm, plan_cache_placement
+from repro.sim.placement.policies import make_policy
+from repro.sim.placement.spec import PlacementSpec
+from repro.workloads.traces import RequestTrace
+
+
+class PlacementRuntime:
+    """Live state of one replay's placement policy."""
+
+    __slots__ = (
+        "spec",
+        "policy",
+        "outstanding",
+        "forwards",
+        "solves",
+        "prewarmed_models",
+        "prewarmed_bytes",
+        "prepared",
+    )
+
+    def __init__(self, spec: PlacementSpec) -> None:
+        self.spec = spec
+        self.policy = make_policy(spec.policy)
+        #: Requests currently placed at each cell (admitted minus released).
+        self.outstanding: Dict[str, int] = {}
+        #: Requests served away from their serving cell.
+        self.forwards = 0
+        #: Flow-network solves performed (max-flow policy only).
+        self.solves = 0
+        self.prewarmed_models = 0
+        self.prewarmed_bytes = 0
+        self.prepared = False
+
+    def prepare(self, simulator, trace: Optional[RequestTrace]) -> None:
+        """One-time replay setup: counters, offline prewarm, policy state."""
+        if self.prepared:
+            return
+        self.prepared = True
+        self.outstanding = {name: 0 for name in simulator.cells}
+        if self.spec.prewarm:
+            plan = plan_cache_placement(simulator, trace)
+            self.prewarmed_models, self.prewarmed_bytes = apply_prewarm(
+                simulator, plan
+            )
+        self.policy.prepare(self, simulator, trace)
+
+    def route(self, simulator, request, serving):
+        """Target cell for ``request`` (``serving`` is alive when called)."""
+        return self.policy.route(self, simulator, request, serving)
+
+    def admit(self, request, cell_name: str) -> None:
+        """Count ``request`` against ``cell_name``'s placed queue."""
+        request.placed_cell = cell_name
+        self.outstanding[cell_name] = self.outstanding.get(cell_name, 0) + 1
+
+    def rehome(self, request, cell_name: str) -> None:
+        """Move the placed counter when a failover re-homes the request."""
+        self.release(request)
+        self.admit(request, cell_name)
+
+    def release(self, request) -> None:
+        """Drop the placed counter at the request's terminal event."""
+        placed = request.placed_cell
+        if placed:
+            count = self.outstanding.get(placed, 0)
+            if count > 0:
+                self.outstanding[placed] = count - 1
+            request.placed_cell = ""
+
+    def summary(self) -> Dict[str, int]:
+        """Counters surfaced by the scenario runner's placement columns."""
+        return {
+            "forwards": self.forwards,
+            "solves": self.solves,
+            "prewarmed_models": self.prewarmed_models,
+            "prewarmed_bytes": self.prewarmed_bytes,
+        }

@@ -1,0 +1,74 @@
+"""Pure-data description of a global request-placement policy.
+
+A :class:`PlacementSpec` is the placement analogue of
+:class:`~repro.sim.resilience.ResiliencePolicy`: a frozen, JSON-serializable
+value object that scenario specs, CLIs and experiment configs hand to
+``SimBackend.configure_placement``.  It carries no behaviour — the policy
+implementations live in :mod:`repro.sim.placement.policies` and are looked up
+by :attr:`PlacementSpec.policy` at configure time.
+
+Field semantics
+---------------
+``policy``
+    One of :data:`PLACEMENT_POLICY_NAMES`.  ``naive`` keeps every request at
+    its serving cell (the engine's historical behaviour, kept as an explicit
+    experiment arm); ``shortest-queue`` routes each arrival to the
+    least-loaded reachable cell; ``max-flow`` periodically solves a
+    min-cost-flow routing of windowed demand over the cell/backhaul flow
+    network.
+``prewarm``
+    Run the offline cache-placement optimizer over the replayed trace's
+    demand matrix before the first arrival and pre-load the chosen semantic
+    models into each cell's cache.  Composable with any ``policy``.
+``refresh_s``
+    Sliding-window length for the ``max-flow`` policy: demand observed in one
+    window parameterizes the solve that routes the next.
+``forward_bytes``
+    Request payload size charged to the backhaul when a request is placed on
+    a non-serving cell (the semantic feature upload is small compared to the
+    models themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Mapping
+
+#: Registered policy names, in documentation order.
+PLACEMENT_POLICY_NAMES = ("naive", "shortest-queue", "max-flow")
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """Declarative configuration of global request placement."""
+
+    policy: str = "naive"
+    prewarm: bool = False
+    refresh_s: float = 2.0
+    forward_bytes: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in PLACEMENT_POLICY_NAMES:
+            raise ValueError(
+                f"unknown placement policy {self.policy!r}; "
+                f"choose from {', '.join(PLACEMENT_POLICY_NAMES)}"
+            )
+        if self.refresh_s <= 0:
+            raise ValueError(f"refresh_s must be positive, got {self.refresh_s}")
+        if self.forward_bytes < 0:
+            raise ValueError(f"forward_bytes must be >= 0, got {self.forward_bytes}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; round-trips through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PlacementSpec":
+        """Rebuild from :meth:`to_dict` output, rejecting unknown fields."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown PlacementSpec fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(payload))

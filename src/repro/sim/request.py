@@ -98,6 +98,9 @@ class Request:
     #: Cell whose outstanding-queue counter this request currently occupies
     #: ("" when not admitted); maintained only under a resilience policy.
     admitted_cell: str = ""
+    #: Cell whose placed-queue counter this request currently occupies
+    #: ("" when not placed); maintained only under a placement policy.
+    placed_cell: str = ""
 
     @property
     def completed(self) -> bool:

@@ -54,6 +54,7 @@ from repro.sim.sharded.partition import (
     partition_cells,
     plan_mobility,
 )
+from repro.sim.placement import PlacementSpec
 from repro.sim.resilience import ResiliencePolicy
 from repro.sim.sharded.shard import ShardSimulator, WindowMessage
 from repro.sim.simulator import MultiCellSimulator, SimulatorConfig
@@ -197,6 +198,9 @@ class ShardedSimulator:
         self._issued: Optional[int] = None
         self._resilience: Optional[ResiliencePolicy] = None
         self._resilience_seed = 0
+        self._placement: Optional[PlacementSpec] = None
+        #: Why the last replay left the sharded fast path (None = it didn't).
+        self.fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Resilience
@@ -219,6 +223,32 @@ class ShardedSimulator:
             policy = None
         self._resilience = policy
         self._resilience_seed = int(seed)
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def configure_placement(self, spec) -> None:
+        """Install a :class:`~repro.sim.placement.PlacementSpec` (or None).
+
+        Placement policies route *globally* — every dispatch decision can
+        consult every cell's queue and cache — which contradicts the window
+        lockstep's shard-local views, so a placed replay falls back to the
+        serial engine with a recorded :attr:`fallback_reason` (the same
+        contract as the vectorized backend's blockers).
+        """
+        if self._replayed:
+            raise SimulationError(
+                "the sharded backend needs its placement policy before replay()"
+            )
+        if spec is not None and not isinstance(spec, PlacementSpec):
+            spec = PlacementSpec.from_dict(dict(spec))
+        self._placement = spec
+
+    def placement_summary(self):
+        """Placement counters of the last replay (from the serial delegate)."""
+        if self._serial_delegate is None:
+            return None
+        return self._serial_delegate.placement_summary()
 
     # ------------------------------------------------------------------ #
     # Fault API (recorded, broadcast to every shard at replay time)
@@ -291,6 +321,12 @@ class ShardedSimulator:
             raise SimulationError("the sharded backend is one-shot; build a fresh instance")
         started = time.perf_counter()
         num_shards = min(self.sharded.num_shards, len(self.cells))
+        if self._placement is not None:
+            self.fallback_reason = (
+                "placement policies route globally across cells; "
+                "delegating to the serial engine"
+            )
+            return self._replay_serial(trace, started)
         if num_shards == 1:
             return self._replay_serial(trace, started)
         self._replayed = True
@@ -398,6 +434,8 @@ class ShardedSimulator:
         delegate.on_request_end = self.on_request_end
         if self._resilience is not None:
             delegate.configure_resilience(self._resilience, seed=self._resilience_seed)
+        if self._placement is not None:
+            delegate.configure_placement(self._placement)
         for time_s, calls, label in self._timeline:
             delegate.schedule_calls(time_s, calls, label=label)
         report = delegate.replay(trace)

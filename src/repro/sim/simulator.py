@@ -68,6 +68,7 @@ from repro.sim.request import (
     TERMINAL_STATUSES,
     Request,
 )
+from repro.sim.placement import PlacementRuntime, PlacementSpec
 from repro.sim.resilience import CircuitBreaker, ResiliencePolicy
 from repro.utils.rng import SeedLike
 from repro.workloads.traces import RequestTrace
@@ -188,6 +189,10 @@ class MultiCellSimulator:
         self._breakers: Dict[str, CircuitBreaker] = {}
         #: Hedge pair state per logical request id: ``[resolved, pending]``.
         self._hedge_pairs: Dict[int, List] = {}
+        # Placement state (see configure_placement).  ``None`` means every
+        # placement hook below is a single dead predicate — the no-placement
+        # replay stays byte-identical to the pre-placement engine.
+        self._placement: Optional[PlacementRuntime] = None
 
     # ------------------------------------------------------------------ #
     # Resilience
@@ -210,11 +215,47 @@ class MultiCellSimulator:
             policy = ResiliencePolicy.from_dict(policy)
         if policy is not None and not policy.active:
             policy = None
+        if policy is not None and self._placement is not None:
+            raise ConfigurationError(
+                "resilience and placement policies are mutually exclusive; "
+                "clear one before configuring the other"
+            )
         self._resilience = policy
         self._resilience_seed = int(seed)
         self._outstanding = {name: 0 for name in self.cells}
         self._breakers = {}
         self._hedge_pairs = {}
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def configure_placement(
+        self, spec: Optional[PlacementSpec | dict]
+    ) -> None:
+        """Install (or clear) the global request-placement policy.
+
+        ``spec`` may be a :class:`~repro.sim.placement.PlacementSpec`, an
+        equivalent dict, or ``None``.  Placement and resilience are mutually
+        exclusive in this engine (global routing and per-request hedging/
+        retry re-homing would fight over the same requests); configuring one
+        while the other is active raises.  Call before :meth:`replay` — the
+        runtime estimates demand (and applies the offline prewarm plan) from
+        the replayed trace.
+        """
+        if spec is not None and not isinstance(spec, PlacementSpec):
+            spec = PlacementSpec.from_dict(spec)
+        if spec is not None and self._resilience is not None:
+            raise ConfigurationError(
+                "resilience and placement policies are mutually exclusive; "
+                "clear one before configuring the other"
+            )
+        self._placement = PlacementRuntime(spec) if spec is not None else None
+
+    def placement_summary(self) -> Optional[Dict[str, int]]:
+        """Placement counters of the last replay, or ``None`` when unplaced."""
+        if self._placement is None:
+            return None
+        return self._placement.summary()
 
     def _breaker(self, cell: Cell) -> CircuitBreaker:
         breaker = self._breakers.get(cell.name)
@@ -484,6 +525,11 @@ class MultiCellSimulator:
         ``retain_requests`` keeps them).  Results are bit-identical to the
         object path.
         """
+        if self._placement is not None:
+            # Demand estimation + offline prewarm happen before the first
+            # arrival; the runtime is idempotent so chained replays keep the
+            # first trace's plan.
+            self._placement.prepare(self, trace if isinstance(trace, RequestTrace) else None)
         if (
             run
             and not self._arrival_stream
@@ -658,6 +704,9 @@ class MultiCellSimulator:
         if self._resilience is not None:
             self._on_arrival_resilient(request, cell, moved)
             return
+        if self._placement is not None:
+            self._on_arrival_placed(request, cell, moved)
+            return
         if cell.failed:
             # The serving cell is down: hand the user over to the nearest
             # alive neighbour (this also re-homes the user for later arrivals).
@@ -671,6 +720,43 @@ class MultiCellSimulator:
                 self.engine.post(delay, lambda sim, r=request, c=cell: self._lookup(r, c))
                 return
         self._lookup(request, cell)
+
+    def _on_arrival_placed(self, request: Request, cell: Cell, moved) -> None:
+        """Arrival under a placement policy: route, forward, then look up.
+
+        Routing happens *after* ``mobility.resolve`` and consumes no RNG, so
+        a ``naive`` placement replay is metric-identical to no placement at
+        all.  Serving a request away from its serving cell charges the
+        backhaul for the request payload (``forward_bytes``) on top of any
+        mobility handover delay; the response downlink is billed at the
+        executing cell as usual.
+        """
+        placement = self._placement
+        if not placement.prepared:
+            # submit()/run() path without a replay(): no trace to estimate
+            # demand from, prepare with live state only.
+            placement.prepare(self, None)
+        if cell.failed:
+            self._failover(request, cell)
+            return
+        target = placement.route(self, request, cell)
+        delay = 0.0
+        if moved is not None:
+            request.handover = True
+            cell.stats.handovers_in += 1
+            delay = self.config.mobility.handover_delay_s
+        if target is not cell:
+            request.cell = target.name
+            placement.forwards += 1
+            forward_bytes = placement.spec.forward_bytes
+            if forward_bytes > 0:
+                delay += self.costs.transfer_time(cell.name, target.name, forward_bytes)
+                self.backhaul_bytes += forward_bytes
+        placement.admit(request, target.name)
+        if delay > 0:
+            self.engine.post(delay, lambda sim, r=request, c=target: self._lookup(r, c))
+            return
+        self._lookup(request, target)
 
     def _on_arrival_resilient(self, request: Request, cell: Cell, moved) -> None:
         """Arrival under a policy: hedge timer, breaker-aware routing."""
@@ -716,6 +802,8 @@ class MultiCellSimulator:
         if fallback is None:
             request.status = DROPPED
             from_cell.stats.dropped += 1
+            if self._placement is not None:
+                self._placement.release(request)
             hook = self.on_request_end
             if hook is not None:
                 hook(request)
@@ -724,6 +812,8 @@ class MultiCellSimulator:
         request.cell = fallback.name
         fallback.stats.handovers_in += 1
         fallback.stats.failovers += 1
+        if self._placement is not None:
+            self._placement.rehome(request, fallback.name)
         self.mobility.place(request.user_id, fallback.name)
         delay = self.config.mobility.handover_delay_s
         if delay > 0:
@@ -915,10 +1005,13 @@ class MultiCellSimulator:
         now = self.engine.now
         record = self.latency.record
         hook = self.on_request_end
+        placement = self._placement
         for request in requests:
             request.completion_time = now
             request.status = COMPLETED
             record(now - request.arrival_time)
+            if placement is not None:
+                placement.release(request)
             if hook is not None:
                 hook(request)
         cell.stats.completed += len(requests)

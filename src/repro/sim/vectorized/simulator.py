@@ -205,6 +205,8 @@ class VectorizedSimulator:
         inner = self._inner
         if inner._resilience is not None:
             return "resilience policies take the serial per-request path"
+        if inner._placement is not None:
+            return "placement policies take the serial per-request path"
         if inner.config.trace_events:
             return "per-event tracing is a serial-engine feature"
         if inner._arrival_stream:

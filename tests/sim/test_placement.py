@@ -1,0 +1,487 @@
+"""Placement layer tests: spec contract, flow-solver properties, fallbacks.
+
+The property-test core pins the three claims ISSUE'd for the flow-network
+scheduler:
+
+* routing assignments never exceed cell capacities (per-cell and per-pair
+  flow bounds hold on arbitrary demand/capacity/cost inputs);
+* the plan degenerates to shortest-queue behaviour on uniform topologies
+  (ample uniform capacity + no cost asymmetry => everything stays local,
+  exactly where a balanced shortest-queue would put it);
+* the offline cache-placement optimizer's hit ratio upper-bounds every
+  online eviction policy at small scale.
+
+The backend classes pin the PR 9 fallback contract: a placed replay on the
+sharded or vectorized backend records a ``fallback_reason`` and reproduces
+the serial engine's summary byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim import (
+    BatchingConfig,
+    CellConfig,
+    MobilityConfig,
+    SimulatorConfig,
+    create_backend,
+    default_catalogue,
+)
+from repro.sim.placement import (
+    PLACEMENT_POLICY_NAMES,
+    MaxFlowPlacement,
+    NaivePlacement,
+    PlacementRuntime,
+    PlacementSpec,
+    ShortestQueuePlacement,
+    concentrate_demand,
+    make_policy,
+    placement_registry,
+    solve_cache_placement,
+    solve_routing,
+)
+from repro.sim.resilience import ResiliencePolicy
+from repro.workloads import ArrivalTraceGenerator
+
+DOMAINS = [f"domain_{index}" for index in range(6)]
+
+_KB = 1024
+
+
+def make_backend(name, shards=None, num_cells=4, seed=0):
+    config = SimulatorConfig(
+        batching=BatchingConfig(),
+        mobility=MobilityConfig(handover_probability=0.05),
+        retain_requests=False,
+    )
+    return create_backend(
+        name,
+        [CellConfig(name=f"cell_{index}") for index in range(num_cells)],
+        default_catalogue(DOMAINS, seed=seed),
+        config=config,
+        seed=seed,
+        shards=shards,
+    )
+
+
+def make_trace(seed=5, size=300, rate=200.0):
+    return ArrivalTraceGenerator(DOMAINS, num_users=30, rate=rate, seed=seed).generate(size)
+
+
+# --------------------------------------------------------------------- #
+# Spec contract
+# --------------------------------------------------------------------- #
+class TestPlacementSpec:
+    def test_defaults(self):
+        spec = PlacementSpec()
+        assert spec.policy == "naive"
+        assert spec.prewarm is False
+        assert spec.refresh_s > 0
+        assert spec.forward_bytes >= 0
+
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICY_NAMES)
+    def test_every_registered_policy_is_a_valid_spec(self, policy):
+        assert PlacementSpec(policy=policy).policy == policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            PlacementSpec(policy="round-robin")
+
+    @pytest.mark.parametrize("refresh_s", [0.0, -1.0])
+    def test_nonpositive_refresh_rejected(self, refresh_s):
+        with pytest.raises(ValueError, match="refresh_s"):
+            PlacementSpec(refresh_s=refresh_s)
+
+    def test_negative_forward_bytes_rejected(self):
+        with pytest.raises(ValueError, match="forward_bytes"):
+            PlacementSpec(forward_bytes=-1.0)
+
+    def test_round_trip(self):
+        spec = PlacementSpec(
+            policy="max-flow", prewarm=True, refresh_s=0.5, forward_bytes=128.0
+        )
+        assert PlacementSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown PlacementSpec fields: jitter"):
+            PlacementSpec.from_dict({"policy": "naive", "jitter": 1})
+
+
+class TestRegistry:
+    def test_registered_names_match_the_spec_vocabulary(self):
+        assert tuple(sorted(placement_registry.names())) == tuple(
+            sorted(PLACEMENT_POLICY_NAMES)
+        )
+
+    def test_make_policy_builds_each_family_member(self):
+        assert isinstance(make_policy("naive"), NaivePlacement)
+        assert isinstance(make_policy("shortest-queue"), ShortestQueuePlacement)
+        assert isinstance(make_policy("max-flow"), MaxFlowPlacement)
+
+    def test_make_policy_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown placement-policy"):
+            make_policy("round-robin")
+
+
+# --------------------------------------------------------------------- #
+# Mutual exclusion with the resilience layer
+# --------------------------------------------------------------------- #
+class TestMutualExclusion:
+    RESILIENCE = ResiliencePolicy(deadline_s=5.0)
+
+    def test_scenario_spec_rejects_both(self):
+        spec = get_scenario("flash_crowd")
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            spec.with_resilience(self.RESILIENCE).with_placement(PlacementSpec())
+
+    def test_spec_round_trip_keeps_placement(self):
+        spec = get_scenario("flash_crowd").with_placement(
+            PlacementSpec(policy="max-flow")
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.placement == spec.placement
+
+    def test_placement_key_absent_when_unset(self):
+        assert "placement" not in get_scenario("flash_crowd").to_dict()
+
+    def test_simulator_rejects_placement_over_resilience(self):
+        backend = make_backend("serial")
+        backend.configure_resilience(self.RESILIENCE)
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            backend.configure_placement(PlacementSpec())
+
+    def test_simulator_rejects_resilience_over_placement(self):
+        backend = make_backend("serial")
+        backend.configure_placement(PlacementSpec())
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            backend.configure_resilience(self.RESILIENCE)
+
+    def test_clearing_one_unlocks_the_other(self):
+        backend = make_backend("serial")
+        backend.configure_placement(PlacementSpec())
+        backend.configure_placement(None)
+        backend.configure_resilience(self.RESILIENCE)
+        backend.configure_resilience(None)
+        backend.configure_placement(PlacementSpec())
+
+
+# --------------------------------------------------------------------- #
+# Runtime counters
+# --------------------------------------------------------------------- #
+class TestRuntimeCounters:
+    def test_admit_release_balance(self):
+        runtime = PlacementRuntime(PlacementSpec())
+        request = SimpleNamespace(placed_cell="")
+        runtime.admit(request, "cell_0")
+        assert runtime.outstanding["cell_0"] == 1
+        runtime.rehome(request, "cell_1")
+        assert runtime.outstanding["cell_0"] == 0
+        assert runtime.outstanding["cell_1"] == 1
+        runtime.release(request)
+        assert runtime.outstanding["cell_1"] == 0
+        assert request.placed_cell == ""
+        runtime.release(request)  # idempotent at the terminal event
+        assert runtime.outstanding["cell_1"] == 0
+
+    def test_summary_keys(self):
+        runtime = PlacementRuntime(PlacementSpec())
+        assert runtime.summary() == {
+            "forwards": 0,
+            "solves": 0,
+            "prewarmed_models": 0,
+            "prewarmed_bytes": 0,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Flow-solver properties
+# --------------------------------------------------------------------- #
+@st.composite
+def routing_problems(draw):
+    cells = [f"c{index}" for index in range(draw(st.integers(1, 5)))]
+    domains = [f"d{index}" for index in range(draw(st.integers(1, 4)))]
+    demand = {}
+    for origin in cells:
+        for domain in domains:
+            count = draw(st.integers(0, 12))
+            if count:
+                demand[(origin, domain)] = count
+    capacities = {cell: draw(st.integers(0, 40)) for cell in cells}
+    cost_seed = draw(st.integers(0, 2**16))
+    return demand, capacities, cost_seed
+
+
+def seeded_cost(cost_seed):
+    """A deterministic, non-negative, origin-biased arc cost function."""
+
+    def route_cost_us(origin, domain, target):
+        base = 0 if target == origin else 1
+        return base + (hash((origin, domain, target)) ^ cost_seed) % 50
+
+    return route_cost_us
+
+
+class TestRoutingProperties:
+    @given(routing_problems())
+    @settings(deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_flow_respects_capacities_and_demand(self, problem):
+        demand, capacities, cost_seed = problem
+        plan = solve_routing(demand, capacities, seeded_cost(cost_seed))
+
+        routed_into = {cell: 0 for cell in capacities}
+        for (origin, domain), shares in plan.items():
+            # Only demanded pairs are planned, and the shares resolve the
+            # pair's demand exactly: nothing is created or lost.
+            assert (origin, domain) in demand
+            weights = [weight for _target, weight in shares]
+            assert all(weight > 0 for weight in weights)
+            assert sum(weights) == demand[(origin, domain)]
+            targets = [target for target, _weight in shares]
+            assert len(targets) == len(set(targets))
+            for target, weight in shares:
+                if target != origin:
+                    # Remote shares are actual network flow: they only land
+                    # on cells the solve saw positive capacity for.
+                    assert capacities.get(target, 0) > 0
+                    routed_into[target] += weight
+        # The headline capacity bound: flow routed into a cell never
+        # exceeds its serve slots.
+        for cell, routed in routed_into.items():
+            assert routed <= capacities[cell], cell
+
+    @given(routing_problems())
+    @settings(deadline=None, max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_solve_is_deterministic(self, problem):
+        demand, capacities, cost_seed = problem
+        cost = seeded_cost(cost_seed)
+        assert solve_routing(demand, capacities, cost) == solve_routing(
+            demand, capacities, cost
+        )
+
+    @given(routing_problems())
+    @settings(deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_uniform_topology_degenerates_to_local_service(self, problem):
+        """Ample uniform capacity + no cost asymmetry => an empty plan.
+
+        An empty plan keeps every request at its serving cell — exactly the
+        decision shortest-queue makes when queues are balanced, which is the
+        ISSUE'd degeneration property.
+        """
+        demand, _capacities, _cost_seed = problem
+        total = sum(demand.values())
+        cells = sorted({origin for origin, _domain in demand})
+        uniform_capacity = {cell: total + 1 for cell in cells}
+
+        def local_first(origin, domain, target):
+            return 0 if target == origin else 1
+
+        assert solve_routing(demand, uniform_capacity, local_first) == {}
+
+    def test_zero_capacity_everywhere_keeps_demand_local(self):
+        demand = {("c0", "d0"): 5, ("c1", "d0"): 3}
+        assert solve_routing(demand, {"c0": 0, "c1": 0}, seeded_cost(1)) == {}
+
+    def test_empty_demand_is_an_empty_plan(self):
+        assert solve_routing({}, {"c0": 10}, seeded_cost(1)) == {}
+
+
+@st.composite
+def cache_problems(draw):
+    cells = [f"c{index}" for index in range(draw(st.integers(1, 4)))]
+    domains = [f"d{index}" for index in range(draw(st.integers(1, 5)))]
+    sizes = {
+        domain: draw(st.integers(1, 8 * _KB * _KB)) for domain in domains
+    }
+    capacities = {cell: draw(st.integers(0, 16 * _KB * _KB)) for cell in cells}
+    demand = {}
+    for cell in cells:
+        for domain in domains:
+            count = draw(st.integers(0, 50))
+            if count:
+                demand[(cell, domain)] = float(count)
+    return demand, sizes, capacities
+
+
+class TestCachePlacementProperties:
+    @given(cache_problems())
+    @settings(deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_placed_models_fit_their_cell(self, problem):
+        demand, sizes, capacities = problem
+        placed = solve_cache_placement(demand, sizes, capacities)
+        assert set(placed) == set(capacities)
+        for cell, domains in placed.items():
+            # No partial copies, no duplicates, only demanded domains.
+            assert len(domains) == len(set(domains))
+            for domain in domains:
+                assert demand.get((cell, domain), 0) > 0
+            used_kb = sum(
+                max(1, math.ceil(sizes[domain] / _KB)) for domain in domains
+            )
+            assert used_kb <= capacities[cell] // _KB, cell
+
+    @given(cache_problems())
+    @settings(deadline=None, max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_solve_is_deterministic(self, problem):
+        demand, sizes, capacities = problem
+        assert solve_cache_placement(demand, sizes, capacities) == solve_cache_placement(
+            demand, sizes, capacities
+        )
+
+    def test_zero_capacity_places_nothing(self):
+        placed = solve_cache_placement(
+            {("c0", "d0"): 10.0}, {"d0": 4 * _KB}, {"c0": 0}
+        )
+        assert placed == {"c0": []}
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(DOMAINS), st.integers(0, 100), max_size=len(DOMAINS)
+        ),
+        st.integers(1, 5),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_concentrate_demand_preserves_mass(self, counts, num_cells):
+        cells = [f"c{index}" for index in range(num_cells)]
+        matrix = concentrate_demand(counts, cells)
+        positive = sum(count for count in counts.values() if count > 0)
+        assert sum(matrix.values()) == pytest.approx(positive)
+        assert all(cell in cells for cell, _domain in matrix)
+
+
+# --------------------------------------------------------------------- #
+# Policy-level degeneration on uniform state
+# --------------------------------------------------------------------- #
+class TestPolicyDegeneration:
+    def test_balanced_queues_keep_the_serving_cell(self):
+        """Shortest-queue prefers the serving cell on ties (uniform load)."""
+        backend = make_backend("serial")
+        runtime = PlacementRuntime(PlacementSpec(policy="shortest-queue"))
+        runtime.prepare(backend, None)
+        request = SimpleNamespace(domain=DOMAINS[0], placed_cell="")
+        for cell in backend.cells.values():
+            assert runtime.route(backend, request, cell) is cell
+
+    def test_max_flow_with_an_empty_plan_matches_shortest_queue(self):
+        """No demand => empty plan => max-flow serves locally, like the
+
+        balanced shortest-queue above: the flow policy degenerates instead of
+        inventing traffic."""
+        backend = make_backend("serial")
+        runtime = PlacementRuntime(PlacementSpec(policy="max-flow"))
+        runtime.prepare(backend, None)
+        request = SimpleNamespace(domain=DOMAINS[0], placed_cell="")
+        serving = backend.cells["cell_0"]
+        assert runtime.route(backend, request, serving) is serving
+
+
+# --------------------------------------------------------------------- #
+# Offline optimizer upper-bounds the online policies
+# --------------------------------------------------------------------- #
+class TestOfflineUpperBound:
+    SCALE = 0.05
+    ONLINE = ("lru", "lfu", "semantic-popularity")
+
+    @pytest.mark.parametrize("name", ["flash_crowd", "capacity_crunch"])
+    def test_offline_hit_ratio_bounds_every_online_policy(self, name):
+        spec = get_scenario(name)
+        offline = run_scenario(
+            spec.with_policy("semantic-popularity").with_placement(
+                PlacementSpec(policy="naive", prewarm=True)
+            ),
+            seed=0,
+            scale=self.SCALE,
+        ).summary
+        assert offline["prewarmed_models"] > 0
+        for policy in self.ONLINE:
+            online = run_scenario(
+                spec.with_policy(policy), seed=0, scale=self.SCALE
+            ).summary
+            assert offline["hit_ratio"] >= online["hit_ratio"], policy
+
+
+# --------------------------------------------------------------------- #
+# Backend fallback contract
+# --------------------------------------------------------------------- #
+class TestBackendFallback:
+    PLACEMENT = PlacementSpec(policy="shortest-queue")
+
+    def test_sharded_records_fallback_and_matches_serial(self):
+        serial = make_backend("serial")
+        serial.configure_placement(self.PLACEMENT)
+        serial_report = serial.replay(make_trace())
+
+        sharded = make_backend("sharded", shards=2)
+        sharded.configure_placement(self.PLACEMENT)
+        sharded_report = sharded.replay(make_trace())
+
+        assert sharded.fallback_reason is not None
+        assert "placement" in sharded.fallback_reason
+        assert sharded_report.completed == serial_report.completed
+        assert sharded_report.dropped == serial_report.dropped
+        assert sharded.placement_summary() == serial.placement_summary()
+        assert serial.placement_summary()["forwards"] > 0
+
+    def test_vectorized_records_fallback_and_matches_serial(self):
+        serial = make_backend("serial")
+        serial.configure_placement(self.PLACEMENT)
+        serial_report = serial.replay(make_trace())
+
+        vectorized = make_backend("vectorized")
+        vectorized.configure_placement(self.PLACEMENT)
+        vectorized_report = vectorized.replay(make_trace())
+
+        assert vectorized.fallback_reason is not None
+        assert "placement" in vectorized.fallback_reason
+        assert vectorized_report.completed == serial_report.completed
+        assert vectorized_report.dropped == serial_report.dropped
+        assert vectorized.placement_summary() == serial.placement_summary()
+
+    def test_unplaced_summary_is_none_on_every_backend(self):
+        for name, shards in (("serial", None), ("sharded", 2), ("vectorized", None)):
+            assert make_backend(name, shards=shards).placement_summary() is None
+
+    def test_sharded_rejects_placement_after_replay(self):
+        backend = make_backend("sharded", shards=2)
+        backend.replay(make_trace())
+        with pytest.raises(Exception, match="before replay"):
+            backend.configure_placement(self.PLACEMENT)
+
+    def test_scenario_summaries_are_byte_identical_across_backends(self):
+        spec = get_scenario("flash_crowd").with_placement(self.PLACEMENT)
+        serial = run_scenario(spec, seed=0, scale=0.05, backend="serial")
+        sharded = run_scenario(spec, seed=0, scale=0.05, backend="sharded", shards=2)
+        vectorized = run_scenario(spec, seed=0, scale=0.05, backend="vectorized")
+        assert sharded.simulator.fallback_reason is not None
+        assert vectorized.simulator.fallback_reason is not None
+        assert sharded.summary == serial.summary
+        assert vectorized.summary == serial.summary
+        assert sharded.phases == serial.phases
+        assert vectorized.phases == serial.phases
+        assert serial.summary["placement"] == "shortest-queue"
+        assert serial.summary["placed_remote"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Naive placement is metric-invisible
+# --------------------------------------------------------------------- #
+class TestNaiveIsFree:
+    def test_naive_matches_no_placement_byte_for_byte(self):
+        spec = get_scenario("flash_crowd")
+        bare = run_scenario(spec, seed=0, scale=0.05)
+        naive = run_scenario(
+            spec.with_placement(PlacementSpec(policy="naive")), seed=0, scale=0.05
+        )
+        placed_only = {"placement", "placed_remote", "placement_solves", "prewarmed_models"}
+        trimmed = {k: v for k, v in naive.summary.items() if k not in placed_only}
+        assert trimmed == bare.summary
+        assert naive.summary["placed_remote"] == 0
+        assert naive.summary["placement"] == "naive"
